@@ -1,0 +1,64 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//   A. ODC-based repair on/off (paper Sec. 2.2 first-attempt repair)
+//   B. DC-cube dropping in stage 1 on/off (DC cone removal)
+//   C. strict vs observability-based EX fanin requests (see DESIGN.md)
+//
+// Each configuration reports check-generator area overhead, CED coverage,
+// POs correct after stage 1, and repair count.
+#include "bench_util.hpp"
+
+using namespace apx;
+using namespace apx::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool odc;
+  bool drop_dc;
+  bool conformance;
+  bool strict_ex;
+};
+
+const Config kConfigs[] = {
+    {"full (default)", true, true, true, false},
+    {"no ODC repair", false, true, true, false},
+    {"no DC-cube drop", true, false, true, false},
+    {"no conformance filter", true, true, false, false},
+    {"strict EX requests", true, true, true, true},
+};
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: contribution of each synthesis ingredient");
+
+  for (const char* bench : {"cordic", "term1", "dalu"}) {
+    Network net = make_benchmark(bench);
+    std::printf("%s:\n", bench);
+    std::printf("  %-22s %8s %10s %12s %9s\n", "configuration", "area%",
+                "coverage%", "stage1-ok", "repairs");
+    for (const Config& config : kConfigs) {
+      PipelineOptions opt = tuned_options(0.2);
+      opt.approx.use_odc_repair = config.odc;
+      opt.approx.drop_dc_cubes = config.drop_dc;
+      opt.approx.conformance_filter = config.conformance;
+      opt.approx.type_options.strict_ex_requests = config.strict_ex;
+      PipelineResult r = run_ced_pipeline(net, opt);
+      std::printf("  %-22s %8.1f %10.1f %8d/%-3d %9d%s\n", config.name,
+                  r.overheads.area_overhead_pct(),
+                  100.0 * r.coverage.coverage(),
+                  r.synthesis.correct_after_stage1,
+                  static_cast<int>(r.synthesis.po_stats.size()),
+                  r.synthesis.repairs,
+                  r.synthesis.all_verified() ? "" : "  UNVERIFIED");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: the full configuration achieves the lowest area at\n"
+      "comparable coverage; disabling DC-cube dropping raises area;\n"
+      "disabling ODC repair forces more exact selections (area up or\n"
+      "approximation down); strict EX floods exactness through the cone.\n");
+  return 0;
+}

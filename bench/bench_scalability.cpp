@@ -1,0 +1,63 @@
+// Scalability study (paper Sec. 4 prose: the synthesis "scales with circuit
+// size"; i10 — the largest benchmark — synthesized in 5m28s on 2007-era
+// hardware). Uses google-benchmark to time the synthesis stages across the
+// benchmark size ladder.
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/approx_synthesis.hpp"
+#include "core/pipeline.hpp"
+#include "mapping/optimize.hpp"
+#include "reliability/reliability.hpp"
+
+namespace {
+
+using namespace apx;
+
+const char* kLadder[] = {"cmb", "cordic", "term1", "x1", "i2", "frg2"};
+
+void BM_ApproxSynthesis(benchmark::State& state) {
+  Network net = make_benchmark(kLadder[state.range(0)]);
+  Network optimized = quick_synthesis(net);
+  Network mapped = technology_map(optimized);
+  ReliabilityOptions rel_opt;
+  rel_opt.num_fault_samples = 300;
+  std::vector<ApproxDirection> dirs =
+      choose_directions(analyze_reliability(mapped, rel_opt));
+  ApproxOptions opt;
+  opt.significance_threshold = 0.12;
+  for (auto _ : state) {
+    ApproxResult r = synthesize_approximation(optimized, dirs, opt);
+    benchmark::DoNotOptimize(r.approx.num_nodes());
+  }
+  state.counters["gates"] = mapped.num_logic_nodes();
+}
+BENCHMARK(BM_ApproxSynthesis)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_ReliabilityAnalysis(benchmark::State& state) {
+  Network mapped =
+      technology_map(quick_synthesis(make_benchmark(kLadder[state.range(0)])));
+  ReliabilityOptions opt;
+  opt.num_fault_samples = 300;
+  for (auto _ : state) {
+    ReliabilityReport r = analyze_reliability(mapped, opt);
+    benchmark::DoNotOptimize(r.any_output_error_rate);
+  }
+  state.counters["gates"] = mapped.num_logic_nodes();
+}
+BENCHMARK(BM_ReliabilityAnalysis)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TechnologyMap(benchmark::State& state) {
+  Network optimized = quick_synthesis(make_benchmark(kLadder[state.range(0)]));
+  for (auto _ : state) {
+    Network mapped = technology_map(optimized);
+    benchmark::DoNotOptimize(mapped.num_nodes());
+  }
+}
+BENCHMARK(BM_TechnologyMap)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

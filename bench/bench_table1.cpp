@@ -1,0 +1,96 @@
+// Table 1 (paper Sec. 4): approximation percentage and CED coverage for
+// single-output cones extracted from benchmark circuits.
+//
+// For each source circuit the largest single-output cone is extracted, an
+// approximate check function is synthesized for it, and the harness prints
+// the paper's columns: gate count, area overhead %, approximation %, max
+// CED coverage, and achieved CED coverage.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "mapping/optimize.hpp"
+#include "sim/simulator.hpp"
+
+using namespace apx;
+using namespace apx::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int gates;
+  double area, approx, max_cov, achieved;
+};
+
+// Published Table 1 values.
+const PaperRow kPaper[] = {
+    {"i8", 106, 28.0, 80.0, 65.0, 50.0},
+    {"des", 191, 2.7, 95.6, 56.0, 48.0},
+    {"dalu", 862, 25.0, 93.8, 85.0, 71.0},
+    {"i10", 1141, 1.5, 91.0, 76.0, 64.0},
+};
+
+// Extracts the single-output cone whose mapped gate count is closest to
+// the paper's reported cone size (the paper extracted specific cones; the
+// stand-ins' cone size distributions differ, so we match by size).
+Network cone_near(const Network& net, int target_gates) {
+  // Rank POs by tech-independent cone size (cheap); among the candidates of
+  // roughly matching size prefer the most skewed output (the paper's Table 1
+  // cones came from circuits with strongly skewed output errors).
+  Simulator sim(net);
+  sim.run(PatternSet::random(net.num_pis(), 64, 0xC0E5));
+  std::vector<std::pair<int, int>> by_size;  // (|est - target|, po)
+  for (int po = 0; po < net.num_pos(); ++po) {
+    int nodes = static_cast<int>(net.cone_of({net.po(po).driver}).size());
+    by_size.push_back({std::abs(nodes * 3 - target_gates), po});
+  }
+  std::sort(by_size.begin(), by_size.end());
+  int best_po = by_size[0].second;
+  double best_skew = -1.0;
+  for (size_t i = 0; i < by_size.size() && i < 8; ++i) {
+    // Stay within ~60% of the target size; the closest candidate is always
+    // admissible.
+    if (i > 0 && by_size[i].first > (target_gates * 3) / 5) break;
+    int po = by_size[i].second;
+    double p = sim.signal_probability(net.po(po).driver);
+    double skew = std::abs(p - 0.5);
+    if (skew > best_skew) {
+      best_skew = skew;
+      best_po = po;
+    }
+  }
+  return net.extract_cone(best_po);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table 1: Approximation percentage and CED coverage for output cones");
+
+  std::printf("%-8s | %6s %6s %7s %7s %8s | paper: %5s %5s %6s %5s %5s\n",
+              "name", "gates", "area%", "apx%", "max%", "achv%", "gates",
+              "area%", "apx%", "max%", "achv%");
+  std::printf("---------+---------------------------------------+"
+              "--------------------------------\n");
+
+  for (const PaperRow& ref : kPaper) {
+    Network full = make_benchmark(ref.name);
+    Network cone = cone_near(quick_synthesis(full), ref.gates);
+    TunedRun tuned = auto_tune(cone);
+    const PipelineResult& r = tuned.result;
+    std::printf(
+        "%-8s | %6d %6.1f %7.1f %7.1f %8.1f | paper: %5d %5.1f %6.1f "
+        "%5.1f %5.1f\n",
+        ref.name, r.mapped_original.num_logic_nodes(),
+        r.overheads.area_overhead_pct(), 100.0 * r.mean_approximation_pct(),
+        100.0 * r.reliability.max_ced_coverage,
+        100.0 * r.coverage.coverage(), ref.gates, ref.area, ref.approx,
+        ref.max_cov, ref.achieved);
+  }
+  std::printf(
+      "\nExpected shape: high approximation %% at modest area overhead;\n"
+      "achieved coverage tracks (and is bounded by) the max-coverage skew "
+      "limit.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Single-bit parity-prediction CED baseline (paper Sec. 4, Table 2): a
+// parity predictor computes the XOR of all output functions directly from
+// the primary inputs; an output parity tree plus a comparator checks it.
+// Detects any error flipping an odd number of outputs; costs roughly a full
+// duplicate of the circuit plus two XOR trees (the paper reports ~106% area
+// and ~97% power overhead, with a longer critical path).
+#pragma once
+
+#include "core/ced.hpp"
+#include "mapping/mapper.hpp"
+#include "network/network.hpp"
+
+namespace apx {
+
+struct ParityOptions {
+  /// Library/script used to map the predictor (XOR trees decompose into
+  /// the library's gates).
+  MapOptions map_options;
+  /// Run quick synthesis on the predictor cone before mapping.
+  bool optimize_predictor = true;
+};
+
+/// Builds the parity-prediction CED design around a mapped circuit.
+CedDesign build_parity_ced(const Network& mapped,
+                           const ParityOptions& options = {});
+
+/// The standalone parity-predictor network (single PO = XOR of all POs),
+/// mapped with the given options. Exposed for delay studies (paper: parity
+/// prediction lengthens the critical path by ~51%).
+Network build_parity_predictor(const Network& mapped,
+                               const ParityOptions& options = {});
+
+}  // namespace apx

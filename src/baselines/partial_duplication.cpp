@@ -1,0 +1,175 @@
+#include "baselines/partial_duplication.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <random>
+
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+// For POs ordered by rank, returns hist[k] = number of runs whose first
+// erroneous PO (by rank) is rank k, plus the total erroneous-run count.
+// Prefix-coverage(k) = sum(hist[0..k-1]) / erroneous.
+struct RankHistogram {
+  std::vector<int64_t> first_error_at_rank;
+  int64_t erroneous = 0;
+};
+
+RankHistogram rank_histogram(const Network& net,
+                             const std::vector<int>& ranked_pos,
+                             const PartialDuplicationOptions& options) {
+  RankHistogram hist;
+  hist.first_error_at_rank.assign(ranked_pos.size(), 0);
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  if (faults.empty()) return hist;
+  std::mt19937_64 rng(options.seed);
+  Simulator sim(net);
+  for (int s = 0; s < options.num_fault_samples; ++s) {
+    const StuckFault& fault = faults[rng() % faults.size()];
+    PatternSet patterns =
+        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
+    sim.run(patterns);
+    sim.inject(fault);
+    for (int w = 0; w < options.words_per_fault; ++w) {
+      uint64_t remaining = ~0ULL;
+      uint64_t any = 0;
+      for (size_t k = 0; k < ranked_pos.size(); ++k) {
+        NodeId drv = net.po(ranked_pos[k]).driver;
+        uint64_t err = sim.value(drv)[w] ^ sim.faulty_value(drv)[w];
+        any |= err;
+        uint64_t first_here = err & remaining;
+        hist.first_error_at_rank[k] += std::popcount(first_here);
+        remaining &= ~err;
+      }
+      hist.erroneous += std::popcount(any);
+    }
+  }
+  return hist;
+}
+
+}  // namespace
+
+PartialDuplicationResult build_partial_duplication(
+    const Network& mapped, double target_coverage,
+    const PartialDuplicationOptions& options) {
+  PartialDuplicationResult result;
+
+  // Rank POs by their error contribution (per-output error rate).
+  std::vector<double> rate(mapped.num_pos(), 0.0);
+  {
+    std::vector<StuckFault> faults = enumerate_faults(mapped);
+    std::mt19937_64 rng(options.seed ^ 0xABCD);
+    Simulator sim(mapped);
+    for (int s = 0; s < options.num_fault_samples; ++s) {
+      const StuckFault& fault = faults[rng() % faults.size()];
+      PatternSet patterns =
+          PatternSet::random(mapped.num_pis(), options.words_per_fault, rng());
+      sim.run(patterns);
+      sim.inject(fault);
+      for (int o = 0; o < mapped.num_pos(); ++o) {
+        NodeId drv = mapped.po(o).driver;
+        for (int w = 0; w < options.words_per_fault; ++w) {
+          rate[o] += std::popcount(sim.value(drv)[w] ^
+                                   sim.faulty_value(drv)[w]);
+        }
+      }
+    }
+  }
+  std::vector<int> ranked(mapped.num_pos());
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(),
+            [&](int a, int b) { return rate[a] > rate[b]; });
+
+  // Prefix coverage from one fault-injection pass; select the shortest
+  // prefix reaching the target.
+  RankHistogram hist = rank_histogram(mapped, ranked, options);
+  int64_t covered = 0;
+  size_t chosen = ranked.size();
+  for (size_t k = 0; k < ranked.size(); ++k) {
+    covered += hist.first_error_at_rank[k];
+    double coverage =
+        hist.erroneous > 0
+            ? static_cast<double>(covered) / static_cast<double>(hist.erroneous)
+            : 0.0;
+    if (coverage >= target_coverage) {
+      chosen = k + 1;
+      result.estimated_coverage = coverage;
+      break;
+    }
+    result.estimated_coverage = coverage;
+  }
+  result.duplicated_pos.assign(ranked.begin(),
+                               ranked.begin() + static_cast<long>(chosen));
+
+  // Predictor: a copy of the circuit keeping only the duplicated POs (cone
+  // sharing is preserved).
+  Network predictor = mapped;
+  {
+    Network pruned;
+    pruned.set_name(mapped.name() + "_pdup");
+    std::vector<NodeId> pi_map;
+    for (NodeId pi : mapped.pis()) {
+      pi_map.push_back(pruned.add_pi(mapped.node(pi).name));
+    }
+    std::vector<NodeId> map = mapped.append_into(pruned, pi_map);
+    for (int po : result.duplicated_pos) {
+      pruned.add_po(mapped.po(po).name, map[mapped.po(po).driver]);
+    }
+    pruned.cleanup();
+    predictor = std::move(pruned);
+  }
+  // Checker indices inside the predictor follow selection order.
+  std::vector<int> predictor_pos(result.duplicated_pos.size());
+  std::iota(predictor_pos.begin(), predictor_pos.end(), 0);
+
+  // build_duplication_ced wants matching po indices between original and
+  // predictor; construct the pairs directly.
+  CedDesign ced;
+  ced.design.set_name(mapped.name() + "_pdup_ced");
+  std::vector<NodeId> pi_map;
+  for (NodeId pi : mapped.pis()) {
+    pi_map.push_back(ced.design.add_pi(mapped.node(pi).name));
+  }
+  int before = ced.design.num_nodes();
+  std::vector<NodeId> omap = mapped.append_into(ced.design, pi_map);
+  for (NodeId id = before; id < ced.design.num_nodes(); ++id) {
+    if (ced.design.node(id).kind == NodeKind::kLogic) {
+      ced.functional_nodes.push_back(id);
+    }
+  }
+  before = ced.design.num_nodes();
+  std::vector<NodeId> pmap = predictor.append_into(ced.design, pi_map);
+  for (NodeId id = before; id < ced.design.num_nodes(); ++id) {
+    if (ced.design.node(id).kind == NodeKind::kLogic) {
+      ced.checkgen_nodes.push_back(id);
+    }
+  }
+  for (int o = 0; o < mapped.num_pos(); ++o) {
+    NodeId drv = omap[mapped.po(o).driver];
+    ced.functional_outputs.push_back(drv);
+    ced.design.add_po(mapped.po(o).name, drv);
+  }
+  before = ced.design.num_nodes();
+  std::vector<TwoRail> pairs;
+  for (size_t k = 0; k < result.duplicated_pos.size(); ++k) {
+    NodeId a = omap[mapped.po(result.duplicated_pos[k]).driver];
+    NodeId b = pmap[predictor.po(static_cast<int>(k)).driver];
+    pairs.push_back(build_equality_checker(ced.design, a, b));
+  }
+  ced.error_pair = build_two_rail_tree(ced.design, std::move(pairs));
+  for (NodeId id = before; id < ced.design.num_nodes(); ++id) {
+    if (ced.design.node(id).kind == NodeKind::kLogic) {
+      ced.checker_nodes.push_back(id);
+    }
+  }
+  ced.design.add_po("err_rail1", ced.error_pair.rail1);
+  ced.design.add_po("err_rail2", ced.error_pair.rail2);
+  ced.design.check();
+  result.ced = std::move(ced);
+  return result;
+}
+
+}  // namespace apx

@@ -1,0 +1,171 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apx {
+
+BddManager::BddManager(int num_vars, size_t max_nodes)
+    : num_vars_(num_vars), max_nodes_(max_nodes) {
+  // Terminal nodes: index 0 = false, 1 = true. Terminals use the sentinel
+  // variable num_vars (below every real variable in the order).
+  nodes_.push_back({num_vars_, 0, 0});
+  nodes_.push_back({num_vars_, 1, 1});
+}
+
+BddManager::Ref BddManager::make_node(int32_t var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  auto key = std::make_tuple(var, lo, hi);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= max_nodes_) throw BddOverflow();
+  Ref id = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddManager::Ref BddManager::var(int v) {
+  assert(v >= 0 && v < num_vars_);
+  return make_node(v, 0, 1);
+}
+
+BddManager::Ref BddManager::literal(int v, bool positive) {
+  return positive ? var(v) : make_node(v, 1, 0);
+}
+
+BddManager::Ref BddManager::bdd_not(Ref f) { return ite_rec(f, 0, 1); }
+BddManager::Ref BddManager::bdd_and(Ref f, Ref g) { return ite_rec(f, g, 0); }
+BddManager::Ref BddManager::bdd_or(Ref f, Ref g) { return ite_rec(f, 1, g); }
+BddManager::Ref BddManager::bdd_xor(Ref f, Ref g) {
+  return ite_rec(f, bdd_not(g), g);
+}
+BddManager::Ref BddManager::bdd_ite(Ref f, Ref g, Ref h) {
+  return ite_rec(f, g, h);
+}
+
+BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+
+  auto key = std::make_tuple(f, g, h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  int32_t top = std::min({var_of(f), var_of(g), var_of(h)});
+  auto cof = [&](Ref x, bool hi) -> Ref {
+    if (var_of(x) != top) return x;
+    return hi ? nodes_[x].hi : nodes_[x].lo;
+  };
+  Ref lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
+  Ref hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
+  Ref result = make_node(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+bool BddManager::implies(Ref f, Ref g) { return bdd_and(f, bdd_not(g)) == 0; }
+
+double BddManager::sat_fraction_rec(Ref f,
+                                    std::unordered_map<Ref, double>& memo) {
+  if (f == 0) return 0.0;
+  if (f == 1) return 1.0;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  double result = 0.5 * (sat_fraction_rec(nodes_[f].lo, memo) +
+                         sat_fraction_rec(nodes_[f].hi, memo));
+  memo.emplace(f, result);
+  return result;
+}
+
+double BddManager::sat_fraction(Ref f) {
+  std::unordered_map<Ref, double> memo;
+  return sat_fraction_rec(f, memo);
+}
+
+double BddManager::sat_count(Ref f) {
+  return sat_fraction(f) * std::ldexp(1.0, num_vars_);
+}
+
+BddManager::Ref BddManager::cofactor(Ref f, int v, bool value) {
+  if (f <= 1) return f;
+  int32_t top = var_of(f);
+  if (top > v) return f;  // f does not depend on v (v above top in order)
+  if (top == v) return value ? nodes_[f].hi : nodes_[f].lo;
+  Ref lo = cofactor(nodes_[f].lo, v, value);
+  Ref hi = cofactor(nodes_[f].hi, v, value);
+  return make_node(top, lo, hi);
+}
+
+BddManager::Ref BddManager::exists(Ref f, int var) {
+  return bdd_or(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+BddManager::Ref BddManager::forall(Ref f, int var) {
+  return bdd_and(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+BddManager::Ref BddManager::exists_many(Ref f, const std::vector<bool>& vars) {
+  // Quantify bottom-up (highest index first) so intermediate results stay
+  // small near the terminals.
+  for (int v = static_cast<int>(vars.size()) - 1; v >= 0; --v) {
+    if (vars[v]) f = exists(f, v);
+  }
+  return f;
+}
+
+BddManager::Ref BddManager::boolean_difference(Ref f, int var) {
+  return bdd_xor(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+BddManager::Ref BddManager::compose(Ref f, int var, Ref g) {
+  // f[var <- g] = ITE(g, f|var=1, f|var=0).
+  return bdd_ite(g, cofactor(f, var, true), cofactor(f, var, false));
+}
+
+bool BddManager::evaluate(Ref f, uint64_t input) const {
+  while (f > 1) {
+    const BddNode& n = nodes_[f];
+    f = ((input >> n.var) & 1) ? n.hi : n.lo;
+  }
+  return f == 1;
+}
+
+std::vector<bool> BddManager::support(Ref f) const {
+  std::vector<bool> seen_node;
+  std::vector<bool> vars(num_vars_, false);
+  std::vector<Ref> stack = {f};
+  seen_node.resize(nodes_.size(), false);
+  while (!stack.empty()) {
+    Ref r = stack.back();
+    stack.pop_back();
+    if (r <= 1 || seen_node[r]) continue;
+    seen_node[r] = true;
+    vars[nodes_[r].var] = true;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return vars;
+}
+
+size_t BddManager::size(Ref f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<Ref> stack = {f};
+  size_t count = 0;
+  while (!stack.empty()) {
+    Ref r = stack.back();
+    stack.pop_back();
+    if (r <= 1 || seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return count;
+}
+
+}  // namespace apx

@@ -1,0 +1,119 @@
+// A compact ROBDD package (CUDD-style, without complement edges) used as the
+// implication/counting oracle for the synthesis flow: checking G => F for
+// approximation correctness (paper Sec. 2.2) and computing approximation
+// percentages by minterm counting (paper Sec. 2).
+//
+// Nodes live in an arena; references are indices. Terminals are 0 (false)
+// and 1 (true). A node limit guards against blow-up; operations throw
+// BddOverflow when exceeded so callers can fall back to SAT/simulation.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace apx {
+
+/// Thrown when the manager exceeds its configured node budget.
+class BddOverflow : public std::runtime_error {
+ public:
+  BddOverflow() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+class BddManager {
+ public:
+  using Ref = uint32_t;
+
+  /// `max_nodes` bounds the arena (default ~8M nodes = ~128 MB).
+  explicit BddManager(int num_vars, size_t max_nodes = 8u << 20);
+
+  int num_vars() const { return num_vars_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  Ref zero() const { return 0; }
+  Ref one() const { return 1; }
+
+  /// BDD for variable `var` (variable order = index order).
+  Ref var(int var);
+  /// BDD for the literal var / var'.
+  Ref literal(int var, bool positive);
+
+  Ref bdd_not(Ref f);
+  Ref bdd_and(Ref f, Ref g);
+  Ref bdd_or(Ref f, Ref g);
+  Ref bdd_xor(Ref f, Ref g);
+  Ref bdd_ite(Ref f, Ref g, Ref h);
+
+  /// Does f imply g (f & ~g == 0)?
+  bool implies(Ref f, Ref g);
+
+  /// Fraction of the 2^num_vars minterm space on which f is 1.
+  double sat_fraction(Ref f);
+
+  /// Number of satisfying minterms (as double; exact up to 2^53).
+  double sat_count(Ref f);
+
+  /// Cofactor f with var=value.
+  Ref cofactor(Ref f, int var, bool value);
+
+  /// Existential quantification: exists var. f = f|var=0 OR f|var=1.
+  Ref exists(Ref f, int var);
+  /// Universal quantification: forall var. f = f|var=0 AND f|var=1.
+  Ref forall(Ref f, int var);
+  /// Quantifies a set of variables (bitmask by index).
+  Ref exists_many(Ref f, const std::vector<bool>& vars);
+
+  /// Boolean difference d f / d var (the observability function of var).
+  Ref boolean_difference(Ref f, int var);
+
+  /// Substitutes function g for variable var inside f (compose).
+  Ref compose(Ref f, int var, Ref g);
+
+  /// Evaluate f on a full assignment (bit i of `input` = variable i).
+  bool evaluate(Ref f, uint64_t input) const;
+
+  /// Variable support of f as a bitmask vector.
+  std::vector<bool> support(Ref f) const;
+
+  /// Structural size (number of distinct internal nodes) of f.
+  size_t size(Ref f) const;
+
+ private:
+  struct BddNode {
+    int32_t var;  // terminal nodes use var = num_vars (sentinel)
+    Ref lo;
+    Ref hi;
+  };
+
+  struct TripleHash {
+    size_t operator()(const std::tuple<int32_t, Ref, Ref>& t) const {
+      auto [v, l, h] = t;
+      size_t x = static_cast<size_t>(v) * 0x9E3779B97F4A7C15ULL;
+      x ^= (static_cast<size_t>(l) << 17) + 0x517CC1B727220A95ULL;
+      x ^= static_cast<size_t>(h) * 0x2545F4914F6CDD1DULL;
+      return x;
+    }
+  };
+  struct OpHash {
+    size_t operator()(const std::tuple<Ref, Ref, Ref>& t) const {
+      auto [f, g, h] = t;
+      return (static_cast<size_t>(f) * 0x9E3779B97F4A7C15ULL) ^
+             (static_cast<size_t>(g) << 21) ^
+             (static_cast<size_t>(h) * 0x2545F4914F6CDD1DULL);
+    }
+  };
+
+  Ref make_node(int32_t var, Ref lo, Ref hi);
+  int32_t var_of(Ref f) const { return nodes_[f].var; }
+  Ref ite_rec(Ref f, Ref g, Ref h);
+  double sat_fraction_rec(Ref f, std::unordered_map<Ref, double>& memo);
+
+  int num_vars_;
+  size_t max_nodes_;
+  std::vector<BddNode> nodes_;
+  std::unordered_map<std::tuple<int32_t, Ref, Ref>, Ref, TripleHash> unique_;
+  std::unordered_map<std::tuple<Ref, Ref, Ref>, Ref, OpHash> ite_cache_;
+};
+
+}  // namespace apx

@@ -1,0 +1,124 @@
+#include "bdd/network_bdd.hpp"
+
+namespace apx {
+
+namespace {
+
+BddManager::Ref eval_sop_on(BddManager& mgr, const Sop& sop,
+                            const std::vector<BddManager::Ref>& fanin_refs) {
+  BddManager::Ref result = mgr.zero();
+  for (const Cube& c : sop.cubes()) {
+    BddManager::Ref cube_ref = mgr.one();
+    for (int v = 0; v < sop.num_vars(); ++v) {
+      LitCode code = c.get(v);
+      if (code == LitCode::kFree) continue;
+      BddManager::Ref lit = fanin_refs[v];
+      if (code == LitCode::kNeg) lit = mgr.bdd_not(lit);
+      cube_ref = mgr.bdd_and(cube_ref, lit);
+      if (cube_ref == mgr.zero()) break;
+    }
+    result = mgr.bdd_or(result, cube_ref);
+    if (result == mgr.one()) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
+    : net_(net), mgr_(net.num_pis(), max_nodes) {
+  refs_.assign(net.num_nodes(), mgr_.zero());
+  for (int i = 0; i < net.num_pis(); ++i) {
+    refs_[net.pis()[i]] = mgr_.var(i);
+  }
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::kPi:
+        break;  // already set
+      case NodeKind::kConst0:
+        refs_[id] = mgr_.zero();
+        break;
+      case NodeKind::kConst1:
+        refs_[id] = mgr_.one();
+        break;
+      case NodeKind::kLogic: {
+        std::vector<BddManager::Ref> fanin_refs;
+        fanin_refs.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) fanin_refs.push_back(refs_[f]);
+        refs_[id] = eval_sop_on(mgr_, n.sop, fanin_refs);
+        break;
+      }
+    }
+  }
+}
+
+BddManager::Ref NetworkBdds::po_ref(int po_index) const {
+  return refs_.at(net_.po(po_index).driver);
+}
+
+BddManager::Ref NetworkBdds::eval_sop(
+    const Sop& sop, const std::vector<BddManager::Ref>& fanin_refs) {
+  return eval_sop_on(mgr_, sop, fanin_refs);
+}
+
+std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
+                                             const Network& net,
+                                             const std::vector<NodeId>& roots) {
+  std::vector<BddManager::Ref> refs(net.num_nodes(), kNoBddRef);
+  for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
+  for (NodeId id : net.cone_of(roots)) {
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::kPi:
+        break;
+      case NodeKind::kConst0:
+        refs[id] = mgr.zero();
+        break;
+      case NodeKind::kConst1:
+        refs[id] = mgr.one();
+        break;
+      case NodeKind::kLogic: {
+        std::vector<BddManager::Ref> fanin_refs;
+        fanin_refs.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) fanin_refs.push_back(refs[f]);
+        refs[id] = eval_sop_on(mgr, n.sop, fanin_refs);
+        break;
+      }
+    }
+  }
+  return refs;
+}
+
+std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,
+                                            const Network& net,
+                                            int po_index) {
+  try {
+    std::vector<BddManager::Ref> refs(net.num_nodes(), mgr.zero());
+    for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
+    for (NodeId id : net.cone_of({net.po(po_index).driver})) {
+      const Node& n = net.node(id);
+      switch (n.kind) {
+        case NodeKind::kPi:
+          break;
+        case NodeKind::kConst0:
+          refs[id] = mgr.zero();
+          break;
+        case NodeKind::kConst1:
+          refs[id] = mgr.one();
+          break;
+        case NodeKind::kLogic: {
+          std::vector<BddManager::Ref> fanin_refs;
+          for (NodeId f : n.fanins) fanin_refs.push_back(refs[f]);
+          refs[id] = eval_sop_on(mgr, n.sop, fanin_refs);
+          break;
+        }
+      }
+    }
+    return refs[net.po(po_index).driver];
+  } catch (const BddOverflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace apx

@@ -1,0 +1,57 @@
+// Bridge from Network to global BDDs: computes the global Boolean function
+// of every node (over the primary inputs) by sweeping the network in
+// topological order, evaluating each node's local SOP on its fanins' BDDs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Global BDDs of a network's nodes. PI variable i is the i-th PI of the
+/// network the object was built from.
+class NetworkBdds {
+ public:
+  /// Builds BDDs for every node in the cone of the POs (and any roots
+  /// given). Throws BddOverflow if the budget is exceeded.
+  explicit NetworkBdds(const Network& net, size_t max_nodes = 8u << 20);
+
+  BddManager& manager() { return mgr_; }
+
+  /// Global function of node `id`.
+  BddManager::Ref node_ref(NodeId id) const { return refs_.at(id); }
+
+  /// Global function of PO `po_index`.
+  BddManager::Ref po_ref(int po_index) const;
+
+  /// Computes the global BDD of an arbitrary node function specified as an
+  /// SOP over fanins that already have BDDs (used for what-if evaluation of
+  /// rewritten node functions without mutating the network).
+  BddManager::Ref eval_sop(const Sop& sop,
+                           const std::vector<BddManager::Ref>& fanin_refs);
+
+ private:
+  const Network& net_;
+  BddManager mgr_;
+  std::vector<BddManager::Ref> refs_;
+};
+
+/// Builds the global BDD of one PO cone of `net` inside an existing manager
+/// whose variables correspond to `net`'s PIs. Returns nullopt on overflow.
+std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,
+                                            const Network& net, int po_index);
+
+/// Sentinel for nodes outside the requested cone in build_cone_bdds.
+inline constexpr BddManager::Ref kNoBddRef = 0xFFFFFFFFu;
+
+/// Builds global BDDs for every node in the cone of `roots` inside an
+/// existing manager (variables = net PIs by position). Throws BddOverflow
+/// on budget exhaustion. Nodes outside the cone hold kNoBddRef.
+std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
+                                             const Network& net,
+                                             const std::vector<NodeId>& roots);
+
+}  // namespace apx

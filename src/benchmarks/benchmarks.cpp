@@ -1,0 +1,456 @@
+#include "benchmarks/benchmarks.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+
+namespace apx {
+namespace {
+
+Network generate_raw(const BenchmarkProfile& profile, int num_nodes) {
+  std::mt19937_64 rng(profile.seed * 0x9E3779B97F4A7C15ULL + 1);
+  Network net;
+  net.set_name(profile.name);
+  std::vector<NodeId> pool;
+  // Estimated signal probability per node (independence assumption). Real
+  // MCNC logic keeps internal signals away from the constants even at
+  // depth; polarity choices below steer toward that.
+  std::vector<double> prob;
+  for (int i = 0; i < profile.num_pis; ++i) {
+    pool.push_back(net.add_pi("pi" + std::to_string(i)));
+    prob.push_back(0.5);
+  }
+  // Nodes not yet referenced by any fanin; consuming them keeps the DAG
+  // connected so little logic is stranded.
+  std::vector<NodeId> unused = pool;
+
+  auto take_unused = [&]() -> NodeId {
+    size_t i = rng() % unused.size();
+    NodeId id = unused[i];
+    unused[i] = unused.back();
+    unused.pop_back();
+    return id;
+  };
+
+  // Layered construction: MCNC-class circuits are wide and shallow, so
+  // nodes are organized into target_depth layers and draw fanins mostly
+  // from the immediately preceding layer (plus long-range picks for
+  // reconvergence).
+  const int depth = std::max(2, profile.target_depth);
+  const int per_layer = std::max(1, num_nodes / depth);
+  size_t prev_layer_begin = 0;
+  size_t prev_layer_end = pool.size();
+  size_t this_layer_begin = pool.size();
+
+  for (int i = 0; i < num_nodes; ++i) {
+    if (static_cast<int>(pool.size() - this_layer_begin) >= per_layer) {
+      prev_layer_begin = this_layer_begin;
+      prev_layer_end = pool.size();
+      this_layer_begin = pool.size();
+    }
+    int k = 2 + static_cast<int>(rng() % static_cast<uint64_t>(
+                                     std::max(1, profile.max_fanin - 1)));
+    std::vector<NodeId> fanins;
+    // Consume unconsumed nodes at a rate that leaves ~num_pos sinks at the
+    // end (each node produces one signal; balanced consumption prevents
+    // stranded logic that the calibration loop would otherwise chase).
+    if (!unused.empty()) fanins.push_back(take_unused());
+    int surplus = static_cast<int>(unused.size()) - profile.num_pos;
+    if (surplus > 0 && !unused.empty() &&
+        static_cast<int>(rng() % std::max(1, num_nodes - i)) < surplus) {
+      NodeId extra = take_unused();
+      if (std::find(fanins.begin(), fanins.end(), extra) == fanins.end()) {
+        fanins.push_back(extra);
+      }
+    }
+    while (static_cast<int>(fanins.size()) < k) {
+      NodeId cand;
+      int roll = static_cast<int>(rng() % 100);
+      if (roll < 70 && prev_layer_end > prev_layer_begin) {
+        cand = pool[prev_layer_begin +
+                    rng() % (prev_layer_end - prev_layer_begin)];
+      } else if (roll < 90) {
+        cand = pool[rng() % std::max<size_t>(prev_layer_end, 1)];
+      } else {
+        cand = pool[rng() % pool.size()];
+      }
+      if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end()) {
+        fanins.push_back(cand);
+      }
+    }
+    k = static_cast<int>(fanins.size());
+
+    // Node flavor: AND-like and OR-like nodes (control-dominated structure)
+    // vs general unate-leaning SOPs. Literal polarities are steered by the
+    // fanins' estimated signal probabilities so deep nodes neither saturate
+    // to constants (AND cubes prefer each fanin's likelier phase, OR
+    // literals its rarer phase) nor lose all skew.
+    std::vector<double> fp;
+    for (NodeId f : fanins) fp.push_back(prob[f]);
+    auto lit_prob = [&](int v, LitCode code) {
+      return code == LitCode::kPos ? fp[v] : 1.0 - fp[v];
+    };
+    auto steered_code = [&](int v, bool prefer_likely) {
+      // Only steer when the fanin is drifting toward a constant; inside the
+      // healthy band polarities stay random, preserving the natural signal
+      // skew that gives outputs a dominant error direction.
+      bool steer = fp[v] < 0.05 || fp[v] > 0.95;
+      bool likely_is_pos = fp[v] >= 0.5;
+      bool pick_pos = steer ? (prefer_likely == likely_is_pos)
+                            : static_cast<bool>(rng() & 1);
+      return pick_pos ? LitCode::kPos : LitCode::kNeg;
+    };
+    Sop sop(k);
+    double flavor = static_cast<double>(rng() % 1000) / 1000.0;
+    double node_prob = 0.5;
+    if (flavor < profile.skew / 2) {
+      // AND-like: single cube over all fanins, likelier phases preferred.
+      Cube c = Cube::full(k);
+      node_prob = 1.0;
+      for (int v = 0; v < k; ++v) {
+        LitCode code = steered_code(v, /*prefer_likely=*/true);
+        c.set(v, code);
+        node_prob *= lit_prob(v, code);
+      }
+      sop.add_cube(c);
+    } else if (flavor < profile.skew) {
+      // OR-like: one single-literal cube per fanin, rarer phases preferred.
+      double p_none = 1.0;
+      for (int v = 0; v < k; ++v) {
+        Cube c = Cube::full(k);
+        LitCode code = steered_code(v, /*prefer_likely=*/false);
+        c.set(v, code);
+        p_none *= 1.0 - lit_prob(v, code);
+        sop.add_cube(c);
+      }
+      node_prob = 1.0 - p_none;
+    } else {
+      // General: 2-3 cubes, each variable bound with probability ~0.7.
+      // MCNC-class control logic is predominantly locally unate, so most
+      // general nodes fix one polarity per variable across their cubes.
+      int cubes = 2 + static_cast<int>(rng() % 2);
+      bool unate = (rng() % 100) < 80;
+      std::vector<LitCode> polarity(k);
+      for (int v = 0; v < k; ++v) {
+        polarity[v] = steered_code(v, /*prefer_likely=*/(rng() & 1));
+      }
+      node_prob = 0.0;
+      for (int ci = 0; ci < cubes; ++ci) {
+        Cube c = Cube::full(k);
+        double cube_p = 1.0;
+        bool bound_any = false;
+        for (int v = 0; v < k; ++v) {
+          if ((rng() % 100) < 70) {
+            LitCode code = unate ? polarity[v]
+                                 : steered_code(v, (rng() & 1));
+            c.set(v, code);
+            cube_p *= lit_prob(v, code);
+            bound_any = true;
+          }
+        }
+        if (!bound_any) {
+          int v = static_cast<int>(rng() % k);
+          c.set(v, polarity[v]);
+          cube_p *= lit_prob(v, polarity[v]);
+        }
+        node_prob = std::min(1.0, node_prob + cube_p);
+        sop.add_cube(c);
+      }
+      sop.make_scc_free();
+    }
+    NodeId id = net.add_node(fanins, std::move(sop));
+    pool.push_back(id);
+    prob.push_back(std::clamp(node_prob, 0.02, 0.98));
+    unused.push_back(id);
+  }
+
+  // Merge leftover sinks pairwise until at most num_pos remain, so every
+  // generated gate ends up in some PO cone.
+  {
+    std::vector<NodeId> sinks;
+    for (NodeId id : unused) {
+      if (net.node(id).kind == NodeKind::kLogic) sinks.push_back(id);
+    }
+    while (static_cast<int>(sinks.size()) > std::max(1, profile.num_pos)) {
+      NodeId a = sinks.back();
+      sinks.pop_back();
+      NodeId b = sinks.back();
+      sinks.pop_back();
+      NodeId merged = (rng() & 1) ? net.add_and(a, b) : net.add_or(a, b);
+      sinks.push_back(merged);
+    }
+    unused = sinks;
+  }
+
+  // POs: prefer the unconsumed sinks; top up with the deepest nodes.
+  std::vector<NodeId> po_drivers;
+  for (NodeId id : unused) {
+    if (net.node(id).kind == NodeKind::kLogic) po_drivers.push_back(id);
+  }
+  std::sort(po_drivers.begin(), po_drivers.end());
+  if (static_cast<int>(po_drivers.size()) > profile.num_pos) {
+    // Evenly subsample to the requested count.
+    std::vector<NodeId> picked;
+    double step = static_cast<double>(po_drivers.size()) / profile.num_pos;
+    for (int i = 0; i < profile.num_pos; ++i) {
+      picked.push_back(po_drivers[static_cast<size_t>(i * step)]);
+    }
+    po_drivers = std::move(picked);
+  } else {
+    for (NodeId id = static_cast<NodeId>(net.num_nodes()) - 1;
+         id >= 0 && static_cast<int>(po_drivers.size()) < profile.num_pos;
+         --id) {
+      if (net.node(id).kind != NodeKind::kLogic) continue;
+      if (std::find(po_drivers.begin(), po_drivers.end(), id) ==
+          po_drivers.end()) {
+        po_drivers.push_back(id);
+      }
+    }
+  }
+  for (size_t i = 0; i < po_drivers.size(); ++i) {
+    net.add_po("po" + std::to_string(i), po_drivers[i]);
+  }
+  net.cleanup();
+  net.check();
+  return net;
+}
+
+}  // namespace
+
+Network generate_benchmark(const BenchmarkProfile& profile) {
+  // Self-calibration: adjust the node count until the mapped gate count
+  // lands near the target (deterministic for a fixed profile).
+  int nodes = std::max(4, profile.target_gates / 3);
+  Network best;
+  int best_err = -1;
+  for (int iter = 0; iter < 4; ++iter) {
+    Network net = generate_raw(profile, nodes);
+    int area = mapped_area(technology_map(quick_synthesis(net)));
+    int err = std::abs(area - profile.target_gates);
+    if (best_err < 0 || err < best_err) {
+      best_err = err;
+      best = net;
+    }
+    if (area == 0) {
+      nodes *= 2;
+      continue;
+    }
+    if (err <= profile.target_gates / 10) break;
+    int64_t scaled = static_cast<int64_t>(nodes) * profile.target_gates /
+                     std::max(area, 1);
+    scaled = std::min<int64_t>(scaled, 3LL * nodes);       // growth cap
+    scaled = std::min<int64_t>(scaled, 4LL * profile.target_gates);
+    nodes = std::max(4, static_cast<int>(scaled));
+  }
+  return best;
+}
+
+const std::vector<BenchmarkProfile>& mcnc_profiles() {
+  // PI/PO counts follow the published MCNC statistics; gate targets follow
+  // the paper's Tables 1-2.
+  static const std::vector<BenchmarkProfile> profiles = {
+      {"cmb", 16, 4, 57, 0.7, 4, 7, 101},
+      {"cordic", 23, 2, 116, 0.65, 4, 10, 102},
+      {"term1", 34, 10, 260, 0.6, 4, 9, 103},
+      {"x1", 51, 35, 442, 0.55, 4, 8, 104},
+      {"i2", 201, 1, 440, 0.7, 4, 11, 105},
+      {"frg2", 143, 139, 1089, 0.6, 4, 11, 106},
+      {"dalu", 75, 16, 1166, 0.6, 4, 13, 107},
+      {"i10", 257, 224, 2866, 0.55, 4, 14, 108},
+      {"i8", 133, 81, 1000, 0.6, 4, 10, 109},
+      {"des", 256, 245, 3000, 0.55, 4, 12, 110},
+  };
+  return profiles;
+}
+
+const BenchmarkProfile& mcnc_profile(const std::string& name) {
+  for (const auto& p : mcnc_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown MCNC profile: " + name);
+}
+
+Network make_c17() {
+  Network net;
+  net.set_name("c17");
+  NodeId i1 = net.add_pi("1");
+  NodeId i2 = net.add_pi("2");
+  NodeId i3 = net.add_pi("3");
+  NodeId i6 = net.add_pi("6");
+  NodeId i7 = net.add_pi("7");
+  Sop nand2 = *Sop::parse(2, "0-\n-0");
+  NodeId n10 = net.add_node({i1, i3}, nand2, "10");
+  NodeId n11 = net.add_node({i3, i6}, nand2, "11");
+  NodeId n16 = net.add_node({i2, n11}, nand2, "16");
+  NodeId n19 = net.add_node({n11, i7}, nand2, "19");
+  NodeId o22 = net.add_node({n10, n16}, nand2, "22");
+  NodeId o23 = net.add_node({n16, n19}, nand2, "23");
+  net.add_po("22", o22);
+  net.add_po("23", o23);
+  return net;
+}
+
+Network make_full_adder() {
+  Network net;
+  net.set_name("fadd");
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId cin = net.add_pi("cin");
+  NodeId axb = net.add_xor(a, b, "axb");
+  NodeId sum = net.add_xor(axb, cin, "sum");
+  NodeId ab = net.add_and(a, b, "ab");
+  NodeId c2 = net.add_and(cin, axb, "c2");
+  NodeId cout = net.add_or(ab, c2, "cout");
+  net.add_po("sum", sum);
+  net.add_po("cout", cout);
+  return net;
+}
+
+Network make_ripple_adder(int bits) {
+  Network net;
+  net.set_name("rca" + std::to_string(bits));
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+  NodeId carry = net.add_pi("cin");
+  for (int i = 0; i < bits; ++i) {
+    NodeId axb = net.add_xor(a[i], b[i]);
+    NodeId sum = net.add_xor(axb, carry);
+    NodeId ab = net.add_and(a[i], b[i]);
+    NodeId c2 = net.add_and(carry, axb);
+    carry = net.add_or(ab, c2);
+    net.add_po("s" + std::to_string(i), sum);
+  }
+  net.add_po("cout", carry);
+  return net;
+}
+
+Network make_mux41() {
+  Network net;
+  net.set_name("mux41");
+  NodeId d0 = net.add_pi("d0");
+  NodeId d1 = net.add_pi("d1");
+  NodeId d2 = net.add_pi("d2");
+  NodeId d3 = net.add_pi("d3");
+  NodeId s0 = net.add_pi("s0");
+  NodeId s1 = net.add_pi("s1");
+  // out = d0 s1's0' + d1 s1's0 + d2 s1 s0' + d3 s1 s0.
+  NodeId out = net.add_node({d0, d1, d2, d3, s0, s1},
+                            *Sop::parse(6, "1---00\n-1--10\n--1-01\n---111"));
+  net.add_po("y", out);
+  return net;
+}
+
+Network make_decoder38() {
+  Network net;
+  net.set_name("dec38");
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId en = net.add_pi("en");
+  for (int i = 0; i < 8; ++i) {
+    Cube cube = Cube::full(4);
+    cube.set(0, (i & 1) ? LitCode::kPos : LitCode::kNeg);
+    cube.set(1, (i & 2) ? LitCode::kPos : LitCode::kNeg);
+    cube.set(2, (i & 4) ? LitCode::kPos : LitCode::kNeg);
+    cube.set(3, LitCode::kPos);
+    Sop sop(4);
+    sop.add_cube(cube);
+    net.add_po("y" + std::to_string(i),
+               net.add_node({a, b, c, en}, std::move(sop)));
+  }
+  return net;
+}
+
+Network make_comparator4() {
+  Network net;
+  net.set_name("cmp4");
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < 4; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < 4; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+  // eq = AND of xnors; gt via priority chain from the MSB.
+  std::vector<NodeId> xnor, a_gt_b;
+  for (int i = 0; i < 4; ++i) {
+    xnor.push_back(net.add_node({a[i], b[i]}, *Sop::parse(2, "00\n11")));
+    a_gt_b.push_back(net.add_node({a[i], b[i]}, *Sop::parse(2, "10")));
+  }
+  NodeId eq = net.add_and(net.add_and(xnor[0], xnor[1]),
+                          net.add_and(xnor[2], xnor[3]), "eq");
+  // gt = a3>b3 + eq3(a2>b2) + eq3 eq2 (a1>b1) + eq3 eq2 eq1 (a0>b0).
+  NodeId t3 = a_gt_b[3];
+  NodeId t2 = net.add_and(xnor[3], a_gt_b[2]);
+  NodeId e32 = net.add_and(xnor[3], xnor[2]);
+  NodeId t1 = net.add_and(e32, a_gt_b[1]);
+  NodeId e321 = net.add_and(e32, xnor[1]);
+  NodeId t0 = net.add_and(e321, a_gt_b[0]);
+  NodeId gt = net.add_or(net.add_or(t3, t2), net.add_or(t1, t0), "gt");
+  net.add_po("eq", eq);
+  net.add_po("gt", gt);
+  return net;
+}
+
+Network make_majority5() {
+  Network net;
+  net.set_name("maj5");
+  std::vector<NodeId> x;
+  for (int i = 0; i < 5; ++i) x.push_back(net.add_pi("x" + std::to_string(i)));
+  Sop sop(5);
+  for (int m = 0; m < 32; ++m) {
+    if (__builtin_popcount(m) != 3) continue;
+    // One cube per 3-subset: those three inputs high.
+    Cube c = Cube::full(5);
+    for (int v = 0; v < 5; ++v) {
+      if ((m >> v) & 1) c.set(v, LitCode::kPos);
+    }
+    sop.add_cube(c);
+  }
+  net.add_po("maj", net.add_node(x, std::move(sop)));
+  return net;
+}
+
+Network make_alu_slice() {
+  Network net;
+  net.set_name("alu1");
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId cin = net.add_pi("cin");
+  NodeId op0 = net.add_pi("op0");
+  NodeId op1 = net.add_pi("op1");
+  NodeId a_and_b = net.add_and(a, b);
+  NodeId a_or_b = net.add_or(a, b);
+  NodeId a_xor_b = net.add_xor(a, b);
+  NodeId sum = net.add_xor(a_xor_b, cin);
+  NodeId c2 = net.add_and(cin, a_xor_b);
+  NodeId cout = net.add_or(a_and_b, c2);
+  // out = mux(op1 op0: 00->and, 01->or, 10->xor, 11->sum).
+  NodeId out = net.add_node({a_and_b, a_or_b, a_xor_b, sum, op0, op1},
+                            *Sop::parse(6, "1---00\n-1--10\n--1-01\n---111"));
+  net.add_po("y", out);
+  net.add_po("cout", cout);
+  return net;
+}
+
+Network make_benchmark(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "fadd") return make_full_adder();
+  if (name == "rca4") return make_ripple_adder(4);
+  if (name == "rca8") return make_ripple_adder(8);
+  if (name == "mux41") return make_mux41();
+  if (name == "dec38") return make_decoder38();
+  if (name == "cmp4") return make_comparator4();
+  if (name == "maj5") return make_majority5();
+  if (name == "alu1") return make_alu_slice();
+  return generate_benchmark(mcnc_profile(name));
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names = {"c17",  "fadd", "rca4", "rca8", "mux41",
+                                    "dec38", "cmp4", "maj5", "alu1"};
+  for (const auto& p : mcnc_profiles()) names.push_back(p.name);
+  return names;
+}
+
+}  // namespace apx

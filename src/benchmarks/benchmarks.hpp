@@ -1,0 +1,65 @@
+// Benchmark circuits for tests, examples and the paper-table harnesses.
+//
+// Two sources (see DESIGN.md substitutions):
+//  * Embedded hand-written classics (c17, adders, mux/decoder, comparator,
+//    majority, ALU slice) with exactly known functions.
+//  * A deterministic, seeded generator producing multi-level networks that
+//    match each MCNC benchmark's published profile (PI/PO counts, mapped
+//    gate count, signal-probability skew); these stand in for the original
+//    MCNC netlists, which are not redistributable here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Profile of a generated benchmark.
+struct BenchmarkProfile {
+  std::string name;
+  int num_pis = 8;
+  int num_pos = 2;
+  /// Target mapped gate count (basic library, balance script); the
+  /// generator self-calibrates to land near this.
+  int target_gates = 100;
+  /// 0..1: skew of literal polarities / node flavors. Higher values yield
+  /// more extreme signal probabilities (and more error-direction skew).
+  double skew = 0.6;
+  int max_fanin = 4;
+  /// Logic depth target (MCNC circuits are wide and shallow; typical mapped
+  /// depths are 8-20 levels). The generator builds this many layers.
+  int target_depth = 10;
+  uint64_t seed = 1;
+};
+
+/// Deterministically generates a network matching the profile.
+Network generate_benchmark(const BenchmarkProfile& profile);
+
+/// Profiles mirroring the paper's Table 2 circuits (cmb, cordic, term1, x1,
+/// i2, frg2, dalu, i10) plus the Table 1 sources (i8, des).
+const std::vector<BenchmarkProfile>& mcnc_profiles();
+
+/// Looks up a profile by name; throws std::out_of_range if unknown.
+const BenchmarkProfile& mcnc_profile(const std::string& name);
+
+// ---- embedded exact circuits ----
+Network make_c17();
+Network make_full_adder();
+Network make_ripple_adder(int bits);
+Network make_mux41();
+Network make_decoder38();
+Network make_comparator4();
+Network make_majority5();
+Network make_alu_slice();
+
+/// Unified lookup: embedded circuits by name ("c17", "rca4", "mux41",
+/// "dec38", "cmp4", "maj5", "alu1") or generated MCNC stand-ins
+/// ("cmb", "cordic", ..., "i10"). Throws std::out_of_range if unknown.
+Network make_benchmark(const std::string& name);
+
+/// All available benchmark names.
+std::vector<std::string> benchmark_names();
+
+}  // namespace apx

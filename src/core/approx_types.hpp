@@ -1,0 +1,31 @@
+// Shared vocabulary of the approximate-logic synthesis core (paper Sec. 2):
+// per-node approximation types and per-output approximation directions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "reliability/reliability.hpp"  // ApproxDirection
+
+namespace apx {
+
+/// Approximation type assigned to each node of the multi-level network
+/// (paper Sec. 2.1.1).
+enum class NodeType : uint8_t {
+  kZero,  ///< the 0-minterm space of the node is essential (off-set kept)
+  kOne,   ///< the 1-minterm space of the node is essential (on-set kept)
+  kEx,    ///< both minterm spaces essential: node must stay exact
+  kDc,    ///< neither space essential: node may change arbitrarily
+};
+
+std::string to_string(NodeType t);
+std::string to_string(ApproxDirection d);
+
+/// The node type corresponding to a PO approximation direction: a PO that
+/// is 0-approximated needs its driver's off-set preserved (type 0), and
+/// symmetrically for 1-approximation.
+inline NodeType type_for_direction(ApproxDirection d) {
+  return d == ApproxDirection::kZeroApprox ? NodeType::kZero : NodeType::kOne;
+}
+
+}  // namespace apx

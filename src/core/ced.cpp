@@ -1,0 +1,169 @@
+#include "core/ced.hpp"
+
+#include <bit>
+#include <random>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+// Appends `src` into `dest` over the shared PI list, recording the new ids
+// of src's logic nodes into `added` and returning the full node map.
+std::vector<NodeId> append_circuit(Network& dest, const Network& src,
+                                   const std::vector<NodeId>& pi_map,
+                                   std::vector<NodeId>* added) {
+  int before = dest.num_nodes();
+  std::vector<NodeId> map = src.append_into(dest, pi_map);
+  if (added != nullptr) {
+    for (NodeId id = before; id < dest.num_nodes(); ++id) {
+      if (dest.node(id).kind == NodeKind::kLogic) added->push_back(id);
+    }
+  }
+  return map;
+}
+
+void record_new_logic(const Network& net, int from, std::vector<NodeId>* out) {
+  for (NodeId id = from; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) out->push_back(id);
+  }
+}
+
+}  // namespace
+
+CedDesign build_ced_design(const Network& original, const Network& checkgen,
+                           const std::vector<ApproxDirection>& directions) {
+  if (original.num_pis() != checkgen.num_pis() ||
+      original.num_pos() != checkgen.num_pos() ||
+      directions.size() != static_cast<size_t>(original.num_pos())) {
+    throw std::logic_error("build_ced_design: interface mismatch");
+  }
+  CedDesign ced;
+  ced.design.set_name(original.name() + "_ced");
+  std::vector<NodeId> pi_map;
+  for (NodeId pi : original.pis()) {
+    pi_map.push_back(ced.design.add_pi(original.node(pi).name));
+  }
+  std::vector<NodeId> omap =
+      append_circuit(ced.design, original, pi_map, &ced.functional_nodes);
+  std::vector<NodeId> cmap =
+      append_circuit(ced.design, checkgen, pi_map, &ced.checkgen_nodes);
+
+  for (int o = 0; o < original.num_pos(); ++o) {
+    NodeId driver = omap[original.po(o).driver];
+    ced.functional_outputs.push_back(driver);
+    ced.design.add_po(original.po(o).name, driver);
+  }
+
+  int checker_start = ced.design.num_nodes();
+  std::vector<TwoRail> pairs;
+  for (int o = 0; o < original.num_pos(); ++o) {
+    pairs.push_back(build_approx_checker(ced.design,
+                                         omap[original.po(o).driver],
+                                         cmap[checkgen.po(o).driver],
+                                         directions[o]));
+  }
+  ced.error_pair = build_two_rail_tree(ced.design, std::move(pairs));
+  record_new_logic(ced.design, checker_start, &ced.checker_nodes);
+
+  ced.design.add_po("err_rail1", ced.error_pair.rail1);
+  ced.design.add_po("err_rail2", ced.error_pair.rail2);
+  ced.design.check();
+  return ced;
+}
+
+CedDesign build_duplication_ced(const Network& original,
+                                const Network& predictor,
+                                const std::vector<int>& checked_pos) {
+  if (original.num_pis() != predictor.num_pis()) {
+    throw std::logic_error("build_duplication_ced: PI mismatch");
+  }
+  CedDesign ced;
+  ced.design.set_name(original.name() + "_dup_ced");
+  std::vector<NodeId> pi_map;
+  for (NodeId pi : original.pis()) {
+    pi_map.push_back(ced.design.add_pi(original.node(pi).name));
+  }
+  std::vector<NodeId> omap =
+      append_circuit(ced.design, original, pi_map, &ced.functional_nodes);
+  std::vector<NodeId> pmap =
+      append_circuit(ced.design, predictor, pi_map, &ced.checkgen_nodes);
+
+  for (int o = 0; o < original.num_pos(); ++o) {
+    NodeId driver = omap[original.po(o).driver];
+    ced.functional_outputs.push_back(driver);
+    ced.design.add_po(original.po(o).name, driver);
+  }
+
+  int checker_start = ced.design.num_nodes();
+  std::vector<TwoRail> pairs;
+  for (int po : checked_pos) {
+    pairs.push_back(build_equality_checker(ced.design,
+                                           omap[original.po(po).driver],
+                                           pmap[predictor.po(po).driver]));
+  }
+  ced.error_pair = build_two_rail_tree(ced.design, std::move(pairs));
+  record_new_logic(ced.design, checker_start, &ced.checker_nodes);
+
+  ced.design.add_po("err_rail1", ced.error_pair.rail1);
+  ced.design.add_po("err_rail2", ced.error_pair.rail2);
+  ced.design.check();
+  return ced;
+}
+
+CoverageResult evaluate_ced_coverage(const CedDesign& ced,
+                                     const CoverageOptions& options) {
+  CoverageResult result;
+  if (ced.functional_nodes.empty()) return result;
+  std::mt19937_64 rng(options.seed);
+  Simulator sim(ced.design);
+  const Network& net = ced.design;
+
+  for (int s = 0; s < options.num_fault_samples; ++s) {
+    NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
+    StuckFault fault{site, static_cast<bool>(rng() & 1)};
+    PatternSet patterns =
+        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
+    sim.run(patterns);
+    sim.inject(fault);
+    const auto& z1 = sim.faulty_value(ced.error_pair.rail1);
+    const auto& z2 = sim.faulty_value(ced.error_pair.rail2);
+    for (int w = 0; w < options.words_per_fault; ++w) {
+      uint64_t err = 0;
+      for (NodeId out : ced.functional_outputs) {
+        err |= sim.value(out)[w] ^ sim.faulty_value(out)[w];
+      }
+      uint64_t flagged = ~(z1[w] ^ z2[w]);  // rails agree -> error signal
+      result.erroneous += std::popcount(err);
+      result.detected += std::popcount(err & flagged);
+      result.runs += 64;
+    }
+  }
+  return result;
+}
+
+OverheadReport measure_overheads(const CedDesign& ced, int sim_words,
+                                 uint64_t seed) {
+  OverheadReport report;
+  report.functional_area = ced.functional_area();
+  report.checkgen_area = static_cast<int>(ced.checkgen_nodes.size());
+  report.checker_area = static_cast<int>(ced.checker_nodes.size());
+  report.overhead_area = ced.overhead_area();
+
+  Simulator sim(ced.design);
+  sim.run(PatternSet::random(ced.design.num_pis(), sim_words, seed));
+  for (NodeId id : ced.functional_nodes) {
+    report.functional_activity += sim.switching_activity(id);
+  }
+  for (NodeId id : ced.checkgen_nodes) {
+    report.checkgen_activity += sim.switching_activity(id);
+  }
+  for (NodeId id : ced.checker_nodes) {
+    report.checker_activity += sim.switching_activity(id);
+  }
+  report.overhead_activity = report.checkgen_activity + report.checker_activity;
+  return report;
+}
+
+}  // namespace apx

@@ -1,0 +1,57 @@
+#include "core/checker.hpp"
+
+namespace apx {
+
+TwoRail build_approx_checker(Network& net, NodeId circuit_out,
+                             NodeId check_out, ApproxDirection direction) {
+  TwoRail pair;
+  if (direction == ApproxDirection::kZeroApprox) {
+    // Valid space {00, 10, 11}; invalid 01 (X=0, Y=1).
+    pair.rail1 = net.add_not(circuit_out);             // ~Y
+    pair.rail2 = net.add_and(check_out, circuit_out);  // X & Y
+  } else {
+    // Valid space {00, 01, 11}; invalid 10 (X=1, Y=0).
+    pair.rail1 = circuit_out;  // Y (no gate needed)
+    pair.rail2 = net.add_node({check_out, circuit_out}, *Sop::parse(2, "00"),
+                              "");  // ~X & ~Y (NOR)
+  }
+  return pair;
+}
+
+TwoRail build_equality_checker(Network& net, NodeId a, NodeId b) {
+  TwoRail pair;
+  pair.rail1 = a;
+  pair.rail2 = net.add_not(b);
+  return pair;
+}
+
+TwoRail two_rail_cell(Network& net, const TwoRail& a, const TwoRail& b) {
+  // z1 = a1 b1 + a2 b2 ; z2 = a1 b2 + a2 b1, decomposed into 2-input gates
+  // so the consolidation tree is itself a gate-level circuit.
+  TwoRail out;
+  out.rail1 = net.add_or(net.add_and(a.rail1, b.rail1),
+                         net.add_and(a.rail2, b.rail2));
+  out.rail2 = net.add_or(net.add_and(a.rail1, b.rail2),
+                         net.add_and(a.rail2, b.rail1));
+  return out;
+}
+
+TwoRail build_two_rail_tree(Network& net, std::vector<TwoRail> pairs) {
+  if (pairs.empty()) {
+    TwoRail constant;
+    constant.rail1 = net.add_const(false);
+    constant.rail2 = net.add_const(true);
+    return constant;
+  }
+  while (pairs.size() > 1) {
+    std::vector<TwoRail> next;
+    for (size_t i = 0; i + 1 < pairs.size(); i += 2) {
+      next.push_back(two_rail_cell(net, pairs[i], pairs[i + 1]));
+    }
+    if (pairs.size() % 2) next.push_back(pairs.back());
+    pairs = std::move(next);
+  }
+  return pairs[0];
+}
+
+}  // namespace apx

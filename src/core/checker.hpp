@@ -1,0 +1,47 @@
+// Totally self-checking checker construction (paper Sec. 3.2, Fig. 3).
+//
+// Per protected output, a two-gate checker maps the asymmetric codeword
+// space {(X,Y)} into the two-rail code {01, 10}:
+//
+//   0-approximation (X=0 => Y=0; invalid codeword X=0,Y=1):
+//     c1 = ~Y, c2 = X & Y        (valid -> c1 != c2, invalid 01 -> 00)
+//   1-approximation (X=1 => Y=1; invalid codeword X=1,Y=0):
+//     c1 = Y,  c2 = ~X & ~Y      (valid -> c1 != c2, invalid 10 -> 00)
+//
+// Per-output pairs are consolidated with a conventional TSC two-rail
+// checker tree (z1 = a1 b1 + a2 b2, z2 = a1 b2 + a2 b1); the final pair
+// signals an error whenever z1 == z2.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/approx_types.hpp"
+#include "network/network.hpp"
+
+namespace apx {
+
+/// A two-rail signal pair; valid (no error) iff the two rails differ.
+struct TwoRail {
+  NodeId rail1 = kNullNode;
+  NodeId rail2 = kNullNode;
+};
+
+/// Builds the Fig. 3 checker for one protected output inside `net`.
+/// `circuit_out` is the functional output Y, `check_out` the approximate
+/// circuit's output X.
+TwoRail build_approx_checker(Network& net, NodeId circuit_out,
+                             NodeId check_out, ApproxDirection direction);
+
+/// Builds an equality checker pair for exact duplication-style CED:
+/// valid iff a == b (pair = (a, ~b)).
+TwoRail build_equality_checker(Network& net, NodeId a, NodeId b);
+
+/// Consolidates two-rail pairs with a tree of TSC two-rail checker cells.
+/// Returns the root pair. An empty input list yields a constant valid pair.
+TwoRail build_two_rail_tree(Network& net, std::vector<TwoRail> pairs);
+
+/// Single TSC two-rail checker cell.
+TwoRail two_rail_cell(Network& net, const TwoRail& a, const TwoRail& b);
+
+}  // namespace apx

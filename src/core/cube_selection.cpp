@@ -1,0 +1,109 @@
+#include "core/cube_selection.hpp"
+
+#include <algorithm>
+
+#include "tt/truth_table.hpp"
+
+namespace apx {
+
+bool cube_conforms(const Cube& cube,
+                   const std::vector<NodeType>& fanin_types) {
+  for (size_t k = 0; k < fanin_types.size(); ++k) {
+    LitCode lit = cube.get(static_cast<int>(k));
+    switch (fanin_types[k]) {
+      case NodeType::kEx:
+        break;  // every literal conforms
+      case NodeType::kDc:
+        if (lit != LitCode::kFree) return false;
+        break;
+      case NodeType::kZero:
+        if (lit == LitCode::kPos) return false;
+        break;
+      case NodeType::kOne:
+        if (lit == LitCode::kNeg) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+Sop exact_cube_selection(const Sop& phase_sop,
+                         const std::vector<NodeType>& fanin_types) {
+  Sop selected(phase_sop.num_vars());
+  for (const Cube& c : phase_sop.cubes()) {
+    if (cube_conforms(c, fanin_types)) selected.add_cube(c);
+  }
+  return selected;
+}
+
+double cube_probability(const Cube& cube, const std::vector<double>& probs) {
+  double p = 1.0;
+  for (int v = 0; v < cube.num_vars(); ++v) {
+    switch (cube.get(v)) {
+      case LitCode::kPos:
+        p *= probs[v];
+        break;
+      case LitCode::kNeg:
+        p *= 1.0 - probs[v];
+        break;
+      case LitCode::kEmpty:
+        return 0.0;
+      case LitCode::kFree:
+        break;
+    }
+  }
+  return p;
+}
+
+std::optional<Sop> odc_cube_selection(
+    const Sop& phase_sop, const std::vector<NodeType>& fanin_types,
+    const std::vector<double>* fanin_probs) {
+  const int n = phase_sop.num_vars();
+  if (n > kMaxLocalVars) return std::nullopt;
+
+  // Feasible subspace (paper Eq. 1, phase-matched form):
+  //   F * prod_i term_i, with
+  //   term_i = (x_i + ~Obs_i)  for a type-1 fanin
+  //          = (~x_i + ~Obs_i) for a type-0 fanin
+  //          = ~Obs_i          for a type-DC fanin
+  //          = 1               for a type-EX fanin,
+  // where Obs_i = dF/dx_i is the local observability function.
+  TruthTable f = TruthTable::from_sop(phase_sop);
+  TruthTable feasible = f;
+  for (int k = 0; k < n; ++k) {
+    if (fanin_types[k] == NodeType::kEx) continue;
+    TruthTable not_obs = ~f.boolean_difference(k);
+    TruthTable term(n);
+    switch (fanin_types[k]) {
+      case NodeType::kOne:
+        term = TruthTable::variable(n, k) | not_obs;
+        break;
+      case NodeType::kZero:
+        term = ~TruthTable::variable(n, k) | not_obs;
+        break;
+      case NodeType::kDc:
+        term = not_obs;
+        break;
+      case NodeType::kEx:
+        term = TruthTable::ones(n);
+        break;
+    }
+    feasible &= term;
+  }
+
+  // Extract an irredundant cover of the feasible function and order its
+  // cubes by probability mass per literal so the caller can truncate.
+  Sop cover = feasible.isop();
+  if (fanin_probs != nullptr) {
+    std::vector<Cube> cubes = cover.cubes();
+    std::stable_sort(cubes.begin(), cubes.end(),
+                     [&](const Cube& a, const Cube& b) {
+                       return cube_probability(a, *fanin_probs) >
+                              cube_probability(b, *fanin_probs);
+                     });
+    cover = Sop(cover.num_vars(), std::move(cubes));
+  }
+  return cover;
+}
+
+}  // namespace apx

@@ -1,0 +1,50 @@
+// Cube selection (paper Sec. 2.1.2): the two techniques that reduce a node's
+// phase-matched SOP while respecting the type assignment.
+//
+//  * Exact selection keeps only cubes that conform to every fanin's type;
+//    by the paper's theorem this guarantees a correct approximation.
+//  * ODC-based selection computes the local feasible subspace
+//    F * prod_i (x_i^sigma_i + ~Obs_{x_i}) on the node's local truth table
+//    and re-extracts cubes from it (richer space, correctness no longer
+//    guaranteed under multiple simultaneous fanin bit flips).
+//
+// Both operate on the phase-matched SOP: the on-set SOP for type-1 nodes and
+// the off-set (complement) SOP for type-0 nodes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/approx_types.hpp"
+#include "network/network.hpp"
+#include "sop/sop.hpp"
+
+namespace apx {
+
+/// Does `cube` conform to the fanin types (paper's conformance rule)?
+///   type EX: any literal;  type DC: only '-';
+///   type 0:  '0' or '-';   type 1:  '1' or '-'.
+bool cube_conforms(const Cube& cube, const std::vector<NodeType>& fanin_types);
+
+/// Exact cube selection: the subset of `phase_sop`'s cubes conforming to
+/// the fanin types.
+Sop exact_cube_selection(const Sop& phase_sop,
+                         const std::vector<NodeType>& fanin_types);
+
+/// ODC-based cube selection. `phase_sop` is the node's phase-matched SOP
+/// over its fanins; fanin_types drive the conformance terms. Requires the
+/// node to have at most kMaxLocalVars fanins; returns nullopt beyond that
+/// (callers fall back to exact selection).
+///
+/// `fanin_probs`, when provided, weights cube significance for the greedy
+/// ordering of the result cover (most probable cubes first).
+std::optional<Sop> odc_cube_selection(
+    const Sop& phase_sop, const std::vector<NodeType>& fanin_types,
+    const std::vector<double>* fanin_probs = nullptr);
+
+/// Probability that a cube is active under independent fanin signal
+/// probabilities (the significance measure of the iterative algorithm's
+/// approximation stage).
+double cube_probability(const Cube& cube, const std::vector<double>& probs);
+
+}  // namespace apx

@@ -1,0 +1,24 @@
+// CED coverage against delay (transition) faults — the paper's future-work
+// item (i). The same approximate check-symbol generator and checkers are
+// reused unchanged: a transition fault manifests at capture time as a
+// unidirectional error at the functional outputs, which the 0/1-approximate
+// checkers flag exactly as they do for stuck-at faults.
+#pragma once
+
+#include "core/ced.hpp"
+#include "sim/transition_fault.hpp"
+
+namespace apx {
+
+struct DelayCoverageOptions {
+  int num_fault_samples = 1000;
+  int words_per_fault = 4;
+  uint64_t seed = 0xDE1A;
+};
+
+/// Monte-Carlo transition-fault injection over the functional gates of a
+/// CED design, using random launch/capture pattern pairs.
+CoverageResult evaluate_delay_fault_coverage(
+    const CedDesign& ced, const DelayCoverageOptions& options = {});
+
+}  // namespace apx

@@ -1,0 +1,89 @@
+#include "core/masking.hpp"
+
+#include <bit>
+#include <random>
+
+#include "sim/simulator.hpp"
+
+namespace apx {
+
+MaskingDesign build_masking_design(
+    const Network& original, const Network& checkgen,
+    const std::vector<ApproxDirection>& dirs) {
+  MaskingDesign design;
+  design.ced = build_ced_design(original, checkgen, dirs);
+  Network& net = design.ced.design;
+
+  // Recover each output's check-symbol signal X from the checker gates.
+  // build_approx_checker emits, in PO order, [NOT(Y), AND(X, Y)] for a
+  // 0-approximation and [NOR(X, Y)] for a 1-approximation (rail1 is Y
+  // itself), before any two-rail tree cells — so a single forward scan of
+  // checker_nodes yields X as the first fanin of each output's gate.
+  std::vector<NodeId> check_outputs(original.num_pos(), kNullNode);
+  {
+    size_t idx = 0;
+    const auto& nodes = design.ced.checker_nodes;
+    for (int o = 0; o < original.num_pos(); ++o) {
+      if (dirs[o] == ApproxDirection::kZeroApprox) {
+        // Gates emitted: NOT(Y) then AND(X, Y).
+        NodeId and_gate = nodes.at(idx + 1);
+        check_outputs[o] = net.node(and_gate).fanins[0];
+        idx += 2;
+      } else {
+        // Gates emitted: NOR(X, Y) only (rail1 is Y itself).
+        NodeId nor_gate = nodes.at(idx);
+        check_outputs[o] = net.node(nor_gate).fanins[0];
+        idx += 1;
+      }
+    }
+  }
+
+  for (int o = 0; o < original.num_pos(); ++o) {
+    NodeId y = design.ced.functional_outputs[o];
+    NodeId x = check_outputs[o];
+    NodeId corrected =
+        dirs[o] == ApproxDirection::kZeroApprox
+            ? net.add_and(y, x)   // X=0 forces the output low: masks 0->1
+            : net.add_or(y, x);   // X=1 forces the output high: masks 1->0
+    design.masked_outputs.push_back(corrected);
+    design.masking_nodes.push_back(corrected);
+    net.add_po(original.po(o).name + "_masked", corrected);
+  }
+  net.check();
+  return design;
+}
+
+MaskingResult evaluate_masking(const MaskingDesign& design,
+                               const CoverageOptions& options) {
+  MaskingResult result;
+  const CedDesign& ced = design.ced;
+  if (ced.functional_nodes.empty()) return result;
+  std::mt19937_64 rng(options.seed);
+  Simulator sim(ced.design);
+
+  for (int s = 0; s < options.num_fault_samples; ++s) {
+    NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
+    StuckFault fault{site, static_cast<bool>(rng() & 1)};
+    PatternSet patterns = PatternSet::random(ced.design.num_pis(),
+                                             options.words_per_fault, rng());
+    sim.run(patterns);
+    sim.inject(fault);
+    for (int w = 0; w < options.words_per_fault; ++w) {
+      uint64_t raw = 0, masked = 0;
+      for (size_t o = 0; o < ced.functional_outputs.size(); ++o) {
+        NodeId y = ced.functional_outputs[o];
+        NodeId m = design.masked_outputs[o];
+        raw |= sim.value(y)[w] ^ sim.faulty_value(y)[w];
+        // The corrected output is judged against the fault-free *raw*
+        // function (the masked output equals it in fault-free operation).
+        masked |= sim.value(y)[w] ^ sim.faulty_value(m)[w];
+      }
+      result.raw_errors += std::popcount(raw);
+      result.masked_errors += std::popcount(masked);
+      result.runs += 64;
+    }
+  }
+  return result;
+}
+
+}  // namespace apx

@@ -1,0 +1,92 @@
+#include "core/observability.hpp"
+
+#include <bit>
+
+#include "core/approx_types.hpp"
+
+namespace apx {
+
+std::string to_string(NodeType t) {
+  switch (t) {
+    case NodeType::kZero:
+      return "0";
+    case NodeType::kOne:
+      return "1";
+    case NodeType::kEx:
+      return "EX";
+    case NodeType::kDc:
+      return "DC";
+  }
+  return "?";
+}
+
+std::string to_string(ApproxDirection d) {
+  return d == ApproxDirection::kZeroApprox ? "0-approx" : "1-approx";
+}
+
+namespace {
+
+// Evaluates one node's SOP on the given fanin value words, with fanin k's
+// column complemented, into `out`.
+void eval_with_flip(const Node& n,
+                    const std::vector<const std::vector<uint64_t>*>& fanin,
+                    int flip_index, std::vector<uint64_t>& out) {
+  const Sop& sop = n.sop;
+  const int words = static_cast<int>(out.size());
+  for (int w = 0; w < words; ++w) {
+    uint64_t acc = 0;
+    for (const Cube& c : sop.cubes()) {
+      uint64_t t = ~0ULL;
+      for (int k = 0; k < sop.num_vars() && t; ++k) {
+        LitCode code = c.get(k);
+        if (code == LitCode::kFree) continue;
+        uint64_t v = (*fanin[k])[w];
+        if (k == flip_index) v = ~v;
+        t &= (code == LitCode::kPos) ? v : ~v;
+      }
+      acc |= t;
+      if (acc == ~0ULL) break;
+    }
+    out[w] = acc;
+  }
+}
+
+}  // namespace
+
+ObservabilityAnalysis::ObservabilityAnalysis(const Network& net, int words,
+                                             uint64_t seed) {
+  Simulator sim(net);
+  sim.run(PatternSet::random(net.num_pis(), words, seed));
+
+  obs_.resize(net.num_nodes());
+  sig_prob_.resize(net.num_nodes(), 0.0);
+  const double total_patterns = 64.0 * words;
+
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    sig_prob_[id] = sim.signal_probability(id);
+    const Node& n = net.node(id);
+    if (n.kind != NodeKind::kLogic) continue;
+    obs_[id].resize(n.fanins.size());
+
+    std::vector<const std::vector<uint64_t>*> fanin;
+    fanin.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) fanin.push_back(&sim.value(f));
+    const std::vector<uint64_t>& golden = sim.value(id);
+
+    std::vector<uint64_t> flipped(words);
+    for (size_t k = 0; k < n.fanins.size(); ++k) {
+      eval_with_flip(n, fanin, static_cast<int>(k), flipped);
+      int64_t c0 = 0, c1 = 0;
+      for (int w = 0; w < words; ++w) {
+        uint64_t diff = golden[w] ^ flipped[w];
+        uint64_t x = (*fanin[k])[w];
+        c0 += std::popcount(diff & ~x);
+        c1 += std::popcount(diff & x);
+      }
+      obs_[id][k].obs0 = static_cast<double>(c0) / total_patterns;
+      obs_[id][k].obs1 = static_cast<double>(c1) / total_patterns;
+    }
+  }
+}
+
+}  // namespace apx

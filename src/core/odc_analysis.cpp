@@ -1,0 +1,72 @@
+#include "core/odc_analysis.hpp"
+
+#include "bdd/bdd.hpp"
+
+namespace apx {
+
+std::optional<std::vector<double>> global_odc_fractions(
+    const Network& net, const OdcAnalysisOptions& options) {
+  const int n_pis = net.num_pis();
+  std::vector<double> odc(net.num_nodes(), 1.0);
+  try {
+    BddManager mgr(n_pis + 1, options.bdd_budget);
+    const BddManager::Ref z = mgr.var(n_pis);
+    std::vector<NodeId> po_drivers;
+    for (const PrimaryOutput& po : net.pos()) po_drivers.push_back(po.driver);
+    std::vector<NodeId> cone = net.cone_of(po_drivers);
+    std::vector<bool> in_cone(net.num_nodes(), false);
+    for (NodeId id : cone) in_cone[id] = true;
+
+    for (NodeId target = 0; target < net.num_nodes(); ++target) {
+      if (!in_cone[target]) continue;  // unobservable by definition
+      // Rebuild the PO functions with `target` replaced by variable z.
+      std::vector<BddManager::Ref> refs(net.num_nodes(), mgr.zero());
+      for (int i = 0; i < n_pis; ++i) refs[net.pis()[i]] = mgr.var(i);
+      for (NodeId id : cone) {
+        if (id == target) {
+          refs[id] = z;
+          continue;
+        }
+        const Node& node = net.node(id);
+        switch (node.kind) {
+          case NodeKind::kPi:
+            break;
+          case NodeKind::kConst0:
+            refs[id] = mgr.zero();
+            break;
+          case NodeKind::kConst1:
+            refs[id] = mgr.one();
+            break;
+          case NodeKind::kLogic: {
+            BddManager::Ref acc = mgr.zero();
+            for (const Cube& c : node.sop.cubes()) {
+              BddManager::Ref cube_ref = mgr.one();
+              for (int v = 0; v < node.sop.num_vars(); ++v) {
+                LitCode code = c.get(v);
+                if (code == LitCode::kFree) continue;
+                BddManager::Ref lit = refs[node.fanins[v]];
+                if (code == LitCode::kNeg) lit = mgr.bdd_not(lit);
+                cube_ref = mgr.bdd_and(cube_ref, lit);
+              }
+              acc = mgr.bdd_or(acc, cube_ref);
+            }
+            refs[id] = acc;
+            break;
+          }
+        }
+      }
+      BddManager::Ref observable = mgr.zero();
+      for (NodeId drv : po_drivers) {
+        BddManager::Ref hi = mgr.cofactor(refs[drv], n_pis, true);
+        BddManager::Ref lo = mgr.cofactor(refs[drv], n_pis, false);
+        observable = mgr.bdd_or(observable, mgr.bdd_xor(hi, lo));
+      }
+      odc[target] = 1.0 - mgr.sat_fraction(observable);
+    }
+  } catch (const BddOverflow&) {
+    return std::nullopt;
+  }
+  return odc;
+}
+
+}  // namespace apx

@@ -1,0 +1,32 @@
+// Global observability-don't-care analysis. The paper (Sec. 2.2) observes
+// that the iterative algorithm implicitly explores the *global* ODC space:
+// an internal node may be approximated incorrectly as long as the error is
+// never observable at any primary output. This module computes that space
+// exactly: for node n, ODC(n) = the set of input vectors on which toggling
+// n changes no PO. Its fraction measures how much slack the synthesis can
+// exploit at each node.
+//
+// Implementation: each PO cone is rebuilt with node n replaced by a fresh
+// BDD variable z; the Boolean difference dPO/dz, OR-ed over POs and
+// evaluated over the PI space, is the global observability of n.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+struct OdcAnalysisOptions {
+  size_t bdd_budget = 1u << 20;
+};
+
+/// Global ODC fraction per node: odc[id] = P[input vectors on which node
+/// id is unobservable at every PO] (1.0 for nodes outside all PO cones;
+/// 0.0 reported for PIs/constants only when they are observable).
+/// Returns nullopt if the BDD budget is exceeded.
+std::optional<std::vector<double>> global_odc_fractions(
+    const Network& net, const OdcAnalysisOptions& options = {});
+
+}  // namespace apx

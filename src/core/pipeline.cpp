@@ -1,0 +1,49 @@
+#include "core/pipeline.hpp"
+
+#include "mapping/optimize.hpp"
+
+namespace apx {
+
+double PipelineResult::mean_approximation_pct() const {
+  if (synthesis.po_stats.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : synthesis.po_stats) sum += s.approximation_pct;
+  return sum / static_cast<double>(synthesis.po_stats.size());
+}
+
+PipelineResult run_ced_pipeline(const Network& net,
+                                const PipelineOptions& options) {
+  PipelineResult result;
+
+  // 1. Quick synthesis and mapping of the functional circuit.
+  Network optimized = quick_synthesis(net);
+  result.mapped_original = technology_map(optimized, options.map_options);
+
+  // 2. Reliability analysis on the mapped netlist decides, per output,
+  //    which error direction dominates and hence the approximation type.
+  result.reliability =
+      analyze_reliability(result.mapped_original, options.reliability);
+  result.directions = choose_directions(result.reliability);
+
+  // 3. Approximate-logic synthesis on the technology-independent network.
+  result.synthesis =
+      synthesize_approximation(optimized, result.directions, options.approx);
+
+  // 4. Map the approximate circuit with the same library/script.
+  result.mapped_checkgen =
+      technology_map(result.synthesis.approx, options.map_options);
+
+  // 5. Assemble and measure the CED design.
+  result.ced = build_ced_design(result.mapped_original,
+                                result.mapped_checkgen, result.directions);
+  if (options.logic_sharing) {
+    result.sharing = apply_logic_sharing(result.ced, options.sharing);
+  }
+  result.coverage = evaluate_ced_coverage(result.ced, options.coverage);
+  result.overheads = measure_overheads(result.ced);
+  result.original_delay = mapped_delay(result.mapped_original);
+  result.checkgen_delay = mapped_delay(result.mapped_checkgen);
+  return result;
+}
+
+}  // namespace apx

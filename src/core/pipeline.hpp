@@ -1,0 +1,56 @@
+// End-to-end CED flow (paper Sec. 3 / Fig. 2):
+//   1. quick synthesis + technology mapping of the original circuit,
+//   2. reliability analysis on the mapped netlist -> per-output dominant
+//      error direction,
+//   3. approximate-logic synthesis on the technology-independent network,
+//   4. mapping of the approximate circuit,
+//   5. CED assembly (checkers + two-rail tree) and measurement.
+#pragma once
+
+#include <string>
+
+#include "core/approx_synthesis.hpp"
+#include "core/ced.hpp"
+#include "core/logic_sharing.hpp"
+#include "mapping/mapper.hpp"
+#include "reliability/reliability.hpp"
+
+namespace apx {
+
+struct PipelineOptions {
+  ApproxOptions approx;
+  MapOptions map_options;
+  ReliabilityOptions reliability;
+  CoverageOptions coverage;
+  bool logic_sharing = false;
+  SharingOptions sharing;
+};
+
+struct PipelineResult {
+  /// Mapped functional circuit.
+  Network mapped_original;
+  /// Mapped approximate check-symbol generator.
+  Network mapped_checkgen;
+  /// Synthesis-level results (types, per-PO verification, approximation %).
+  ApproxResult synthesis;
+  /// Per-output dominant error directions from reliability analysis.
+  std::vector<ApproxDirection> directions;
+  ReliabilityReport reliability;
+  /// Assembled CED design and its measurements.
+  CedDesign ced;
+  CoverageResult coverage;
+  OverheadReport overheads;
+  SharingReport sharing;
+
+  /// Average approximation percentage over POs (paper Table 1 metric).
+  double mean_approximation_pct() const;
+  /// Unit-delay depths (paper's "no performance penalty" claim).
+  int original_delay = 0;
+  int checkgen_delay = 0;
+};
+
+/// Runs the full CED flow on a technology-independent network.
+PipelineResult run_ced_pipeline(const Network& net,
+                                const PipelineOptions& options = {});
+
+}  // namespace apx

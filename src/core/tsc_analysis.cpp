@@ -1,0 +1,91 @@
+#include "core/tsc_analysis.hpp"
+
+namespace apx {
+namespace {
+
+struct Rails {
+  bool r1;
+  bool r2;
+  bool valid() const { return r1 != r2; }
+  bool operator==(const Rails& o) const { return r1 == o.r1 && r2 == o.r2; }
+};
+
+Rails checker(ApproxDirection dir, bool x, bool y) {
+  if (dir == ApproxDirection::kZeroApprox) {
+    return {!y, x && y};  // rail1 = ~Y, rail2 = X & Y
+  }
+  return {y, !x && !y};  // rail1 = Y, rail2 = NOR(X, Y)
+}
+
+bool codeword_valid(ApproxDirection dir, bool x, bool y) {
+  if (dir == ApproxDirection::kZeroApprox) return !(x == false && y == true);
+  return !(x == true && y == false);
+}
+
+// Fault sites: indexes into {Y line, X line, rail1 output, rail2 output}.
+enum Site { kY = 0, kX = 1, kRail1 = 2, kRail2 = 3 };
+
+Rails faulty_checker(ApproxDirection dir, bool x, bool y, Site site,
+                     bool stuck) {
+  bool fx = x, fy = y;
+  if (site == kY) fy = stuck;
+  if (site == kX) fx = stuck;
+  Rails r = checker(dir, fx, fy);
+  if (site == kRail1) r.r1 = stuck;
+  if (site == kRail2) r.r2 = stuck;
+  return r;
+}
+
+const char* site_name(Site site) {
+  switch (site) {
+    case kY:
+      return "Y";
+    case kX:
+      return "X";
+    case kRail1:
+      return "rail1";
+    case kRail2:
+      return "rail2";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TscReport analyze_approx_checker(ApproxDirection direction) {
+  TscReport report;
+
+  // Code-disjointness over the full input space.
+  report.code_disjoint = true;
+  for (int x = 0; x < 2; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      Rails r = checker(direction, x, y);
+      if (codeword_valid(direction, x, y) != r.valid()) {
+        report.code_disjoint = false;
+      }
+    }
+  }
+
+  for (Site site : {kY, kX, kRail1, kRail2}) {
+    for (bool stuck : {false, true}) {
+      CheckerFaultReport fr;
+      fr.site = site_name(site);
+      fr.stuck_value = stuck;
+      fr.self_testing = false;
+      fr.fault_secure = true;
+      for (int x = 0; x < 2; ++x) {
+        for (int y = 0; y < 2; ++y) {
+          if (!codeword_valid(direction, x, y)) continue;  // normal op only
+          Rails good = checker(direction, x, y);
+          Rails bad = faulty_checker(direction, x, y, site, stuck);
+          if (!bad.valid()) fr.self_testing = true;
+          if (bad.valid() && !(bad == good)) fr.fault_secure = false;
+        }
+      }
+      report.faults.push_back(fr);
+    }
+  }
+  return report;
+}
+
+}  // namespace apx

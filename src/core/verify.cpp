@@ -1,0 +1,219 @@
+#include "core/verify.hpp"
+
+#include <bit>
+
+#include "sat/encode.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+
+bool implication_holds_for(ApproxDirection d, bool g_implies_f,
+                           bool f_implies_g) {
+  return d == ApproxDirection::kOneApprox ? g_implies_f : f_implies_g;
+}
+
+// SAT and simulation state is kept out of the header via this impl struct.
+struct ApproxOracleState {
+  // Shared SAT instance encoding both networks once (rebuilt on refresh).
+  std::optional<SatSolver> sat;
+  std::vector<int> pi_vars;
+  std::vector<int> orig_vars;
+  std::vector<int> approx_vars;
+
+  // Shared simulation for percentage estimates.
+  std::optional<Simulator> sim_orig;
+  std::optional<Simulator> sim_approx;
+  int sim_words = 0;
+};
+
+ApproxOracle::ApproxOracle(const Network& original, const Network& approx,
+                           size_t bdd_budget)
+    : original_(original),
+      approx_(approx),
+      budget_(bdd_budget),
+      state_(std::make_unique<ApproxOracleState>()) {
+  build();
+}
+
+ApproxOracle::~ApproxOracle() = default;
+
+void ApproxOracle::build() {
+  bdd_ok_ = false;
+  state_->sat.reset();
+  state_->sim_approx.reset();
+  if (bdd_hostile_) return;  // earlier build hit the budget: stay on SAT
+  try {
+    mgr_.emplace(original_.num_pis(), budget_);
+    std::vector<NodeId> orig_roots, approx_roots;
+    for (const PrimaryOutput& po : original_.pos()) {
+      orig_roots.push_back(po.driver);
+    }
+    for (const PrimaryOutput& po : approx_.pos()) {
+      approx_roots.push_back(po.driver);
+    }
+    orig_refs_ = build_cone_bdds(*mgr_, original_, orig_roots);
+    approx_refs_ = build_cone_bdds(*mgr_, approx_, approx_roots);
+    bdd_ok_ = true;
+  } catch (const BddOverflow&) {
+    mgr_.reset();
+    orig_refs_.clear();
+    approx_refs_.clear();
+    bdd_hostile_ = true;
+  }
+}
+
+void ApproxOracle::refresh_approx() {
+  // Both ref sets live in one manager; a clean rebuild keeps the manager
+  // from accumulating garbage across repair rounds.
+  build();
+}
+
+void ApproxOracle::ensure_sat() {
+  if (state_->sat.has_value()) return;
+  state_->sat.emplace();
+  SatSolver& solver = *state_->sat;
+  state_->pi_vars.clear();
+  for (int i = 0; i < original_.num_pis(); ++i) {
+    state_->pi_vars.push_back(solver.new_var());
+  }
+  state_->orig_vars = encode_network(solver, original_, state_->pi_vars);
+  state_->approx_vars = encode_network(solver, approx_, state_->pi_vars);
+}
+
+// During synthesis the approximate network is an id-preserving clone of the
+// original; when the PO cone is structurally untouched (e.g. after a cone
+// restore) the implication holds syntactically and no solver is needed.
+bool ApproxOracle::cone_structurally_identical(int po) const {
+  if (original_.num_nodes() != approx_.num_nodes()) return false;
+  NodeId root = original_.po(po).driver;
+  if (approx_.po(po).driver != root) return false;
+  for (NodeId id : original_.cone_of({root})) {
+    const Node& a = original_.node(id);
+    const Node& b = approx_.node(id);
+    if (a.kind != b.kind || a.fanins != b.fanins || !(a.sop == b.sop)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ApproxOracle::verify(int po, ApproxDirection direction) {
+  if (cone_structurally_identical(po)) return true;
+  if (bdd_ok_) {
+    try {
+      BddManager::Ref f = orig_refs_[original_.po(po).driver];
+      BddManager::Ref g = approx_refs_[approx_.po(po).driver];
+      return direction == ApproxDirection::kOneApprox ? mgr_->implies(g, f)
+                                                      : mgr_->implies(f, g);
+    } catch (const BddOverflow&) {
+      bdd_ok_ = false;  // fall through to SAT below
+    }
+  }
+  ensure_sat();
+  Lit f(state_->orig_vars[original_.po(po).driver], false);
+  Lit g(state_->approx_vars[approx_.po(po).driver], false);
+  // kOneApprox: g => f fails iff (g & ~f) satisfiable.
+  std::vector<Lit> assumptions =
+      direction == ApproxDirection::kOneApprox ? std::vector<Lit>{g, ~f}
+                                               : std::vector<Lit>{f, ~g};
+  last_cex_.clear();
+  SatResult r = state_->sat->solve(assumptions, sat_conflict_budget_);
+  if (r == SatResult::kUnsat) return true;
+  if (r == SatResult::kSat) {
+    last_cex_.resize(original_.num_pis());
+    for (int i = 0; i < original_.num_pis(); ++i) {
+      last_cex_[i] = state_->sat->model_value(state_->pi_vars[i]) ? 1 : 0;
+    }
+  }
+  // kUnknown (budget exhausted) is treated as "not verified": callers in
+  // the synthesis flow respond by making the cone more exact, which
+  // ultimately resolves through the structural fast path above.
+  return false;
+}
+
+double ApproxOracle::approximation_pct(int po, ApproxDirection direction,
+                                       int fallback_words) {
+  if (bdd_ok_) {
+    try {
+      double pf = mgr_->sat_fraction(orig_refs_[original_.po(po).driver]);
+      double pg = mgr_->sat_fraction(approx_refs_[approx_.po(po).driver]);
+      if (direction == ApproxDirection::kOneApprox) {
+        return pf > 0.0 ? pg / pf : 1.0;
+      }
+      return pf < 1.0 ? (1.0 - pg) / (1.0 - pf) : 1.0;
+    } catch (const BddOverflow&) {
+      bdd_ok_ = false;
+    }
+  }
+  // Sampled estimate over shared random patterns (simulators are cached:
+  // the original's never changes, the approx side refreshes with build()).
+  if (!state_->sim_orig.has_value() || state_->sim_words != fallback_words) {
+    state_->sim_orig.emplace(original_);
+    state_->sim_orig->run(
+        PatternSet::random(original_.num_pis(), fallback_words, 0xA99C0));
+    state_->sim_words = fallback_words;
+    state_->sim_approx.reset();
+  }
+  if (!state_->sim_approx.has_value()) {
+    state_->sim_approx.emplace(approx_);
+    state_->sim_approx->run(
+        PatternSet::random(approx_.num_pis(), fallback_words, 0xA99C0));
+  }
+  const auto& fw = state_->sim_orig->value(original_.po(po).driver);
+  const auto& gw = state_->sim_approx->value(approx_.po(po).driver);
+  int64_t denom = 0, num = 0;
+  for (size_t w = 0; w < fw.size(); ++w) {
+    if (direction == ApproxDirection::kOneApprox) {
+      denom += std::popcount(fw[w]);
+      num += std::popcount(fw[w] & gw[w]);
+    } else {
+      denom += std::popcount(~fw[w]);
+      num += std::popcount(~fw[w] & ~gw[w]);
+    }
+  }
+  return denom > 0 ? static_cast<double>(num) / static_cast<double>(denom)
+                   : 1.0;
+}
+
+double weighted_approximation_percentage(const Network& original,
+                                         const Network& approx, int po,
+                                         ApproxDirection direction,
+                                         const std::vector<double>& pi_probs,
+                                         int words, uint64_t seed) {
+  Simulator sim_f(original);
+  Simulator sim_g(approx);
+  PatternSet patterns = PatternSet::biased(pi_probs, words, seed);
+  sim_f.run(patterns);
+  sim_g.run(patterns);
+  const auto& fw = sim_f.value(original.po(po).driver);
+  const auto& gw = sim_g.value(approx.po(po).driver);
+  int64_t denom = 0, num = 0;
+  for (size_t w = 0; w < fw.size(); ++w) {
+    if (direction == ApproxDirection::kOneApprox) {
+      denom += std::popcount(fw[w]);
+      num += std::popcount(fw[w] & gw[w]);
+    } else {
+      denom += std::popcount(~fw[w]);
+      num += std::popcount(~fw[w] & ~gw[w]);
+    }
+  }
+  return denom > 0 ? static_cast<double>(num) / static_cast<double>(denom)
+                   : 1.0;
+}
+
+bool verify_po_approximation(const Network& original, const Network& approx,
+                             int po, ApproxDirection direction,
+                             size_t bdd_budget) {
+  ApproxOracle oracle(original, approx, bdd_budget);
+  return oracle.verify(po, direction);
+}
+
+double approximation_percentage(const Network& original,
+                                const Network& approx, int po,
+                                ApproxDirection direction, size_t bdd_budget,
+                                int fallback_words) {
+  ApproxOracle oracle(original, approx, bdd_budget);
+  return oracle.approximation_pct(po, direction, fallback_words);
+}
+
+}  // namespace apx

@@ -1,0 +1,113 @@
+// Implication/equivalence oracle for approximation correctness (paper
+// Sec. 2.2): BDD-based checking with a SAT fallback on BDD blow-up, plus
+// approximation-percentage measurement (exact by BDD minterm counting,
+// sampled by simulation as a fallback).
+//
+// ApproxOracle amortizes one shared BDD manager across every PO of an
+// (original, approximate) network pair — essential for multi-output
+// circuits, where per-PO managers would rebuild shared cones hundreds of
+// times.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "bdd/network_bdd.hpp"
+#include "core/approx_types.hpp"
+#include "network/network.hpp"
+
+namespace apx {
+
+/// What must hold between an original PO F and its approximation G.
+///   kOneApprox:  G => F   (G's on-set inside F's on-set)
+///   kZeroApprox: F => G   (G's off-set inside F's off-set)
+bool implication_holds_for(ApproxDirection d, bool g_implies_f,
+                           bool f_implies_g);
+
+/// Shared verification oracle over an (original, approx) network pair with
+/// matching PIs and POs. Builds global BDDs for both networks in one
+/// manager; on overflow every query falls back to SAT (for decisions) or
+/// bit-parallel simulation (for percentages).
+struct ApproxOracleState;
+
+class ApproxOracle {
+ public:
+  ApproxOracle(const Network& original, const Network& approx,
+               size_t bdd_budget = 1u << 18);
+  ~ApproxOracle();
+
+  /// Is PO `po` of the approx network a correct `direction`-approximation?
+  bool verify(int po, ApproxDirection direction);
+
+  /// Fraction of the protected minterm space covered (paper Sec. 2):
+  /// |G|/|F| for 1-approximations, |~G|/|~F| for 0-approximations.
+  double approximation_pct(int po, ApproxDirection direction,
+                           int fallback_words = 512);
+
+  /// Rebuilds the approx-side BDDs after the approx network was mutated.
+  void refresh_approx();
+
+  /// When the last verify() returned false via the SAT path, this holds the
+  /// violating PI assignment (one value per PI). Empty otherwise.
+  const std::vector<uint8_t>& last_counterexample() const {
+    return last_cex_;
+  }
+
+  /// Conflict cap per SAT query; exceeding it reports "not verified"
+  /// (sound: callers escalate toward exactness, which the structural
+  /// fast path then verifies without a solver). < 0 disables the cap.
+  void set_sat_conflict_budget(int64_t budget) {
+    sat_conflict_budget_ = budget;
+  }
+
+  /// True while BDD-based answers are available (diagnostics).
+  bool using_bdds() const { return bdd_ok_; }
+
+  /// Direct access to the per-node global BDDs (valid when using_bdds()).
+  /// Only nodes inside some PO cone carry a meaningful ref (kNoBddRef
+  /// otherwise). Used by the repair stage's source analysis.
+  BddManager& manager() { return *mgr_; }
+  BddManager::Ref orig_ref(NodeId id) const { return orig_refs_[id]; }
+  BddManager::Ref approx_ref(NodeId id) const { return approx_refs_[id]; }
+
+ private:
+  void build();
+  void ensure_sat();
+  bool cone_structurally_identical(int po) const;
+
+  const Network& original_;
+  const Network& approx_;
+  size_t budget_;
+  std::optional<BddManager> mgr_;
+  std::vector<BddManager::Ref> orig_refs_;
+  std::vector<BddManager::Ref> approx_refs_;
+  bool bdd_ok_ = false;
+  bool bdd_hostile_ = false;  // a build overflowed: skip future BDD attempts
+  int64_t sat_conflict_budget_ = 50000;
+  std::vector<uint8_t> last_cex_;
+  std::unique_ptr<ApproxOracleState> state_;
+};
+
+/// One-shot convenience wrappers (fresh oracle per call).
+bool verify_po_approximation(const Network& original, const Network& approx,
+                             int po, ApproxDirection direction,
+                             size_t bdd_budget = 1u << 18);
+
+double approximation_percentage(const Network& original,
+                                const Network& approx, int po,
+                                ApproxDirection direction,
+                                size_t bdd_budget = 1u << 18,
+                                int fallback_words = 512);
+
+/// Input-weighted approximation percentage (paper Sec. 2: "each minterm
+/// covered by the approximate function must be appropriately weighted by
+/// its probability of occurrence"). `pi_probs[i]` is P[PI i = 1]; the
+/// estimate samples `words`*64 vectors from that product distribution.
+double weighted_approximation_percentage(const Network& original,
+                                         const Network& approx, int po,
+                                         ApproxDirection direction,
+                                         const std::vector<double>& pi_probs,
+                                         int words = 1024,
+                                         uint64_t seed = 0xB1A5);
+
+}  // namespace apx

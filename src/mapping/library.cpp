@@ -1,0 +1,49 @@
+#include "mapping/library.hpp"
+
+namespace apx {
+
+const GateLibrary& GateLibrary::basic() {
+  static const GateLibrary lib{"basic", LibraryStyle::kBasic};
+  return lib;
+}
+const GateLibrary& GateLibrary::nand2() {
+  static const GateLibrary lib{"nand2", LibraryStyle::kNand2};
+  return lib;
+}
+const GateLibrary& GateLibrary::nor2() {
+  static const GateLibrary lib{"nor2", LibraryStyle::kNor2};
+  return lib;
+}
+const GateLibrary& GateLibrary::mixed23() {
+  static const GateLibrary lib{"mixed23", LibraryStyle::kMixed23};
+  return lib;
+}
+const GateLibrary& GateLibrary::aoi() {
+  static const GateLibrary lib{"aoi", LibraryStyle::kAoi};
+  return lib;
+}
+
+const std::vector<Implementation>& standard_implementations() {
+  static const std::vector<Implementation> impls = {
+      {&GateLibrary::basic(), ScriptKind::kBalance, "impl1-basic-balance"},
+      {&GateLibrary::nand2(), ScriptKind::kBalance, "impl2-nand2-balance"},
+      {&GateLibrary::nor2(), ScriptKind::kCascade, "impl3-nor2-cascade"},
+      {&GateLibrary::mixed23(), ScriptKind::kFactor, "impl4-mixed23-factor"},
+      {&GateLibrary::aoi(), ScriptKind::kFactor, "impl5-aoi-factor"},
+  };
+  return impls;
+}
+
+std::string to_string(ScriptKind kind) {
+  switch (kind) {
+    case ScriptKind::kBalance:
+      return "balance";
+    case ScriptKind::kCascade:
+      return "cascade";
+    case ScriptKind::kFactor:
+      return "factor";
+  }
+  return "?";
+}
+
+}  // namespace apx

@@ -1,0 +1,51 @@
+// Gate libraries and decomposition scripts for the quick-synthesis/mapping
+// pass (paper Sec. 3: reliability analysis runs on a technology-mapped
+// netlist; Sec. 4.1: five different implementations from different scripts
+// and libraries demonstrate technology-independence of CED coverage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apx {
+
+/// Primitive-gate style a netlist is mapped into.
+enum class LibraryStyle {
+  kBasic,    ///< INV / AND2 / OR2
+  kNand2,    ///< INV / NAND2 only
+  kNor2,     ///< INV / NOR2 only
+  kMixed23,  ///< INV / AND2-3 / OR2-3
+  kAoi,      ///< INV / AND2 / OR2 / AOI21 / OAI21
+};
+
+/// Tree-shape script applied while decomposing node SOPs into gates.
+enum class ScriptKind {
+  kBalance,  ///< balanced AND/OR trees (delay-oriented)
+  kCascade,  ///< linear chains (area-ordered, longer paths)
+  kFactor,   ///< recursive most-frequent-literal factoring
+};
+
+struct GateLibrary {
+  std::string name;
+  LibraryStyle style = LibraryStyle::kBasic;
+
+  static const GateLibrary& basic();
+  static const GateLibrary& nand2();
+  static const GateLibrary& nor2();
+  static const GateLibrary& mixed23();
+  static const GateLibrary& aoi();
+};
+
+/// A (library, script) pair defining one mapped implementation.
+struct Implementation {
+  const GateLibrary* library;
+  ScriptKind script;
+  std::string name;
+};
+
+/// The five standard implementations used by the Table-3 experiment.
+const std::vector<Implementation>& standard_implementations();
+
+std::string to_string(ScriptKind kind);
+
+}  // namespace apx

@@ -1,0 +1,345 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sop/algebraic.hpp"
+
+namespace apx {
+namespace {
+
+// Incremental gate builder with inverter caching and constant folding.
+class GateBuilder {
+ public:
+  GateBuilder(Network& dest, const MapOptions& options)
+      : dest_(dest), options_(options) {}
+
+  NodeId const_sig(bool value) {
+    NodeId& cache = value ? const1_ : const0_;
+    if (cache == kNullNode) cache = dest_.add_const(value);
+    return cache;
+  }
+
+  bool is_const(NodeId s, bool value) const {
+    NodeKind k = dest_.node(s).kind;
+    return value ? k == NodeKind::kConst1 : k == NodeKind::kConst0;
+  }
+
+  NodeId make_inv(NodeId a) {
+    if (is_const(a, false)) return const_sig(true);
+    if (is_const(a, true)) return const_sig(false);
+    auto it = inv_cache_.find(a);
+    if (it != inv_cache_.end()) return it->second;
+    // Peephole: inverting an inverter returns its input.
+    const Node& n = dest_.node(a);
+    if (n.kind == NodeKind::kLogic && n.fanins.size() == 1 &&
+        n.sop.num_cubes() == 1 && n.sop.cube(0).get(0) == LitCode::kNeg) {
+      return n.fanins[0];
+    }
+    NodeId inv = dest_.add_not(a);
+    inv_cache_[a] = inv;
+    inv_cache_[inv] = a;
+    return inv;
+  }
+
+  NodeId make_and2(NodeId a, NodeId b) {
+    if (is_const(a, false) || is_const(b, false)) return const_sig(false);
+    if (is_const(a, true)) return b;
+    if (is_const(b, true)) return a;
+    if (a == b) return a;
+    switch (options_.library->style) {
+      case LibraryStyle::kNand2:
+        return make_inv(add_nand2(a, b));
+      case LibraryStyle::kNor2:
+        return add_nor2(make_inv(a), make_inv(b));
+      default:
+        return dest_.add_and(a, b);
+    }
+  }
+
+  NodeId make_or2(NodeId a, NodeId b) {
+    if (is_const(a, true) || is_const(b, true)) return const_sig(true);
+    if (is_const(a, false)) return b;
+    if (is_const(b, false)) return a;
+    if (a == b) return a;
+    switch (options_.library->style) {
+      case LibraryStyle::kNand2:
+        return add_nand2(make_inv(a), make_inv(b));
+      case LibraryStyle::kNor2:
+        return make_inv(add_nor2(a, b));
+      case LibraryStyle::kAoi: {
+        // If either operand is an AND2 gate, fuse into AOI21 + INV:
+        // x*y + c = INV(AOI21(x, y, c)).
+        NodeId and_side = kNullNode, other = kNullNode;
+        if (is_and2(a)) {
+          and_side = a;
+          other = b;
+        } else if (is_and2(b)) {
+          and_side = b;
+          other = a;
+        }
+        if (and_side != kNullNode) {
+          const Node& g = dest_.node(and_side);
+          // AOI21(x,y,c) = NOT(x*y + c): off-set SOP = (x'+y')c' -> cubes
+          // "0-0" and "-00".
+          NodeId aoi = dest_.add_node({g.fanins[0], g.fanins[1], other},
+                                      *Sop::parse(3, "0-0\n-00"));
+          return make_inv(aoi);
+        }
+        return dest_.add_or(a, b);
+      }
+      default:
+        return dest_.add_or(a, b);
+    }
+  }
+
+  NodeId make_and3(NodeId a, NodeId b, NodeId c) {
+    if (options_.library->style == LibraryStyle::kMixed23) {
+      if (is_const(a, false) || is_const(b, false) || is_const(c, false))
+        return const_sig(false);
+      if (is_const(a, true)) return make_and2(b, c);
+      if (is_const(b, true)) return make_and2(a, c);
+      if (is_const(c, true)) return make_and2(a, b);
+      return dest_.add_node({a, b, c}, *Sop::parse(3, "111"));
+    }
+    return make_and2(make_and2(a, b), c);
+  }
+
+  NodeId make_or3(NodeId a, NodeId b, NodeId c) {
+    if (options_.library->style == LibraryStyle::kMixed23) {
+      if (is_const(a, true) || is_const(b, true) || is_const(c, true))
+        return const_sig(true);
+      if (is_const(a, false)) return make_or2(b, c);
+      if (is_const(b, false)) return make_or2(a, c);
+      if (is_const(c, false)) return make_or2(a, b);
+      return dest_.add_node({a, b, c}, *Sop::parse(3, "1--\n-1-\n--1"));
+    }
+    return make_or2(make_or2(a, b), c);
+  }
+
+  /// Reduces a list of signals with AND (`conj` true) or OR, using the
+  /// configured script's tree shape.
+  NodeId reduce(std::vector<NodeId> sigs, bool conj) {
+    if (sigs.empty()) return const_sig(conj);
+    const bool mixed = options_.library->style == LibraryStyle::kMixed23;
+    if (options_.script == ScriptKind::kCascade) {
+      NodeId acc = sigs[0];
+      for (size_t i = 1; i < sigs.size(); ++i) {
+        acc = conj ? make_and2(acc, sigs[i]) : make_or2(acc, sigs[i]);
+      }
+      return acc;
+    }
+    // Balanced (also used for factor leaves): combine in rounds; use 3-input
+    // gates when the library has them.
+    while (sigs.size() > 1) {
+      std::vector<NodeId> next;
+      size_t i = 0;
+      while (i < sigs.size()) {
+        size_t left = sigs.size() - i;
+        if (mixed && left >= 3 && left != 4) {
+          next.push_back(conj ? make_and3(sigs[i], sigs[i + 1], sigs[i + 2])
+                              : make_or3(sigs[i], sigs[i + 1], sigs[i + 2]));
+          i += 3;
+        } else if (left >= 2) {
+          next.push_back(conj ? make_and2(sigs[i], sigs[i + 1])
+                              : make_or2(sigs[i], sigs[i + 1]));
+          i += 2;
+        } else {
+          next.push_back(sigs[i]);
+          i += 1;
+        }
+      }
+      sigs = std::move(next);
+    }
+    return sigs[0];
+  }
+
+  bool is_and2(NodeId s) const {
+    const Node& n = dest_.node(s);
+    return n.kind == NodeKind::kLogic && n.fanins.size() == 2 &&
+           n.sop.num_cubes() == 1 && n.sop.cube(0).literal_count() == 2 &&
+           n.sop.cube(0).get(0) == LitCode::kPos &&
+           n.sop.cube(0).get(1) == LitCode::kPos;
+  }
+
+ private:
+  NodeId add_nand2(NodeId a, NodeId b) {
+    return dest_.add_node({a, b}, *Sop::parse(2, "0-\n-0"));
+  }
+  NodeId add_nor2(NodeId a, NodeId b) {
+    return dest_.add_node({a, b}, *Sop::parse(2, "00"));
+  }
+
+  Network& dest_;
+  const MapOptions& options_;
+  std::unordered_map<NodeId, NodeId> inv_cache_;
+  NodeId const0_ = kNullNode;
+  NodeId const1_ = kNullNode;
+};
+
+// Builds the gate network for one SOP given the signals of its fanins.
+class SopDecomposer {
+ public:
+  SopDecomposer(GateBuilder& builder, const MapOptions& options)
+      : builder_(builder), options_(options) {}
+
+  NodeId build(const Sop& sop, const std::vector<NodeId>& fanin_sigs) {
+    if (sop.empty()) return builder_.const_sig(false);
+    for (const Cube& c : sop.cubes()) {
+      if (c.is_full()) return builder_.const_sig(true);
+    }
+    if (options_.script == ScriptKind::kFactor) {
+      return build_factored(sop, fanin_sigs);
+    }
+    return build_two_level(sop, fanin_sigs);
+  }
+
+ private:
+  NodeId literal_sig(const std::vector<NodeId>& fanin_sigs, int var,
+                     bool positive) {
+    NodeId s = fanin_sigs[var];
+    return positive ? s : builder_.make_inv(s);
+  }
+
+  NodeId build_cube(const Cube& c, const std::vector<NodeId>& fanin_sigs) {
+    std::vector<NodeId> lits;
+    for (int v = 0; v < c.num_vars(); ++v) {
+      LitCode code = c.get(v);
+      if (code == LitCode::kFree) continue;
+      lits.push_back(literal_sig(fanin_sigs, v, code == LitCode::kPos));
+    }
+    return builder_.reduce(std::move(lits), /*conj=*/true);
+  }
+
+  NodeId build_two_level(const Sop& sop,
+                         const std::vector<NodeId>& fanin_sigs) {
+    std::vector<NodeId> cube_sigs;
+    for (const Cube& c : sop.cubes()) {
+      cube_sigs.push_back(build_cube(c, fanin_sigs));
+    }
+    return builder_.reduce(std::move(cube_sigs), /*conj=*/false);
+  }
+
+  NodeId build_factored(const Sop& sop,
+                        const std::vector<NodeId>& fanin_sigs) {
+    if (sop.num_cubes() == 1) return build_cube(sop.cube(0), fanin_sigs);
+    // Kernel-based factoring first: extract the best algebraic kernel k
+    // with f = q*k + r and recurse on the three pieces.
+    if (sop.num_cubes() >= 3) {
+      if (auto kernel = best_kernel(sop)) {
+        auto [q, r] = algebraic_divide(sop, kernel->kernel);
+        if (!q.empty()) {
+          NodeId qs = build_factored(q, fanin_sigs);
+          NodeId ks = build_factored(kernel->kernel, fanin_sigs);
+          NodeId product = builder_.make_and2(qs, ks);
+          if (r.empty()) return product;
+          return builder_.make_or2(product, build_factored(r, fanin_sigs));
+        }
+      }
+    }
+    // Most frequent literal across cubes.
+    const int n = sop.num_vars();
+    int best_var = -1;
+    bool best_phase = false;
+    int best_count = 1;
+    for (int v = 0; v < n; ++v) {
+      int pos = 0, neg = 0;
+      for (const Cube& c : sop.cubes()) {
+        if (c.get(v) == LitCode::kPos) ++pos;
+        if (c.get(v) == LitCode::kNeg) ++neg;
+      }
+      if (pos > best_count) {
+        best_count = pos;
+        best_var = v;
+        best_phase = true;
+      }
+      if (neg > best_count) {
+        best_count = neg;
+        best_var = v;
+        best_phase = false;
+      }
+    }
+    if (best_var < 0) {
+      // No literal shared by >= 2 cubes: plain two-level.
+      return build_two_level(sop, fanin_sigs);
+    }
+    Sop quotient(n);
+    Sop remainder(n);
+    LitCode want = best_phase ? LitCode::kPos : LitCode::kNeg;
+    for (const Cube& c : sop.cubes()) {
+      if (c.get(best_var) == want) {
+        quotient.add_cube(c.without_var(best_var));
+      } else {
+        remainder.add_cube(c);
+      }
+    }
+    NodeId lit = literal_sig(fanin_sigs, best_var, best_phase);
+    NodeId q = build_factored(quotient, fanin_sigs);
+    NodeId product = builder_.make_and2(lit, q);
+    if (remainder.empty()) return product;
+    NodeId r = build_factored(remainder, fanin_sigs);
+    return builder_.make_or2(product, r);
+  }
+
+  GateBuilder& builder_;
+  const MapOptions& options_;
+};
+
+}  // namespace
+
+Network technology_map(const Network& net, const MapOptions& options) {
+  Network mapped;
+  mapped.set_name(net.name() + "_" + options.library->name + "_" +
+                  to_string(options.script));
+  GateBuilder builder(mapped, options);
+  SopDecomposer decomposer(builder, options);
+
+  std::vector<NodeId> map(net.num_nodes(), kNullNode);
+  for (NodeId pi : net.pis()) {
+    map[pi] = mapped.add_pi(net.node(pi).name);
+  }
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::kPi:
+        break;
+      case NodeKind::kConst0:
+        map[id] = builder.const_sig(false);
+        break;
+      case NodeKind::kConst1:
+        map[id] = builder.const_sig(true);
+        break;
+      case NodeKind::kLogic: {
+        std::vector<NodeId> fanin_sigs;
+        fanin_sigs.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) fanin_sigs.push_back(map[f]);
+        map[id] = decomposer.build(n.sop, fanin_sigs);
+        break;
+      }
+    }
+  }
+  for (const PrimaryOutput& po : net.pos()) {
+    mapped.add_po(po.name, map[po.driver]);
+  }
+  mapped.cleanup();
+  mapped.check();
+  return mapped;
+}
+
+int mapped_area(const Network& mapped) { return mapped.num_logic_nodes(); }
+
+int mapped_delay(const Network& mapped) { return mapped.depth(); }
+
+bool is_mapped(const Network& net) {
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& n = net.node(id);
+    if (n.kind != NodeKind::kLogic) continue;
+    if (n.fanins.size() > 3) return false;
+    if (n.sop.num_cubes() > 3) return false;
+  }
+  return true;
+}
+
+}  // namespace apx

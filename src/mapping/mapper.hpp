@@ -1,0 +1,30 @@
+// Technology mapping: decomposes each node's SOP into primitive library
+// gates, producing a mapped Network whose logic nodes are all 1-3 input
+// library gates. Gate count is the paper's area metric; unit-delay depth is
+// its delay metric.
+#pragma once
+
+#include "mapping/library.hpp"
+#include "network/network.hpp"
+
+namespace apx {
+
+struct MapOptions {
+  const GateLibrary* library = &GateLibrary::basic();
+  ScriptKind script = ScriptKind::kBalance;
+};
+
+/// Maps `net` into primitive gates of the chosen library. The mapped
+/// network has the same PIs (by position/name) and POs (by name/order).
+Network technology_map(const Network& net, const MapOptions& options = {});
+
+/// Area = number of logic gates in a mapped netlist (paper Table 1/2).
+int mapped_area(const Network& mapped);
+
+/// Unit-delay critical path depth.
+int mapped_delay(const Network& mapped);
+
+/// True if every logic node is a recognizable primitive of <= 3 inputs.
+bool is_mapped(const Network& net);
+
+}  // namespace apx

@@ -1,0 +1,41 @@
+// Light technology-independent optimization ("quick synthesis", paper
+// Sec. 3): constant sweeping, buffer/inverter collapsing, per-node SOP
+// minimization, and elimination of trivially absorbable nodes. Applied
+// before mapping and before approximate synthesis.
+#pragma once
+
+#include "network/network.hpp"
+
+namespace apx {
+
+struct OptimizeOptions {
+  bool sweep_constants = true;
+  bool collapse_buffers = true;
+  bool minimize_sops = true;
+  /// Collapse single-fanout nodes into their fanout when the merged SOP does
+  /// not grow past this many cubes (0 disables elimination).
+  int eliminate_cube_limit = 0;
+  /// Run algebraic resubstitution after the per-node pass: re-express nodes
+  /// using existing nodes as divisors when that saves literals.
+  bool resubstitute = false;
+};
+
+/// Returns an optimized copy of `net` (same PIs/POs).
+Network optimize(const Network& net, const OptimizeOptions& options = {});
+
+/// Quick-synthesis preset used before reliability analysis and mapping.
+Network quick_synthesis(const Network& net);
+
+/// Drops fanins (and the matching SOP variables) that no cube of a node
+/// binds, across the whole network, so cleanup() can remove logic that only
+/// fed now-unused literals. Mutates `net` in place.
+void compact_unused_fanins(Network& net);
+
+/// Algebraic resubstitution: for each node f, looks for an existing node d
+/// (with fanins drawn from f's fanins, at a strictly smaller level) whose
+/// SOP algebraically divides f's; when the rewrite f = q*d + r saves
+/// literals, f's SOP is re-expressed over {fanins, d}. Returns the number
+/// of rewrites performed. Mutates `net` in place; functions are preserved.
+int resubstitute(Network& net);
+
+}  // namespace apx

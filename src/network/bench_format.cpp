@@ -1,0 +1,278 @@
+#include "network/bench_format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace apx {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error(".bench line " + std::to_string(line) + ": " +
+                           message);
+}
+
+std::string strip(const std::string& s) {
+  size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+// Gate SOP over k fanins.
+Sop gate_sop(const std::string& type, int k, int line) {
+  Sop sop(k);
+  auto all = [&](LitCode code) {
+    Cube c = Cube::full(k);
+    for (int v = 0; v < k; ++v) c.set(v, code);
+    return c;
+  };
+  if (type == "AND") {
+    sop.add_cube(all(LitCode::kPos));
+  } else if (type == "NAND") {
+    for (int v = 0; v < k; ++v) {
+      Cube c = Cube::full(k);
+      c.set(v, LitCode::kNeg);
+      sop.add_cube(c);
+    }
+  } else if (type == "OR") {
+    for (int v = 0; v < k; ++v) {
+      Cube c = Cube::full(k);
+      c.set(v, LitCode::kPos);
+      sop.add_cube(c);
+    }
+  } else if (type == "NOR") {
+    sop.add_cube(all(LitCode::kNeg));
+  } else if (type == "XOR" || type == "XNOR") {
+    if (k < 1 || k > 16) fail(line, "XOR arity unsupported");
+    bool want = type == "XOR";
+    for (uint64_t m = 0; m < (1ULL << k); ++m) {
+      bool parity = __builtin_popcountll(m) & 1;
+      if (parity == want) sop.add_cube(Cube::minterm(k, m));
+    }
+  } else if (type == "NOT") {
+    if (k != 1) fail(line, "NOT needs one input");
+    sop.add_cube(all(LitCode::kNeg));
+  } else if (type == "BUF" || type == "BUFF") {
+    if (k != 1) fail(line, "BUF needs one input");
+    sop.add_cube(all(LitCode::kPos));
+  } else {
+    fail(line, "unsupported gate " + type);
+  }
+  return sop;
+}
+
+}  // namespace
+
+Network read_bench_string(const std::string& text) {
+  struct RawGate {
+    std::string out;
+    std::string type;
+    std::vector<std::string> ins;
+    int line;
+  };
+  std::vector<std::string> inputs, outputs;
+  std::vector<RawGate> gates;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = strip(line);
+    if (line.empty()) continue;
+    std::string up = upper(line);
+    if (up.rfind("INPUT", 0) == 0 || up.rfind("OUTPUT", 0) == 0) {
+      size_t open = line.find('(');
+      size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close <= open) {
+        fail(line_no, "malformed declaration");
+      }
+      std::string name = strip(line.substr(open + 1, close - open - 1));
+      if (up.rfind("INPUT", 0) == 0) {
+        inputs.push_back(name);
+      } else {
+        outputs.push_back(name);
+      }
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected assignment");
+    RawGate gate;
+    gate.out = strip(line.substr(0, eq));
+    gate.line = line_no;
+    std::string rhs = strip(line.substr(eq + 1));
+    size_t open = rhs.find('(');
+    size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos) {
+      fail(line_no, "expected GATE(...)");
+    }
+    gate.type = upper(strip(rhs.substr(0, open)));
+    if (gate.type == "DFF") fail(line_no, "sequential elements unsupported");
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::istringstream as(args);
+    std::string arg;
+    while (std::getline(as, arg, ',')) {
+      arg = strip(arg);
+      if (!arg.empty()) gate.ins.push_back(arg);
+    }
+    gates.push_back(std::move(gate));
+  }
+
+  Network net;
+  net.set_name("bench");
+  std::unordered_map<std::string, NodeId> by_name;
+  for (const std::string& name : inputs) by_name[name] = net.add_pi(name);
+
+  // Iterate until all gates resolve (inputs may be declared in any order).
+  std::vector<bool> done(gates.size(), false);
+  size_t remaining = gates.size();
+  while (remaining > 0) {
+    size_t progress = 0;
+    for (size_t g = 0; g < gates.size(); ++g) {
+      if (done[g]) continue;
+      const RawGate& gate = gates[g];
+      bool ready = true;
+      for (const std::string& name : gate.ins) {
+        if (!by_name.count(name)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      NodeId id;
+      if (gate.type == "CONST0" || gate.type == "GND") {
+        id = net.add_const(false);
+      } else if (gate.type == "CONST1" || gate.type == "VDD") {
+        id = net.add_const(true);
+      } else {
+        std::vector<NodeId> fanins;
+        for (const std::string& name : gate.ins) {
+          fanins.push_back(by_name.at(name));
+        }
+        id = net.add_node(fanins,
+                          gate_sop(gate.type,
+                                   static_cast<int>(fanins.size()),
+                                   gate.line),
+                          gate.out);
+      }
+      by_name[gate.out] = id;
+      done[g] = true;
+      ++progress;
+      --remaining;
+    }
+    if (progress == 0) {
+      throw std::runtime_error(".bench: cyclic or undefined signals");
+    }
+  }
+  for (const std::string& name : outputs) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error(".bench: undefined output " + name);
+    }
+    net.add_po(name, it->second);
+  }
+  net.check();
+  return net;
+}
+
+Network read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open .bench file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_bench_string(buffer.str());
+}
+
+std::string write_bench_string(const Network& net) {
+  std::ostringstream out;
+  for (NodeId pi : net.pis()) {
+    out << "INPUT(" << net.node(pi).name << ")\n";
+  }
+  for (const PrimaryOutput& po : net.pos()) {
+    out << "OUTPUT(" << net.node(po.driver).name << ")\n";
+  }
+  // Classify each node's SOP; general SOPs expand via helper signals.
+  int helper = 0;
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kPi) continue;
+    if (n.kind == NodeKind::kConst0) {
+      out << n.name << " = CONST0()\n";
+      continue;
+    }
+    if (n.kind == NodeKind::kConst1) {
+      out << n.name << " = CONST1()\n";
+      continue;
+    }
+    const Sop& sop = n.sop;
+    auto fanin_name = [&](int v) { return net.node(n.fanins[v]).name; };
+    // Single cube, all positive -> AND; all negative -> NOR; single
+    // literal -> BUF/NOT; otherwise expand.
+    std::vector<std::string> cube_signals;
+    for (const Cube& c : sop.cubes()) {
+      std::vector<std::pair<int, bool>> lits;  // (var, positive)
+      for (int v = 0; v < sop.num_vars(); ++v) {
+        if (c.get(v) == LitCode::kPos) lits.push_back({v, true});
+        if (c.get(v) == LitCode::kNeg) lits.push_back({v, false});
+      }
+      std::vector<std::string> terms;
+      for (auto [v, pos] : lits) {
+        if (pos) {
+          terms.push_back(fanin_name(v));
+        } else {
+          std::string inv = n.name + "_n" + std::to_string(helper++);
+          out << inv << " = NOT(" << fanin_name(v) << ")\n";
+          terms.push_back(inv);
+        }
+      }
+      if (terms.empty()) {
+        std::string one = n.name + "_c" + std::to_string(helper++);
+        out << one << " = CONST1()\n";
+        cube_signals.push_back(one);
+      } else if (terms.size() == 1) {
+        cube_signals.push_back(terms[0]);
+      } else {
+        std::string cube_name = n.name + "_a" + std::to_string(helper++);
+        out << cube_name << " = AND(";
+        for (size_t i = 0; i < terms.size(); ++i) {
+          out << (i ? ", " : "") << terms[i];
+        }
+        out << ")\n";
+        cube_signals.push_back(cube_name);
+      }
+    }
+    if (cube_signals.empty()) {
+      out << n.name << " = CONST0()\n";
+    } else if (cube_signals.size() == 1) {
+      out << n.name << " = BUF(" << cube_signals[0] << ")\n";
+    } else {
+      out << n.name << " = OR(";
+      for (size_t i = 0; i < cube_signals.size(); ++i) {
+        out << (i ? ", " : "") << cube_signals[i];
+      }
+      out << ")\n";
+    }
+  }
+  return out.str();
+}
+
+void write_bench_file(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write .bench file: " + path);
+  out << write_bench_string(net);
+}
+
+}  // namespace apx

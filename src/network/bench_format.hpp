@@ -1,0 +1,23 @@
+// ISCAS .bench format reader/writer: INPUT(x)/OUTPUT(y) declarations and
+// gate assignments y = GATE(a, b, ...) with the classic gate vocabulary
+// (AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF/BUFF, CONST0/CONST1).
+#pragma once
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Parses .bench text. Throws std::runtime_error on malformed input or
+/// unsupported gates (sequential DFF elements are rejected: this library is
+/// combinational).
+Network read_bench_string(const std::string& text);
+Network read_bench_file(const std::string& path);
+
+/// Serializes a network whose nodes are simple gates; nodes with general
+/// SOPs are emitted as a two-level AND/OR/NOT expansion.
+std::string write_bench_string(const Network& net);
+void write_bench_file(const Network& net, const std::string& path);
+
+}  // namespace apx

@@ -1,0 +1,237 @@
+#include "network/blif.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace apx {
+namespace {
+
+struct RawNames {
+  std::vector<std::string> signals;  // fanins..., output last
+  std::vector<std::pair<std::string, char>> rows;  // cube text, output value
+  int line = 0;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (in >> t) tokens.push_back(t);
+  return tokens;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("BLIF line " + std::to_string(line) + ": " +
+                           message);
+}
+
+}  // namespace
+
+Network read_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string model_name;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<RawNames> tables;
+  RawNames* current = nullptr;
+
+  int line_no = 0;
+  std::string pending;  // for '\' continuations
+  int pending_start = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+      line.pop_back();
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      if (pending.empty()) pending_start = line_no;
+      pending += line + " ";
+      continue;
+    }
+    if (!pending.empty()) {
+      line = pending + line;
+      pending.clear();
+      line_no = pending_start;
+    }
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head == ".model") {
+      if (tokens.size() >= 2) model_name = tokens[1];
+      current = nullptr;
+    } else if (head == ".inputs") {
+      input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+      current = nullptr;
+    } else if (head == ".outputs") {
+      output_names.insert(output_names.end(), tokens.begin() + 1,
+                          tokens.end());
+      current = nullptr;
+    } else if (head == ".names") {
+      if (tokens.size() < 2) fail(line_no, ".names needs an output");
+      RawNames raw;
+      raw.signals.assign(tokens.begin() + 1, tokens.end());
+      raw.line = line_no;
+      tables.push_back(std::move(raw));
+      current = &tables.back();
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      // Unsupported directive (.latch etc.) -> reject: combinational only.
+      fail(line_no, "unsupported directive " + head);
+    } else {
+      if (current == nullptr) fail(line_no, "cube row outside .names");
+      if (tokens.size() == 1) {
+        // Single-token row: constant table row ("1" or "0").
+        if (current->signals.size() != 1)
+          fail(line_no, "bad constant row arity");
+        current->rows.push_back({"", tokens[0][0]});
+      } else if (tokens.size() == 2) {
+        current->rows.push_back({tokens[0], tokens[1][0]});
+      } else {
+        fail(line_no, "bad cube row");
+      }
+    }
+  }
+
+  Network net;
+  net.set_name(model_name);
+  std::unordered_map<std::string, NodeId> by_name;
+  for (const std::string& n : input_names) by_name[n] = net.add_pi(n);
+
+  // Two passes: create placeholder nodes first (BLIF tables may be in any
+  // order), then fill functions.
+  for (const RawNames& raw : tables) {
+    const std::string& out = raw.signals.back();
+    if (by_name.count(out)) fail(raw.line, "signal redefined: " + out);
+    // Placeholder: filled below.
+    by_name[out] = kNullNode;
+  }
+  // Creation in dependency order via repeated sweeps (tables are usually
+  // already ordered; bounded by number of tables).
+  std::vector<bool> done(tables.size(), false);
+  size_t remaining = tables.size();
+  while (remaining > 0) {
+    size_t progress = 0;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (done[t]) continue;
+      const RawNames& raw = tables[t];
+      bool ready = true;
+      for (size_t i = 0; i + 1 < raw.signals.size(); ++i) {
+        auto it = by_name.find(raw.signals[i]);
+        if (it == by_name.end()) {
+          fail(raw.line, "undefined signal " + raw.signals[i]);
+        }
+        if (it->second == kNullNode) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      const int num_ins = static_cast<int>(raw.signals.size()) - 1;
+      Sop onset(num_ins);
+      Sop offset(num_ins);
+      for (const auto& [cube_text, value] : raw.rows) {
+        std::optional<Cube> cube =
+            num_ins == 0 ? Cube::full(0) : Cube::parse(cube_text);
+        if (!cube || cube->num_vars() != num_ins) {
+          fail(raw.line, "bad cube in table for " + raw.signals.back());
+        }
+        if (value == '1') {
+          onset.add_cube(*cube);
+        } else if (value == '0') {
+          offset.add_cube(*cube);
+        } else {
+          fail(raw.line, "bad output value in table");
+        }
+      }
+      if (!onset.empty() && !offset.empty()) {
+        fail(raw.line, "mixed on-set and off-set rows");
+      }
+      NodeId id;
+      if (num_ins == 0) {
+        // Constant node.
+        id = net.add_const(!onset.empty());
+      } else {
+        std::vector<NodeId> fanins;
+        for (int i = 0; i < num_ins; ++i) fanins.push_back(by_name[raw.signals[i]]);
+        Sop sop = !offset.empty() ? Sop::complement(offset) : onset;
+        sop.make_scc_free();
+        id = net.add_node(std::move(fanins), std::move(sop),
+                          raw.signals.back());
+      }
+      by_name[raw.signals.back()] = id;
+      done[t] = true;
+      ++progress;
+      --remaining;
+    }
+    if (progress == 0) {
+      throw std::runtime_error("BLIF: cyclic or incomplete definitions");
+    }
+  }
+
+  for (const std::string& out : output_names) {
+    auto it = by_name.find(out);
+    if (it == by_name.end() || it->second == kNullNode) {
+      throw std::runtime_error("BLIF: undefined output " + out);
+    }
+    net.add_po(out, it->second);
+  }
+  net.check();
+  return net;
+}
+
+Network read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open BLIF file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_blif_string(buffer.str());
+}
+
+std::string write_blif_string(const Network& net) {
+  std::ostringstream out;
+  out << ".model " << (net.name().empty() ? "top" : net.name()) << "\n";
+  out << ".inputs";
+  for (NodeId pi : net.pis()) out << " " << net.node(pi).name;
+  out << "\n.outputs";
+  for (const PrimaryOutput& po : net.pos()) out << " " << po.name;
+  out << "\n";
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kPi) continue;
+    if (n.kind == NodeKind::kConst0 || n.kind == NodeKind::kConst1) {
+      out << ".names " << n.name << "\n";
+      if (n.kind == NodeKind::kConst1) out << "1\n";
+      continue;
+    }
+    out << ".names";
+    for (NodeId f : n.fanins) out << " " << net.node(f).name;
+    out << " " << n.name << "\n";
+    for (const Cube& c : n.sop.cubes()) {
+      out << c.to_string() << " 1\n";
+    }
+  }
+  // POs whose driver has a different name get a buffer table.
+  for (const PrimaryOutput& po : net.pos()) {
+    if (net.node(po.driver).name != po.name) {
+      out << ".names " << net.node(po.driver).name << " " << po.name
+          << "\n1 1\n";
+    }
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+void write_blif_file(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write BLIF file: " + path);
+  out << write_blif_string(net);
+}
+
+}  // namespace apx

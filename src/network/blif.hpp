@@ -1,0 +1,21 @@
+// BLIF reader/writer for combinational networks (.model/.inputs/.outputs/
+// .names/.end). On-set rows ("<cube> 1") and off-set rows ("<cube> 0") are
+// supported; off-set tables are complemented into on-set SOPs on load.
+#pragma once
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Parses a BLIF description. Throws std::runtime_error with a line-number
+/// message on malformed input.
+Network read_blif_string(const std::string& text);
+Network read_blif_file(const std::string& path);
+
+/// Serializes a network as BLIF (on-set rows only).
+std::string write_blif_string(const Network& net);
+void write_blif_file(const Network& net, const std::string& path);
+
+}  // namespace apx

@@ -1,0 +1,339 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace apx {
+
+namespace {
+
+Sop sop_and2() { return *Sop::parse(2, "11"); }
+Sop sop_or2() { return *Sop::parse(2, "1-\n-1"); }
+Sop sop_xor2() { return *Sop::parse(2, "10\n01"); }
+Sop sop_not1() { return *Sop::parse(1, "0"); }
+Sop sop_buf1() { return *Sop::parse(1, "1"); }
+
+}  // namespace
+
+std::string Network::unique_name(const std::string& base) {
+  std::string candidate = base.empty()
+                              ? "n" + std::to_string(anon_counter_++)
+                              : base;
+  while (name_map_.count(candidate)) {
+    candidate = base + "_" + std::to_string(anon_counter_++);
+    if (base.empty()) candidate = "n" + std::to_string(anon_counter_++);
+  }
+  return candidate;
+}
+
+NodeId Network::add_pi(const std::string& name) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = NodeKind::kPi;
+  n.name = unique_name(name);
+  nodes_.push_back(std::move(n));
+  pis_.push_back(id);
+  name_map_[nodes_[id].name] = id;
+  return id;
+}
+
+NodeId Network::add_const(bool value) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = value ? NodeKind::kConst1 : NodeKind::kConst0;
+  n.name = unique_name(value ? "const1" : "const0");
+  n.sop = value ? Sop::one(0) : Sop::zero(0);
+  nodes_.push_back(std::move(n));
+  name_map_[nodes_[id].name] = id;
+  return id;
+}
+
+NodeId Network::add_node(std::vector<NodeId> fanins, Sop sop,
+                         const std::string& name) {
+  if (static_cast<int>(fanins.size()) != sop.num_vars()) {
+    throw std::logic_error("add_node: fanin count != SOP variable count");
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node n;
+  n.kind = NodeKind::kLogic;
+  n.name = unique_name(name);
+  n.fanins = std::move(fanins);
+  n.sop = std::move(sop);
+  nodes_.push_back(std::move(n));
+  name_map_[nodes_[id].name] = id;
+  return id;
+}
+
+NodeId Network::add_and(NodeId a, NodeId b, const std::string& name) {
+  return add_node({a, b}, sop_and2(), name);
+}
+NodeId Network::add_or(NodeId a, NodeId b, const std::string& name) {
+  return add_node({a, b}, sop_or2(), name);
+}
+NodeId Network::add_xor(NodeId a, NodeId b, const std::string& name) {
+  return add_node({a, b}, sop_xor2(), name);
+}
+NodeId Network::add_not(NodeId a, const std::string& name) {
+  return add_node({a}, sop_not1(), name);
+}
+NodeId Network::add_buf(NodeId a, const std::string& name) {
+  return add_node({a}, sop_buf1(), name);
+}
+
+int Network::add_po(const std::string& name, NodeId driver) {
+  pos_.push_back({name, driver});
+  return static_cast<int>(pos_.size()) - 1;
+}
+
+void Network::set_po_driver(int po_index, NodeId driver) {
+  pos_.at(po_index).driver = driver;
+}
+
+int Network::num_logic_nodes() const {
+  int count = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kLogic) ++count;
+  }
+  return count;
+}
+
+int Network::total_literals() const {
+  int total = 0;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kLogic) total += n.sop.literal_count();
+  }
+  return total;
+}
+
+int Network::pi_index(NodeId id) const {
+  for (size_t i = 0; i < pis_.size(); ++i) {
+    if (pis_[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Network::set_sop(NodeId id, Sop sop) {
+  Node& n = nodes_[id];
+  if (sop.num_vars() != static_cast<int>(n.fanins.size())) {
+    throw std::logic_error("set_sop: SOP width mismatch");
+  }
+  n.sop = std::move(sop);
+}
+
+void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop sop) {
+  if (static_cast<int>(fanins.size()) != sop.num_vars()) {
+    throw std::logic_error("set_function: fanin count != SOP width");
+  }
+  Node& n = nodes_[id];
+  n.fanins = std::move(fanins);
+  n.sop = std::move(sop);
+}
+
+std::optional<NodeId> Network::find_node(const std::string& name) const {
+  auto it = name_map_.find(name);
+  if (it != name_map_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::vector<NodeId> Network::topo_order() const {
+  const int n = num_nodes();
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<NodeId> order;
+  order.reserve(n);
+  // Iterative DFS to avoid deep recursion on big netlists.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& fanins = nodes_[id].fanins;
+      if (next < fanins.size()) {
+        NodeId f = fanins[next++];
+        if (state[f] == 1) throw std::logic_error("topo_order: cycle");
+        if (state[f] == 0) {
+          state[f] = 1;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        state[id] = 2;
+        order.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<int> Network::levels() const {
+  std::vector<int> level(num_nodes(), 0);
+  for (NodeId id : topo_order()) {
+    const Node& n = nodes_[id];
+    if (n.kind != NodeKind::kLogic) continue;
+    int max_in = -1;
+    for (NodeId f : n.fanins) max_in = std::max(max_in, level[f]);
+    level[id] = max_in + 1;
+  }
+  return level;
+}
+
+int Network::depth() const {
+  std::vector<int> level = levels();
+  int d = 0;
+  for (const PrimaryOutput& po : pos_) {
+    if (po.driver != kNullNode) d = std::max(d, level[po.driver]);
+  }
+  return d;
+}
+
+std::vector<std::vector<NodeId>> Network::fanouts() const {
+  std::vector<std::vector<NodeId>> result(num_nodes());
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    for (NodeId f : nodes_[id].fanins) result[f].push_back(id);
+  }
+  return result;
+}
+
+std::vector<NodeId> Network::cone_of(const std::vector<NodeId>& roots) const {
+  std::vector<bool> in_cone(num_nodes(), false);
+  std::vector<NodeId> stack = roots;
+  for (NodeId r : stack) in_cone[r] = true;
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : nodes_[id].fanins) {
+      if (!in_cone[f]) {
+        in_cone[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  std::vector<NodeId> result;
+  for (NodeId id : topo_order()) {
+    if (in_cone[id]) result.push_back(id);
+  }
+  return result;
+}
+
+Network Network::extract_cone(int po_index) const {
+  const PrimaryOutput& po = pos_.at(po_index);
+  Network result;
+  result.set_name(name_ + "_cone_" + po.name);
+  std::vector<NodeId> map(num_nodes(), kNullNode);
+  for (NodeId id : cone_of({po.driver})) {
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::kPi:
+        map[id] = result.add_pi(n.name);
+        break;
+      case NodeKind::kConst0:
+        map[id] = result.add_const(false);
+        break;
+      case NodeKind::kConst1:
+        map[id] = result.add_const(true);
+        break;
+      case NodeKind::kLogic: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) fanins.push_back(map[f]);
+        map[id] = result.add_node(std::move(fanins), n.sop, n.name);
+        break;
+      }
+    }
+  }
+  result.add_po(po.name, map[po.driver]);
+  return result;
+}
+
+std::vector<NodeId> Network::cleanup() {
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& po : pos_) {
+    if (po.driver != kNullNode) roots.push_back(po.driver);
+  }
+  std::vector<bool> keep(num_nodes(), false);
+  for (NodeId id : cone_of(roots)) keep[id] = true;
+  // Always keep PIs (interface stability).
+  for (NodeId id : pis_) keep[id] = true;
+
+  std::vector<NodeId> map(num_nodes(), kNullNode);
+  std::vector<Node> new_nodes;
+  std::vector<NodeId> new_pis;
+  std::unordered_map<std::string, NodeId> new_name_map;
+  for (NodeId id : topo_order()) {
+    if (!keep[id]) continue;
+    NodeId nid = static_cast<NodeId>(new_nodes.size());
+    Node n = nodes_[id];
+    for (NodeId& f : n.fanins) f = map[f];
+    map[id] = nid;
+    new_name_map[n.name] = nid;
+    if (n.kind == NodeKind::kPi) new_pis.push_back(nid);
+    new_nodes.push_back(std::move(n));
+  }
+  // Preserve original PI order.
+  std::vector<NodeId> ordered_pis;
+  for (NodeId id : pis_) ordered_pis.push_back(map[id]);
+  nodes_ = std::move(new_nodes);
+  pis_ = std::move(ordered_pis);
+  name_map_ = std::move(new_name_map);
+  for (PrimaryOutput& po : pos_) {
+    if (po.driver != kNullNode) po.driver = map[po.driver];
+  }
+  return map;
+}
+
+std::vector<NodeId> Network::append_into(
+    Network& dest, const std::vector<NodeId>& pi_map) const {
+  if (pi_map.size() != pis_.size()) {
+    throw std::logic_error("append_into: pi_map size mismatch");
+  }
+  std::vector<NodeId> map(num_nodes(), kNullNode);
+  for (size_t i = 0; i < pis_.size(); ++i) map[pis_[i]] = pi_map[i];
+  for (NodeId id : topo_order()) {
+    if (map[id] != kNullNode) continue;
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::kPi:
+        throw std::logic_error("append_into: unmapped PI");
+      case NodeKind::kConst0:
+        map[id] = dest.add_const(false);
+        break;
+      case NodeKind::kConst1:
+        map[id] = dest.add_const(true);
+        break;
+      case NodeKind::kLogic: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) fanins.push_back(map[f]);
+        map[id] = dest.add_node(std::move(fanins), n.sop, n.name);
+        break;
+      }
+    }
+  }
+  return map;
+}
+
+void Network::check() const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.kind == NodeKind::kLogic) {
+      if (static_cast<int>(n.fanins.size()) != n.sop.num_vars()) {
+        throw std::logic_error("check: node " + n.name + " SOP width");
+      }
+      for (NodeId f : n.fanins) {
+        if (f < 0 || f >= num_nodes()) {
+          throw std::logic_error("check: node " + n.name + " bad fanin");
+        }
+      }
+    }
+  }
+  for (const PrimaryOutput& po : pos_) {
+    if (po.driver == kNullNode || po.driver >= num_nodes()) {
+      throw std::logic_error("check: PO " + po.name + " undriven");
+    }
+  }
+  topo_order();  // throws on cycles
+}
+
+}  // namespace apx

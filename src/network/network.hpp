@@ -1,0 +1,138 @@
+// Multi-level, technology-independent Boolean network: a DAG of nodes whose
+// local functions are SOP covers over their fanins (the network model of
+// paper Sec. 2.1 / Hachtel-Somenzi). Primary outputs are named references to
+// driver nodes. The same class also represents technology-mapped netlists
+// (nodes restricted to library-gate SOPs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace apx {
+
+using NodeId = int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+enum class NodeKind : uint8_t {
+  kConst0,
+  kConst1,
+  kPi,     ///< primary input
+  kLogic,  ///< internal node with an SOP local function over its fanins
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kLogic;
+  std::string name;
+  std::vector<NodeId> fanins;
+  /// On-set SOP over the fanins (variable i of the SOP = fanins[i]).
+  Sop sop;
+};
+
+/// A named primary output and the node driving it.
+struct PrimaryOutput {
+  std::string name;
+  NodeId driver = kNullNode;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  // ---- construction ----
+  NodeId add_pi(const std::string& name);
+  NodeId add_const(bool value);
+  /// Adds a logic node computing `sop` over `fanins`. SOP variable i refers
+  /// to fanins[i]. An empty fanin list with a non-empty SOP makes a const.
+  NodeId add_node(std::vector<NodeId> fanins, Sop sop,
+                  const std::string& name = "");
+  /// Convenience for simple gates.
+  NodeId add_and(NodeId a, NodeId b, const std::string& name = "");
+  NodeId add_or(NodeId a, NodeId b, const std::string& name = "");
+  NodeId add_xor(NodeId a, NodeId b, const std::string& name = "");
+  NodeId add_not(NodeId a, const std::string& name = "");
+  NodeId add_buf(NodeId a, const std::string& name = "");
+
+  int add_po(const std::string& name, NodeId driver);
+  void set_po_driver(int po_index, NodeId driver);
+  void set_name(const std::string& name) { name_ = name; }
+
+  // ---- access ----
+  const std::string& name() const { return name_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_pis() const { return static_cast<int>(pis_.size()); }
+  int num_pos() const { return static_cast<int>(pos_.size()); }
+  /// Number of logic (non-PI, non-const) nodes.
+  int num_logic_nodes() const;
+  int total_literals() const;
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& node(NodeId id) { return nodes_[id]; }
+  const std::vector<NodeId>& pis() const { return pis_; }
+  const std::vector<PrimaryOutput>& pos() const { return pos_; }
+  const PrimaryOutput& po(int i) const { return pos_[i]; }
+
+  /// Index of `id` in the PI list, or -1.
+  int pi_index(NodeId id) const;
+
+  /// Replaces the local function of a logic node (fanins unchanged).
+  void set_sop(NodeId id, Sop sop);
+
+  /// Replaces fanins and SOP of a logic node together.
+  void set_function(NodeId id, std::vector<NodeId> fanins, Sop sop);
+
+  /// Finds a node by name (linear scan fallback after map).
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  // ---- structure ----
+  /// Topological order (PIs and constants first). Throws on cycles.
+  std::vector<NodeId> topo_order() const;
+
+  /// Per-node logic depth: PIs/consts 0, logic nodes 1 + max(fanin level).
+  std::vector<int> levels() const;
+
+  /// Maximum level over PO drivers (critical path in unit delay).
+  int depth() const;
+
+  /// Per-node fanout lists (recomputed on demand).
+  std::vector<std::vector<NodeId>> fanouts() const;
+
+  /// Nodes in the transitive fanin cone of the given roots (including
+  /// the roots and PIs), in topological order.
+  std::vector<NodeId> cone_of(const std::vector<NodeId>& roots) const;
+
+  /// Extracts the single-output cone feeding PO `po_index` into a fresh
+  /// network whose PIs are the original PIs the cone depends on.
+  Network extract_cone(int po_index) const;
+
+  /// Removes nodes unreachable from any PO. Returns the old->new node map
+  /// (kNullNode for dropped nodes).
+  std::vector<NodeId> cleanup();
+
+  /// Deep copy of this network appended into `dest`; PIs are mapped via
+  /// `pi_map` (from this network's PI index to a node in dest). Returns the
+  /// node map from this network's ids to dest ids. POs are not copied.
+  std::vector<NodeId> append_into(Network& dest,
+                                  const std::vector<NodeId>& pi_map) const;
+
+  /// Basic sanity invariants (acyclic, fanin widths match SOPs). Throws
+  /// std::logic_error with a description on violation.
+  void check() const;
+
+ private:
+  std::string unique_name(const std::string& base);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> pis_;
+  std::vector<PrimaryOutput> pos_;
+  std::unordered_map<std::string, NodeId> name_map_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace apx

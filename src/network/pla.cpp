@@ -1,0 +1,209 @@
+#include "network/pla.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("PLA line " + std::to_string(line) + ": " +
+                           message);
+}
+
+}  // namespace
+
+Pla read_pla_string(const std::string& text) {
+  Pla pla;
+  int num_outputs = -1;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    if (tok == ".i") {
+      if (!(ls >> pla.num_inputs) || pla.num_inputs < 0) {
+        fail(line_no, "bad .i");
+      }
+    } else if (tok == ".o") {
+      if (!(ls >> num_outputs) || num_outputs <= 0) fail(line_no, "bad .o");
+      pla.onsets.assign(num_outputs, Sop(pla.num_inputs));
+      pla.dcsets.assign(num_outputs, Sop(pla.num_inputs));
+    } else if (tok == ".ilb") {
+      std::string name;
+      while (ls >> name) pla.input_names.push_back(name);
+    } else if (tok == ".ob") {
+      std::string name;
+      while (ls >> name) pla.output_names.push_back(name);
+    } else if (tok == ".p" || tok == ".type") {
+      continue;  // cube count / type hints are ignored
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      fail(line_no, "unsupported directive " + tok);
+    } else {
+      if (num_outputs < 0) fail(line_no, "cube before .o");
+      std::string out_plane;
+      if (!(ls >> out_plane)) {
+        // Single-token rows are allowed for .o 1 with glued planes.
+        if (static_cast<int>(tok.size()) == pla.num_inputs + num_outputs) {
+          out_plane = tok.substr(pla.num_inputs);
+          tok = tok.substr(0, pla.num_inputs);
+        } else {
+          fail(line_no, "missing output plane");
+        }
+      }
+      if (static_cast<int>(tok.size()) != pla.num_inputs) {
+        fail(line_no, "input plane width mismatch");
+      }
+      if (static_cast<int>(out_plane.size()) != num_outputs) {
+        fail(line_no, "output plane width mismatch");
+      }
+      auto cube = Cube::parse(tok);
+      if (!cube) fail(line_no, "bad input plane");
+      for (int o = 0; o < num_outputs; ++o) {
+        switch (out_plane[o]) {
+          case '1':
+          case '4':
+            pla.onsets[o].add_cube(*cube);
+            break;
+          case '-':
+          case '2':
+            pla.dcsets[o].add_cube(*cube);
+            break;
+          case '0':
+          case '~':
+          case '3':
+            break;  // not covered for this output
+          default:
+            fail(line_no, "bad output plane character");
+        }
+      }
+    }
+  }
+  if (num_outputs < 0) {
+    throw std::runtime_error("PLA: missing .o directive");
+  }
+  return pla;
+}
+
+Pla read_pla_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open PLA file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_pla_string(buffer.str());
+}
+
+std::string write_pla_string(const Pla& pla) {
+  std::ostringstream out;
+  out << ".i " << pla.num_inputs << "\n";
+  out << ".o " << pla.onsets.size() << "\n";
+  if (!pla.input_names.empty()) {
+    out << ".ilb";
+    for (const auto& n : pla.input_names) out << " " << n;
+    out << "\n";
+  }
+  if (!pla.output_names.empty()) {
+    out << ".ob";
+    for (const auto& n : pla.output_names) out << " " << n;
+    out << "\n";
+  }
+  const int num_outputs = static_cast<int>(pla.onsets.size());
+  auto emit = [&](const Cube& cube, int output, char symbol) {
+    out << cube.to_string() << " ";
+    for (int o = 0; o < num_outputs; ++o) {
+      out << (o == output ? symbol : '0');
+    }
+    out << "\n";
+  };
+  for (int o = 0; o < num_outputs; ++o) {
+    for (const Cube& c : pla.onsets[o].cubes()) emit(c, o, '1');
+    if (o < static_cast<int>(pla.dcsets.size())) {
+      for (const Cube& c : pla.dcsets[o].cubes()) emit(c, o, '-');
+    }
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+void write_pla_file(const Pla& pla, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write PLA file: " + path);
+  out << write_pla_string(pla);
+}
+
+Network pla_to_network(const Pla& pla) {
+  Network net;
+  net.set_name("pla");
+  std::vector<NodeId> pis;
+  for (int i = 0; i < pla.num_inputs; ++i) {
+    std::string name = i < static_cast<int>(pla.input_names.size())
+                           ? pla.input_names[i]
+                           : "i" + std::to_string(i);
+    pis.push_back(net.add_pi(name));
+  }
+  for (size_t o = 0; o < pla.onsets.size(); ++o) {
+    std::string name = o < pla.output_names.size()
+                           ? pla.output_names[o]
+                           : "o" + std::to_string(o);
+    Sop sop = pla.onsets[o];
+    sop.make_scc_free();
+    NodeId node = sop.empty() ? net.add_const(false)
+                              : net.add_node(pis, std::move(sop), name);
+    net.add_po(name, node);
+  }
+  net.check();
+  return net;
+}
+
+Pla network_to_pla(const Network& net) {
+  if (net.num_pis() > kMaxLocalVars) {
+    throw std::invalid_argument(
+        "network_to_pla: too many PIs for two-level collapapse");
+  }
+  Pla pla;
+  pla.num_inputs = net.num_pis();
+  for (NodeId pi : net.pis()) pla.input_names.push_back(net.node(pi).name);
+
+  // Evaluate every PO over the full minterm space, then extract an
+  // irredundant cover per output.
+  const uint64_t space = 1ULL << net.num_pis();
+  std::vector<NodeId> order = net.topo_order();
+  std::vector<char> value(net.num_nodes(), 0);
+  std::vector<TruthTable> po_tts(net.num_pos(), TruthTable(net.num_pis()));
+  for (uint64_t m = 0; m < space; ++m) {
+    for (int i = 0; i < net.num_pis(); ++i) {
+      value[net.pis()[i]] = (m >> i) & 1;
+    }
+    for (NodeId id : order) {
+      const Node& n = net.node(id);
+      if (n.kind == NodeKind::kConst1) value[id] = 1;
+      if (n.kind != NodeKind::kLogic) continue;
+      uint64_t local = 0;
+      for (size_t j = 0; j < n.fanins.size(); ++j) {
+        if (value[n.fanins[j]]) local |= 1ULL << j;
+      }
+      value[id] = n.sop.covers_minterm(local) ? 1 : 0;
+    }
+    for (int o = 0; o < net.num_pos(); ++o) {
+      if (value[net.po(o).driver]) po_tts[o].set(m, true);
+    }
+  }
+  for (int o = 0; o < net.num_pos(); ++o) {
+    pla.output_names.push_back(net.po(o).name);
+    pla.onsets.push_back(po_tts[o].isop());
+    pla.dcsets.push_back(Sop(net.num_pis()));
+  }
+  return pla;
+}
+
+}  // namespace apx

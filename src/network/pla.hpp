@@ -1,0 +1,43 @@
+// Berkeley PLA (espresso) format reader/writer for two-level functions:
+// .i/.o/.ilb/.ob/.p directives with input-plane cubes over {0,1,-} and
+// output-plane columns over {0,1,-,~} (1 = in on-set, - = don't care,
+// 0/~ = off-set/not covered). Multi-output PLAs load as one network node
+// per output sharing the PI list.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sop/sop.hpp"
+
+namespace apx {
+
+/// A parsed two-level PLA: one on-set (and optional dc-set) per output.
+struct Pla {
+  int num_inputs = 0;
+  std::vector<std::string> input_names;   // may be empty
+  std::vector<std::string> output_names;  // may be empty
+  std::vector<Sop> onsets;                // one per output
+  std::vector<Sop> dcsets;                // one per output
+};
+
+/// Parses PLA text. Throws std::runtime_error on malformed input.
+Pla read_pla_string(const std::string& text);
+Pla read_pla_file(const std::string& path);
+
+/// Serializes (on-set rows; dc rows appended with output column '-').
+std::string write_pla_string(const Pla& pla);
+void write_pla_file(const Pla& pla, const std::string& path);
+
+/// Builds a (two-level) network from a PLA: one SOP node per output over
+/// the shared PIs. Don't-care sets are dropped (functions are completely
+/// specified by their on-sets).
+Network pla_to_network(const Pla& pla);
+
+/// Extracts a PLA view of a network by collapsing each PO cone to two-level
+/// form (only feasible for networks whose PO support fits kMaxLocalVars;
+/// throws std::invalid_argument otherwise).
+Pla network_to_pla(const Network& net);
+
+}  // namespace apx

@@ -1,0 +1,140 @@
+#include "network/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace apx {
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out = "n_" + out;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_verilog_string(const Network& net,
+                                 const std::string& module_name) {
+  // Unique Verilog identifiers per node.
+  std::vector<std::string> vname(net.num_nodes());
+  std::unordered_set<std::string> used;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    std::string base = sanitize(net.node(id).name);
+    std::string candidate = base;
+    int counter = 0;
+    while (used.count(candidate)) {
+      candidate = base + "_" + std::to_string(counter++);
+    }
+    used.insert(candidate);
+    vname[id] = candidate;
+  }
+  // Output ports may not collide with internal nets; give POs dedicated
+  // port names.
+  std::vector<std::string> po_port(net.num_pos());
+  for (int o = 0; o < net.num_pos(); ++o) {
+    std::string base = sanitize(net.po(o).name);
+    std::string candidate = base;
+    int counter = 0;
+    while (used.count(candidate)) {
+      candidate = base + "_po" + std::to_string(counter++);
+    }
+    used.insert(candidate);
+    po_port[o] = candidate;
+  }
+
+  std::ostringstream out;
+  std::string module =
+      module_name.empty()
+          ? (net.name().empty() ? "top" : sanitize(net.name()))
+          : module_name;
+  out << "module " << module << " (";
+  bool first = true;
+  for (NodeId pi : net.pis()) {
+    out << (first ? "" : ", ") << vname[pi];
+    first = false;
+  }
+  for (int o = 0; o < net.num_pos(); ++o) {
+    out << (first ? "" : ", ") << po_port[o];
+    first = false;
+  }
+  out << ");\n";
+  for (NodeId pi : net.pis()) out << "  input " << vname[pi] << ";\n";
+  for (int o = 0; o < net.num_pos(); ++o) {
+    out << "  output " << po_port[o] << ";\n";
+  }
+  for (NodeId id : net.topo_order()) {
+    if (net.node(id).kind != NodeKind::kPi) {
+      out << "  wire " << vname[id] << ";\n";
+    }
+  }
+
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::kPi:
+        break;
+      case NodeKind::kConst0:
+        out << "  assign " << vname[id] << " = 1'b0;\n";
+        break;
+      case NodeKind::kConst1:
+        out << "  assign " << vname[id] << " = 1'b1;\n";
+        break;
+      case NodeKind::kLogic: {
+        out << "  assign " << vname[id] << " = ";
+        if (n.sop.empty()) {
+          out << "1'b0";
+        } else {
+          bool first_cube = true;
+          for (const Cube& c : n.sop.cubes()) {
+            if (!first_cube) out << " | ";
+            first_cube = false;
+            std::ostringstream term;
+            bool first_lit = true;
+            for (int v = 0; v < n.sop.num_vars(); ++v) {
+              LitCode code = c.get(v);
+              if (code == LitCode::kFree) continue;
+              if (!first_lit) term << " & ";
+              first_lit = false;
+              if (code == LitCode::kNeg) term << "~";
+              term << vname[n.fanins[v]];
+            }
+            if (first_lit) {
+              out << "1'b1";  // full cube
+            } else if (n.sop.num_cubes() > 1) {
+              out << "(" << term.str() << ")";
+            } else {
+              out << term.str();
+            }
+          }
+        }
+        out << ";\n";
+        break;
+      }
+    }
+  }
+  for (int o = 0; o < net.num_pos(); ++o) {
+    out << "  assign " << po_port[o] << " = " << vname[net.po(o).driver]
+        << ";\n";
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+void write_verilog_file(const Network& net, const std::string& path,
+                        const std::string& module_name) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write Verilog file: " + path);
+  out << write_verilog_string(net, module_name);
+}
+
+}  // namespace apx

@@ -1,0 +1,21 @@
+// Structural gate-level Verilog writer: emits a module with one
+// `assign` per node using &, |, ~ expressions derived from the SOPs.
+// Useful for handing CED designs to downstream RTL flows. (No reader:
+// parsing Verilog is out of scope for a combinational BLIF-first library.)
+#pragma once
+
+#include <string>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Serializes `net` as a synthesizable structural Verilog module. Node
+/// names are sanitized into Verilog identifiers (alphanumerics and '_');
+/// collisions after sanitization are uniquified.
+std::string write_verilog_string(const Network& net,
+                                 const std::string& module_name = "");
+void write_verilog_file(const Network& net, const std::string& path,
+                        const std::string& module_name = "");
+
+}  // namespace apx

@@ -1,0 +1,100 @@
+#include "reliability/reliability.hpp"
+
+#include <bit>
+#include <random>
+
+namespace apx {
+
+ReliabilityReport analyze_reliability(const Network& net,
+                                      const ReliabilityOptions& options) {
+  ReliabilityReport report;
+  report.outputs.assign(net.num_pos(), {});
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  if (faults.empty() || net.num_pos() == 0) return report;
+
+  std::mt19937_64 rng(options.seed);
+  Simulator sim(net);
+
+  std::vector<int64_t> count01(net.num_pos(), 0);
+  std::vector<int64_t> count10(net.num_pos(), 0);
+  int64_t any_error = 0;
+  int64_t dominant_detectable = 0;
+  int64_t runs = 0;
+
+  // The max-coverage statistic needs the dominant directions, which are only
+  // known after the direction rates: two passes over the identical sample
+  // stream (rng_copy replays the first pass exactly).
+  const int num_samples = options.num_fault_samples;
+  std::mt19937_64 rng_copy = rng;
+
+  for (int s = 0; s < num_samples; ++s) {
+    const StuckFault& fault = faults[rng() % faults.size()];
+    PatternSet patterns =
+        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
+    sim.run(patterns);
+    sim.inject(fault);
+    for (int w = 0; w < options.words_per_fault; ++w) {
+      uint64_t any = 0;
+      for (int o = 0; o < net.num_pos(); ++o) {
+        NodeId drv = net.po(o).driver;
+        uint64_t g = sim.value(drv)[w];
+        uint64_t f = sim.faulty_value(drv)[w];
+        uint64_t e01 = ~g & f;
+        uint64_t e10 = g & ~f;
+        count01[o] += std::popcount(e01);
+        count10[o] += std::popcount(e10);
+        any |= e01 | e10;
+      }
+      any_error += std::popcount(any);
+      runs += 64;
+    }
+  }
+
+  for (int o = 0; o < net.num_pos(); ++o) {
+    report.outputs[o].rate_0_to_1 =
+        static_cast<double>(count01[o]) / static_cast<double>(runs);
+    report.outputs[o].rate_1_to_0 =
+        static_cast<double>(count10[o]) / static_cast<double>(runs);
+  }
+  std::vector<ApproxDirection> dirs;
+  for (const auto& p : report.outputs) dirs.push_back(p.dominant());
+
+  // Second pass, identical sample stream: count runs where some PO erred in
+  // its dominant (protected) direction.
+  for (int s = 0; s < num_samples; ++s) {
+    const StuckFault& fault = faults[rng_copy() % faults.size()];
+    PatternSet patterns =
+        PatternSet::random(net.num_pis(), options.words_per_fault, rng_copy());
+    sim.run(patterns);
+    sim.inject(fault);
+    for (int w = 0; w < options.words_per_fault; ++w) {
+      uint64_t dominant = 0;
+      for (int o = 0; o < net.num_pos(); ++o) {
+        NodeId drv = net.po(o).driver;
+        uint64_t g = sim.value(drv)[w];
+        uint64_t f = sim.faulty_value(drv)[w];
+        dominant |= (dirs[o] == ApproxDirection::kZeroApprox) ? (~g & f)
+                                                              : (g & ~f);
+      }
+      dominant_detectable += std::popcount(dominant);
+    }
+  }
+
+  report.runs = runs;
+  report.any_output_error_rate =
+      static_cast<double>(any_error) / static_cast<double>(runs);
+  report.max_ced_coverage =
+      any_error > 0 ? static_cast<double>(dominant_detectable) /
+                          static_cast<double>(any_error)
+                    : 0.0;
+  return report;
+}
+
+std::vector<ApproxDirection> choose_directions(const ReliabilityReport& r) {
+  std::vector<ApproxDirection> dirs;
+  dirs.reserve(r.outputs.size());
+  for (const auto& p : r.outputs) dirs.push_back(p.dominant());
+  return dirs;
+}
+
+}  // namespace apx

@@ -1,0 +1,138 @@
+#include "sat/encode.hpp"
+
+#include <stdexcept>
+
+namespace apx {
+
+namespace {
+thread_local uint64_t g_last_cex = 0;
+}
+
+std::vector<int> encode_network(SatSolver& solver, const Network& net,
+                                const std::vector<int>& pi_vars) {
+  if (pi_vars.size() != static_cast<size_t>(net.num_pis())) {
+    throw std::logic_error("encode_network: pi_vars size mismatch");
+  }
+  std::vector<int> var_of(net.num_nodes(), -1);
+  for (int i = 0; i < net.num_pis(); ++i) var_of[net.pis()[i]] = pi_vars[i];
+
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kPi) continue;
+    int v = solver.new_var();
+    var_of[id] = v;
+    Lit out(v, false);
+    if (n.kind == NodeKind::kConst0) {
+      solver.add_unit(~out);
+      continue;
+    }
+    if (n.kind == NodeKind::kConst1) {
+      solver.add_unit(out);
+      continue;
+    }
+    // node <-> OR of cube variables; cube <-> AND of literals.
+    const Sop& sop = n.sop;
+    if (sop.empty()) {
+      solver.add_unit(~out);
+      continue;
+    }
+    std::vector<Lit> or_clause;  // (~out | c1 | c2 | ...)
+    or_clause.push_back(~out);
+    for (const Cube& c : sop.cubes()) {
+      // Gather cube literals over fanin SAT vars.
+      std::vector<Lit> cube_lits;
+      for (int k = 0; k < sop.num_vars(); ++k) {
+        LitCode code = c.get(k);
+        if (code == LitCode::kFree) continue;
+        cube_lits.push_back(Lit(var_of[n.fanins[k]], code == LitCode::kNeg));
+      }
+      if (cube_lits.empty()) {
+        // Full cube: node is constant 1.
+        solver.add_unit(out);
+        or_clause.clear();
+        break;
+      }
+      if (cube_lits.size() == 1) {
+        // cube var == the literal itself.
+        Lit cl = cube_lits[0];
+        solver.add_binary(~cl, out);  // cube -> out
+        or_clause.push_back(cl);
+        continue;
+      }
+      int cv = solver.new_var();
+      Lit cl(cv, false);
+      // cl -> each literal.
+      for (Lit l : cube_lits) solver.add_binary(~cl, l);
+      // all literals -> cl.
+      std::vector<Lit> rev;
+      for (Lit l : cube_lits) rev.push_back(~l);
+      rev.push_back(cl);
+      solver.add_clause(std::move(rev));
+      // cube -> out.
+      solver.add_binary(~cl, out);
+      or_clause.push_back(cl);
+    }
+    if (!or_clause.empty()) {
+      solver.add_clause(std::move(or_clause));
+    }
+  }
+  return var_of;
+}
+
+namespace {
+
+CheckResult run_check(const Network& a, int po_a, const Network& b, int po_b,
+                      bool check_equivalence, int64_t conflict_budget) {
+  if (a.num_pis() != b.num_pis()) {
+    throw std::logic_error("miter check: PI count mismatch");
+  }
+  SatSolver solver;
+  std::vector<int> pi_vars;
+  for (int i = 0; i < a.num_pis(); ++i) pi_vars.push_back(solver.new_var());
+  std::vector<int> va = encode_network(solver, a, pi_vars);
+  std::vector<int> vb = encode_network(solver, b, pi_vars);
+  Lit fa(va[a.po(po_a).driver], false);
+  Lit fb(vb[b.po(po_b).driver], false);
+
+  auto finish = [&](SatResult r) {
+    switch (r) {
+      case SatResult::kUnsat:
+        return CheckResult::kHolds;
+      case SatResult::kUnknown:
+        return CheckResult::kUnknown;
+      case SatResult::kSat: {
+        g_last_cex = 0;
+        for (int i = 0; i < a.num_pis() && i < 64; ++i) {
+          if (solver.model_value(pi_vars[i])) g_last_cex |= 1ULL << i;
+        }
+        return CheckResult::kFails;
+      }
+    }
+    return CheckResult::kUnknown;
+  };
+
+  if (!check_equivalence) {
+    // a & ~b satisfiable <=> implication fails.
+    return finish(solver.solve({fa, ~fb}, conflict_budget));
+  }
+  // Equivalence: check both directions under assumptions.
+  CheckResult first = finish(solver.solve({fa, ~fb}, conflict_budget));
+  if (first != CheckResult::kHolds) return first;
+  return finish(solver.solve({~fa, fb}, conflict_budget));
+}
+
+}  // namespace
+
+CheckResult check_po_implication(const Network& a, int po_a, const Network& b,
+                                 int po_b, int64_t conflict_budget) {
+  return run_check(a, po_a, b, po_b, false, conflict_budget);
+}
+
+CheckResult check_po_equivalence(const Network& a, int po_a, const Network& b,
+                                 int po_b, int64_t conflict_budget) {
+  return run_check(a, po_a, b, po_b, true, conflict_budget);
+}
+
+uint64_t last_counterexample() { return g_last_cex; }
+
+}  // namespace apx

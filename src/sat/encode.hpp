@@ -1,0 +1,36 @@
+// Tseitin encoding of networks into CNF, and miter-style combinational
+// checks (implication and equivalence between po cones of two networks that
+// share primary inputs by position).
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "sat/solver.hpp"
+
+namespace apx {
+
+/// Encodes a network into `solver`. `pi_vars` supplies the SAT variable for
+/// each PI (shared across networks for miter checks). Returns the SAT
+/// variable of each node (index by NodeId; PIs map to pi_vars).
+std::vector<int> encode_network(SatSolver& solver, const Network& net,
+                                const std::vector<int>& pi_vars);
+
+/// Tri-state answer for budgeted checks.
+enum class CheckResult { kHolds, kFails, kUnknown };
+
+/// Checks whether PO `po_a` of `a` implies PO `po_b` of `b` for all inputs
+/// (networks must have the same PI count; PIs correspond by position).
+/// `conflict_budget` < 0 means unbounded.
+CheckResult check_po_implication(const Network& a, int po_a, const Network& b,
+                                 int po_b, int64_t conflict_budget = -1);
+
+/// Checks functional equivalence of two PO cones.
+CheckResult check_po_equivalence(const Network& a, int po_a, const Network& b,
+                                 int po_b, int64_t conflict_budget = -1);
+
+/// If the last check_po_* call on this thread returned kFails, this holds a
+/// counterexample input assignment (bit i = PI i).
+uint64_t last_counterexample();
+
+}  // namespace apx

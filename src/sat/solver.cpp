@@ -1,0 +1,427 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace apx {
+
+int SatSolver::new_var() {
+  int v = num_vars();
+  assign_.push_back(Value::kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  polarity_.push_back(false);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+void SatSolver::heap_sift_up(int i) {
+  int var = heap_[i];
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[var]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = i;
+}
+
+void SatSolver::heap_sift_down(int i) {
+  int var = heap_[i];
+  int size = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[var]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = var;
+  heap_pos_[var] = i;
+}
+
+void SatSolver::heap_insert(int var) {
+  if (heap_pos_[var] >= 0) return;
+  heap_.push_back(var);
+  heap_pos_[var] = static_cast<int>(heap_.size()) - 1;
+  heap_sift_up(heap_pos_[var]);
+}
+
+void SatSolver::heap_update(int var) {
+  if (heap_pos_[var] >= 0) heap_sift_up(heap_pos_[var]);
+}
+
+int SatSolver::heap_pop_undef() {
+  while (!heap_.empty()) {
+    int var = heap_[0];
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    heap_pos_[var] = -1;
+    if (!heap_.empty()) heap_sift_down(0);
+    if (assign_[var] == Value::kUndef) return var;
+  }
+  return -1;
+}
+
+bool SatSolver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  // Remove duplicates; detect tautologies; drop false literals at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> cleaned;
+  for (size_t i = 0; i < lits.size(); ++i) {
+    if (i > 0 && lits[i] == lits[i - 1]) continue;
+    if (i > 0 && lits[i].var() == lits[i - 1].var()) return true;  // taut
+    if (value(lits[i]) == Value::kTrue && level_[lits[i].var()] == 0)
+      return true;  // satisfied at root
+    if (value(lits[i]) == Value::kFalse && level_[lits[i].var()] == 0)
+      continue;  // false at root: drop
+    cleaned.push_back(lits[i]);
+  }
+  if (cleaned.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (cleaned.size() == 1) {
+    if (value(cleaned[0]) == Value::kUndef) {
+      enqueue(cleaned[0], kNoReason);
+      if (propagate() != kNoReason) {
+        unsat_ = true;
+        return false;
+      }
+    } else if (value(cleaned[0]) == Value::kFalse) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  Clause c;
+  c.lits = std::move(cleaned);
+  clauses_.push_back(std::move(c));
+  attach_clause(static_cast<ClauseRef>(clauses_.size()) - 1);
+  return true;
+}
+
+void SatSolver::attach_clause(ClauseRef cr) {
+  const Clause& c = clauses_[cr];
+  watches_[c.lits[0].code].push_back(cr);
+  watches_[c.lits[1].code].push_back(cr);
+}
+
+void SatSolver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == Value::kUndef);
+  assign_[l.var()] = l.negated() ? Value::kFalse : Value::kTrue;
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  polarity_[l.var()] = !l.negated();
+  trail_.push_back(l);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (prop_head_ < trail_.size()) {
+    Lit p = trail_[prop_head_++];
+    // Clauses watching ~p must be updated.
+    std::vector<ClauseRef>& watchers = watches_[(~p).code];
+    size_t keep = 0;
+    for (size_t i = 0; i < watchers.size(); ++i) {
+      ClauseRef cr = watchers[i];
+      Clause& c = clauses_[cr];
+      // Ensure the false literal is at position 1.
+      Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      // If first watch is true, clause is satisfied.
+      if (value(c.lits[0]) == Value::kTrue) {
+        watchers[keep++] = cr;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != Value::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1].code].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflict.
+      watchers[keep++] = cr;
+      if (value(c.lits[0]) == Value::kFalse) {
+        // Conflict: keep remaining watchers and report.
+        for (size_t j = i + 1; j < watchers.size(); ++j) {
+          watchers[keep++] = watchers[j];
+        }
+        watchers.resize(keep);
+        prop_head_ = trail_.size();
+        return cr;
+      }
+      enqueue(c.lits[0], cr);
+    }
+    watchers.resize(keep);
+  }
+  return kNoReason;
+}
+
+void SatSolver::bump_var(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Rescaling preserves the heap order: no fix-up needed.
+  }
+  heap_update(var);
+}
+
+void SatSolver::decay_var_activity() { var_inc_ /= 0.95; }
+
+void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                        int& bt_level) {
+  learnt.clear();
+  learnt.push_back(Lit());  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p;
+  p.code = -2;
+  int index = static_cast<int>(trail_.size()) - 1;
+  int current_level = static_cast<int>(trail_lim_.size());
+  ClauseRef reason = conflict;
+
+  std::vector<int> to_clear;
+  do {
+    assert(reason != kNoReason);
+    Clause& c = clauses_[reason];
+    if (c.learnt) c.activity += 1.0;
+    for (Lit q : c.lits) {
+      if (q == p) continue;
+      int v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = true;
+        to_clear.push_back(v);
+        bump_var(v);
+        if (level_[v] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal to expand from the trail.
+    while (!seen_[trail_[index].var()]) --index;
+    p = trail_[index];
+    reason = reason_[p.var()];
+    seen_[p.var()] = false;
+    --index;
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Compute backtrack level (second highest level in the clause).
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    size_t max_i = 1;
+    for (size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+  for (int v : to_clear) seen_[v] = false;
+}
+
+void SatSolver::backtrack(int target_level) {
+  while (static_cast<int>(trail_lim_.size()) > target_level) {
+    size_t lim = trail_lim_.back();
+    trail_lim_.pop_back();
+    while (trail_.size() > lim) {
+      Lit l = trail_.back();
+      trail_.pop_back();
+      assign_[l.var()] = Value::kUndef;
+      reason_[l.var()] = kNoReason;
+      heap_insert(l.var());
+    }
+  }
+  prop_head_ = trail_.size();
+}
+
+Lit SatSolver::pick_branch() {
+  int best = heap_pop_undef();
+  if (best < 0) {
+    Lit l;
+    l.code = -2;
+    return l;
+  }
+  return Lit(best, !polarity_[best]);
+}
+
+void SatSolver::reduce_learnts() {
+  // Drop the lower-activity half of long learnt clauses. Rebuild watches.
+  std::vector<Clause> kept;
+  std::vector<std::pair<double, size_t>> learnt_scores;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learnt && clauses_[i].lits.size() > 2) {
+      learnt_scores.push_back({clauses_[i].activity, i});
+    }
+  }
+  if (learnt_scores.size() < 2000) return;
+  std::sort(learnt_scores.begin(), learnt_scores.end());
+  std::vector<bool> drop(clauses_.size(), false);
+  for (size_t i = 0; i < learnt_scores.size() / 2; ++i) {
+    size_t ci = learnt_scores[i].second;
+    // Do not drop reason clauses of current assignments.
+    bool is_reason = false;
+    for (Lit l : clauses_[ci].lits) {
+      if (reason_[l.var()] == static_cast<ClauseRef>(ci) &&
+          assign_[l.var()] != Value::kUndef) {
+        is_reason = true;
+        break;
+      }
+    }
+    if (!is_reason) drop[ci] = true;
+  }
+  std::vector<int32_t> remap(clauses_.size(), -1);
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (!drop[i]) {
+      remap[i] = static_cast<int32_t>(kept.size());
+      kept.push_back(std::move(clauses_[i]));
+    }
+  }
+  clauses_ = std::move(kept);
+  for (auto& w : watches_) w.clear();
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    attach_clause(static_cast<ClauseRef>(i));
+  }
+  for (int v = 0; v < num_vars(); ++v) {
+    if (reason_[v] != kNoReason) reason_[v] = remap[reason_[v]];
+  }
+}
+
+int64_t SatSolver::luby(int64_t i) {
+  // Luby sequence (0-based): 1 1 2 1 1 2 4 1 1 2 ...
+  int64_t size = 1;
+  int64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return 1LL << seq;
+}
+
+SatResult SatSolver::solve(const std::vector<Lit>& assumptions,
+                           int64_t conflict_budget) {
+  if (unsat_) return SatResult::kUnsat;
+  backtrack(0);
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return SatResult::kUnsat;
+  }
+
+  int64_t conflicts_this_call = 0;
+  int64_t restart_count = 0;
+  int64_t restart_limit = 100 * luby(restart_count);
+
+  while (true) {
+    ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++conflicts_total_;
+      ++conflicts_this_call;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return SatResult::kUnsat;
+      }
+      std::vector<Lit> learnt;
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      // Never backtrack past the assumption levels.
+      int assumption_levels = 0;
+      for (size_t i = 0; i < trail_lim_.size() && i < assumptions.size(); ++i)
+        ++assumption_levels;
+      if (bt_level < assumption_levels) {
+        // Conflict depends on assumptions only -> UNSAT under assumptions.
+        if (bt_level == 0 && learnt.size() == 1 &&
+            level_[learnt[0].var()] == 0) {
+          // genuinely root-level implied; fall through
+        }
+        backtrack(bt_level);
+      } else {
+        backtrack(bt_level);
+      }
+      if (learnt.size() == 1) {
+        if (value(learnt[0]) == Value::kFalse) {
+          unsat_ = trail_lim_.empty();
+          if (unsat_) return SatResult::kUnsat;
+          // Conflicts with an assumption.
+          return SatResult::kUnsat;
+        }
+        if (value(learnt[0]) == Value::kUndef) enqueue(learnt[0], kNoReason);
+      } else {
+        Clause c;
+        c.lits = std::move(learnt);
+        c.learnt = true;
+        clauses_.push_back(std::move(c));
+        ClauseRef cr = static_cast<ClauseRef>(clauses_.size()) - 1;
+        attach_clause(cr);
+        if (value(clauses_[cr].lits[0]) == Value::kUndef) {
+          enqueue(clauses_[cr].lits[0], cr);
+        }
+      }
+      decay_var_activity();
+      if (conflict_budget >= 0 && conflicts_this_call > conflict_budget) {
+        backtrack(0);
+        return SatResult::kUnknown;
+      }
+      if (conflicts_this_call > restart_limit) {
+        ++restart_count;
+        restart_limit =
+            conflicts_this_call + 100 * luby(restart_count);
+        backtrack(0);
+        reduce_learnts();
+      }
+      continue;
+    }
+
+    // Place assumptions first.
+    if (trail_lim_.size() < assumptions.size()) {
+      Lit a = assumptions[trail_lim_.size()];
+      if (value(a) == Value::kTrue) {
+        trail_lim_.push_back(trail_.size());  // dummy decision level
+        continue;
+      }
+      if (value(a) == Value::kFalse) {
+        return SatResult::kUnsat;  // assumptions contradictory
+      }
+      trail_lim_.push_back(trail_.size());
+      enqueue(a, kNoReason);
+      continue;
+    }
+
+    Lit next = pick_branch();
+    if (next.code < 0) return SatResult::kSat;
+    trail_lim_.push_back(trail_.size());
+    enqueue(next, kNoReason);
+  }
+}
+
+bool SatSolver::model_value(int var) const {
+  return assign_[var] == Value::kTrue;
+}
+
+}  // namespace apx

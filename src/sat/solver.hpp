@@ -1,0 +1,114 @@
+// A self-contained CDCL SAT solver (watched literals, first-UIP learning,
+// VSIDS-style activities, phase saving, Luby restarts) used as the second
+// implication oracle for approximation-correctness checks (paper Sec. 2.2:
+// "this can be done very efficiently using SAT algorithms").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apx {
+
+/// A literal: variable index with sign. Encoded as 2*var + (negated ? 1 : 0).
+struct Lit {
+  int32_t code = -2;
+
+  Lit() = default;
+  Lit(int var, bool negated) : code(2 * var + (negated ? 1 : 0)) {}
+
+  int var() const { return code >> 1; }
+  bool negated() const { return code & 1; }
+  Lit operator~() const {
+    Lit l;
+    l.code = code ^ 1;
+    return l;
+  }
+  bool operator==(const Lit& o) const { return code == o.code; }
+  bool operator!=(const Lit& o) const { return code != o.code; }
+};
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  SatSolver() = default;
+
+  /// Creates a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially UNSAT).
+  /// Returns false if the solver is already in an UNSAT state.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solves under assumptions. `conflict_budget` < 0 means unbounded.
+  SatResult solve(const std::vector<Lit>& assumptions = {},
+                  int64_t conflict_budget = -1);
+
+  /// Model value of a variable after kSat (unassigned vars default false).
+  bool model_value(int var) const;
+
+  int64_t num_conflicts() const { return conflicts_total_; }
+
+ private:
+  enum class Value : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0.0;
+  };
+
+  using ClauseRef = int32_t;
+  static constexpr ClauseRef kNoReason = -1;
+
+  Value value(Lit l) const {
+    Value v = assign_[l.var()];
+    if (v == Value::kUndef) return Value::kUndef;
+    bool b = (v == Value::kTrue);
+    return (b != l.negated()) ? Value::kTrue : Value::kFalse;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(int var);
+  void decay_var_activity();
+  void attach_clause(ClauseRef cr);
+  void reduce_learnts();
+  static int64_t luby(int64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by lit code
+  std::vector<Value> assign_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t prop_head_ = 0;
+
+  // Max-heap over variable activities (MiniSat-style order heap).
+  void heap_insert(int var);
+  void heap_update(int var);
+  int heap_pop_undef();
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+
+  std::vector<double> activity_;
+  std::vector<bool> polarity_;  // saved phases
+  double var_inc_ = 1.0;
+  std::vector<int> heap_;      // variable indices, max-heap by activity
+  std::vector<int> heap_pos_;  // var -> index in heap_, -1 if absent
+
+  bool unsat_ = false;
+  int64_t conflicts_total_ = 0;
+  std::vector<bool> seen_;  // scratch for analyze()
+};
+
+}  // namespace apx

@@ -1,0 +1,234 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace apx {
+
+PatternSet PatternSet::random(int num_pis, int num_words, uint64_t seed) {
+  PatternSet p(num_pis, num_words);
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < num_pis; ++i) {
+    for (int w = 0; w < num_words; ++w) p.bits_[i][w] = rng();
+  }
+  return p;
+}
+
+PatternSet PatternSet::biased(const std::vector<double>& probs, int num_words,
+                              uint64_t seed) {
+  const int num_pis = static_cast<int>(probs.size());
+  PatternSet p(num_pis, num_words);
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < num_pis; ++i) {
+    // Compose the bias from 16 random words: each bit independently keeps a
+    // running Bernoulli(prob) approximation with 2^-16 resolution (binary
+    // expansion trick: walk the probability's bits from LSB of precision,
+    // AND for a 0 bit, OR for a 1 bit).
+    uint32_t q = static_cast<uint32_t>(probs[i] * 65536.0 + 0.5);
+    if (q == 0) continue;      // all zeros already
+    for (int w = 0; w < num_words; ++w) {
+      if (q >= 65536) {
+        p.bits_[i][w] = ~0ULL;
+        continue;
+      }
+      uint64_t acc = 0;
+      bool first = true;
+      for (int bit = 0; bit < 16; ++bit) {
+        if (((q >> bit) & 1) == 0 && first) continue;
+        uint64_t r = rng();
+        if (first) {
+          acc = r;
+          first = false;
+        } else if ((q >> bit) & 1) {
+          acc = r | acc;
+        } else {
+          acc = r & acc;
+        }
+      }
+      p.bits_[i][w] = acc;
+    }
+  }
+  return p;
+}
+
+PatternSet PatternSet::exhaustive(int num_pis) {
+  if (num_pis > 16) {
+    throw std::invalid_argument("exhaustive patterns limited to 16 PIs");
+  }
+  uint64_t total = 1ULL << num_pis;
+  int words = static_cast<int>((total + 63) / 64);
+  PatternSet p(num_pis, words);
+  for (uint64_t m = 0; m < total; ++m) {
+    for (int i = 0; i < num_pis; ++i) {
+      if ((m >> i) & 1) {
+        p.bits_[i][m >> 6] |= 1ULL << (m & 63);
+      }
+    }
+  }
+  // For fewer than 64 patterns the tail bits replicate pattern 0; that is
+  // harmless for counting if callers scale by num_patterns, so we instead
+  // replicate the full pattern block to keep probabilities exact.
+  if (total < 64) {
+    for (uint64_t m = total; m < 64; ++m) {
+      uint64_t src = m % total;
+      for (int i = 0; i < num_pis; ++i) {
+        if ((p.bits_[i][src >> 6] >> (src & 63)) & 1) {
+          p.bits_[i][0] |= 1ULL << m;
+        }
+      }
+    }
+  }
+  return p;
+}
+
+Simulator::Simulator(const Network& net)
+    : net_(net), topo_(net.topo_order()), fanouts_(net.fanouts()) {}
+
+void Simulator::eval_node(NodeId id,
+                          const std::vector<std::vector<uint64_t>*>& fanin,
+                          std::vector<uint64_t>& out) const {
+  const Node& n = net_.node(id);
+  const Sop& sop = n.sop;
+  for (int w = 0; w < num_words_; ++w) {
+    uint64_t acc = 0;
+    for (const Cube& c : sop.cubes()) {
+      uint64_t t = ~0ULL;
+      for (int k = 0; k < sop.num_vars() && t; ++k) {
+        LitCode code = c.get(k);
+        if (code == LitCode::kFree) continue;
+        uint64_t v = (*fanin[k])[w];
+        t &= (code == LitCode::kPos) ? v : ~v;
+      }
+      acc |= t;
+      if (acc == ~0ULL) break;
+    }
+    out[w] = acc;
+  }
+}
+
+void Simulator::run(const PatternSet& patterns) {
+  if (patterns.num_pis() != net_.num_pis()) {
+    throw std::logic_error("Simulator::run: PI count mismatch");
+  }
+  bool reshape = num_words_ != patterns.num_words() ||
+                 golden_.size() != static_cast<size_t>(net_.num_nodes());
+  num_words_ = patterns.num_words();
+  if (reshape) {
+    golden_.assign(net_.num_nodes(), std::vector<uint64_t>(num_words_, 0));
+    faulty_.assign(net_.num_nodes(), {});
+    faulty_epoch_.assign(net_.num_nodes(), 0);
+  }
+  ++epoch_;  // invalidates any previous fault values
+  for (int i = 0; i < net_.num_pis(); ++i) {
+    golden_[net_.pis()[i]] = patterns.column(i);
+  }
+  std::vector<std::vector<uint64_t>*> fanin;
+  for (NodeId id : topo_) {
+    const Node& n = net_.node(id);
+    switch (n.kind) {
+      case NodeKind::kPi:
+        break;
+      case NodeKind::kConst0:
+        golden_[id].assign(num_words_, 0);
+        break;
+      case NodeKind::kConst1:
+        golden_[id].assign(num_words_, ~0ULL);
+        break;
+      case NodeKind::kLogic: {
+        fanin.clear();
+        fanin.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) fanin.push_back(&golden_[f]);
+        eval_node(id, fanin, golden_[id]);
+        break;
+      }
+    }
+  }
+}
+
+double Simulator::signal_probability(NodeId id) const {
+  const auto& words = golden_[id];
+  uint64_t ones = 0;
+  for (uint64_t w : words) ones += std::popcount(w);
+  return static_cast<double>(ones) / (64.0 * words.size());
+}
+
+double Simulator::switching_activity(NodeId id) const {
+  double p = signal_probability(id);
+  return 2.0 * p * (1.0 - p);
+}
+
+double Simulator::total_activity() const {
+  double total = 0.0;
+  for (NodeId id = 0; id < net_.num_nodes(); ++id) {
+    if (net_.node(id).kind == NodeKind::kLogic) {
+      total += switching_activity(id);
+    }
+  }
+  return total;
+}
+
+void Simulator::inject(const StuckFault& fault) {
+  std::vector<uint64_t> forced(num_words_,
+                               fault.stuck_value ? ~0ULL : 0ULL);
+  inject_forced(fault.node, forced);
+}
+
+void Simulator::inject_forced(NodeId fault_node,
+                              const std::vector<uint64_t>& forced) {
+  assert(fault_node != kNullNode);
+  assert(forced.size() == static_cast<size_t>(num_words_));
+  StuckFault fault{fault_node, false};  // reuse the cone walk below
+  ++epoch_;
+  // Collect the fanout cone in topological order using per-node marks.
+  std::vector<NodeId> cone;
+  std::vector<bool> in_cone(net_.num_nodes(), false);
+  in_cone[fault.node] = true;
+  // topo_ is cached: walk it once, adding nodes any of whose fanins are in
+  // the cone.
+  for (NodeId id : topo_) {
+    if (id == fault.node) {
+      cone.push_back(id);
+      continue;
+    }
+    for (NodeId f : net_.node(id).fanins) {
+      if (in_cone[f]) {
+        in_cone[id] = true;
+        cone.push_back(id);
+        break;
+      }
+    }
+  }
+  for (NodeId id : cone) {
+    if (faulty_[id].empty()) faulty_[id].resize(num_words_);
+    faulty_epoch_[id] = epoch_;
+    if (id == fault.node) {
+      faulty_[id] = forced;
+      continue;
+    }
+    const Node& n = net_.node(id);
+    std::vector<std::vector<uint64_t>*> fanin;
+    fanin.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) {
+      fanin.push_back(faulty_epoch_[f] == epoch_ ? &faulty_[f] : &golden_[f]);
+    }
+    eval_node(id, fanin, faulty_[id]);
+  }
+}
+
+const std::vector<uint64_t>& Simulator::faulty_value(NodeId id) const {
+  return faulty_epoch_[id] == epoch_ && epoch_ > 0 ? faulty_[id] : golden_[id];
+}
+
+std::vector<StuckFault> enumerate_faults(const Network& net) {
+  std::vector<StuckFault> faults;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) {
+      faults.push_back({id, false});
+      faults.push_back({id, true});
+    }
+  }
+  return faults;
+}
+
+}  // namespace apx

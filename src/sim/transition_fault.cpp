@@ -1,0 +1,62 @@
+#include "sim/transition_fault.hpp"
+
+namespace apx {
+
+TransitionSimulator::TransitionSimulator(const Network& net)
+    : net_(net), first_(net), second_(net) {}
+
+void TransitionSimulator::run(const PatternSet& first,
+                              const PatternSet& second) {
+  first_.run(first);
+  second_.run(second);
+}
+
+const std::vector<uint64_t>& TransitionSimulator::value(NodeId id) const {
+  return second_.value(id);
+}
+
+const std::vector<uint64_t>& TransitionSimulator::launch_value(
+    NodeId id) const {
+  return first_.value(id);
+}
+
+void TransitionSimulator::inject(const TransitionFault& fault) {
+  const auto& v1 = first_.value(fault.node);
+  const auto& v2 = second_.value(fault.node);
+  std::vector<uint64_t> forced(v2.size());
+  for (size_t w = 0; w < v2.size(); ++w) {
+    // Slow-to-rise: a required 0->1 transition is missed (stays at 0), so
+    // the captured value is v2 AND v1. Dually for slow-to-fall.
+    forced[w] = fault.slow_to_rise ? (v2[w] & v1[w]) : (v2[w] | v1[w]);
+  }
+  second_.inject_forced(fault.node, forced);
+}
+
+const std::vector<uint64_t>& TransitionSimulator::faulty_value(
+    NodeId id) const {
+  return second_.faulty_value(id);
+}
+
+std::vector<uint64_t> TransitionSimulator::launch_mask(
+    const TransitionFault& fault) const {
+  const auto& v1 = first_.value(fault.node);
+  const auto& v2 = second_.value(fault.node);
+  std::vector<uint64_t> mask(v2.size());
+  for (size_t w = 0; w < v2.size(); ++w) {
+    mask[w] = fault.slow_to_rise ? (~v1[w] & v2[w]) : (v1[w] & ~v2[w]);
+  }
+  return mask;
+}
+
+std::vector<TransitionFault> enumerate_transition_faults(const Network& net) {
+  std::vector<TransitionFault> faults;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) {
+      faults.push_back({id, true});
+      faults.push_back({id, false});
+    }
+  }
+  return faults;
+}
+
+}  // namespace apx

@@ -1,0 +1,61 @@
+// Transition (gate-delay) fault model for the paper's future-work item (i):
+// "CED of errors caused by delay faults on speed-paths in logic circuits".
+//
+// A slow-to-rise (slow-to-fall) fault at a node delays its 0->1 (1->0)
+// transition past the clock edge. Under the standard two-pattern model the
+// faulty machine evaluates the second pattern with the fault site holding
+// its first-pattern value whenever the delayed transition was required:
+//   slow-to-rise: x_faulty = x2 AND x1   (a rising site stays 0)
+//   slow-to-fall: x_faulty = x2 OR  x1   (a falling site stays 1)
+// and the stale value propagates through the fanout cone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+
+struct TransitionFault {
+  NodeId node = kNullNode;
+  bool slow_to_rise = true;  ///< false = slow-to-fall
+};
+
+/// Two-pattern transition-fault simulator. Patterns are consumed as
+/// (first, second) pairs sharing word geometry; results are the values at
+/// the *second* pattern (launch-capture).
+class TransitionSimulator {
+ public:
+  explicit TransitionSimulator(const Network& net);
+
+  /// Simulates the fault-free pair.
+  void run(const PatternSet& first, const PatternSet& second);
+
+  /// Fault-free capture values (second pattern) of a node.
+  const std::vector<uint64_t>& value(NodeId id) const;
+
+  /// First-pattern (launch) values of a node.
+  const std::vector<uint64_t>& launch_value(NodeId id) const;
+
+  /// Injects a transition fault; faulty capture values readable via
+  /// faulty_value(). run() must have been called first.
+  void inject(const TransitionFault& fault);
+
+  const std::vector<uint64_t>& faulty_value(NodeId id) const;
+
+  /// Bit mask of patterns on which the fault is *launched* (the site
+  /// actually makes the slow transition), per word.
+  std::vector<uint64_t> launch_mask(const TransitionFault& fault) const;
+
+ private:
+  const Network& net_;
+  Simulator first_;
+  Simulator second_;
+};
+
+/// Enumerates both transition faults of every logic node.
+std::vector<TransitionFault> enumerate_transition_faults(const Network& net);
+
+}  // namespace apx

@@ -1,0 +1,211 @@
+#include "sop/algebraic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace apx {
+
+std::optional<Cube> cube_quotient(const Cube& c, const Cube& d) {
+  assert(c.num_vars() == d.num_vars());
+  Cube q = Cube::full(c.num_vars());
+  for (int v = 0; v < c.num_vars(); ++v) {
+    LitCode dc = d.get(v);
+    LitCode cc = c.get(v);
+    if (dc == LitCode::kFree) {
+      q.set(v, cc);
+      continue;
+    }
+    if (cc != dc) return std::nullopt;  // d's literal absent (or clashing)
+    // Literal cancels out of the quotient.
+  }
+  return q;
+}
+
+std::pair<Sop, Sop> algebraic_divide(const Sop& f, const Sop& d) {
+  assert(f.num_vars() == d.num_vars());
+  if (d.empty()) return {Sop(f.num_vars()), f};
+
+  // Quotient = intersection over d's cubes of { c / d_i : c in f }.
+  std::vector<Cube> quotient;
+  bool first = true;
+  for (const Cube& di : d.cubes()) {
+    std::vector<Cube> vi;
+    for (const Cube& c : f.cubes()) {
+      if (auto q = cube_quotient(c, di)) vi.push_back(*q);
+    }
+    std::sort(vi.begin(), vi.end());
+    if (first) {
+      quotient = std::move(vi);
+      first = false;
+    } else {
+      std::vector<Cube> merged;
+      std::set_intersection(quotient.begin(), quotient.end(), vi.begin(),
+                            vi.end(), std::back_inserter(merged));
+      quotient = std::move(merged);
+    }
+    if (quotient.empty()) break;
+  }
+  Sop q(f.num_vars(), quotient);
+
+  // Remainder = f minus the cubes of q*d.
+  Sop product = algebraic_product(q, d);
+  std::vector<Cube> product_cubes = product.cubes();
+  std::sort(product_cubes.begin(), product_cubes.end());
+  Sop r(f.num_vars());
+  std::vector<bool> used(product_cubes.size(), false);
+  for (const Cube& c : f.cubes()) {
+    auto it = std::lower_bound(product_cubes.begin(), product_cubes.end(), c);
+    bool matched = false;
+    while (it != product_cubes.end() && *it == c) {
+      size_t idx = static_cast<size_t>(it - product_cubes.begin());
+      if (!used[idx]) {
+        used[idx] = true;
+        matched = true;
+        break;
+      }
+      ++it;
+    }
+    if (!matched) r.add_cube(c);
+  }
+  return {std::move(q), std::move(r)};
+}
+
+Sop algebraic_product(const Sop& a, const Sop& b) {
+  Sop result(a.num_vars());
+  for (const Cube& ca : a.cubes()) {
+    for (const Cube& cb : b.cubes()) {
+      // Literal-wise union; drop cubes with clashing phases (x * x' = 0 in
+      // the Boolean sense; algebraically the operands should be disjoint-
+      // support anyway).
+      Cube c = Cube::full(a.num_vars());
+      bool clash = false;
+      for (int v = 0; v < a.num_vars() && !clash; ++v) {
+        LitCode la = ca.get(v);
+        LitCode lb = cb.get(v);
+        if (la == LitCode::kFree) {
+          c.set(v, lb);
+        } else if (lb == LitCode::kFree || lb == la) {
+          c.set(v, la);
+        } else {
+          clash = true;
+        }
+      }
+      if (!clash) result.add_cube(c);
+    }
+  }
+  return result;
+}
+
+Cube common_cube(const Sop& f) {
+  if (f.empty()) return Cube::full(f.num_vars());
+  Cube common = f.cube(0);
+  for (int i = 1; i < f.num_cubes(); ++i) {
+    const Cube& c = f.cube(i);
+    for (int v = 0; v < f.num_vars(); ++v) {
+      if (common.get(v) != LitCode::kFree && common.get(v) != c.get(v)) {
+        common.set(v, LitCode::kFree);
+      }
+    }
+  }
+  return common;
+}
+
+bool is_cube_free(const Sop& f) {
+  if (f.num_cubes() <= 1) return false;
+  return common_cube(f).literal_count() == 0;
+}
+
+namespace {
+
+// Divide f by a single literal (var, phase): quotient cubes only.
+Sop literal_quotient(const Sop& f, int var, LitCode code) {
+  Sop q(f.num_vars());
+  for (const Cube& c : f.cubes()) {
+    if (c.get(var) == code) q.add_cube(c.without_var(var));
+  }
+  return q;
+}
+
+void kernels_rec(const Sop& f, const Cube& co_kernel, int start_literal,
+                 std::vector<Kernel>& out) {
+  const int n = f.num_vars();
+  // Each "literal index" packs (var, phase): 2*var + (pos ? 0 : 1).
+  for (int li = start_literal; li < 2 * n; ++li) {
+    int var = li / 2;
+    LitCode code = (li % 2 == 0) ? LitCode::kPos : LitCode::kNeg;
+    // Count occurrences.
+    int count = 0;
+    for (const Cube& c : f.cubes()) {
+      if (c.get(var) == code) ++count;
+    }
+    if (count < 2) continue;
+    Sop q = literal_quotient(f, var, code);
+    Cube cc = common_cube(q);
+    // Skip if the common cube contains a literal with a smaller index:
+    // that kernel was (or will be) found from that literal instead.
+    bool skip = false;
+    for (int v = 0; v < n && !skip; ++v) {
+      LitCode l = cc.get(v);
+      if (l == LitCode::kFree) continue;
+      int idx = 2 * v + (l == LitCode::kPos ? 0 : 1);
+      if (idx < li) skip = true;
+    }
+    if (skip) continue;
+    // Make cube-free.
+    Sop kernel(q.num_vars());
+    for (const Cube& c : q.cubes()) {
+      Cube reduced = c;
+      for (int v = 0; v < n; ++v) {
+        if (cc.get(v) != LitCode::kFree) reduced.set(v, LitCode::kFree);
+      }
+      kernel.add_cube(reduced);
+    }
+    // Build the co-kernel: existing co-kernel * literal * common cube.
+    Cube ck = co_kernel;
+    ck.set(var, code);
+    for (int v = 0; v < n; ++v) {
+      if (cc.get(v) != LitCode::kFree) ck.set(v, cc.get(v));
+    }
+    kernels_rec(kernel, ck, li + 1, out);
+    out.push_back({kernel, ck});
+  }
+}
+
+}  // namespace
+
+std::vector<Kernel> find_kernels(const Sop& f) {
+  std::vector<Kernel> out;
+  kernels_rec(f, Cube::full(f.num_vars()), 0, out);
+  if (is_cube_free(f)) {
+    out.push_back({f, Cube::full(f.num_vars())});
+  }
+  return out;
+}
+
+std::optional<Kernel> best_kernel(const Sop& f) {
+  std::vector<Kernel> kernels = find_kernels(f);
+  const Kernel* best = nullptr;
+  int best_savings = 0;
+  for (const Kernel& k : kernels) {
+    if (k.kernel.num_cubes() < 2) continue;
+    if (k.kernel.num_cubes() == f.num_cubes() &&
+        k.co_kernel.literal_count() == 0) {
+      continue;  // the trivial kernel (f itself)
+    }
+    auto [q, r] = algebraic_divide(f, k.kernel);
+    if (q.empty()) continue;
+    // Literal cost of f vs factored (q * kernel + r).
+    int before = f.literal_count();
+    int after = q.literal_count() + k.kernel.literal_count() +
+                r.literal_count();
+    int savings = before - after;
+    if (savings > best_savings) {
+      best_savings = savings;
+      best = &k;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace apx

@@ -1,0 +1,53 @@
+// Algebraic (weak) division and kernel extraction (Brayton–McMullen), the
+// classic multi-level factoring machinery. Used by the technology mapper's
+// factoring script to find good divisors, which directly lowers the gate
+// count of both the original and the approximate circuits.
+//
+// All operations treat SOPs as algebraic expressions: cubes are products of
+// literals, covers are sums, and division is defined so that
+//   f = quotient * divisor + remainder
+// holds as an algebraic identity (no Boolean simplification).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace apx {
+
+/// Cube-by-cube quotient: c / d is defined when every literal of d appears
+/// in c; the result is c with d's literals removed.
+std::optional<Cube> cube_quotient(const Cube& c, const Cube& d);
+
+/// Algebraic division of cover f by cover d. Returns (quotient, remainder)
+/// with f = quotient*d + remainder (as cube multisets). The quotient is
+/// empty when d does not algebraically divide f.
+std::pair<Sop, Sop> algebraic_divide(const Sop& f, const Sop& d);
+
+/// Product of two covers as an algebraic expression (concatenates literals
+/// cube-by-cube; cubes with clashing literals are dropped).
+Sop algebraic_product(const Sop& a, const Sop& b);
+
+/// The largest cube dividing every cube of f (its "common cube").
+Cube common_cube(const Sop& f);
+
+/// Is f cube-free (no literal common to all cubes, and more than one cube
+/// or a single non-trivial structure)?
+bool is_cube_free(const Sop& f);
+
+/// A kernel of f and the co-kernel cube that produced it.
+struct Kernel {
+  Sop kernel;
+  Cube co_kernel;
+};
+
+/// All kernels of f (level-0 and higher), including f itself if cube-free.
+std::vector<Kernel> find_kernels(const Sop& f);
+
+/// Heuristically selects the kernel whose extraction saves the most
+/// literals; returns nullopt when f has no non-trivial kernel.
+std::optional<Kernel> best_kernel(const Sop& f);
+
+}  // namespace apx

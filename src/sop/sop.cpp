@@ -1,0 +1,399 @@
+#include "sop/sop.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace apx {
+
+Sop::Sop(int num_vars, std::vector<Cube> cubes)
+    : num_vars_(num_vars), cubes_(std::move(cubes)) {
+  for (const Cube& c : cubes_) {
+    assert(c.num_vars() == num_vars_);
+    (void)c;
+  }
+}
+
+Sop Sop::one(int num_vars) {
+  Sop s(num_vars);
+  s.add_cube(Cube::full(num_vars));
+  return s;
+}
+
+std::optional<Sop> Sop::parse(int num_vars, const std::string& text) {
+  Sop s(num_vars);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim whitespace.
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r'))
+      line.pop_back();
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    line = line.substr(start);
+    if (line.empty()) continue;
+    auto cube = Cube::parse(line);
+    if (!cube || cube->num_vars() != num_vars) return std::nullopt;
+    s.add_cube(*cube);
+  }
+  return s;
+}
+
+int Sop::literal_count() const {
+  int total = 0;
+  for (const Cube& c : cubes_) total += c.literal_count();
+  return total;
+}
+
+void Sop::add_cube(Cube c) {
+  assert(c.num_vars() == num_vars_);
+  if (c.is_empty()) return;
+  cubes_.push_back(std::move(c));
+}
+
+bool Sop::covers_minterm(uint64_t minterm) const {
+  for (const Cube& c : cubes_) {
+    if (c.covers_minterm(minterm)) return true;
+  }
+  return false;
+}
+
+Sop Sop::cofactor(int var, bool value) const {
+  Sop result(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (auto cf = c.cofactor(var, value)) result.add_cube(*cf);
+  }
+  return result;
+}
+
+Sop Sop::cofactor(const Cube& q) const {
+  // espresso cofactor: cube c contributes c with q's bound vars freed,
+  // provided c intersects q.
+  Sop result(num_vars_);
+  for (const Cube& c : cubes_) {
+    if (c.distance(q) > 0) continue;
+    Cube r = c;
+    for (int v = 0; v < num_vars_; ++v) {
+      if (q.get(v) != LitCode::kFree) r.set(v, LitCode::kFree);
+    }
+    result.add_cube(r);
+  }
+  return result;
+}
+
+void Sop::make_scc_free() {
+  // Remove empty cubes and cubes contained in another cube. Sort by
+  // descending free count so potential containers come first.
+  std::vector<Cube> kept;
+  std::sort(cubes_.begin(), cubes_.end(), [](const Cube& a, const Cube& b) {
+    return a.literal_count() < b.literal_count();
+  });
+  for (const Cube& c : cubes_) {
+    if (c.is_empty()) continue;
+    bool contained = false;
+    for (const Cube& k : kept) {
+      if (k.contains(c)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) kept.push_back(c);
+  }
+  cubes_ = std::move(kept);
+}
+
+Sop Sop::disjunction(const Sop& a, const Sop& b) {
+  assert(a.num_vars_ == b.num_vars_);
+  Sop result = a;
+  for (const Cube& c : b.cubes_) result.add_cube(c);
+  return result;
+}
+
+Sop Sop::conjunction(const Sop& a, const Sop& b) {
+  assert(a.num_vars_ == b.num_vars_);
+  Sop result(a.num_vars_);
+  for (const Cube& ca : a.cubes_) {
+    for (const Cube& cb : b.cubes_) {
+      if (auto i = ca.intersect(cb)) result.add_cube(*i);
+    }
+  }
+  result.make_scc_free();
+  return result;
+}
+
+namespace {
+
+// Merge result for the Shannon recombination in complement():
+// x'·c0 + x·c1, with single-cube-containment cleanup.
+Sop shannon_merge(int var, const Sop& c0, const Sop& c1, int num_vars) {
+  Sop result(num_vars);
+  for (Cube c : c0.cubes()) {
+    // Only bind the splitting var if the cube is not also present in c1
+    // (simple merge of identical cubes saves literals).
+    c.set(var, LitCode::kNeg);
+    result.add_cube(std::move(c));
+  }
+  for (Cube c : c1.cubes()) {
+    c.set(var, LitCode::kPos);
+    result.add_cube(std::move(c));
+  }
+  // Merge x'·c with x·c into c.
+  Sop merged(num_vars);
+  std::vector<bool> used(result.num_cubes(), false);
+  for (int i = 0; i < result.num_cubes(); ++i) {
+    if (used[i]) continue;
+    Cube ci = result.cube(i);
+    LitCode li = ci.get(var);
+    bool fused = false;
+    if (li != LitCode::kFree) {
+      for (int j = i + 1; j < result.num_cubes(); ++j) {
+        if (used[j]) continue;
+        Cube cj = result.cube(j);
+        LitCode lj = cj.get(var);
+        if (lj == LitCode::kFree || lj == li) continue;
+        if (ci.without_var(var) == cj.without_var(var)) {
+          used[j] = true;
+          merged.add_cube(ci.without_var(var));
+          fused = true;
+          break;
+        }
+      }
+    }
+    if (!fused) merged.add_cube(ci);
+  }
+  merged.make_scc_free();
+  return merged;
+}
+
+}  // namespace
+
+Sop Sop::complement(const Sop& f) {
+  const int n = f.num_vars();
+  // Terminal cases.
+  if (f.empty()) return Sop::one(n);
+  for (const Cube& c : f.cubes()) {
+    if (c.is_full()) return Sop::zero(n);
+  }
+  if (f.num_cubes() == 1) {
+    // DeMorgan on a single cube: one cube per bound literal.
+    Sop result(n);
+    const Cube& c = f.cube(0);
+    for (int v = 0; v < n; ++v) {
+      LitCode code = c.get(v);
+      if (code == LitCode::kNeg || code == LitCode::kPos) {
+        Cube lit = Cube::full(n);
+        lit.set(v, code == LitCode::kNeg ? LitCode::kPos : LitCode::kNeg);
+        result.add_cube(std::move(lit));
+      }
+    }
+    return result;
+  }
+  int var = f.most_binate_var();
+  if (var < 0) {
+    // Unate cover: split on the most frequently bound variable anyway;
+    // recursion still terminates since cofactoring frees the variable.
+    std::vector<int> count(n, 0);
+    for (const Cube& c : f.cubes()) {
+      for (int v = 0; v < n; ++v) {
+        if (c.get(v) != LitCode::kFree) ++count[v];
+      }
+    }
+    var = static_cast<int>(
+        std::max_element(count.begin(), count.end()) - count.begin());
+    if (count[var] == 0) {
+      // All cubes full: handled above, so unreachable; defensive.
+      return Sop::zero(n);
+    }
+  }
+  Sop c0 = complement(f.cofactor(var, false));
+  Sop c1 = complement(f.cofactor(var, true));
+  return shannon_merge(var, c0, c1, n);
+}
+
+Sop Sop::cube_sharp(const Cube& a, const Cube& b) {
+  const int n = a.num_vars();
+  Sop result(n);
+  if (a.is_empty()) return result;
+  if (a.distance(b) > 0) {
+    result.add_cube(a);  // disjoint: nothing removed
+    return result;
+  }
+  // For each variable where b binds tighter than a, emit a with that
+  // variable flipped to b's complementary phase.
+  for (int v = 0; v < n; ++v) {
+    LitCode la = a.get(v);
+    LitCode lb = b.get(v);
+    if (lb == LitCode::kFree || la == lb) continue;
+    // Here la is kFree (a looser than b at v) — otherwise distance > 0.
+    Cube piece = a;
+    piece.set(v, lb == LitCode::kPos ? LitCode::kNeg : LitCode::kPos);
+    result.add_cube(piece);
+  }
+  return result;
+}
+
+Sop Sop::cube_disjoint_sharp(const Cube& a, const Cube& b) {
+  const int n = a.num_vars();
+  Sop result(n);
+  if (a.is_empty()) return result;
+  if (a.distance(b) > 0) {
+    result.add_cube(a);
+    return result;
+  }
+  // Sequential splitting: fix processed variables to b's phase so pieces
+  // are pairwise disjoint.
+  Cube base = a;
+  for (int v = 0; v < n; ++v) {
+    LitCode la = a.get(v);
+    LitCode lb = b.get(v);
+    if (lb == LitCode::kFree || la == lb) continue;
+    Cube piece = base;
+    piece.set(v, lb == LitCode::kPos ? LitCode::kNeg : LitCode::kPos);
+    result.add_cube(piece);
+    base.set(v, lb);
+  }
+  return result;
+}
+
+Sop Sop::sharp(const Sop& f, const Sop& g) {
+  Sop result = f;
+  for (const Cube& b : g.cubes()) {
+    Sop next(f.num_vars());
+    for (const Cube& a : result.cubes()) {
+      Sop pieces = cube_sharp(a, b);
+      for (const Cube& piece : pieces.cubes()) {
+        next.add_cube(piece);
+      }
+    }
+    next.make_scc_free();
+    result = std::move(next);
+  }
+  return result;
+}
+
+Sop Sop::make_disjoint(const Sop& f) {
+  Sop result(f.num_vars());
+  for (const Cube& c : f.cubes()) {
+    // Add c minus everything already in the result, as disjoint pieces.
+    std::vector<Cube> pieces = {c};
+    for (const Cube& prev : result.cubes()) {
+      std::vector<Cube> next;
+      for (const Cube& piece : pieces) {
+        Sop shards = cube_disjoint_sharp(piece, prev);
+        for (const Cube& p : shards.cubes()) {
+          next.push_back(p);
+        }
+      }
+      pieces = std::move(next);
+      if (pieces.empty()) break;
+    }
+    for (const Cube& piece : pieces) result.add_cube(piece);
+  }
+  return result;
+}
+
+bool Sop::tautology(const Sop& f) {
+  if (f.empty()) return false;
+  for (const Cube& c : f.cubes()) {
+    if (c.is_full()) return true;
+  }
+  int var = f.most_binate_var();
+  if (var < 0) {
+    // Unate cover with no full cube is never a tautology.
+    return false;
+  }
+  return tautology(f.cofactor(var, false)) && tautology(f.cofactor(var, true));
+}
+
+bool Sop::implies(const Sop& a, const Sop& b) {
+  assert(a.num_vars() == b.num_vars());
+  for (const Cube& c : a.cubes()) {
+    if (!b.covers_cube(c)) return false;
+  }
+  return true;
+}
+
+bool Sop::covers_cube(const Cube& c) const {
+  if (c.is_empty()) return true;
+  return tautology(cofactor(c));
+}
+
+double Sop::exact_space_fraction() const {
+  // Disjoint-sharp decomposition: fraction(F) = sum over cubes of
+  // fraction(c_i sharp (c_0..c_{i-1})). Implemented recursively via
+  // cofactor-based counting on the cover.
+  struct Counter {
+    static double count(const Sop& f) {
+      if (f.empty()) return 0.0;
+      for (const Cube& c : f.cubes()) {
+        if (c.is_full()) return 1.0;
+      }
+      // Split on any bound var.
+      int var = -1;
+      for (const Cube& c : f.cubes()) {
+        for (int v = 0; v < f.num_vars(); ++v) {
+          if (c.get(v) != LitCode::kFree) {
+            var = v;
+            break;
+          }
+        }
+        if (var >= 0) break;
+      }
+      if (var < 0) return f.num_cubes() > 0 ? 1.0 : 0.0;
+      Sop f0 = f.cofactor(var, false);
+      Sop f1 = f.cofactor(var, true);
+      f0.make_scc_free();
+      f1.make_scc_free();
+      return 0.5 * (count(f0) + count(f1));
+    }
+  };
+  Sop f = *this;
+  f.make_scc_free();
+  return Counter::count(f);
+}
+
+bool Sop::is_unate() const { return most_binate_var() < 0; }
+
+int Sop::most_binate_var() const {
+  std::vector<int> pos(num_vars_, 0), neg(num_vars_, 0);
+  for (const Cube& c : cubes_) {
+    for (int v = 0; v < num_vars_; ++v) {
+      LitCode code = c.get(v);
+      if (code == LitCode::kPos) ++pos[v];
+      if (code == LitCode::kNeg) ++neg[v];
+    }
+  }
+  int best = -1;
+  int best_score = 0;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (pos[v] > 0 && neg[v] > 0) {
+      int score = pos[v] + neg[v];
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+  }
+  return best;
+}
+
+void Sop::canonicalize() {
+  make_scc_free();
+  std::sort(cubes_.begin(), cubes_.end());
+  cubes_.erase(std::unique(cubes_.begin(), cubes_.end()), cubes_.end());
+}
+
+std::string Sop::to_string() const {
+  std::string s;
+  for (const Cube& c : cubes_) {
+    if (!s.empty()) s.push_back('\n');
+    s += c.to_string();
+  }
+  return s;
+}
+
+bool Sop::operator==(const Sop& other) const {
+  return num_vars_ == other.num_vars_ && cubes_ == other.cubes_;
+}
+
+}  // namespace apx

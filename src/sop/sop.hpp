@@ -1,0 +1,117 @@
+// Sum-of-products cover over a fixed variable count, with the classical
+// two-level operations the synthesis core relies on: cofactoring, tautology,
+// unate-recursive complementation, containment, and single-cube-containment
+// cleanup. DeMorgan phase conversion (on-set SOP <-> off-set SOP, paper
+// Sec. 2.1) is `complement()`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sop/cube.hpp"
+
+namespace apx {
+
+/// A cover (set of cubes, interpreted as their union / logical OR).
+class Sop {
+ public:
+  Sop() = default;
+
+  /// Empty cover (constant 0) over `num_vars` variables.
+  explicit Sop(int num_vars) : num_vars_(num_vars) {}
+
+  Sop(int num_vars, std::vector<Cube> cubes);
+
+  /// Constant-one cover: the single full cube.
+  static Sop one(int num_vars);
+
+  /// Constant-zero cover: no cubes.
+  static Sop zero(int num_vars) { return Sop(num_vars); }
+
+  /// Parses an espresso-style cover, one cube per line, e.g. "1-0\n-11".
+  /// Empty string parses to the zero cover. Returns nullopt on bad input
+  /// or inconsistent widths.
+  static std::optional<Sop> parse(int num_vars, const std::string& text);
+
+  int num_vars() const { return num_vars_; }
+  int num_cubes() const { return static_cast<int>(cubes_.size()); }
+  bool empty() const { return cubes_.empty(); }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  const Cube& cube(int i) const { return cubes_[i]; }
+
+  /// Total bound-literal count across cubes (classic SOP cost measure).
+  int literal_count() const;
+
+  void add_cube(Cube c);
+  void clear() { cubes_.clear(); }
+
+  /// Does the cover evaluate to 1 on the given minterm (num_vars <= 64)?
+  bool covers_minterm(uint64_t minterm) const;
+
+  /// Cofactor of the cover w.r.t. var=value.
+  Sop cofactor(int var, bool value) const;
+
+  /// Cofactor of the cover w.r.t. a cube (espresso generalized cofactor).
+  Sop cofactor(const Cube& c) const;
+
+  /// Removes cubes contained in other single cubes and empty cubes.
+  void make_scc_free();
+
+  /// Union (OR) of two covers over the same variables.
+  static Sop disjunction(const Sop& a, const Sop& b);
+
+  /// Product (AND) of two covers (cube-by-cube intersections).
+  static Sop conjunction(const Sop& a, const Sop& b);
+
+  /// Unate-recursive complement. The result covers exactly the off-set.
+  static Sop complement(const Sop& f);
+
+  /// Sharp (set difference) of two cubes: a # b covers exactly the
+  /// minterms of a not in b, as a cover of up to num_vars cubes.
+  static Sop cube_sharp(const Cube& a, const Cube& b);
+
+  /// Disjoint sharp: like cube_sharp but the result cubes are pairwise
+  /// disjoint (useful for exact counting and disjoint covers).
+  static Sop cube_disjoint_sharp(const Cube& a, const Cube& b);
+
+  /// Cover difference f # g (minterms of f not covered by g).
+  static Sop sharp(const Sop& f, const Sop& g);
+
+  /// Rewrites the cover as a union of pairwise-disjoint cubes.
+  static Sop make_disjoint(const Sop& f);
+
+  /// Is the cover a tautology (covers the whole space)?
+  static bool tautology(const Sop& f);
+
+  /// Does cover `a` imply cover `b` (a => b, i.e. every minterm of a is
+  /// covered by b)? Implemented as tautology(b cofactored by each cube of a).
+  static bool implies(const Sop& a, const Sop& b);
+
+  /// Is cube `c` covered by this cover (c => cover)?
+  bool covers_cube(const Cube& c) const;
+
+  /// Exact fraction of the input space covered (via disjoint-cube
+  /// decomposition; worst-case exponential, intended for small covers).
+  double exact_space_fraction() const;
+
+  /// True if no variable appears in both phases across the cover.
+  bool is_unate() const;
+
+  /// Most-binate variable (appears in both phases, maximal occurrence);
+  /// returns -1 if the cover is unate.
+  int most_binate_var() const;
+
+  /// Canonical sort + dedup (for comparisons in tests).
+  void canonicalize();
+
+  std::string to_string() const;
+
+  bool operator==(const Sop& other) const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace apx

@@ -1,0 +1,270 @@
+#include "tt/truth_table.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace apx {
+namespace {
+
+// Classic alternating masks for in-word cofactoring of variables 0..5.
+constexpr uint64_t kVarMasks[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+size_t words_for(int num_vars) {
+  return num_vars <= 6 ? 1 : (1ULL << (num_vars - 6));
+}
+
+uint64_t live_mask(int num_vars) {
+  if (num_vars >= 6) return ~0ULL;
+  return (1ULL << (1ULL << num_vars)) - 1;
+}
+
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > 26) {
+    throw std::invalid_argument("TruthTable supports 0..26 variables");
+  }
+  words_.assign(words_for(num_vars), 0);
+}
+
+TruthTable TruthTable::ones(int num_vars) {
+  TruthTable t(num_vars);
+  for (auto& w : t.words_) w = ~0ULL;
+  t.words_.back() &= live_mask(num_vars);
+  if (num_vars < 6) t.words_[0] = live_mask(num_vars);
+  return t;
+}
+
+TruthTable TruthTable::variable(int num_vars, int var) {
+  assert(var >= 0 && var < num_vars);
+  TruthTable t(num_vars);
+  if (var < 6) {
+    for (auto& w : t.words_) w = kVarMasks[var];
+    t.words_[0] &= live_mask(num_vars);
+    for (size_t i = 1; i < t.words_.size(); ++i) t.words_[i] = kVarMasks[var];
+  } else {
+    const size_t stride = 1ULL << (var - 6);
+    for (size_t i = 0; i < t.words_.size(); ++i) {
+      if ((i / stride) & 1) t.words_[i] = ~0ULL;
+    }
+  }
+  return t;
+}
+
+TruthTable TruthTable::from_sop(const Sop& sop) {
+  const int n = sop.num_vars();
+  TruthTable result(n);
+  for (const Cube& c : sop.cubes()) {
+    if (c.is_empty()) continue;
+    TruthTable cube_tt = ones(n);
+    for (int v = 0; v < n; ++v) {
+      LitCode code = c.get(v);
+      if (code == LitCode::kPos) {
+        cube_tt &= variable(n, v);
+      } else if (code == LitCode::kNeg) {
+        cube_tt &= ~variable(n, v);
+      }
+    }
+    result |= cube_tt;
+  }
+  return result;
+}
+
+TruthTable TruthTable::from_binary(int num_vars, const std::string& bits) {
+  TruthTable t(num_vars);
+  if (bits.size() != t.num_minterms()) {
+    throw std::invalid_argument("from_binary: wrong bit-string length");
+  }
+  for (uint64_t m = 0; m < t.num_minterms(); ++m) {
+    char c = bits[bits.size() - 1 - m];
+    if (c == '1') t.set(m, true);
+  }
+  return t;
+}
+
+bool TruthTable::get(uint64_t minterm) const {
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1;
+}
+
+void TruthTable::set(uint64_t minterm, bool value) {
+  uint64_t& w = words_[minterm >> 6];
+  uint64_t bit = 1ULL << (minterm & 63);
+  if (value) {
+    w |= bit;
+  } else {
+    w &= ~bit;
+  }
+}
+
+bool TruthTable::is_zero() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_one() const { return *this == ones(num_vars_); }
+
+uint64_t TruthTable::count_ones() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+double TruthTable::density() const {
+  return static_cast<double>(count_ones()) /
+         static_cast<double>(num_minterms());
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  TruthTable t = *this;
+  t &= o;
+  return t;
+}
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  TruthTable t = *this;
+  t |= o;
+  return t;
+}
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  TruthTable t = *this;
+  t ^= o;
+  return t;
+}
+TruthTable TruthTable::operator~() const {
+  TruthTable t = *this;
+  for (auto& w : t.words_) w = ~w;
+  t.words_.back() &= live_mask(num_vars_);
+  if (num_vars_ < 6) t.words_[0] &= live_mask(num_vars_);
+  return t;
+}
+
+TruthTable& TruthTable::operator&=(const TruthTable& o) {
+  assert(num_vars_ == o.num_vars_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+TruthTable& TruthTable::operator|=(const TruthTable& o) {
+  assert(num_vars_ == o.num_vars_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+TruthTable& TruthTable::operator^=(const TruthTable& o) {
+  assert(num_vars_ == o.num_vars_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+bool TruthTable::operator==(const TruthTable& o) const {
+  return num_vars_ == o.num_vars_ && words_ == o.words_;
+}
+
+bool TruthTable::implies(const TruthTable& a, const TruthTable& b) {
+  assert(a.num_vars_ == b.num_vars_);
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    if ((a.words_[i] & ~b.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+  TruthTable t = *this;
+  if (var < 6) {
+    uint64_t mask = kVarMasks[var];
+    int shift = 1 << var;
+    for (auto& w : t.words_) {
+      if (value) {
+        uint64_t hi = w & mask;
+        w = hi | (hi >> shift);
+      } else {
+        uint64_t lo = w & ~mask;
+        w = lo | (lo << shift);
+      }
+    }
+    if (num_vars_ < 6) t.words_[0] &= live_mask(num_vars_);
+  } else {
+    const size_t stride = 1ULL << (var - 6);
+    for (size_t i = 0; i < t.words_.size(); ++i) {
+      bool in_one_half = (i / stride) & 1;
+      if (in_one_half != value) {
+        // Copy from the sibling half.
+        size_t sibling = value ? i + stride : i - stride;
+        t.words_[i] = words_[sibling];
+      }
+    }
+  }
+  return t;
+}
+
+TruthTable TruthTable::boolean_difference(int var) const {
+  return cofactor(var, false) ^ cofactor(var, true);
+}
+
+bool TruthTable::depends_on(int var) const {
+  return !boolean_difference(var).is_zero();
+}
+
+namespace {
+
+// Minato-Morreale ISOP on an interval [lower, upper]; recursion splits on
+// the highest variable both tables may depend on.
+Sop isop_rec(const TruthTable& lower, const TruthTable& upper, int top_var) {
+  const int n = lower.num_vars();
+  if (lower.is_zero()) return Sop::zero(n);
+  if (upper.is_one()) return Sop::one(n);
+  // Find actual splitting variable.
+  int var = top_var;
+  while (var >= 0 && !lower.depends_on(var) && !upper.depends_on(var)) --var;
+  assert(var >= 0);
+
+  TruthTable l0 = lower.cofactor(var, false);
+  TruthTable l1 = lower.cofactor(var, true);
+  TruthTable u0 = upper.cofactor(var, false);
+  TruthTable u1 = upper.cofactor(var, true);
+
+  // Cubes that must carry literal var' / var.
+  Sop c0 = isop_rec(l0 & ~u1, u0, var - 1);
+  Sop c1 = isop_rec(l1 & ~u0, u1, var - 1);
+
+  TruthTable cov0 = TruthTable::from_sop(c0);
+  TruthTable cov1 = TruthTable::from_sop(c1);
+  TruthTable rem = (l0 & ~cov0) | (l1 & ~cov1);
+  Sop cs = isop_rec(rem, u0 & u1, var - 1);
+
+  Sop result(n);
+  for (Cube c : c0.cubes()) {
+    c.set(var, LitCode::kNeg);
+    result.add_cube(std::move(c));
+  }
+  for (Cube c : c1.cubes()) {
+    c.set(var, LitCode::kPos);
+    result.add_cube(std::move(c));
+  }
+  for (const Cube& c : cs.cubes()) result.add_cube(c);
+  return result;
+}
+
+}  // namespace
+
+Sop TruthTable::isop() const { return isop_interval(*this, *this); }
+
+Sop TruthTable::isop_interval(const TruthTable& lower,
+                              const TruthTable& upper) {
+  assert(lower.num_vars() == upper.num_vars());
+  assert(implies(lower, upper));
+  return isop_rec(lower, upper, lower.num_vars() - 1);
+}
+
+std::string TruthTable::to_binary() const {
+  std::string s(num_minterms(), '0');
+  for (uint64_t m = 0; m < num_minterms(); ++m) {
+    if (get(m)) s[s.size() - 1 - m] = '1';
+  }
+  return s;
+}
+
+}  // namespace apx

@@ -1,0 +1,95 @@
+// Dynamic-width truth tables used for local-function analysis: observability
+// computation, ODC feasible-space evaluation (paper Sec. 2.1.2), and
+// irredundant SOP extraction (Minato-Morreale ISOP).
+//
+// A table over n variables stores 2^n bits packed into 64-bit words; bit m
+// is the function value on minterm m (bit i of m = value of variable i).
+// Practical for n <= ~20; the synthesis core restricts local analysis to
+// n <= kMaxLocalVars and falls back to sampling beyond that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace apx {
+
+/// Largest local support for exact truth-table analysis in the synthesis
+/// core; beyond this the callers use sampled estimates.
+inline constexpr int kMaxLocalVars = 14;
+
+class TruthTable {
+ public:
+  TruthTable() = default;
+
+  /// Constant-zero table over `num_vars` variables (num_vars <= 26).
+  explicit TruthTable(int num_vars);
+
+  static TruthTable zeros(int num_vars) { return TruthTable(num_vars); }
+  static TruthTable ones(int num_vars);
+
+  /// Projection function of variable `var`.
+  static TruthTable variable(int num_vars, int var);
+
+  /// Table of an SOP cover (evaluated cube by cube).
+  static TruthTable from_sop(const Sop& sop);
+
+  /// Table from a binary string, msb = highest minterm. E.g. "1000" over
+  /// 2 vars is AND.
+  static TruthTable from_binary(int num_vars, const std::string& bits);
+
+  int num_vars() const { return num_vars_; }
+  uint64_t num_minterms() const { return 1ULL << num_vars_; }
+
+  bool get(uint64_t minterm) const;
+  void set(uint64_t minterm, bool value);
+
+  bool is_zero() const;
+  bool is_one() const;
+
+  uint64_t count_ones() const;
+
+  /// Fraction of minterms on which the function is 1.
+  double density() const;
+
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator^(const TruthTable& o) const;
+  TruthTable operator~() const;
+  TruthTable& operator&=(const TruthTable& o);
+  TruthTable& operator|=(const TruthTable& o);
+  TruthTable& operator^=(const TruthTable& o);
+
+  bool operator==(const TruthTable& o) const;
+  bool operator!=(const TruthTable& o) const { return !(*this == o); }
+
+  /// a => b (a & ~b == 0).
+  static bool implies(const TruthTable& a, const TruthTable& b);
+
+  /// Cofactor w.r.t. var = value (result still spans num_vars variables,
+  /// with `var` made irrelevant).
+  TruthTable cofactor(int var, bool value) const;
+
+  /// Boolean difference d f / d var = f|var=0 XOR f|var=1 — the local
+  /// observability function of `var` (paper Sec. 2.1.1).
+  TruthTable boolean_difference(int var) const;
+
+  /// Does the function depend on `var`?
+  bool depends_on(int var) const;
+
+  /// Irredundant SOP via the Minato-Morreale algorithm.
+  Sop isop() const;
+
+  /// ISOP of an interval: a cover C with lower <= C <= upper.
+  static Sop isop_interval(const TruthTable& lower, const TruthTable& upper);
+
+  std::string to_binary() const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace apx

@@ -1,0 +1,132 @@
+#include "sop/algebraic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+TEST(AlgebraicTest, CubeQuotientBasics) {
+  Cube abc = *Cube::parse("111");
+  Cube ab = *Cube::parse("11-");
+  auto q = cube_quotient(abc, ab);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->to_string(), "--1");
+  // Division by a literal the cube lacks fails.
+  EXPECT_FALSE(cube_quotient(*Cube::parse("1--"), *Cube::parse("-1-")));
+  // Phase clash fails.
+  EXPECT_FALSE(cube_quotient(*Cube::parse("10-"), *Cube::parse("11-")));
+  // Division by the full cube is identity.
+  auto id = cube_quotient(abc, Cube::full(3));
+  EXPECT_EQ(*id, abc);
+}
+
+TEST(AlgebraicTest, TextbookDivision) {
+  // f = abc + abd + e ; d = c + d (over vars a,b,c,d,e) ->
+  // quotient ab, remainder e.
+  Sop f = *Sop::parse(5, "111--\n11-1-\n----1");
+  Sop d = *Sop::parse(5, "--1--\n---1-");
+  auto [q, r] = algebraic_divide(f, d);
+  ASSERT_EQ(q.num_cubes(), 1);
+  EXPECT_EQ(q.cube(0).to_string(), "11---");
+  ASSERT_EQ(r.num_cubes(), 1);
+  EXPECT_EQ(r.cube(0).to_string(), "----1");
+}
+
+TEST(AlgebraicTest, NonDivisorGivesEmptyQuotient) {
+  Sop f = *Sop::parse(3, "11-\n--1");
+  Sop d = *Sop::parse(3, "10-\n-01");
+  auto [q, r] = algebraic_divide(f, d);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(r.num_cubes(), f.num_cubes());
+}
+
+TEST(AlgebraicTest, DivisionIdentityHoldsOnRandomCovers) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 6;
+    auto random_cover = [&](int cubes, int max_lits) {
+      Sop s(n);
+      for (int i = 0; i < cubes; ++i) {
+        Cube c = Cube::full(n);
+        int lits = 1 + static_cast<int>(rng() % max_lits);
+        for (int j = 0; j < lits; ++j) {
+          c.set(static_cast<int>(rng() % n),
+                (rng() & 1) ? LitCode::kPos : LitCode::kNeg);
+        }
+        s.add_cube(c);
+      }
+      return s;
+    };
+    Sop q0 = random_cover(2, 2);
+    Sop d = random_cover(2, 2);
+    Sop r0 = random_cover(1, 3);
+    Sop f = Sop::disjunction(algebraic_product(q0, d), r0);
+    auto [q, r] = algebraic_divide(f, d);
+    // Identity: f == q*d + r as a Boolean function (algebraic equality may
+    // renormalize cube multiplicity, Boolean equality is the invariant that
+    // matters downstream).
+    Sop rebuilt = Sop::disjunction(algebraic_product(q, d), r);
+    EXPECT_EQ(TruthTable::from_sop(rebuilt), TruthTable::from_sop(f))
+        << "trial " << trial;
+  }
+}
+
+TEST(AlgebraicTest, CommonCubeAndCubeFreedom) {
+  Sop f = *Sop::parse(4, "11-1\n1-11");
+  EXPECT_EQ(common_cube(f).to_string(), "1--1");
+  EXPECT_FALSE(is_cube_free(f));
+  Sop g = *Sop::parse(4, "11--\n--11");
+  EXPECT_TRUE(is_cube_free(g));
+  EXPECT_TRUE(common_cube(g).is_full());
+  // Single cubes are never cube-free.
+  EXPECT_FALSE(is_cube_free(*Sop::parse(4, "1---")));
+}
+
+TEST(AlgebraicTest, KernelsOfTextbookExample) {
+  // f = adf + aef + bdf + bef + cdf + cef + g  (classic SIS example)
+  // over a..g: kernels include (a+b+c), (d+e), and f itself.
+  // vars: a=0 b=1 c=2 d=3 e=4 f=5 g=6
+  Sop f = *Sop::parse(7, "1--1-1-\n1---11-\n-1-1-1-\n-1--11-\n--11-1-\n--1-11-\n------1");
+  std::vector<Kernel> kernels = find_kernels(f);
+  Sop abc = *Sop::parse(7, "1------\n-1-----\n--1----");
+  Sop de = *Sop::parse(7, "---1---\n----1--");
+  abc.canonicalize();
+  de.canonicalize();
+  bool found_abc = false, found_de = false;
+  for (const Kernel& k : kernels) {
+    Sop canon = k.kernel;
+    canon.canonicalize();
+    if (canon == abc) found_abc = true;
+    if (canon == de) found_de = true;
+  }
+  EXPECT_TRUE(found_abc);
+  EXPECT_TRUE(found_de);
+  // Every kernel is cube-free.
+  for (const Kernel& k : kernels) {
+    EXPECT_TRUE(k.kernel.num_cubes() == 1 || is_cube_free(k.kernel))
+        << k.kernel.to_string();
+  }
+}
+
+TEST(AlgebraicTest, BestKernelSavesLiterals) {
+  // f = ab + ac + ad: best kernel (b+c+d) saves literals.
+  Sop f = *Sop::parse(4, "11--\n1-1-\n1--1");
+  auto k = best_kernel(f);
+  ASSERT_TRUE(k.has_value());
+  auto [q, r] = algebraic_divide(f, k->kernel);
+  int factored_cost = q.literal_count() + k->kernel.literal_count() +
+                      r.literal_count();
+  EXPECT_LT(factored_cost, f.literal_count());
+}
+
+TEST(AlgebraicTest, NoKernelForSimpleFunctions) {
+  EXPECT_FALSE(best_kernel(*Sop::parse(3, "111")).has_value());
+  EXPECT_FALSE(best_kernel(*Sop::parse(3, "1--\n-1-")).has_value());
+}
+
+}  // namespace
+}  // namespace apx

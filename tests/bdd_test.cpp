@@ -1,0 +1,155 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apx {
+namespace {
+
+TEST(BddTest, TerminalsAndVariables) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.zero(), 0u);
+  EXPECT_EQ(mgr.one(), 1u);
+  auto x0 = mgr.var(0);
+  EXPECT_TRUE(mgr.evaluate(x0, 0b001));
+  EXPECT_FALSE(mgr.evaluate(x0, 0b110));
+  auto nx1 = mgr.literal(1, false);
+  EXPECT_TRUE(mgr.evaluate(nx1, 0b001));
+  EXPECT_FALSE(mgr.evaluate(nx1, 0b010));
+}
+
+TEST(BddTest, BasicOperations) {
+  BddManager mgr(2);
+  auto a = mgr.var(0);
+  auto b = mgr.var(1);
+  auto ab = mgr.bdd_and(a, b);
+  auto a_or_b = mgr.bdd_or(a, b);
+  auto a_xor_b = mgr.bdd_xor(a, b);
+  for (uint64_t m = 0; m < 4; ++m) {
+    bool va = m & 1, vb = (m >> 1) & 1;
+    EXPECT_EQ(mgr.evaluate(ab, m), va && vb);
+    EXPECT_EQ(mgr.evaluate(a_or_b, m), va || vb);
+    EXPECT_EQ(mgr.evaluate(a_xor_b, m), va != vb);
+  }
+}
+
+TEST(BddTest, CanonicityHashConsing) {
+  BddManager mgr(3);
+  auto a = mgr.var(0);
+  auto b = mgr.var(1);
+  // a & b built two ways must be the same node.
+  auto ab1 = mgr.bdd_and(a, b);
+  auto ab2 = mgr.bdd_not(mgr.bdd_or(mgr.bdd_not(a), mgr.bdd_not(b)));
+  EXPECT_EQ(ab1, ab2);
+  // Idempotence and involution.
+  EXPECT_EQ(mgr.bdd_and(a, a), a);
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(a)), a);
+}
+
+TEST(BddTest, SatFraction) {
+  BddManager mgr(4);
+  auto a = mgr.var(0);
+  auto b = mgr.var(1);
+  auto c = mgr.var(2);
+  auto d = mgr.var(3);
+  // Paper Sec. 2 example: F = a + b + c'd' + cd has 14/16 minterms.
+  auto f = mgr.bdd_or(
+      mgr.bdd_or(a, b),
+      mgr.bdd_or(mgr.bdd_and(mgr.bdd_not(c), mgr.bdd_not(d)),
+                 mgr.bdd_and(c, d)));
+  EXPECT_NEAR(mgr.sat_fraction(f), 14.0 / 16.0, 1e-12);
+  EXPECT_NEAR(mgr.sat_count(f), 14.0, 1e-9);
+  // G = a + b covers 12/16 = 85.7% of F's minterms.
+  auto g = mgr.bdd_or(a, b);
+  EXPECT_NEAR(mgr.sat_count(g) / mgr.sat_count(f), 12.0 / 14.0, 1e-9);
+}
+
+TEST(BddTest, Implication) {
+  BddManager mgr(4);
+  auto a = mgr.var(0);
+  auto b = mgr.var(1);
+  auto f = mgr.bdd_or(a, b);
+  auto g = mgr.bdd_or(f, mgr.var(2));
+  EXPECT_TRUE(mgr.implies(f, g));
+  EXPECT_FALSE(mgr.implies(g, f));
+  EXPECT_TRUE(mgr.implies(mgr.zero(), f));
+  EXPECT_TRUE(mgr.implies(f, mgr.one()));
+}
+
+TEST(BddTest, Cofactor) {
+  BddManager mgr(3);
+  auto a = mgr.var(0);
+  auto b = mgr.var(1);
+  auto f = mgr.bdd_or(mgr.bdd_and(a, b), mgr.bdd_and(mgr.bdd_not(a), mgr.var(2)));
+  EXPECT_EQ(mgr.cofactor(f, 0, true), b);
+  EXPECT_EQ(mgr.cofactor(f, 0, false), mgr.var(2));
+}
+
+TEST(BddTest, SupportAndSize) {
+  BddManager mgr(5);
+  auto f = mgr.bdd_and(mgr.var(1), mgr.var(3));
+  auto s = mgr.support(f);
+  EXPECT_FALSE(s[0]);
+  EXPECT_TRUE(s[1]);
+  EXPECT_FALSE(s[2]);
+  EXPECT_TRUE(s[3]);
+  EXPECT_EQ(mgr.size(f), 2u);
+  EXPECT_EQ(mgr.size(mgr.one()), 0u);
+}
+
+TEST(BddTest, NodeLimitThrows) {
+  // A tiny budget must overflow when building a multiplier-ish function.
+  BddManager mgr(16, 24);
+  auto acc = mgr.zero();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 8; ++i) {
+          acc = mgr.bdd_xor(acc, mgr.bdd_and(mgr.var(i), mgr.var(15 - i)));
+        }
+      },
+      BddOverflow);
+}
+
+class BddRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomProperty, MatchesDirectEvaluation) {
+  std::mt19937 rng(GetParam());
+  const int n = 6;
+  BddManager mgr(n);
+  // Build a random expression tree and an evaluator closure alongside.
+  std::vector<BddManager::Ref> refs;
+  for (int i = 0; i < n; ++i) refs.push_back(mgr.var(i));
+  for (int step = 0; step < 40; ++step) {
+    auto a = refs[rng() % refs.size()];
+    auto b = refs[rng() % refs.size()];
+    switch (rng() % 4) {
+      case 0:
+        refs.push_back(mgr.bdd_and(a, b));
+        break;
+      case 1:
+        refs.push_back(mgr.bdd_or(a, b));
+        break;
+      case 2:
+        refs.push_back(mgr.bdd_xor(a, b));
+        break;
+      case 3:
+        refs.push_back(mgr.bdd_not(a));
+        break;
+    }
+  }
+  // Validate sat_fraction of the last ref against brute-force evaluation.
+  auto f = refs.back();
+  uint64_t ones = 0;
+  for (uint64_t m = 0; m < (1u << n); ++m) {
+    if (mgr.evaluate(f, m)) ++ones;
+  }
+  EXPECT_NEAR(mgr.sat_fraction(f), static_cast<double>(ones) / (1u << n),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomProperty,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+}  // namespace
+}  // namespace apx

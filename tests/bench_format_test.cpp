@@ -1,0 +1,96 @@
+#include "network/bench_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "sat/encode.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+const char* kC17Bench = R"(
+# c17 in ISCAS89-style .bench
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchFormatTest, ParsesC17AndMatchesEmbedded) {
+  Network parsed = read_bench_string(kC17Bench);
+  Network embedded = make_c17();
+  ASSERT_EQ(parsed.num_pis(), embedded.num_pis());
+  for (int o = 0; o < 2; ++o) {
+    EXPECT_EQ(check_po_equivalence(parsed, o, embedded, o),
+              CheckResult::kHolds);
+  }
+}
+
+TEST(BenchFormatTest, GateVocabulary) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+OUTPUT(o4)
+o1 = XOR(a, b)
+o2 = XNOR(a, b)
+o3 = NOR(a, b)
+o4 = BUFF(a)
+)";
+  Network net = read_bench_string(text);
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(2));
+  auto bits = [&](int po) { return sim.value(net.po(po).driver)[0] & 0xF; };
+  EXPECT_EQ(bits(0), 0b0110u);  // XOR
+  EXPECT_EQ(bits(1), 0b1001u);  // XNOR
+  EXPECT_EQ(bits(2), 0b0001u);  // NOR
+  EXPECT_EQ(bits(3), 0b1010u);  // BUFF(a)
+}
+
+TEST(BenchFormatTest, OutOfOrderDefinitions) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(t)
+t = BUF(a)
+)";
+  Network net = read_bench_string(text);
+  net.check();
+  EXPECT_EQ(net.num_logic_nodes(), 2);
+}
+
+TEST(BenchFormatTest, RoundTripArbitraryNetwork) {
+  Network net = make_benchmark("cmp4");
+  std::string text = write_bench_string(net);
+  Network back = read_bench_string(text);
+  for (int o = 0; o < net.num_pos(); ++o) {
+    EXPECT_EQ(check_po_equivalence(net, o, back, o), CheckResult::kHolds)
+        << "po " << o;
+  }
+}
+
+TEST(BenchFormatTest, RejectsSequentialAndMalformed) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny NOT a\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("OUTPUT(y)\ny = NOT(z)\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apx

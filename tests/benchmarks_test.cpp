@@ -1,0 +1,132 @@
+#include "benchmarks/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+TEST(BenchmarksTest, C17MatchesKnownFunction) {
+  Network net = make_c17();
+  net.check();
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(5));
+  // Reference model: inputs 1,2,3,6,7 in PI order.
+  for (uint64_t m = 0; m < 32; ++m) {
+    bool i1 = m & 1, i2 = (m >> 1) & 1, i3 = (m >> 2) & 1, i6 = (m >> 3) & 1,
+         i7 = (m >> 4) & 1;
+    bool n10 = !(i1 && i3);
+    bool n11 = !(i3 && i6);
+    bool n16 = !(i2 && n11);
+    bool n19 = !(n11 && i7);
+    bool o22 = !(n10 && n16);
+    bool o23 = !(n16 && n19);
+    EXPECT_EQ(static_cast<bool>((sim.value(net.po(0).driver)[0] >> m) & 1),
+              o22);
+    EXPECT_EQ(static_cast<bool>((sim.value(net.po(1).driver)[0] >> m) & 1),
+              o23);
+  }
+}
+
+TEST(BenchmarksTest, RippleAdderAdds) {
+  Network net = make_ripple_adder(4);
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(9));
+  for (uint64_t m = 0; m < 512; m += 11) {
+    uint64_t a = m & 0xF, b = (m >> 4) & 0xF, cin = (m >> 8) & 1;
+    uint64_t expect = a + b + cin;
+    uint64_t got = 0;
+    for (int i = 0; i < 4; ++i) {
+      NodeId drv = net.po(i).driver;
+      if ((sim.value(drv)[m >> 6] >> (m & 63)) & 1) got |= 1ULL << i;
+    }
+    if ((sim.value(net.po(4).driver)[m >> 6] >> (m & 63)) & 1) got |= 16;
+    EXPECT_EQ(got, expect) << "a=" << a << " b=" << b << " cin=" << cin;
+  }
+}
+
+TEST(BenchmarksTest, Comparator4Compares) {
+  Network net = make_comparator4();
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(8));
+  for (uint64_t m = 0; m < 256; m += 7) {
+    uint64_t a = m & 0xF, b = (m >> 4) & 0xF;
+    bool eq = (sim.value(net.po(0).driver)[m >> 6] >> (m & 63)) & 1;
+    bool gt = (sim.value(net.po(1).driver)[m >> 6] >> (m & 63)) & 1;
+    EXPECT_EQ(eq, a == b);
+    EXPECT_EQ(gt, a > b);
+  }
+}
+
+TEST(BenchmarksTest, Majority5Counts) {
+  Network net = make_majority5();
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(5));
+  for (uint64_t m = 0; m < 32; ++m) {
+    bool maj = (sim.value(net.po(0).driver)[0] >> m) & 1;
+    EXPECT_EQ(maj, __builtin_popcountll(m) >= 3) << m;
+  }
+}
+
+TEST(BenchmarksTest, Decoder38OneHot) {
+  Network net = make_decoder38();
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(4));
+  for (uint64_t m = 0; m < 16; ++m) {
+    int sel = m & 7;
+    bool en = (m >> 3) & 1;
+    int hot = -1, count = 0;
+    for (int o = 0; o < 8; ++o) {
+      if ((sim.value(net.po(o).driver)[0] >> m) & 1) {
+        hot = o;
+        ++count;
+      }
+    }
+    if (!en) {
+      EXPECT_EQ(count, 0);
+    } else {
+      EXPECT_EQ(count, 1);
+      EXPECT_EQ(hot, sel);
+    }
+  }
+}
+
+TEST(BenchmarksTest, GeneratedProfilesHitTargets) {
+  // Spot-check the small and mid profiles: gate counts within 35% of the
+  // published target, interface counts exact.
+  for (const char* name : {"cmb", "cordic", "term1"}) {
+    const BenchmarkProfile& p = mcnc_profile(name);
+    Network net = generate_benchmark(p);
+    EXPECT_EQ(net.num_pis(), p.num_pis) << name;
+    EXPECT_EQ(net.num_pos(), p.num_pos) << name;
+    int area = mapped_area(technology_map(quick_synthesis(net)));
+    EXPECT_GT(area, p.target_gates * 0.65) << name;
+    EXPECT_LT(area, p.target_gates * 1.35) << name;
+  }
+}
+
+TEST(BenchmarksTest, GenerationIsDeterministic) {
+  Network a = generate_benchmark(mcnc_profile("cmb"));
+  Network b = generate_benchmark(mcnc_profile("cmb"));
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.total_literals(), b.total_literals());
+}
+
+TEST(BenchmarksTest, AllNamesConstructible) {
+  for (const std::string& name : benchmark_names()) {
+    if (name == "i10" || name == "des" || name == "frg2" || name == "dalu" ||
+        name == "i8") {
+      continue;  // large profiles exercised by the bench harness
+    }
+    Network net = make_benchmark(name);
+    net.check();
+    EXPECT_GT(net.num_pos(), 0) << name;
+  }
+  EXPECT_THROW(make_benchmark("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace apx

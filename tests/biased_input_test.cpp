@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/verify.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+double measured_prob(const PatternSet& p, int pi) {
+  int64_t ones = 0;
+  for (int w = 0; w < p.num_words(); ++w) {
+    ones += std::popcount(p.word(pi, w));
+  }
+  return static_cast<double>(ones) / (64.0 * p.num_words());
+}
+
+TEST(BiasedPatternTest, HitsRequestedProbabilities) {
+  std::vector<double> probs = {0.0, 0.125, 0.3, 0.5, 0.75, 0.9, 1.0};
+  PatternSet p = PatternSet::biased(probs, 512, 99);
+  EXPECT_DOUBLE_EQ(measured_prob(p, 0), 0.0);
+  EXPECT_DOUBLE_EQ(measured_prob(p, 6), 1.0);
+  for (size_t i = 1; i + 1 < probs.size(); ++i) {
+    EXPECT_NEAR(measured_prob(p, static_cast<int>(i)), probs[i], 0.01)
+        << "pi " << i;
+  }
+}
+
+TEST(BiasedPatternTest, UniformBiasMatchesRandom) {
+  std::vector<double> probs(4, 0.5);
+  PatternSet p = PatternSet::biased(probs, 256, 7);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(measured_prob(p, i), 0.5, 0.02);
+  }
+}
+
+TEST(BiasedPatternTest, Deterministic) {
+  std::vector<double> probs = {0.3, 0.7};
+  PatternSet a = PatternSet::biased(probs, 16, 42);
+  PatternSet b = PatternSet::biased(probs, 16, 42);
+  EXPECT_EQ(a.word(0, 5), b.word(0, 5));
+  EXPECT_EQ(a.word(1, 9), b.word(1, 9));
+}
+
+TEST(WeightedApproximationTest, BiasChangesApproximationPercentage) {
+  // F = a + b + c'd' + cd, G = a + b (the Sec. 2 example). Uniform inputs:
+  // 12/14 = 85.7%. If a and b are almost always 1, G covers nearly all of
+  // F's weighted on-set; if a and b are almost always 0, G covers almost
+  // none of it.
+  Network f;
+  NodeId a = f.add_pi("a");
+  NodeId b = f.add_pi("b");
+  NodeId c = f.add_pi("c");
+  NodeId d = f.add_pi("d");
+  NodeId ab = f.add_or(a, b);
+  NodeId xnor = f.add_node({c, d}, *Sop::parse(2, "00\n11"));
+  f.add_po("F", f.add_or(ab, xnor));
+
+  Network g;
+  NodeId a2 = g.add_pi("a");
+  NodeId b2 = g.add_pi("b");
+  (void)g.add_pi("c");
+  (void)g.add_pi("d");
+  g.add_po("G", g.add_or(a2, b2));
+
+  std::vector<double> uniform(4, 0.5);
+  double base = weighted_approximation_percentage(
+      f, g, 0, ApproxDirection::kOneApprox, uniform);
+  EXPECT_NEAR(base, 12.0 / 14.0, 0.02);
+
+  std::vector<double> ab_high = {0.95, 0.95, 0.5, 0.5};
+  double high = weighted_approximation_percentage(
+      f, g, 0, ApproxDirection::kOneApprox, ab_high);
+  EXPECT_GT(high, 0.97);
+
+  std::vector<double> ab_low = {0.05, 0.05, 0.5, 0.5};
+  double low = weighted_approximation_percentage(
+      f, g, 0, ApproxDirection::kOneApprox, ab_low);
+  EXPECT_LT(low, 0.35);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,145 @@
+#include "network/blif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+const char* kSimpleBlif = R"(
+# a tiny two-gate circuit
+.model tiny
+.inputs a b c
+.outputs f
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.end
+)";
+
+TEST(BlifTest, ParsesSimpleModel) {
+  Network net = read_blif_string(kSimpleBlif);
+  EXPECT_EQ(net.name(), "tiny");
+  EXPECT_EQ(net.num_pis(), 3);
+  EXPECT_EQ(net.num_pos(), 1);
+  EXPECT_EQ(net.num_logic_nodes(), 2);
+  net.check();
+}
+
+TEST(BlifTest, OffsetRowsAreComplemented) {
+  // f defined by off-set: f=0 iff a=1,b=1 -> f = (ab)'.
+  const char* text = R"(
+.model offs
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  Network net = read_blif_string(text);
+  NodeId f = net.po(0).driver;
+  TruthTable tt = TruthTable::from_sop(net.node(f).sop);
+  EXPECT_EQ(tt.to_binary(), "0111");  // NAND
+}
+
+TEST(BlifTest, ConstantTables) {
+  const char* text = R"(
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+)";
+  Network net = read_blif_string(text);
+  EXPECT_EQ(net.node(net.po(0).driver).kind, NodeKind::kConst1);
+  EXPECT_EQ(net.node(net.po(1).driver).kind, NodeKind::kConst0);
+}
+
+TEST(BlifTest, OutOfOrderTables) {
+  const char* text = R"(
+.model ooo
+.inputs a b
+.outputs f
+.names t1 t2 f
+11 1
+.names a t1
+0 1
+.names b t2
+1 1
+.end
+)";
+  Network net = read_blif_string(text);
+  net.check();
+  EXPECT_EQ(net.num_logic_nodes(), 3);
+}
+
+TEST(BlifTest, LineContinuation) {
+  const char* text =
+      ".model cont\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+  Network net = read_blif_string(text);
+  EXPECT_EQ(net.num_pis(), 2);
+}
+
+TEST(BlifTest, RoundTripPreservesFunction) {
+  Network net = read_blif_string(kSimpleBlif);
+  std::string text = write_blif_string(net);
+  Network back = read_blif_string(text);
+  EXPECT_EQ(back.num_pis(), net.num_pis());
+  EXPECT_EQ(back.num_pos(), net.num_pos());
+  // Compare PO functions by building local composition over the 3 PIs.
+  // (tiny circuit: brute-force over all 8 input vectors using SOPs.)
+  auto eval = [](const Network& n, uint64_t input) {
+    std::vector<char> value(n.num_nodes(), 0);
+    for (int i = 0; i < n.num_pis(); ++i) {
+      value[n.pis()[i]] = (input >> i) & 1;
+    }
+    for (NodeId id : n.topo_order()) {
+      const Node& node = n.node(id);
+      if (node.kind == NodeKind::kConst1) value[id] = 1;
+      if (node.kind != NodeKind::kLogic) continue;
+      uint64_t local = 0;
+      for (size_t j = 0; j < node.fanins.size(); ++j) {
+        if (value[node.fanins[j]]) local |= 1ULL << j;
+      }
+      value[id] = node.sop.covers_minterm(local);
+    }
+    return value[n.po(0).driver];
+  };
+  for (uint64_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(eval(net, m), eval(back, m)) << m;
+  }
+}
+
+TEST(BlifTest, RejectsMalformedInput) {
+  EXPECT_THROW(read_blif_string(".model x\n.inputs a\n.outputs f\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_blif_string("garbage row\n"), std::runtime_error);
+  EXPECT_THROW(read_blif_string(".model x\n.latch a b\n.end\n"),
+               std::runtime_error);
+  // Mixed phase rows.
+  EXPECT_THROW(read_blif_string(
+                   ".model x\n.inputs a\n.outputs f\n.names a f\n1 1\n0 0\n.end\n"),
+               std::runtime_error);
+}
+
+TEST(BlifTest, RejectsCyclicDefinition) {
+  const char* text = R"(
+.model cyc
+.inputs a
+.outputs f
+.names f a g
+11 1
+.names g a f
+1- 1
+.end
+)";
+  EXPECT_THROW(read_blif_string(text), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace apx

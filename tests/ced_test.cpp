@@ -1,0 +1,128 @@
+#include "core/ced.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/approx_synthesis.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+struct CedSetup {
+  Network mapped;
+  Network checkgen;
+  std::vector<ApproxDirection> dirs;
+  CedDesign ced;
+};
+
+CedSetup build_setup(const std::string& bench, double threshold) {
+  CedSetup s;
+  Network net = make_benchmark(bench);
+  Network opt = quick_synthesis(net);
+  s.mapped = technology_map(opt);
+  s.dirs.assign(net.num_pos(), ApproxDirection::kZeroApprox);
+  ApproxOptions aopt;
+  aopt.significance_threshold = threshold;
+  ApproxResult r = synthesize_approximation(opt, s.dirs, aopt);
+  EXPECT_TRUE(r.all_verified());
+  s.checkgen = technology_map(r.approx);
+  s.ced = build_ced_design(s.mapped, s.checkgen, s.dirs);
+  return s;
+}
+
+TEST(CedTest, DesignPartitionsAreDisjointAndComplete) {
+  CedSetup s = build_setup("cmp4", 0.1);
+  const CedDesign& ced = s.ced;
+  size_t total = ced.functional_nodes.size() + ced.checkgen_nodes.size() +
+                 ced.checker_nodes.size();
+  EXPECT_EQ(static_cast<int>(total), ced.design.num_logic_nodes());
+  EXPECT_EQ(ced.functional_area(), s.mapped.num_logic_nodes());
+  EXPECT_EQ(static_cast<int>(ced.checkgen_nodes.size()),
+            s.checkgen.num_logic_nodes());
+}
+
+TEST(CedTest, FaultFreeDesignNeverFlags) {
+  CedSetup s = build_setup("cmp4", 0.1);
+  Simulator sim(s.ced.design);
+  sim.run(PatternSet::random(s.ced.design.num_pis(), 64, 3));
+  const auto& z1 = sim.value(s.ced.error_pair.rail1);
+  const auto& z2 = sim.value(s.ced.error_pair.rail2);
+  for (size_t w = 0; w < z1.size(); ++w) {
+    EXPECT_EQ(z1[w] ^ z2[w], ~0ULL) << "false alarm in fault-free operation";
+  }
+}
+
+TEST(CedTest, ProtectedDirectionFaultsAreDetected) {
+  // Single-output AND cone protected by a perfect 0-approximation (the
+  // function itself): every 0->1 output error must be flagged.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId y = net.add_and(net.add_and(a, b), c, "y");
+  net.add_po("y", y);
+  Network mapped = technology_map(net);
+  CedDesign ced = build_ced_design(mapped, mapped,
+                                   {ApproxDirection::kZeroApprox});
+  CoverageOptions copt;
+  copt.num_fault_samples = 200;
+  CoverageResult cov = evaluate_ced_coverage(ced, copt);
+  EXPECT_GT(cov.erroneous, 0);
+  // With a perfect check function both directions at the single output are
+  // covered for 0->1; 1->0 errors at Y present as valid codewords. The AND
+  // cone is 0-dominant, so overall coverage must be high.
+  EXPECT_GT(cov.coverage(), 0.7);
+}
+
+TEST(CedTest, CoverageWithinBounds) {
+  CedSetup s = build_setup("dec38", 0.1);
+  CoverageOptions copt;
+  copt.num_fault_samples = 300;
+  CoverageResult cov = evaluate_ced_coverage(s.ced, copt);
+  EXPECT_GE(cov.detected, 0);
+  EXPECT_LE(cov.detected, cov.erroneous);
+  EXPECT_GT(cov.runs, 0);
+}
+
+TEST(CedTest, CoverageIsDeterministicForSeed) {
+  CedSetup s = build_setup("cmp4", 0.1);
+  CoverageOptions copt;
+  copt.num_fault_samples = 100;
+  CoverageResult a = evaluate_ced_coverage(s.ced, copt);
+  CoverageResult b = evaluate_ced_coverage(s.ced, copt);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.erroneous, b.erroneous);
+}
+
+TEST(CedTest, OverheadReportConsistency) {
+  CedSetup s = build_setup("cmp4", 0.1);
+  OverheadReport rep = measure_overheads(s.ced);
+  EXPECT_EQ(rep.functional_area, s.mapped.num_logic_nodes());
+  EXPECT_GT(rep.functional_activity, 0.0);
+  EXPECT_GT(rep.overhead_activity, 0.0);
+  EXPECT_GT(rep.area_overhead_pct(), 0.0);
+}
+
+TEST(CedTest, InterfaceMismatchThrows) {
+  Network a = make_benchmark("c17");
+  Network b = make_benchmark("fadd");
+  Network ma = technology_map(quick_synthesis(a));
+  Network mb = technology_map(quick_synthesis(b));
+  EXPECT_THROW(build_ced_design(ma, mb,
+                                {ApproxDirection::kZeroApprox,
+                                 ApproxDirection::kZeroApprox}),
+               std::logic_error);
+}
+
+TEST(CedTest, HigherThresholdLowersOverhead) {
+  CedSetup tight = build_setup("cmp4", 0.02);
+  CedSetup loose = build_setup("cmp4", 0.4);
+  EXPECT_LE(loose.checkgen.num_logic_nodes(),
+            tight.checkgen.num_logic_nodes());
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,136 @@
+#include "core/cube_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+TEST(CubeSelectionTest, ConformanceRules) {
+  // Types for three fanins: 1, 0, DC.
+  std::vector<NodeType> types = {NodeType::kOne, NodeType::kZero,
+                                 NodeType::kDc};
+  EXPECT_TRUE(cube_conforms(*Cube::parse("10-"), types));
+  EXPECT_TRUE(cube_conforms(*Cube::parse("1--"), types));
+  EXPECT_TRUE(cube_conforms(*Cube::parse("---"), types));
+  EXPECT_FALSE(cube_conforms(*Cube::parse("0--"), types));   // neg on type-1
+  EXPECT_FALSE(cube_conforms(*Cube::parse("-1-"), types));   // pos on type-0
+  EXPECT_FALSE(cube_conforms(*Cube::parse("--1"), types));   // bound on DC
+  EXPECT_FALSE(cube_conforms(*Cube::parse("--0"), types));
+
+  // EX fanin accepts anything.
+  std::vector<NodeType> all_ex = {NodeType::kEx, NodeType::kEx, NodeType::kEx};
+  EXPECT_TRUE(cube_conforms(*Cube::parse("010"), all_ex));
+}
+
+TEST(CubeSelectionTest, ExactSelectionFiltersCubes) {
+  Sop sop = *Sop::parse(3, "11-\n0-1\n1--");
+  std::vector<NodeType> types = {NodeType::kOne, NodeType::kEx,
+                                 NodeType::kDc};
+  Sop sel = exact_cube_selection(sop, types);
+  // "11-" ok (pos on type-1, pos on EX); "0-1" fails twice; "1--" ok.
+  ASSERT_EQ(sel.num_cubes(), 2);
+  EXPECT_EQ(sel.cube(0).to_string(), "11-");
+  EXPECT_EQ(sel.cube(1).to_string(), "1--");
+}
+
+TEST(CubeSelectionTest, CubeProbability) {
+  std::vector<double> probs = {0.5, 0.25, 0.8};
+  EXPECT_NEAR(cube_probability(*Cube::parse("1--"), probs), 0.5, 1e-12);
+  EXPECT_NEAR(cube_probability(*Cube::parse("-0-"), probs), 0.75, 1e-12);
+  EXPECT_NEAR(cube_probability(*Cube::parse("101"), probs), 0.5 * 0.75 * 0.8,
+              1e-12);
+  EXPECT_NEAR(cube_probability(Cube::full(3), probs), 1.0, 1e-12);
+}
+
+TEST(CubeSelectionTest, OdcCoversAtLeastExactSpace) {
+  // Paper: ODC-based selection explores a richer space than exact
+  // selection. The feasible space always contains every conforming cube.
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 3 + static_cast<int>(rng() % 3);
+    Sop sop(n);
+    int cubes = 2 + static_cast<int>(rng() % 4);
+    for (int i = 0; i < cubes; ++i) {
+      Cube c = Cube::full(n);
+      for (int v = 0; v < n; ++v) {
+        int roll = static_cast<int>(rng() % 3);
+        if (roll == 0) c.set(v, LitCode::kNeg);
+        if (roll == 1) c.set(v, LitCode::kPos);
+      }
+      sop.add_cube(c);
+    }
+    std::vector<NodeType> types;
+    for (int v = 0; v < n; ++v) {
+      types.push_back(static_cast<NodeType>(rng() % 4));
+    }
+    Sop exact = exact_cube_selection(sop, types);
+    auto odc = odc_cube_selection(sop, types);
+    ASSERT_TRUE(odc.has_value());
+    TruthTable exact_tt = TruthTable::from_sop(exact);
+    TruthTable odc_tt = TruthTable::from_sop(*odc);
+    TruthTable f_tt = TruthTable::from_sop(sop);
+    EXPECT_TRUE(TruthTable::implies(exact_tt, odc_tt))
+        << "exact selection outside ODC feasible space";
+    EXPECT_TRUE(TruthTable::implies(odc_tt, f_tt))
+        << "feasible space leaked outside the function";
+  }
+}
+
+TEST(CubeSelectionTest, OdcDiscoversUnobservableDcMinterm) {
+  // g = x0 | (x1 & x2) with x1, x2 typed DC and x0 typed 1. Exact selection
+  // keeps only cube "1--". The ODC space additionally contains the minterms
+  // where x1/x2 are not observable (x0 = 1 already covers them), so the ODC
+  // cover equals the exact one here; the richer-space property shows up as
+  // set containment, exercised above. Here: a case where ODC strictly wins.
+  //
+  // g = x0 x1 + x0 x1' (= x0), x1 typed DC: the cube "1-" is in the ODC
+  // space because x1 is unobservable everywhere, while exact selection on
+  // the 2-cube SOP form finds no conforming cube.
+  Sop sop = *Sop::parse(2, "11\n10");
+  std::vector<NodeType> types = {NodeType::kOne, NodeType::kDc};
+  Sop exact = exact_cube_selection(sop, types);
+  EXPECT_EQ(exact.num_cubes(), 0);
+  auto odc = odc_cube_selection(sop, types);
+  ASSERT_TRUE(odc.has_value());
+  TruthTable odc_tt = TruthTable::from_sop(*odc);
+  EXPECT_EQ(odc_tt, TruthTable::from_sop(*Sop::parse(2, "1-")));
+}
+
+TEST(CubeSelectionTest, OdcRespectsTypedFaninPhases) {
+  // g = x0 & x1 with x0 type 1, x1 type 0: feasible = g & (x0 + ~obs(x0))
+  // & (~x1 + ~obs(x1)). obs(x0) = x1, obs(x1) = x0. feasible = x0 x1 &
+  // (x0 + ~x1) & (~x1 + ~x0) = x0 x1 & ... = 0.
+  Sop sop = *Sop::parse(2, "11");
+  std::vector<NodeType> types = {NodeType::kOne, NodeType::kZero};
+  auto odc = odc_cube_selection(sop, types);
+  ASSERT_TRUE(odc.has_value());
+  EXPECT_TRUE(TruthTable::from_sop(*odc).is_zero());
+}
+
+TEST(CubeSelectionTest, OdcRefusesWideSupport) {
+  Sop sop(kMaxLocalVars + 1);
+  Cube c = Cube::full(kMaxLocalVars + 1);
+  c.set(0, LitCode::kPos);
+  sop.add_cube(c);
+  std::vector<NodeType> types(kMaxLocalVars + 1, NodeType::kEx);
+  EXPECT_FALSE(odc_cube_selection(sop, types).has_value());
+}
+
+TEST(CubeSelectionTest, OdcOrdersByProbability) {
+  // Two disjoint cubes; the higher-probability one must come first.
+  Sop sop = *Sop::parse(3, "11-\n00-");
+  std::vector<NodeType> types = {NodeType::kEx, NodeType::kEx, NodeType::kEx};
+  std::vector<double> probs = {0.9, 0.9, 0.5};
+  auto odc = odc_cube_selection(sop, types, &probs);
+  ASSERT_TRUE(odc.has_value());
+  ASSERT_GE(odc->num_cubes(), 2);
+  EXPECT_GE(cube_probability(odc->cube(0), probs),
+            cube_probability(odc->cube(1), probs));
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,152 @@
+#include "sop/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apx {
+namespace {
+
+TEST(CubeTest, FullCubeProperties) {
+  Cube c = Cube::full(5);
+  EXPECT_EQ(c.num_vars(), 5);
+  EXPECT_TRUE(c.is_full());
+  EXPECT_FALSE(c.is_empty());
+  EXPECT_EQ(c.literal_count(), 0);
+  EXPECT_EQ(c.free_count(), 5);
+  EXPECT_DOUBLE_EQ(c.space_fraction(), 1.0);
+  EXPECT_EQ(c.to_string(), "-----");
+}
+
+TEST(CubeTest, ParseRoundTrip) {
+  auto c = Cube::parse("1-0-1");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->to_string(), "1-0-1");
+  EXPECT_EQ(c->get(0), LitCode::kPos);
+  EXPECT_EQ(c->get(1), LitCode::kFree);
+  EXPECT_EQ(c->get(2), LitCode::kNeg);
+  EXPECT_EQ(c->literal_count(), 3);
+  EXPECT_DOUBLE_EQ(c->space_fraction(), 0.125);
+}
+
+TEST(CubeTest, ParseRejectsBadChars) {
+  EXPECT_FALSE(Cube::parse("1x0").has_value());
+  EXPECT_FALSE(Cube::parse("1 0").has_value());
+}
+
+TEST(CubeTest, MintermCube) {
+  Cube c = Cube::minterm(4, 0b1010);
+  EXPECT_EQ(c.to_string(), "0101");  // var0 lowest bit, printed first
+  EXPECT_TRUE(c.covers_minterm(0b1010));
+  EXPECT_FALSE(c.covers_minterm(0b1011));
+  EXPECT_EQ(c.literal_count(), 4);
+}
+
+TEST(CubeTest, ContainsAndIntersect) {
+  Cube big = *Cube::parse("1--");
+  Cube small = *Cube::parse("1-0");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+
+  auto inter = big.intersect(small);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(*inter, small);
+
+  Cube disjoint = *Cube::parse("0--");
+  EXPECT_FALSE(big.intersect(disjoint).has_value());
+  EXPECT_EQ(big.distance(disjoint), 1);
+  EXPECT_EQ(big.distance(small), 0);
+}
+
+TEST(CubeTest, DistanceCountsConflicts) {
+  Cube a = *Cube::parse("10-1");
+  Cube b = *Cube::parse("01-0");
+  EXPECT_EQ(a.distance(b), 3);
+}
+
+TEST(CubeTest, CofactorFreesVariable) {
+  Cube c = *Cube::parse("1-0");
+  auto c1 = c.cofactor(0, true);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->to_string(), "--0");
+  EXPECT_FALSE(c.cofactor(0, false).has_value());
+  auto c2 = c.cofactor(1, true);  // free var: cofactor keeps cube
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->to_string(), "1-0");
+}
+
+TEST(CubeTest, EmptyDetection) {
+  Cube c = Cube::full(3);
+  c.set(1, LitCode::kEmpty);
+  EXPECT_TRUE(c.is_empty());
+  EXPECT_DOUBLE_EQ(c.space_fraction(), 0.0);
+}
+
+TEST(CubeTest, WideCubesCrossWordBoundary) {
+  // 40 vars -> multiple words (32 vars per word).
+  Cube c = Cube::full(40);
+  c.set(35, LitCode::kPos);
+  c.set(2, LitCode::kNeg);
+  EXPECT_EQ(c.literal_count(), 2);
+  EXPECT_EQ(c.get(35), LitCode::kPos);
+  EXPECT_EQ(c.get(2), LitCode::kNeg);
+  EXPECT_FALSE(c.is_empty());
+
+  Cube d = Cube::full(40);
+  d.set(35, LitCode::kNeg);
+  EXPECT_EQ(c.distance(d), 1);
+  EXPECT_FALSE(c.intersect(d).has_value());
+}
+
+TEST(CubeTest, HashDiffersForDifferentCubes) {
+  Cube a = *Cube::parse("1-0");
+  Cube b = *Cube::parse("1-1");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), Cube::parse("1-0")->hash());
+}
+
+// Property: containment agrees with minterm-wise coverage.
+class CubeContainmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubeContainmentProperty, ContainmentMatchesMinterms) {
+  std::mt19937 rng(GetParam());
+  const int n = 6;
+  auto random_cube = [&] {
+    Cube c = Cube::full(n);
+    for (int v = 0; v < n; ++v) {
+      int roll = static_cast<int>(rng() % 4);
+      if (roll == 0) c.set(v, LitCode::kNeg);
+      if (roll == 1) c.set(v, LitCode::kPos);
+    }
+    return c;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    Cube a = random_cube();
+    Cube b = random_cube();
+    bool contains = a.contains(b);
+    bool minterm_subset = true;
+    for (uint64_t m = 0; m < (1u << n); ++m) {
+      if (b.covers_minterm(m) && !a.covers_minterm(m)) {
+        minterm_subset = false;
+        break;
+      }
+    }
+    EXPECT_EQ(contains, minterm_subset)
+        << "a=" << a.to_string() << " b=" << b.to_string();
+
+    // Intersection agrees with minterm-wise AND.
+    auto inter = a.intersect(b);
+    for (uint64_t m = 0; m < (1u << n); ++m) {
+      bool both = a.covers_minterm(m) && b.covers_minterm(m);
+      bool covered = inter.has_value() && inter->covers_minterm(m);
+      EXPECT_EQ(both, covered);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubeContainmentProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 17, 23));
+
+}  // namespace
+}  // namespace apx

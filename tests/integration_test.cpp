@@ -1,0 +1,110 @@
+// Cross-module integration sweeps: the full CED pipeline run over every
+// embedded benchmark and every (library, script) implementation, checking
+// the system-level invariants that every configuration must satisfy:
+//   * every approximation verifies,
+//   * the fault-free CED design never raises the error pair,
+//   * coverage is within [0, 1] and bounded by detected <= erroneous,
+//   * the approximate circuit is never deeper than the original,
+//   * the mapped design is functionally equivalent to the input.
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/pipeline.hpp"
+#include "mapping/optimize.hpp"
+#include "sat/encode.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+PipelineOptions small_options() {
+  PipelineOptions opt;
+  opt.approx.significance_threshold = 0.15;
+  opt.reliability.num_fault_samples = 200;
+  opt.coverage.num_fault_samples = 200;
+  return opt;
+}
+
+class PipelineOverBenchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineOverBenchmarks, SystemInvariantsHold) {
+  Network net = make_benchmark(GetParam());
+  PipelineResult r = run_ced_pipeline(net, small_options());
+
+  EXPECT_TRUE(r.synthesis.all_verified());
+  EXPECT_GE(r.coverage.detected, 0);
+  EXPECT_LE(r.coverage.detected, r.coverage.erroneous);
+  EXPECT_LE(r.checkgen_delay, r.original_delay);
+  EXPECT_EQ(r.directions.size(), static_cast<size_t>(net.num_pos()));
+
+  // No false alarms in fault-free operation.
+  Simulator sim(r.ced.design);
+  sim.run(PatternSet::random(r.ced.design.num_pis(), 16, 1));
+  const auto& z1 = sim.value(r.ced.error_pair.rail1);
+  const auto& z2 = sim.value(r.ced.error_pair.rail2);
+  for (size_t w = 0; w < z1.size(); ++w) {
+    ASSERT_EQ(z1[w] ^ z2[w], ~0ULL) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Embedded, PipelineOverBenchmarks,
+                         ::testing::Values("c17", "fadd", "rca4", "rca8",
+                                           "mux41", "dec38", "cmp4", "maj5",
+                                           "alu1", "cmb", "cordic"));
+
+class PipelineOverImplementations : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineOverImplementations, EveryLibraryScriptWorks) {
+  const Implementation& impl = standard_implementations()[GetParam()];
+  Network net = make_benchmark("cmp4");
+  PipelineOptions opt = small_options();
+  opt.map_options = {impl.library, impl.script};
+  PipelineResult r = run_ced_pipeline(net, opt);
+  EXPECT_TRUE(r.synthesis.all_verified()) << impl.name;
+
+  // The mapped original must still compute the input functions.
+  Network reference = quick_synthesis(net);
+  for (int po = 0; po < net.num_pos(); ++po) {
+    EXPECT_EQ(check_po_equivalence(reference, po, r.mapped_original, po),
+              CheckResult::kHolds)
+        << impl.name << " po " << po;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, PipelineOverImplementations,
+                         ::testing::Range(0, 5));
+
+TEST(IntegrationTest, MixedDirectionsAcrossOutputs) {
+  // Force both checker flavors in one design.
+  Network net = make_benchmark("cmp4");
+  Network opt = quick_synthesis(net);
+  Network mapped = technology_map(opt);
+  std::vector<ApproxDirection> dirs = {ApproxDirection::kZeroApprox,
+                                       ApproxDirection::kOneApprox};
+  ApproxOptions aopt;
+  aopt.significance_threshold = 0.1;
+  ApproxResult synth = synthesize_approximation(opt, dirs, aopt);
+  ASSERT_TRUE(synth.all_verified());
+  CedDesign ced = build_ced_design(mapped, technology_map(synth.approx), dirs);
+  Simulator sim(ced.design);
+  sim.run(PatternSet::random(ced.design.num_pis(), 16, 2));
+  const auto& z1 = sim.value(ced.error_pair.rail1);
+  const auto& z2 = sim.value(ced.error_pair.rail2);
+  for (size_t w = 0; w < z1.size(); ++w) {
+    EXPECT_EQ(z1[w] ^ z2[w], ~0ULL);
+  }
+}
+
+TEST(IntegrationTest, RepeatedPipelineRunsAreDeterministic) {
+  Network net = make_benchmark("dec38");
+  PipelineResult a = run_ced_pipeline(net, small_options());
+  PipelineResult b = run_ced_pipeline(net, small_options());
+  EXPECT_EQ(a.coverage.detected, b.coverage.detected);
+  EXPECT_EQ(a.coverage.erroneous, b.coverage.erroneous);
+  EXPECT_EQ(a.mapped_checkgen.num_logic_nodes(),
+            b.mapped_checkgen.num_logic_nodes());
+  EXPECT_DOUBLE_EQ(a.mean_approximation_pct(), b.mean_approximation_pct());
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,101 @@
+#include "sop/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+Sop random_sop(std::mt19937& rng, int num_vars, int max_cubes) {
+  Sop s(num_vars);
+  int cubes = 1 + static_cast<int>(rng() % max_cubes);
+  for (int i = 0; i < cubes; ++i) {
+    Cube c = Cube::full(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      int roll = static_cast<int>(rng() % 3);
+      if (roll == 0) c.set(v, LitCode::kNeg);
+      if (roll == 1) c.set(v, LitCode::kPos);
+    }
+    s.add_cube(c);
+  }
+  return s;
+}
+
+TEST(MinimizeTest, MergesAdjacentCubes) {
+  // x0 x1 + x0 x1' should minimize to x0.
+  Sop f = *Sop::parse(2, "11\n10");
+  Sop m = minimize(f);
+  EXPECT_EQ(m.num_cubes(), 1);
+  EXPECT_EQ(m.cube(0).to_string(), "1-");
+}
+
+TEST(MinimizeTest, RemovesRedundantConsensusCube) {
+  // ab + a'c + bc: the consensus cube bc is redundant.
+  Sop f = *Sop::parse(3, "11-\n0-1\n-11");
+  Sop m = minimize(f);
+  EXPECT_EQ(m.num_cubes(), 2);
+  TruthTable before = TruthTable::from_sop(f);
+  TruthTable after = TruthTable::from_sop(m);
+  EXPECT_EQ(before, after);
+}
+
+TEST(MinimizeTest, UsesDontCaresToExpand) {
+  // onset = x0 x1, dc = x0 x1' -> minimizes to x0.
+  Sop onset = *Sop::parse(2, "11");
+  Sop dc = *Sop::parse(2, "10");
+  Sop m = minimize(onset, dc);
+  EXPECT_EQ(m.num_cubes(), 1);
+  EXPECT_EQ(m.cube(0).to_string(), "1-");
+}
+
+TEST(MinimizeTest, TautologyMinimizesToFullCube) {
+  Sop f = *Sop::parse(1, "0\n1");
+  Sop m = minimize(f);
+  ASSERT_EQ(m.num_cubes(), 1);
+  EXPECT_TRUE(m.cube(0).is_full());
+}
+
+class MinimizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeProperty, PreservesFunctionWithinCare) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng() % 5);
+    Sop onset = random_sop(rng, n, 6);
+    Sop dc = (rng() & 1) ? random_sop(rng, n, 3) : Sop::zero(n);
+    Sop m = minimize(onset, dc);
+    TruthTable on_tt = TruthTable::from_sop(onset);
+    TruthTable dc_tt = TruthTable::from_sop(dc);
+    TruthTable m_tt = TruthTable::from_sop(m);
+    // onset <= result <= onset + dc.
+    EXPECT_TRUE(TruthTable::implies(on_tt & ~dc_tt, m_tt));
+    EXPECT_TRUE(TruthTable::implies(m_tt, on_tt | dc_tt));
+  }
+}
+
+TEST_P(MinimizeProperty, IrredundantKeepsFunction) {
+  std::mt19937 rng(GetParam() + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng() % 5);
+    Sop f = random_sop(rng, n, 8);
+    Sop g = irredundant(f, Sop::zero(n));
+    EXPECT_EQ(TruthTable::from_sop(f), TruthTable::from_sop(g));
+    // No cube of g is covered by the others.
+    for (int i = 0; i < g.num_cubes(); ++i) {
+      Sop rest(n);
+      for (int j = 0; j < g.num_cubes(); ++j) {
+        if (j != i) rest.add_cube(g.cube(j));
+      }
+      EXPECT_FALSE(rest.covers_cube(g.cube(i)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,143 @@
+#include "network/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apx {
+namespace {
+
+// Builds the paper's Fig. 1(a)-style small network:
+//   n4 = a & b;  n5 = c | d;  f = n4 | n5.
+Network small_net() {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId d = net.add_pi("d");
+  NodeId n4 = net.add_and(a, b, "n4");
+  NodeId n5 = net.add_or(c, d, "n5");
+  NodeId f = net.add_or(n4, n5, "f");
+  net.add_po("f", f);
+  return net;
+}
+
+TEST(NetworkTest, BasicCounts) {
+  Network net = small_net();
+  EXPECT_EQ(net.num_pis(), 4);
+  EXPECT_EQ(net.num_pos(), 1);
+  EXPECT_EQ(net.num_logic_nodes(), 3);
+  EXPECT_EQ(net.depth(), 2);
+  net.check();
+}
+
+TEST(NetworkTest, TopoOrderRespectsEdges) {
+  Network net = small_net();
+  auto order = net.topo_order();
+  std::vector<int> position(net.num_nodes());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    for (NodeId f : net.node(id).fanins) {
+      EXPECT_LT(position[f], position[id]);
+    }
+  }
+}
+
+TEST(NetworkTest, LevelsAndDepth) {
+  Network net = small_net();
+  auto level = net.levels();
+  NodeId f = *net.find_node("f");
+  EXPECT_EQ(level[f], 2);
+  for (NodeId pi : net.pis()) EXPECT_EQ(level[pi], 0);
+}
+
+TEST(NetworkTest, FanoutsAreInverseOfFanins) {
+  Network net = small_net();
+  auto fanouts = net.fanouts();
+  NodeId a = *net.find_node("a");
+  NodeId n4 = *net.find_node("n4");
+  ASSERT_EQ(fanouts[a].size(), 1u);
+  EXPECT_EQ(fanouts[a][0], n4);
+}
+
+TEST(NetworkTest, ExtractConeKeepsOnlySupport) {
+  Network net = small_net();
+  // Add an unrelated PO.
+  NodeId e = net.add_pi("e");
+  NodeId g = net.add_not(e, "g");
+  net.add_po("g", g);
+
+  Network cone = net.extract_cone(0);  // PO f
+  EXPECT_EQ(cone.num_pis(), 4);
+  EXPECT_EQ(cone.num_pos(), 1);
+  EXPECT_EQ(cone.num_logic_nodes(), 3);
+  cone.check();
+
+  Network cone_g = net.extract_cone(1);
+  EXPECT_EQ(cone_g.num_pis(), 1);
+  EXPECT_EQ(cone_g.num_logic_nodes(), 1);
+}
+
+TEST(NetworkTest, CleanupDropsUnreachable) {
+  Network net = small_net();
+  NodeId a = *net.find_node("a");
+  NodeId dangling = net.add_not(a, "dangling");
+  (void)dangling;
+  EXPECT_EQ(net.num_logic_nodes(), 4);
+  net.cleanup();
+  EXPECT_EQ(net.num_logic_nodes(), 3);
+  EXPECT_EQ(net.num_pis(), 4);  // PIs always kept
+  net.check();
+}
+
+TEST(NetworkTest, AppendIntoMapsPis) {
+  Network inner;
+  NodeId x = inner.add_pi("x");
+  NodeId y = inner.add_pi("y");
+  NodeId z = inner.add_xor(x, y, "z");
+  inner.add_po("z", z);
+
+  Network outer = small_net();
+  NodeId a = *outer.find_node("a");
+  NodeId b = *outer.find_node("b");
+  auto map = inner.append_into(outer, {a, b});
+  EXPECT_NE(map[z], kNullNode);
+  outer.add_po("z2", map[z]);
+  outer.check();
+  EXPECT_EQ(outer.num_logic_nodes(), 4);
+}
+
+TEST(NetworkTest, CycleDetection) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId n1 = net.add_and(a, a, "n1");
+  // Introduce a cycle by making n1 its own fanin.
+  net.set_function(n1, {a, n1}, *Sop::parse(2, "11"));
+  net.add_po("o", n1);
+  EXPECT_THROW(net.topo_order(), std::logic_error);
+}
+
+TEST(NetworkTest, DuplicateNamesGetUniqued) {
+  Network net;
+  net.add_pi("sig");
+  NodeId second = net.add_pi("sig");
+  EXPECT_NE(net.node(second).name, "sig");
+}
+
+TEST(NetworkTest, AddNodeValidatesWidth) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  EXPECT_THROW(net.add_node({a}, *Sop::parse(2, "11")), std::logic_error);
+}
+
+TEST(NetworkTest, ConstNodes) {
+  Network net;
+  NodeId c1 = net.add_const(true);
+  NodeId c0 = net.add_const(false);
+  net.add_po("one", c1);
+  net.add_po("zero", c0);
+  net.check();
+  EXPECT_EQ(net.num_logic_nodes(), 0);
+  EXPECT_EQ(net.depth(), 0);
+}
+
+}  // namespace
+}  // namespace apx

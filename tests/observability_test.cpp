@@ -1,0 +1,88 @@
+#include "core/observability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apx {
+namespace {
+
+TEST(ObservabilityTest, AndGateObservability) {
+  // g = a & b: a is observable iff b = 1, so obs0(a) ~ P(a=0,b=1) = 0.25
+  // and obs1(a) ~ P(a=1,b=1) = 0.25 under uniform inputs.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_and(a, b, "g");
+  net.add_po("g", g);
+  ObservabilityAnalysis obs(net, 256);
+  const FaninObservability& fa = obs.fanin_obs(g, 0);
+  EXPECT_NEAR(fa.obs0, 0.25, 0.02);
+  EXPECT_NEAR(fa.obs1, 0.25, 0.02);
+}
+
+TEST(ObservabilityTest, XorAlwaysObservable) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_xor(a, b, "g");
+  net.add_po("g", g);
+  ObservabilityAnalysis obs(net, 256);
+  const FaninObservability& fa = obs.fanin_obs(g, 0);
+  EXPECT_NEAR(fa.obs0 + fa.obs1, 1.0, 1e-12);
+  EXPECT_NEAR(fa.obs0, 0.5, 0.02);
+}
+
+TEST(ObservabilityTest, SkewedFaninSkewsPhases) {
+  // g = a & t where t = b | c | d is mostly 1: obs1(t at g) requires a=1 and
+  // t=1 -> ~0.4375; obs0(t) requires a=1, t=0 -> ~0.0625.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId d = net.add_pi("d");
+  NodeId t = net.add_node({b, c, d}, *Sop::parse(3, "1--\n-1-\n--1"), "t");
+  NodeId g = net.add_and(a, t, "g");
+  net.add_po("g", g);
+  ObservabilityAnalysis obs(net, 256);
+  const FaninObservability& ft = obs.fanin_obs(g, 1);
+  EXPECT_NEAR(ft.obs1, 0.4375, 0.02);
+  EXPECT_NEAR(ft.obs0, 0.0625, 0.02);
+  EXPECT_GT(ft.obs1 / ft.obs0, 3.0);
+}
+
+TEST(ObservabilityTest, UnobservableFaninHasZeroObservability) {
+  // g depends on a only: the b column is present but never bound.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_node({a, b}, *Sop::parse(2, "1-"), "g");
+  net.add_po("g", g);
+  ObservabilityAnalysis obs(net, 64);
+  EXPECT_DOUBLE_EQ(obs.fanin_obs(g, 1).obs0, 0.0);
+  EXPECT_DOUBLE_EQ(obs.fanin_obs(g, 1).obs1, 0.0);
+  EXPECT_NEAR(obs.fanin_obs(g, 0).total(), 1.0, 1e-12);
+}
+
+TEST(ObservabilityTest, SignalProbabilityTracksFunction) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_or(a, b, "g");
+  net.add_po("g", g);
+  ObservabilityAnalysis obs(net, 256);
+  EXPECT_NEAR(obs.signal_probability(g), 0.75, 0.02);
+  EXPECT_NEAR(obs.signal_probability(a), 0.5, 0.02);
+}
+
+TEST(ObservabilityTest, DeterministicForFixedSeed) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_and(a, b, "g");
+  net.add_po("g", g);
+  ObservabilityAnalysis o1(net, 32, 77);
+  ObservabilityAnalysis o2(net, 32, 77);
+  EXPECT_DOUBLE_EQ(o1.fanin_obs(g, 0).obs0, o2.fanin_obs(g, 0).obs0);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,98 @@
+#include "core/odc_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apx {
+namespace {
+
+TEST(OdcAnalysisTest, FullyObservableChain) {
+  // f = NOT(NOT(a)): each internal node is observable everywhere.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId t = net.add_not(a, "t");
+  NodeId f = net.add_not(t, "f");
+  net.add_po("f", f);
+  auto odc = global_odc_fractions(net);
+  ASSERT_TRUE(odc.has_value());
+  EXPECT_DOUBLE_EQ((*odc)[t], 0.0);
+  EXPECT_DOUBLE_EQ((*odc)[f], 0.0);
+  EXPECT_DOUBLE_EQ((*odc)[a], 0.0);
+}
+
+TEST(OdcAnalysisTest, MaskedNodeHasOdc) {
+  // f = (a & b) | c: the AND node is unobservable whenever c = 1.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId t = net.add_and(a, b, "t");
+  NodeId f = net.add_or(t, c, "f");
+  net.add_po("f", f);
+  auto odc = global_odc_fractions(net);
+  ASSERT_TRUE(odc.has_value());
+  EXPECT_DOUBLE_EQ((*odc)[t], 0.5);  // unobservable iff c = 1
+  EXPECT_DOUBLE_EQ((*odc)[f], 0.0);
+}
+
+TEST(OdcAnalysisTest, DanglingNodeFullyDontCare) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId dangle = net.add_and(a, b, "dangle");
+  net.add_po("f", net.add_or(a, b, "f"));
+  auto odc = global_odc_fractions(net);
+  ASSERT_TRUE(odc.has_value());
+  EXPECT_DOUBLE_EQ((*odc)[dangle], 1.0);
+}
+
+TEST(OdcAnalysisTest, MultiOutputObservabilityCombines) {
+  // t feeds PO1 everywhere-observable and is also masked at PO2; global
+  // observability is the OR, so the ODC is what PO1 leaves (nothing).
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId t = net.add_xor(a, b, "t");
+  net.add_po("direct", t);
+  net.add_po("masked", net.add_and(t, c, "m"));
+  auto odc = global_odc_fractions(net);
+  ASSERT_TRUE(odc.has_value());
+  EXPECT_DOUBLE_EQ((*odc)[t], 0.0);
+}
+
+TEST(OdcAnalysisTest, ReconvergenceCreatesGlobalOdc) {
+  // f = (a & b) ^ (a & b): t1 = t2 = a&b; f == 0 — both internal ANDs are
+  // globally unobservable through the XOR cancellation even though each is
+  // locally observable.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId t1 = net.add_and(a, b, "t1");
+  NodeId t2 = net.add_and(a, b, "t2");
+  NodeId f = net.add_xor(t1, t2, "f");
+  net.add_po("f", f);
+  auto odc = global_odc_fractions(net);
+  ASSERT_TRUE(odc.has_value());
+  // Toggling ONLY t1 (with t2 intact) always changes f: observable! The
+  // global ODC of t1 is therefore 0 despite f being constant — the ODC is
+  // a single-node sensitivity notion.
+  EXPECT_DOUBLE_EQ((*odc)[t1], 0.0);
+  // But a node above the cancellation (the XOR itself) is a constant
+  // producer; toggling it changes the PO directly.
+  EXPECT_DOUBLE_EQ((*odc)[f], 0.0);
+}
+
+TEST(OdcAnalysisTest, BudgetOverflowReturnsNullopt) {
+  Network net;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 10; ++i) pis.push_back(net.add_pi("x" + std::to_string(i)));
+  NodeId acc = pis[0];
+  for (int i = 1; i < 10; ++i) acc = net.add_xor(acc, net.add_and(pis[i], acc));
+  net.add_po("f", acc);
+  OdcAnalysisOptions opt;
+  opt.bdd_budget = 8;
+  EXPECT_EQ(global_odc_fractions(net, opt), std::nullopt);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,69 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+
+namespace apx {
+namespace {
+
+PipelineOptions fast_options(double threshold = 0.1) {
+  PipelineOptions opt;
+  opt.approx.significance_threshold = threshold;
+  opt.reliability.num_fault_samples = 300;
+  opt.coverage.num_fault_samples = 300;
+  return opt;
+}
+
+TEST(PipelineTest, EndToEndOnComparator) {
+  Network net = make_benchmark("cmp4");
+  PipelineResult r = run_ced_pipeline(net, fast_options());
+  EXPECT_TRUE(r.synthesis.all_verified());
+  EXPECT_EQ(r.directions.size(), static_cast<size_t>(net.num_pos()));
+  EXPECT_GT(r.coverage.runs, 0);
+  EXPECT_GE(r.coverage.coverage(), 0.0);
+  EXPECT_LE(r.coverage.coverage(), 1.0);
+  EXPECT_GT(r.overheads.functional_area, 0);
+  EXPECT_GT(r.mean_approximation_pct(), 0.5);
+}
+
+TEST(PipelineTest, CoverageBelowMaxCoverageBound) {
+  // Achieved CED coverage cannot exceed the reliability-derived maximum by
+  // more than sampling noise (paper Table 1: Max vs Achieved).
+  Network net = make_benchmark("cordic");
+  PipelineResult r = run_ced_pipeline(net, fast_options(0.05));
+  EXPECT_LE(r.coverage.coverage(), r.reliability.max_ced_coverage + 0.12);
+}
+
+TEST(PipelineTest, ApproxCircuitIsFasterThanOriginal) {
+  // The paper reports ~38% lower delay for the approximate circuit; at the
+  // very least it must never be slower (that is the no-performance-penalty
+  // requirement for non-intrusive CED).
+  for (const char* name : {"cmb", "cordic"}) {
+    Network net = make_benchmark(name);
+    PipelineResult r = run_ced_pipeline(net, fast_options(0.1));
+    EXPECT_LE(r.checkgen_delay, r.original_delay) << name;
+  }
+}
+
+TEST(PipelineTest, LogicSharingReducesOverhead) {
+  Network net = make_benchmark("cmb");
+  PipelineOptions base = fast_options(0.05);
+  PipelineResult plain = run_ced_pipeline(net, base);
+  base.logic_sharing = true;
+  PipelineResult shared = run_ced_pipeline(net, base);
+  EXPECT_LE(shared.ced.overhead_area(), plain.ced.overhead_area());
+}
+
+TEST(PipelineTest, ThresholdSweepsTradeOff) {
+  // Higher threshold -> smaller check generator (the paper's fine-grained
+  // overhead/coverage trade-off).
+  Network net = make_benchmark("cordic");
+  PipelineResult tight = run_ced_pipeline(net, fast_options(0.01));
+  PipelineResult loose = run_ced_pipeline(net, fast_options(0.5));
+  EXPECT_LE(loose.mapped_checkgen.num_logic_nodes(),
+            tight.mapped_checkgen.num_logic_nodes());
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,100 @@
+#include "network/pla.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sat/encode.hpp"
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+const char* kXorPla = R"(
+# 2-input XOR plus an AND output
+.i 2
+.o 2
+.ilb a b
+.ob x y
+01 10
+10 10
+11 01
+.e
+)";
+
+TEST(PlaTest, ParsesMultiOutput) {
+  Pla pla = read_pla_string(kXorPla);
+  EXPECT_EQ(pla.num_inputs, 2);
+  ASSERT_EQ(pla.onsets.size(), 2u);
+  EXPECT_EQ(pla.onsets[0].num_cubes(), 2);  // xor
+  EXPECT_EQ(pla.onsets[1].num_cubes(), 1);  // and
+  EXPECT_EQ(pla.input_names[0], "a");
+  EXPECT_EQ(pla.output_names[1], "y");
+}
+
+TEST(PlaTest, NetworkFromPlaComputesFunctions) {
+  Network net = pla_to_network(read_pla_string(kXorPla));
+  EXPECT_EQ(net.num_pis(), 2);
+  EXPECT_EQ(net.num_pos(), 2);
+  TruthTable x = TruthTable::from_sop(net.node(net.po(0).driver).sop);
+  EXPECT_EQ(x.to_binary(), "0110");
+  TruthTable y = TruthTable::from_sop(net.node(net.po(1).driver).sop);
+  EXPECT_EQ(y.to_binary(), "1000");
+}
+
+TEST(PlaTest, DontCareRowsLandInDcSet) {
+  const char* text = ".i 2\n.o 1\n11 1\n0- -\n.e\n";
+  Pla pla = read_pla_string(text);
+  EXPECT_EQ(pla.onsets[0].num_cubes(), 1);
+  EXPECT_EQ(pla.dcsets[0].num_cubes(), 1);
+}
+
+TEST(PlaTest, RoundTripPreservesFunctions) {
+  Pla pla = read_pla_string(kXorPla);
+  Pla back = read_pla_string(write_pla_string(pla));
+  Network a = pla_to_network(pla);
+  Network b = pla_to_network(back);
+  for (int o = 0; o < a.num_pos(); ++o) {
+    EXPECT_EQ(check_po_equivalence(a, o, b, o), CheckResult::kHolds) << o;
+  }
+}
+
+TEST(PlaTest, GluedPlanesSingleToken) {
+  // Some writers glue input and output planes together.
+  const char* text = ".i 2\n.o 1\n111\n.e\n";
+  Pla pla = read_pla_string(text);
+  EXPECT_EQ(pla.onsets[0].num_cubes(), 1);
+  EXPECT_EQ(pla.onsets[0].cube(0).to_string(), "11");
+}
+
+TEST(PlaTest, NetworkToPlaCollapsesCones) {
+  // Multi-level network -> two-level PLA with the same functions.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId t = net.add_and(a, b, "t");
+  net.add_po("f", net.add_or(t, c, "f"));
+  Pla pla = network_to_pla(net);
+  Network two_level = pla_to_network(pla);
+  EXPECT_EQ(check_po_equivalence(net, 0, two_level, 0), CheckResult::kHolds);
+}
+
+TEST(PlaTest, RejectsMalformed) {
+  EXPECT_THROW(read_pla_string(".i 2\n11 1\n.e\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n1 1\n.e\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n11 x\n.e\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n.kiss\n.e\n"),
+               std::runtime_error);
+}
+
+TEST(PlaTest, RejectsWideCollapse) {
+  Network net;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < kMaxLocalVars + 1; ++i) {
+    pis.push_back(net.add_pi("x" + std::to_string(i)));
+  }
+  net.add_po("f", net.add_and(pis[0], pis[1]));
+  EXPECT_THROW(network_to_pla(net), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apx

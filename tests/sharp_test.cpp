@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sop/sop.hpp"
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+Sop random_sop(std::mt19937& rng, int num_vars, int max_cubes) {
+  Sop s(num_vars);
+  int cubes = 1 + static_cast<int>(rng() % max_cubes);
+  for (int i = 0; i < cubes; ++i) {
+    Cube c = Cube::full(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      int roll = static_cast<int>(rng() % 3);
+      if (roll == 0) c.set(v, LitCode::kNeg);
+      if (roll == 1) c.set(v, LitCode::kPos);
+    }
+    s.add_cube(c);
+  }
+  return s;
+}
+
+TEST(SharpTest, CubeSharpBasics) {
+  // (--) # (1-) = (0-).
+  Sop r = Sop::cube_sharp(*Cube::parse("--"), *Cube::parse("1-"));
+  ASSERT_EQ(r.num_cubes(), 1);
+  EXPECT_EQ(r.cube(0).to_string(), "0-");
+  // Disjoint cubes: a # b = a.
+  Sop d = Sop::cube_sharp(*Cube::parse("1-"), *Cube::parse("0-"));
+  ASSERT_EQ(d.num_cubes(), 1);
+  EXPECT_EQ(d.cube(0).to_string(), "1-");
+  // a # a = empty.
+  EXPECT_TRUE(Sop::cube_sharp(*Cube::parse("10"), *Cube::parse("10")).empty());
+  // a contained in b: empty.
+  EXPECT_TRUE(Sop::cube_sharp(*Cube::parse("10"), *Cube::parse("1-")).empty());
+}
+
+class SharpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SharpProperty, CubeSharpMatchesSetDifference) {
+  std::mt19937 rng(GetParam());
+  const int n = 5;
+  for (int trial = 0; trial < 40; ++trial) {
+    Sop sa = random_sop(rng, n, 1);
+    Sop sb = random_sop(rng, n, 1);
+    const Cube& a = sa.cube(0);
+    const Cube& b = sb.cube(0);
+    for (auto* result : {new Sop(Sop::cube_sharp(a, b)),
+                         new Sop(Sop::cube_disjoint_sharp(a, b))}) {
+      for (uint64_t m = 0; m < (1u << n); ++m) {
+        bool expect = a.covers_minterm(m) && !b.covers_minterm(m);
+        EXPECT_EQ(result->covers_minterm(m), expect) << m;
+      }
+      delete result;
+    }
+    // Disjointness of the disjoint variant.
+    Sop dis = Sop::cube_disjoint_sharp(a, b);
+    for (int i = 0; i < dis.num_cubes(); ++i) {
+      for (int j = i + 1; j < dis.num_cubes(); ++j) {
+        EXPECT_FALSE(dis.cube(i).intersect(dis.cube(j)).has_value());
+      }
+    }
+  }
+}
+
+TEST_P(SharpProperty, CoverSharpMatchesSetDifference) {
+  std::mt19937 rng(GetParam() + 500);
+  const int n = 5;
+  for (int trial = 0; trial < 25; ++trial) {
+    Sop f = random_sop(rng, n, 4);
+    Sop g = random_sop(rng, n, 4);
+    Sop diff = Sop::sharp(f, g);
+    TruthTable expect =
+        TruthTable::from_sop(f) & ~TruthTable::from_sop(g);
+    EXPECT_EQ(TruthTable::from_sop(diff), expect);
+  }
+}
+
+TEST_P(SharpProperty, MakeDisjointPreservesFunction) {
+  std::mt19937 rng(GetParam() + 900);
+  const int n = 5;
+  for (int trial = 0; trial < 25; ++trial) {
+    Sop f = random_sop(rng, n, 5);
+    Sop dis = Sop::make_disjoint(f);
+    EXPECT_EQ(TruthTable::from_sop(dis), TruthTable::from_sop(f));
+    // Pairwise disjoint.
+    double fraction_sum = 0.0;
+    for (int i = 0; i < dis.num_cubes(); ++i) {
+      fraction_sum += dis.cube(i).space_fraction();
+      for (int j = i + 1; j < dis.num_cubes(); ++j) {
+        EXPECT_FALSE(dis.cube(i).intersect(dis.cube(j)).has_value());
+      }
+    }
+    // Disjointness makes exact counting a plain sum.
+    EXPECT_NEAR(fraction_sum, TruthTable::from_sop(f).density(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharpProperty, ::testing::Values(3, 14, 159));
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,175 @@
+#include "sop/sop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apx {
+namespace {
+
+Sop random_sop(std::mt19937& rng, int num_vars, int max_cubes) {
+  Sop s(num_vars);
+  int cubes = 1 + static_cast<int>(rng() % max_cubes);
+  for (int i = 0; i < cubes; ++i) {
+    Cube c = Cube::full(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      int roll = static_cast<int>(rng() % 3);
+      if (roll == 0) c.set(v, LitCode::kNeg);
+      if (roll == 1) c.set(v, LitCode::kPos);
+    }
+    s.add_cube(c);
+  }
+  return s;
+}
+
+TEST(SopTest, ParseAndEvaluate) {
+  Sop s = *Sop::parse(3, "1-0\n-11");
+  EXPECT_EQ(s.num_cubes(), 2);
+  EXPECT_TRUE(s.covers_minterm(0b001));   // x0=1, x2=0
+  EXPECT_TRUE(s.covers_minterm(0b110));   // x1=1, x2=1
+  EXPECT_FALSE(s.covers_minterm(0b000));
+  EXPECT_EQ(s.literal_count(), 4);
+}
+
+TEST(SopTest, ZeroAndOne) {
+  EXPECT_TRUE(Sop::tautology(Sop::one(4)));
+  EXPECT_FALSE(Sop::tautology(Sop::zero(4)));
+  EXPECT_TRUE(Sop::complement(Sop::zero(3)).cube(0).is_full());
+  EXPECT_TRUE(Sop::complement(Sop::one(3)).empty());
+}
+
+TEST(SopTest, TautologyXorPair) {
+  // x0 + x0' is a tautology.
+  Sop s = *Sop::parse(2, "1-\n0-");
+  EXPECT_TRUE(Sop::tautology(s));
+  // x0 + x1 is not.
+  Sop t = *Sop::parse(2, "1-\n-1");
+  EXPECT_FALSE(Sop::tautology(t));
+}
+
+TEST(SopTest, ComplementSingleCube) {
+  Sop s = *Sop::parse(3, "10-");
+  Sop c = Sop::complement(s);
+  // Complement of x0 x1' = x0' + x1.
+  for (uint64_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(c.covers_minterm(m), !s.covers_minterm(m)) << m;
+  }
+}
+
+TEST(SopTest, SccRemovesContainedCubes) {
+  Sop s = *Sop::parse(3, "1--\n1-0\n110");
+  s.make_scc_free();
+  EXPECT_EQ(s.num_cubes(), 1);
+  EXPECT_EQ(s.cube(0).to_string(), "1--");
+}
+
+TEST(SopTest, ConjunctionAndDisjunction) {
+  Sop a = *Sop::parse(2, "1-");
+  Sop b = *Sop::parse(2, "-1");
+  Sop both = Sop::conjunction(a, b);
+  EXPECT_EQ(both.num_cubes(), 1);
+  EXPECT_EQ(both.cube(0).to_string(), "11");
+  Sop either = Sop::disjunction(a, b);
+  EXPECT_EQ(either.num_cubes(), 2);
+}
+
+TEST(SopTest, ImpliesSemantics) {
+  Sop small = *Sop::parse(3, "11-");
+  Sop big = *Sop::parse(3, "1--");
+  EXPECT_TRUE(Sop::implies(small, big));
+  EXPECT_FALSE(Sop::implies(big, small));
+  EXPECT_TRUE(Sop::implies(small, small));
+}
+
+TEST(SopTest, CoversCubeUsesMultipleCubes) {
+  // Cover x0 x1 + x0 x1' covers cube x0 even though no single cube does.
+  Sop s = *Sop::parse(2, "11\n10");
+  EXPECT_TRUE(s.covers_cube(*Cube::parse("1-")));
+  EXPECT_FALSE(s.covers_cube(*Cube::parse("--")));
+}
+
+TEST(SopTest, ExactSpaceFraction) {
+  // Sec. 2 example: F = a+b+c'd'+cd covers 14/16 minterms -> 0.875.
+  Sop f = *Sop::parse(4, "1---\n-1--\n--00\n--11");
+  EXPECT_NEAR(f.exact_space_fraction(), 14.0 / 16.0, 1e-12);
+  // G = a + b covers 12/16.
+  Sop g = *Sop::parse(4, "1---\n-1--");
+  EXPECT_NEAR(g.exact_space_fraction(), 12.0 / 16.0, 1e-12);
+}
+
+TEST(SopTest, MostBinateVar) {
+  Sop s = *Sop::parse(3, "1-0\n0-1\n--1");
+  // var0 appears pos once, neg once (binate); var2 pos twice neg once.
+  int v = s.most_binate_var();
+  EXPECT_EQ(v, 2);  // 3 occurrences in both phases beats var0's 2
+  Sop unate = *Sop::parse(3, "1--\n-1-");
+  EXPECT_EQ(unate.most_binate_var(), -1);
+  EXPECT_TRUE(unate.is_unate());
+}
+
+class SopProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SopProperty, ComplementIsExact) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 6);
+    Sop f = random_sop(rng, n, 6);
+    Sop fc = Sop::complement(f);
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+      EXPECT_EQ(fc.covers_minterm(m), !f.covers_minterm(m))
+          << "n=" << n << " m=" << m << "\nF:\n"
+          << f.to_string();
+    }
+  }
+}
+
+TEST_P(SopProperty, TautologyMatchesEnumeration) {
+  std::mt19937 rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 5);
+    Sop f = random_sop(rng, n, 8);
+    bool taut = true;
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+      if (!f.covers_minterm(m)) {
+        taut = false;
+        break;
+      }
+    }
+    EXPECT_EQ(Sop::tautology(f), taut);
+  }
+}
+
+TEST_P(SopProperty, DoubleComplementPreservesFunction) {
+  std::mt19937 rng(GetParam() + 2000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 5);
+    Sop f = random_sop(rng, n, 5);
+    Sop ff = Sop::complement(Sop::complement(f));
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+      EXPECT_EQ(ff.covers_minterm(m), f.covers_minterm(m));
+    }
+  }
+}
+
+TEST_P(SopProperty, ImpliesMatchesEnumeration) {
+  std::mt19937 rng(GetParam() + 3000);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng() % 4);
+    Sop a = random_sop(rng, n, 4);
+    Sop b = random_sop(rng, n, 4);
+    bool expected = true;
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+      if (a.covers_minterm(m) && !b.covers_minterm(m)) {
+        expected = false;
+        break;
+      }
+    }
+    EXPECT_EQ(Sop::implies(a, b), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SopProperty,
+                         ::testing::Values(7, 13, 21, 29, 42, 99));
+
+}  // namespace
+}  // namespace apx

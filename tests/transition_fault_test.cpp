@@ -1,0 +1,118 @@
+#include "sim/transition_fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/delay_ced.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+
+namespace apx {
+namespace {
+
+TEST(TransitionFaultTest, SlowToRiseHoldsZero) {
+  // Single buffer: y = a. Launch a=0, capture a=1: slow-to-rise keeps 0.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId y = net.add_buf(a, "y");
+  net.add_po("y", y);
+
+  PatternSet launch(1, 1), capture(1, 1);
+  launch.set_word(0, 0, 0b0011);   // patterns 0,1 launch at 1; 2,3 at 0
+  capture.set_word(0, 0, 0b0101);  // capture values
+  TransitionSimulator sim(net);
+  sim.run(launch, capture);
+  sim.inject({y, /*slow_to_rise=*/true});
+  // Pattern 2: 0 -> 1 rising: faulty stays 0. Pattern 0: 1 -> 1 stays 1.
+  uint64_t fv = sim.faulty_value(y)[0] & 0xF;
+  EXPECT_EQ(fv, 0b0001u);
+  // Launch mask marks exactly the rising patterns.
+  EXPECT_EQ(sim.launch_mask({y, true})[0] & 0xF, 0b0100u);
+
+  sim.inject({y, /*slow_to_rise=*/false});
+  // Falling pattern 1 (1 -> 0): faulty stays 1.
+  EXPECT_EQ(sim.faulty_value(y)[0] & 0xF, 0b0111u);
+}
+
+TEST(TransitionFaultTest, FaultPropagatesThroughCone) {
+  // y = a & b: a slow-to-rise at the AND output shows at y only when the
+  // output actually rises.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId y = net.add_and(a, b, "g");
+  NodeId z = net.add_not(y, "z");
+  net.add_po("z", z);
+
+  PatternSet launch(2, 1), capture(2, 1);
+  // One pattern: a,b launch 0,1 -> capture 1,1 (output rises 0 -> 1).
+  launch.set_word(0, 0, 0b0);
+  launch.set_word(1, 0, 0b1);
+  capture.set_word(0, 0, 0b1);
+  capture.set_word(1, 0, 0b1);
+  TransitionSimulator sim(net);
+  sim.run(launch, capture);
+  EXPECT_EQ(sim.value(z)[0] & 1, 0u);  // fault-free: z = ~(1&1) = 0
+  sim.inject({y, true});
+  EXPECT_EQ(sim.faulty_value(z)[0] & 1, 1u);  // stale 0 at y -> z = 1
+}
+
+TEST(TransitionFaultTest, NoTransitionNoEffect) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId y = net.add_buf(a, "y");
+  net.add_po("y", y);
+  PatternSet same(1, 1);
+  same.set_word(0, 0, 0xF0F0F0F0F0F0F0F0ULL);
+  TransitionSimulator sim(net);
+  sim.run(same, same);
+  sim.inject({y, true});
+  EXPECT_EQ(sim.faulty_value(y)[0], sim.value(y)[0]);
+  sim.inject({y, false});
+  EXPECT_EQ(sim.faulty_value(y)[0], sim.value(y)[0]);
+}
+
+TEST(TransitionFaultTest, EnumerationCoversLogicNodesTwice) {
+  Network net = make_benchmark("c17");
+  EXPECT_EQ(enumerate_transition_faults(net).size(),
+            2u * net.num_logic_nodes());
+}
+
+TEST(DelayCedTest, DelayFaultsAreDetectedByTheSameCheckers) {
+  // Perfect check generator on an AND cone: delay faults produce
+  // unidirectional capture errors that the stuck-at checkers flag.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  net.add_po("y", net.add_and(net.add_and(a, b), c));
+  Network mapped = technology_map(net);
+  CedDesign ced =
+      build_ced_design(mapped, mapped, {ApproxDirection::kZeroApprox});
+  DelayCoverageOptions opt;
+  opt.num_fault_samples = 300;
+  CoverageResult cov = evaluate_delay_fault_coverage(ced, opt);
+  EXPECT_GT(cov.erroneous, 0);
+  // An AND cone is mostly-0: slow-to-fall faults dominate the erroneous
+  // captures (0->1 direction at the output), which the 0-approx checker
+  // catches.
+  EXPECT_GT(cov.coverage(), 0.5);
+}
+
+TEST(DelayCedTest, CoverageBoundedAndDeterministic) {
+  Network net = make_benchmark("cmp4");
+  Network opt = quick_synthesis(net);
+  Network mapped = technology_map(opt);
+  std::vector<ApproxDirection> dirs(net.num_pos(),
+                                    ApproxDirection::kZeroApprox);
+  CedDesign ced = build_ced_design(mapped, mapped, dirs);
+  DelayCoverageOptions dopt;
+  dopt.num_fault_samples = 200;
+  CoverageResult one = evaluate_delay_fault_coverage(ced, dopt);
+  CoverageResult two = evaluate_delay_fault_coverage(ced, dopt);
+  EXPECT_EQ(one.detected, two.detected);
+  EXPECT_LE(one.detected, one.erroneous);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,151 @@
+#include "tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace apx {
+namespace {
+
+TruthTable random_tt(std::mt19937& rng, int n) {
+  TruthTable t(n);
+  for (uint64_t m = 0; m < t.num_minterms(); ++m) {
+    t.set(m, rng() & 1);
+  }
+  return t;
+}
+
+TEST(TruthTableTest, ConstantsAndVariables) {
+  TruthTable z(3);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.count_ones(), 0u);
+  TruthTable o = TruthTable::ones(3);
+  EXPECT_TRUE(o.is_one());
+  EXPECT_EQ(o.count_ones(), 8u);
+
+  TruthTable v0 = TruthTable::variable(3, 0);
+  TruthTable v2 = TruthTable::variable(3, 2);
+  for (uint64_t m = 0; m < 8; ++m) {
+    EXPECT_EQ(v0.get(m), static_cast<bool>(m & 1));
+    EXPECT_EQ(v2.get(m), static_cast<bool>((m >> 2) & 1));
+  }
+}
+
+TEST(TruthTableTest, WideVariablesSpanWords) {
+  const int n = 9;  // 512 minterms, 8 words
+  for (int v = 0; v < n; ++v) {
+    TruthTable t = TruthTable::variable(n, v);
+    EXPECT_EQ(t.count_ones(), 256u) << "var " << v;
+    for (uint64_t m = 0; m < t.num_minterms(); m += 37) {
+      EXPECT_EQ(t.get(m), static_cast<bool>((m >> v) & 1));
+    }
+  }
+}
+
+TEST(TruthTableTest, BooleanOps) {
+  TruthTable a = TruthTable::variable(2, 0);
+  TruthTable b = TruthTable::variable(2, 1);
+  EXPECT_EQ((a & b).to_binary(), "1000");
+  EXPECT_EQ((a | b).to_binary(), "1110");
+  EXPECT_EQ((a ^ b).to_binary(), "0110");
+  EXPECT_EQ((~a).to_binary(), "0101");
+}
+
+TEST(TruthTableTest, FromSopMatchesEvaluation) {
+  Sop s = *Sop::parse(4, "1--0\n-11-");
+  TruthTable t = TruthTable::from_sop(s);
+  for (uint64_t m = 0; m < 16; ++m) {
+    EXPECT_EQ(t.get(m), s.covers_minterm(m)) << m;
+  }
+}
+
+TEST(TruthTableTest, CofactorLowAndHighVars) {
+  std::mt19937 rng(3);
+  for (int n : {3, 5, 7, 8}) {
+    TruthTable t = random_tt(rng, n);
+    for (int v = 0; v < n; ++v) {
+      TruthTable c0 = t.cofactor(v, false);
+      TruthTable c1 = t.cofactor(v, true);
+      for (uint64_t m = 0; m < t.num_minterms(); ++m) {
+        uint64_t m0 = m & ~(1ULL << v);
+        uint64_t m1 = m | (1ULL << v);
+        EXPECT_EQ(c0.get(m), t.get(m0));
+        EXPECT_EQ(c1.get(m), t.get(m1));
+      }
+      EXPECT_FALSE(c0.depends_on(v));
+      EXPECT_FALSE(c1.depends_on(v));
+    }
+  }
+}
+
+TEST(TruthTableTest, BooleanDifferenceOfXor) {
+  // f = x0 ^ x1: every variable always observable.
+  TruthTable f =
+      TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  EXPECT_TRUE(f.boolean_difference(0).is_one());
+  EXPECT_TRUE(f.boolean_difference(1).is_one());
+  // f = x0 & x1: x0 observable only when x1 = 1.
+  TruthTable g =
+      TruthTable::variable(2, 0) & TruthTable::variable(2, 1);
+  EXPECT_EQ(g.boolean_difference(0), TruthTable::variable(2, 1));
+}
+
+TEST(TruthTableTest, ImpliesSemantics) {
+  TruthTable a = TruthTable::variable(3, 0) & TruthTable::variable(3, 1);
+  TruthTable b = TruthTable::variable(3, 0);
+  EXPECT_TRUE(TruthTable::implies(a, b));
+  EXPECT_FALSE(TruthTable::implies(b, a));
+}
+
+class IsopProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopProperty, IsopReproducesFunction) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = 1 + static_cast<int>(rng() % 7);
+    TruthTable t = random_tt(rng, n);
+    Sop cover = t.isop();
+    TruthTable back = TruthTable::from_sop(cover);
+    EXPECT_EQ(back, t) << "n=" << n << " tt=" << t.to_binary();
+  }
+}
+
+TEST_P(IsopProperty, IntervalIsopStaysInInterval) {
+  std::mt19937 rng(GetParam() + 500);
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = 2 + static_cast<int>(rng() % 6);
+    TruthTable lower = random_tt(rng, n);
+    TruthTable extra = random_tt(rng, n);
+    TruthTable upper = lower | extra;
+    Sop cover = TruthTable::isop_interval(lower, upper);
+    TruthTable result = TruthTable::from_sop(cover);
+    EXPECT_TRUE(TruthTable::implies(lower, result));
+    EXPECT_TRUE(TruthTable::implies(result, upper));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopProperty,
+                         ::testing::Values(3, 9, 27, 81, 243));
+
+TEST(TruthTableTest, IsopOnConstants) {
+  EXPECT_TRUE(TruthTable(4).isop().empty());
+  Sop one_cover = TruthTable::ones(4).isop();
+  ASSERT_EQ(one_cover.num_cubes(), 1);
+  EXPECT_TRUE(one_cover.cube(0).is_full());
+}
+
+TEST(TruthTableTest, FromBinaryRoundTrip) {
+  TruthTable t = TruthTable::from_binary(2, "0110");
+  EXPECT_EQ(t.to_binary(), "0110");
+  EXPECT_TRUE(t.get(1));
+  EXPECT_TRUE(t.get(2));
+  EXPECT_FALSE(t.get(0));
+  EXPECT_FALSE(t.get(3));
+}
+
+TEST(TruthTableTest, RejectsOversizedTables) {
+  EXPECT_THROW(TruthTable(27), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apx

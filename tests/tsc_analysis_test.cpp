@@ -1,0 +1,72 @@
+#include "core/tsc_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apx {
+namespace {
+
+const CheckerFaultReport& find_fault(const TscReport& report,
+                                     const std::string& site, bool stuck) {
+  for (const auto& f : report.faults) {
+    if (f.site == site && f.stuck_value == stuck) return f;
+  }
+  throw std::logic_error("fault not found");
+}
+
+TEST(TscAnalysisTest, BothDirectionsCodeDisjoint) {
+  EXPECT_TRUE(analyze_approx_checker(ApproxDirection::kZeroApprox)
+                  .code_disjoint);
+  EXPECT_TRUE(analyze_approx_checker(ApproxDirection::kOneApprox)
+                  .code_disjoint);
+}
+
+TEST(TscAnalysisTest, ZeroApproxSelfTestingExceptionsMatchPaper) {
+  // Paper Sec. 3.2: Y stuck-at-0 and X stuck-at-1 always violate
+  // self-testing for a 0-approximation.
+  TscReport r = analyze_approx_checker(ApproxDirection::kZeroApprox);
+  EXPECT_FALSE(find_fault(r, "Y", false).self_testing);
+  EXPECT_FALSE(find_fault(r, "X", true).self_testing);
+  // The opposite-direction input faults are testable.
+  EXPECT_TRUE(find_fault(r, "Y", true).self_testing);
+  EXPECT_TRUE(find_fault(r, "X", false).self_testing);
+  // Rail output faults are testable (rails take both values in operation).
+  for (const char* site : {"rail1", "rail2"}) {
+    EXPECT_TRUE(find_fault(r, site, false).self_testing) << site;
+    EXPECT_TRUE(find_fault(r, site, true).self_testing) << site;
+  }
+}
+
+TEST(TscAnalysisTest, OneApproxSelfTestingExceptionsAreDual) {
+  TscReport r = analyze_approx_checker(ApproxDirection::kOneApprox);
+  EXPECT_FALSE(find_fault(r, "Y", true).self_testing);
+  EXPECT_FALSE(find_fault(r, "X", false).self_testing);
+  EXPECT_TRUE(find_fault(r, "Y", false).self_testing);
+  EXPECT_TRUE(find_fault(r, "X", true).self_testing);
+}
+
+TEST(TscAnalysisTest, ExceptionListHasExactlyTwoEntries) {
+  for (ApproxDirection dir :
+       {ApproxDirection::kZeroApprox, ApproxDirection::kOneApprox}) {
+    TscReport r = analyze_approx_checker(dir);
+    EXPECT_EQ(r.self_testing_exceptions().size(), 2u);
+    EXPECT_FALSE(r.fully_self_testing());
+  }
+}
+
+TEST(TscAnalysisTest, FaultSecurenessExceptionsInvolveY) {
+  // Paper: "the checker is not fault secure for stuck-at faults at Y when
+  // X=1" — the Y-line faults are exactly where fault-secureness fails.
+  TscReport r = analyze_approx_checker(ApproxDirection::kZeroApprox);
+  bool y_violates = !find_fault(r, "Y", false).fault_secure ||
+                    !find_fault(r, "Y", true).fault_secure;
+  EXPECT_TRUE(y_violates);
+  // Rail faults are always fault-secure (they flip exactly one rail, which
+  // makes the pair invalid rather than a wrong codeword).
+  for (const char* site : {"rail1", "rail2"}) {
+    EXPECT_TRUE(find_fault(r, site, false).fault_secure) << site;
+    EXPECT_TRUE(find_fault(r, site, true).fault_secure) << site;
+  }
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,172 @@
+#include "core/type_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace apx {
+namespace {
+
+TEST(TypeAssignmentTest, PoDriverGetsRequestedDirection) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_and(a, b, "g");
+  net.add_po("g", g);
+  TypeAssignment one = assign_types(net, {ApproxDirection::kOneApprox});
+  EXPECT_EQ(one.of(g), NodeType::kOne);
+  TypeAssignment zero = assign_types(net, {ApproxDirection::kZeroApprox});
+  EXPECT_EQ(zero.of(g), NodeType::kZero);
+}
+
+TEST(TypeAssignmentTest, ConflictingPoRequestsYieldEx) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_and(a, b, "g");
+  net.add_po("g1", g);
+  net.add_po("g2", g);
+  TypeAssignment t = assign_types(
+      net, {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox});
+  EXPECT_EQ(t.of(g), NodeType::kEx);
+}
+
+TEST(TypeAssignmentTest, DanglingNodeIsDc) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_and(a, b, "g");
+  NodeId dangle = net.add_or(a, b, "dangle");
+  (void)dangle;
+  net.add_po("g", g);
+  TypeAssignment t = assign_types(net, {ApproxDirection::kOneApprox});
+  EXPECT_EQ(t.of(dangle), NodeType::kDc);
+}
+
+TEST(TypeAssignmentTest, StrictModeForcesExOnUsedFanins) {
+  // Output requested EX via two conflicting POs; in strict mode its fanins
+  // must become EX as well.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId t1 = net.add_and(a, b, "t1");
+  NodeId t2 = net.add_or(b, c, "t2");
+  NodeId g = net.add_xor(t1, t2, "g");
+  net.add_po("g1", g);
+  net.add_po("g2", g);
+  TypeAssignmentOptions opt;
+  opt.strict_ex_requests = true;
+  TypeAssignment t = assign_types(
+      net, {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox}, opt);
+  EXPECT_EQ(t.of(g), NodeType::kEx);
+  EXPECT_EQ(t.of(t1), NodeType::kEx);
+  EXPECT_EQ(t.of(t2), NodeType::kEx);
+}
+
+TEST(TypeAssignmentTest, DefaultModeTypesExFaninsByObservability) {
+  // Same circuit without strict mode: the XOR node's fanins are both fully
+  // observable in both phases, so they are still requested EX here — but a
+  // skewed fanin of an EX node gets a 0/1 type instead of being pinned EX.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId d = net.add_pi("d");
+  NodeId t1 = net.add_node({b, c, d}, *Sop::parse(3, "1--\n-1-\n--1"), "t1");
+  NodeId g = net.add_and(a, t1, "g");
+  net.add_po("g1", g);
+  net.add_po("g2", g);  // conflicting directions -> g is EX
+  TypeAssignmentOptions opt;
+  opt.sim_words = 256;
+  TypeAssignment t = assign_types(
+      net, {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox}, opt);
+  EXPECT_EQ(t.of(g), NodeType::kEx);
+  // t1 is mostly 1 at an AND: obs1 >> obs0 -> type 1 despite the EX parent.
+  EXPECT_EQ(t.of(t1), NodeType::kOne);
+}
+
+TEST(TypeAssignmentTest, BarelyObservableFaninRequestedDc) {
+  // g = wide_or | t: the wide OR is almost always 1, so t is rarely
+  // observable and should be typed DC.
+  Network net;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 6; ++i) pis.push_back(net.add_pi("x" + std::to_string(i)));
+  NodeId t = net.add_pi("t");
+  Sop or6(6);
+  for (int v = 0; v < 6; ++v) {
+    Cube c = Cube::full(6);
+    c.set(v, LitCode::kPos);
+    or6.add_cube(c);
+  }
+  NodeId wide = net.add_node(pis, std::move(or6), "wide");
+  NodeId tbuf = net.add_buf(t, "tbuf");
+  NodeId g = net.add_or(wide, tbuf, "g");
+  net.add_po("g", g);
+  TypeAssignmentOptions opt;
+  opt.dc_fraction = 0.25;
+  opt.sim_words = 256;
+  TypeAssignment types = assign_types(net, {ApproxDirection::kOneApprox}, opt);
+  // wide (obs ~ P(t=0)=0.5 scaled) stays typed, tbuf (obs ~ P(wide=0) ~
+  // 1/64) goes DC.
+  EXPECT_EQ(types.of(tbuf), NodeType::kDc);
+  EXPECT_NE(types.of(wide), NodeType::kDc);
+}
+
+TEST(TypeAssignmentTest, SkewedFaninGetsDominantPhase) {
+  // g = a & t with t = b|c|d (t mostly 1): obs1(t) >> obs0(t) -> type 1.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId d = net.add_pi("d");
+  NodeId t = net.add_node({b, c, d}, *Sop::parse(3, "1--\n-1-\n--1"), "t");
+  NodeId g = net.add_and(a, t, "g");
+  net.add_po("g", g);
+  TypeAssignmentOptions opt;
+  opt.phase_ratio = 2.0;
+  opt.sim_words = 256;
+  TypeAssignment types = assign_types(net, {ApproxDirection::kOneApprox}, opt);
+  EXPECT_EQ(types.of(t), NodeType::kOne);
+}
+
+TEST(TypeAssignmentTest, ComparableObservabilitiesGiveEx) {
+  // g = a ^ b^-chain: both phases equally observable -> EX requested.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId t = net.add_xor(a, b, "t");
+  NodeId c = net.add_pi("c");
+  NodeId g = net.add_xor(t, c, "g");
+  net.add_po("g", g);
+  TypeAssignment types = assign_types(net, {ApproxDirection::kOneApprox});
+  EXPECT_EQ(types.of(t), NodeType::kEx);
+}
+
+TEST(TypeAssignmentTest, DcPropagatesThroughDcNodes) {
+  // A DC node's fanins see DC requests (unless another fanout asks more).
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId inner = net.add_and(a, b, "inner");
+  NodeId dangle = net.add_not(inner, "dangle");
+  NodeId g = net.add_or(a, b, "g");
+  (void)dangle;
+  net.add_po("g", g);
+  TypeAssignment types = assign_types(net, {ApproxDirection::kOneApprox});
+  EXPECT_EQ(types.of(dangle), NodeType::kDc);
+  EXPECT_EQ(types.of(inner), NodeType::kDc);
+}
+
+TEST(TypeAssignmentTest, CountsMatchTypes) {
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId g = net.add_and(a, b, "g");
+  net.add_po("g", g);
+  TypeAssignment t = assign_types(net, {ApproxDirection::kOneApprox});
+  EXPECT_EQ(t.count(NodeType::kOne), 1);  // only g
+  // PIs are EX by convention.
+  EXPECT_EQ(t.count(NodeType::kEx), 2);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,56 @@
+#include "network/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+
+namespace apx {
+namespace {
+
+TEST(VerilogTest, EmitsWellFormedModule) {
+  Network net = make_benchmark("fadd");
+  std::string v = write_verilog_string(net, "fadd");
+  EXPECT_NE(v.find("module fadd ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output sum"), std::string::npos);
+  // XOR node appears as a two-cube OR of AND terms.
+  EXPECT_NE(v.find("|"), std::string::npos);
+  EXPECT_NE(v.find("~"), std::string::npos);
+}
+
+TEST(VerilogTest, SanitizesHostileNames) {
+  Network net;
+  NodeId a = net.add_pi("sig[3]");
+  NodeId b = net.add_pi("3weird");
+  net.add_po("out.x", net.add_and(a, b));
+  std::string v = write_verilog_string(net);
+  EXPECT_EQ(v.find('['), std::string::npos);
+  EXPECT_EQ(v.find('.'), std::string::npos);
+  EXPECT_NE(v.find("sig_3_"), std::string::npos);
+  EXPECT_NE(v.find("n_3weird"), std::string::npos);
+}
+
+TEST(VerilogTest, ConstantsAndEmptySops) {
+  Network net;
+  (void)net.add_pi("a");
+  net.add_po("one", net.add_const(true));
+  net.add_po("zero", net.add_const(false));
+  std::string v = write_verilog_string(net);
+  EXPECT_NE(v.find("= 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("= 1'b0;"), std::string::npos);
+}
+
+TEST(VerilogTest, UniquifiesCollidingNames) {
+  Network net;
+  NodeId a = net.add_pi("x_1");
+  NodeId b = net.add_pi("x.1");  // sanitizes to x_1 as well
+  net.add_po("y", net.add_or(a, b));
+  std::string v = write_verilog_string(net);
+  // Both inputs must appear as distinct identifiers.
+  EXPECT_NE(v.find("x_1,"), std::string::npos);
+  EXPECT_NE(v.find("x_1_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apx
