@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_pipeline.dir/ced_pipeline.cpp.o"
+  "CMakeFiles/ced_pipeline.dir/ced_pipeline.cpp.o.d"
+  "ced_pipeline"
+  "ced_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

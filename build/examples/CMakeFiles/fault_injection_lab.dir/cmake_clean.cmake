@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection_lab.dir/fault_injection_lab.cpp.o"
+  "CMakeFiles/fault_injection_lab.dir/fault_injection_lab.cpp.o.d"
+  "fault_injection_lab"
+  "fault_injection_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_tour.dir/interop_tour.cpp.o"
+  "CMakeFiles/interop_tour.dir/interop_tour.cpp.o.d"
+  "interop_tour"
+  "interop_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

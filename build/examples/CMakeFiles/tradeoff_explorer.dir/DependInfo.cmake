@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tradeoff_explorer.cpp" "examples/CMakeFiles/tradeoff_explorer.dir/tradeoff_explorer.cpp.o" "gcc" "examples/CMakeFiles/tradeoff_explorer.dir/tradeoff_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/apx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/apx_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/apx_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/apx_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/apx_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/apx_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/apx_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/apx_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sop/CMakeFiles/apx_sop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

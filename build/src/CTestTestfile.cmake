@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sop")
+subdirs("tt")
+subdirs("network")
+subdirs("bdd")
+subdirs("sat")
+subdirs("sim")
+subdirs("reliability")
+subdirs("mapping")
+subdirs("core")
+subdirs("baselines")
+subdirs("benchmarks")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_baselines.dir/parity.cpp.o"
+  "CMakeFiles/apx_baselines.dir/parity.cpp.o.d"
+  "CMakeFiles/apx_baselines.dir/partial_duplication.cpp.o"
+  "CMakeFiles/apx_baselines.dir/partial_duplication.cpp.o.d"
+  "libapx_baselines.a"
+  "libapx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

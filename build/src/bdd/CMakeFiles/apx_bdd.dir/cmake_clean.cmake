@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/apx_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/apx_bdd.dir/network_bdd.cpp.o"
+  "CMakeFiles/apx_bdd.dir/network_bdd.cpp.o.d"
+  "libapx_bdd.a"
+  "libapx_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

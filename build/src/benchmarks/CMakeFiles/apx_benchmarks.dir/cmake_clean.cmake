@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_benchmarks.dir/benchmarks.cpp.o"
+  "CMakeFiles/apx_benchmarks.dir/benchmarks.cpp.o.d"
+  "libapx_benchmarks.a"
+  "libapx_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approx_synthesis.cpp" "src/core/CMakeFiles/apx_core.dir/approx_synthesis.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/approx_synthesis.cpp.o.d"
+  "/root/repo/src/core/ced.cpp" "src/core/CMakeFiles/apx_core.dir/ced.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/ced.cpp.o.d"
+  "/root/repo/src/core/checker.cpp" "src/core/CMakeFiles/apx_core.dir/checker.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/checker.cpp.o.d"
+  "/root/repo/src/core/cube_selection.cpp" "src/core/CMakeFiles/apx_core.dir/cube_selection.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/cube_selection.cpp.o.d"
+  "/root/repo/src/core/delay_ced.cpp" "src/core/CMakeFiles/apx_core.dir/delay_ced.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/delay_ced.cpp.o.d"
+  "/root/repo/src/core/logic_sharing.cpp" "src/core/CMakeFiles/apx_core.dir/logic_sharing.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/logic_sharing.cpp.o.d"
+  "/root/repo/src/core/masking.cpp" "src/core/CMakeFiles/apx_core.dir/masking.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/masking.cpp.o.d"
+  "/root/repo/src/core/observability.cpp" "src/core/CMakeFiles/apx_core.dir/observability.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/observability.cpp.o.d"
+  "/root/repo/src/core/odc_analysis.cpp" "src/core/CMakeFiles/apx_core.dir/odc_analysis.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/odc_analysis.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/apx_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/tsc_analysis.cpp" "src/core/CMakeFiles/apx_core.dir/tsc_analysis.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/tsc_analysis.cpp.o.d"
+  "/root/repo/src/core/type_assignment.cpp" "src/core/CMakeFiles/apx_core.dir/type_assignment.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/type_assignment.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/core/CMakeFiles/apx_core.dir/verify.cpp.o" "gcc" "src/core/CMakeFiles/apx_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/network/CMakeFiles/apx_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/sop/CMakeFiles/apx_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/apx_tt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/apx_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/apx_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/apx_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/apx_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

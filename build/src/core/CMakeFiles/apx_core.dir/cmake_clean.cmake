@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_core.dir/approx_synthesis.cpp.o"
+  "CMakeFiles/apx_core.dir/approx_synthesis.cpp.o.d"
+  "CMakeFiles/apx_core.dir/ced.cpp.o"
+  "CMakeFiles/apx_core.dir/ced.cpp.o.d"
+  "CMakeFiles/apx_core.dir/checker.cpp.o"
+  "CMakeFiles/apx_core.dir/checker.cpp.o.d"
+  "CMakeFiles/apx_core.dir/cube_selection.cpp.o"
+  "CMakeFiles/apx_core.dir/cube_selection.cpp.o.d"
+  "CMakeFiles/apx_core.dir/delay_ced.cpp.o"
+  "CMakeFiles/apx_core.dir/delay_ced.cpp.o.d"
+  "CMakeFiles/apx_core.dir/logic_sharing.cpp.o"
+  "CMakeFiles/apx_core.dir/logic_sharing.cpp.o.d"
+  "CMakeFiles/apx_core.dir/masking.cpp.o"
+  "CMakeFiles/apx_core.dir/masking.cpp.o.d"
+  "CMakeFiles/apx_core.dir/observability.cpp.o"
+  "CMakeFiles/apx_core.dir/observability.cpp.o.d"
+  "CMakeFiles/apx_core.dir/odc_analysis.cpp.o"
+  "CMakeFiles/apx_core.dir/odc_analysis.cpp.o.d"
+  "CMakeFiles/apx_core.dir/pipeline.cpp.o"
+  "CMakeFiles/apx_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/apx_core.dir/tsc_analysis.cpp.o"
+  "CMakeFiles/apx_core.dir/tsc_analysis.cpp.o.d"
+  "CMakeFiles/apx_core.dir/type_assignment.cpp.o"
+  "CMakeFiles/apx_core.dir/type_assignment.cpp.o.d"
+  "CMakeFiles/apx_core.dir/verify.cpp.o"
+  "CMakeFiles/apx_core.dir/verify.cpp.o.d"
+  "libapx_core.a"
+  "libapx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_mapping.dir/library.cpp.o"
+  "CMakeFiles/apx_mapping.dir/library.cpp.o.d"
+  "CMakeFiles/apx_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/apx_mapping.dir/mapper.cpp.o.d"
+  "CMakeFiles/apx_mapping.dir/optimize.cpp.o"
+  "CMakeFiles/apx_mapping.dir/optimize.cpp.o.d"
+  "libapx_mapping.a"
+  "libapx_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

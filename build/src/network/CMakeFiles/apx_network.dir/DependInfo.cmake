@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/bench_format.cpp" "src/network/CMakeFiles/apx_network.dir/bench_format.cpp.o" "gcc" "src/network/CMakeFiles/apx_network.dir/bench_format.cpp.o.d"
+  "/root/repo/src/network/blif.cpp" "src/network/CMakeFiles/apx_network.dir/blif.cpp.o" "gcc" "src/network/CMakeFiles/apx_network.dir/blif.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/network/CMakeFiles/apx_network.dir/network.cpp.o" "gcc" "src/network/CMakeFiles/apx_network.dir/network.cpp.o.d"
+  "/root/repo/src/network/pla.cpp" "src/network/CMakeFiles/apx_network.dir/pla.cpp.o" "gcc" "src/network/CMakeFiles/apx_network.dir/pla.cpp.o.d"
+  "/root/repo/src/network/verilog.cpp" "src/network/CMakeFiles/apx_network.dir/verilog.cpp.o" "gcc" "src/network/CMakeFiles/apx_network.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sop/CMakeFiles/apx_sop.dir/DependInfo.cmake"
+  "/root/repo/build/src/tt/CMakeFiles/apx_tt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_network.dir/bench_format.cpp.o"
+  "CMakeFiles/apx_network.dir/bench_format.cpp.o.d"
+  "CMakeFiles/apx_network.dir/blif.cpp.o"
+  "CMakeFiles/apx_network.dir/blif.cpp.o.d"
+  "CMakeFiles/apx_network.dir/network.cpp.o"
+  "CMakeFiles/apx_network.dir/network.cpp.o.d"
+  "CMakeFiles/apx_network.dir/pla.cpp.o"
+  "CMakeFiles/apx_network.dir/pla.cpp.o.d"
+  "CMakeFiles/apx_network.dir/verilog.cpp.o"
+  "CMakeFiles/apx_network.dir/verilog.cpp.o.d"
+  "libapx_network.a"
+  "libapx_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapx_network.a"
+)

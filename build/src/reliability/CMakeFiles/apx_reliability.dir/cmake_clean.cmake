@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_reliability.dir/reliability.cpp.o"
+  "CMakeFiles/apx_reliability.dir/reliability.cpp.o.d"
+  "libapx_reliability.a"
+  "libapx_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_sat.dir/encode.cpp.o"
+  "CMakeFiles/apx_sat.dir/encode.cpp.o.d"
+  "CMakeFiles/apx_sat.dir/solver.cpp.o"
+  "CMakeFiles/apx_sat.dir/solver.cpp.o.d"
+  "libapx_sat.a"
+  "libapx_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

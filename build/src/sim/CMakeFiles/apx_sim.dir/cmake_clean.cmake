@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_sim.dir/simulator.cpp.o"
+  "CMakeFiles/apx_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/apx_sim.dir/transition_fault.cpp.o"
+  "CMakeFiles/apx_sim.dir/transition_fault.cpp.o.d"
+  "libapx_sim.a"
+  "libapx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sop/algebraic.cpp" "src/sop/CMakeFiles/apx_sop.dir/algebraic.cpp.o" "gcc" "src/sop/CMakeFiles/apx_sop.dir/algebraic.cpp.o.d"
+  "/root/repo/src/sop/cube.cpp" "src/sop/CMakeFiles/apx_sop.dir/cube.cpp.o" "gcc" "src/sop/CMakeFiles/apx_sop.dir/cube.cpp.o.d"
+  "/root/repo/src/sop/minimize.cpp" "src/sop/CMakeFiles/apx_sop.dir/minimize.cpp.o" "gcc" "src/sop/CMakeFiles/apx_sop.dir/minimize.cpp.o.d"
+  "/root/repo/src/sop/sop.cpp" "src/sop/CMakeFiles/apx_sop.dir/sop.cpp.o" "gcc" "src/sop/CMakeFiles/apx_sop.dir/sop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

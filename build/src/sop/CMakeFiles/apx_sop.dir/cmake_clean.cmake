@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_sop.dir/algebraic.cpp.o"
+  "CMakeFiles/apx_sop.dir/algebraic.cpp.o.d"
+  "CMakeFiles/apx_sop.dir/cube.cpp.o"
+  "CMakeFiles/apx_sop.dir/cube.cpp.o.d"
+  "CMakeFiles/apx_sop.dir/minimize.cpp.o"
+  "CMakeFiles/apx_sop.dir/minimize.cpp.o.d"
+  "CMakeFiles/apx_sop.dir/sop.cpp.o"
+  "CMakeFiles/apx_sop.dir/sop.cpp.o.d"
+  "libapx_sop.a"
+  "libapx_sop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_sop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_tt.dir/truth_table.cpp.o"
+  "CMakeFiles/apx_tt.dir/truth_table.cpp.o.d"
+  "libapx_tt.a"
+  "libapx_tt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_tt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

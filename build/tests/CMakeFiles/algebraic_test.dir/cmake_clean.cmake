@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebraic_test.dir/algebraic_test.cpp.o"
+  "CMakeFiles/algebraic_test.dir/algebraic_test.cpp.o.d"
+  "algebraic_test"
+  "algebraic_test.pdb"
+  "algebraic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebraic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

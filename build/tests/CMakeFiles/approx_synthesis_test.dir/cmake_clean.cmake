@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_synthesis_test.dir/approx_synthesis_test.cpp.o"
+  "CMakeFiles/approx_synthesis_test.dir/approx_synthesis_test.cpp.o.d"
+  "approx_synthesis_test"
+  "approx_synthesis_test.pdb"
+  "approx_synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

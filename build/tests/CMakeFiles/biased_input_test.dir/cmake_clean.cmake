@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biased_input_test.dir/biased_input_test.cpp.o"
+  "CMakeFiles/biased_input_test.dir/biased_input_test.cpp.o.d"
+  "biased_input_test"
+  "biased_input_test.pdb"
+  "biased_input_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biased_input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

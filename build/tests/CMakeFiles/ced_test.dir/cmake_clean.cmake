@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ced_test.dir/ced_test.cpp.o"
+  "CMakeFiles/ced_test.dir/ced_test.cpp.o.d"
+  "ced_test"
+  "ced_test.pdb"
+  "ced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_selection_test.dir/cube_selection_test.cpp.o"
+  "CMakeFiles/cube_selection_test.dir/cube_selection_test.cpp.o.d"
+  "cube_selection_test"
+  "cube_selection_test.pdb"
+  "cube_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

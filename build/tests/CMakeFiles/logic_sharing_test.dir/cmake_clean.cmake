@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_sharing_test.dir/logic_sharing_test.cpp.o"
+  "CMakeFiles/logic_sharing_test.dir/logic_sharing_test.cpp.o.d"
+  "logic_sharing_test"
+  "logic_sharing_test.pdb"
+  "logic_sharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masking_test.dir/masking_test.cpp.o"
+  "CMakeFiles/masking_test.dir/masking_test.cpp.o.d"
+  "masking_test"
+  "masking_test.pdb"
+  "masking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_bdd_test.dir/network_bdd_test.cpp.o"
+  "CMakeFiles/network_bdd_test.dir/network_bdd_test.cpp.o.d"
+  "network_bdd_test"
+  "network_bdd_test.pdb"
+  "network_bdd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_bdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odc_analysis_test.dir/odc_analysis_test.cpp.o"
+  "CMakeFiles/odc_analysis_test.dir/odc_analysis_test.cpp.o.d"
+  "odc_analysis_test"
+  "odc_analysis_test.pdb"
+  "odc_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odc_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

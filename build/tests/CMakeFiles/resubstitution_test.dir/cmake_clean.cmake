@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resubstitution_test.dir/resubstitution_test.cpp.o"
+  "CMakeFiles/resubstitution_test.dir/resubstitution_test.cpp.o.d"
+  "resubstitution_test"
+  "resubstitution_test.pdb"
+  "resubstitution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resubstitution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharp_test.dir/sharp_test.cpp.o"
+  "CMakeFiles/sharp_test.dir/sharp_test.cpp.o.d"
+  "sharp_test"
+  "sharp_test.pdb"
+  "sharp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sop_test.dir/sop_test.cpp.o"
+  "CMakeFiles/sop_test.dir/sop_test.cpp.o.d"
+  "sop_test"
+  "sop_test.pdb"
+  "sop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_fault_test.dir/transition_fault_test.cpp.o"
+  "CMakeFiles/transition_fault_test.dir/transition_fault_test.cpp.o.d"
+  "transition_fault_test"
+  "transition_fault_test.pdb"
+  "transition_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_analysis_test.dir/tsc_analysis_test.cpp.o"
+  "CMakeFiles/tsc_analysis_test.dir/tsc_analysis_test.cpp.o.d"
+  "tsc_analysis_test"
+  "tsc_analysis_test.pdb"
+  "tsc_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

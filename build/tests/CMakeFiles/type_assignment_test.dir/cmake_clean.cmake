@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_assignment_test.dir/type_assignment_test.cpp.o"
+  "CMakeFiles/type_assignment_test.dir/type_assignment_test.cpp.o.d"
+  "type_assignment_test"
+  "type_assignment_test.pdb"
+  "type_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

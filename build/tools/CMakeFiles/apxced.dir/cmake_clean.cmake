@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apxced.dir/apxced.cpp.o"
+  "CMakeFiles/apxced.dir/apxced.cpp.o.d"
+  "apxced"
+  "apxced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apxced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
