@@ -1,0 +1,174 @@
+// Fault-simulation throughput benchmark: the seed's per-fault golden
+// re-simulation loop vs the shared-pattern FaultSimEngine, on a
+// Table-1-sized CED coverage run (same fault/pattern counts), plus thread
+// scaling at 1/2/4/8 workers. Emits BENCH_faultsim.json so the perf
+// trajectory is tracked from PR 1 onward (fields documented in
+// EXPERIMENTS.md).
+#include <bit>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/ced.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+#include "sim/fault_engine.hpp"
+
+using namespace apx;
+using namespace apx::bench;
+
+namespace {
+
+struct Throughput {
+  double seconds = 0.0;
+  double faults_per_sec = 0.0;
+  double patterns_per_sec = 0.0;
+  CoverageResult result;
+};
+
+Throughput rates(double seconds, const CoverageOptions& opt,
+                 CoverageResult result) {
+  Throughput t;
+  t.seconds = seconds;
+  t.faults_per_sec = opt.num_fault_samples / seconds;
+  t.patterns_per_sec =
+      static_cast<double>(opt.num_fault_samples) * opt.words_per_fault * 64 /
+      seconds;
+  t.result = result;
+  return t;
+}
+
+// The seed's evaluate_ced_coverage loop, verbatim: fresh PatternSet and a
+// full golden machine re-simulation per fault sample.
+Throughput run_baseline(const CedDesign& ced, const CoverageOptions& options) {
+  Stopwatch watch;
+  CoverageResult result;
+  std::mt19937_64 rng(options.seed);
+  Simulator sim(ced.design);
+  const Network& net = ced.design;
+  for (int s = 0; s < options.num_fault_samples; ++s) {
+    NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
+    StuckFault fault{site, static_cast<bool>(rng() & 1)};
+    PatternSet patterns =
+        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
+    sim.run(patterns);
+    sim.inject(fault);
+    const auto& z1 = sim.faulty_value(ced.error_pair.rail1);
+    const auto& z2 = sim.faulty_value(ced.error_pair.rail2);
+    for (int w = 0; w < options.words_per_fault; ++w) {
+      uint64_t err = 0;
+      for (NodeId out : ced.functional_outputs) {
+        err |= sim.value(out)[w] ^ sim.faulty_value(out)[w];
+      }
+      uint64_t flagged = ~(z1[w] ^ z2[w]);
+      result.erroneous += std::popcount(err);
+      result.detected += std::popcount(err & flagged);
+      result.runs += 64;
+    }
+  }
+  return rates(watch.seconds(), options, result);
+}
+
+Throughput run_engine(const CedDesign& ced, CoverageOptions options,
+                      int threads) {
+  options.num_threads = threads;
+  Stopwatch watch;
+  CoverageResult result = evaluate_ced_coverage(ced, options);
+  return rates(watch.seconds(), options, result);
+}
+
+void print_row(const char* label, const Throughput& t) {
+  std::printf("%-24s %8.3fs %12.0f f/s %14.0f pat/s   cov %.2f%%\n", label,
+              t.seconds, t.faults_per_sec, t.patterns_per_sec,
+              100.0 * t.result.coverage());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_faultsim.json";
+  const char* circuit = "dalu";
+
+  // Table-1-sized workload: a mapped MCNC-profile stand-in protected by
+  // duplication (functional + checkgen + checkers, everything gate-level).
+  Network mapped = technology_map(quick_synthesis(make_benchmark(circuit)));
+  std::vector<ApproxDirection> dirs(mapped.num_pos(),
+                                    ApproxDirection::kZeroApprox);
+  CedDesign ced = build_ced_design(mapped, mapped, dirs);
+
+  CoverageOptions options;
+  options.num_fault_samples = scaled(1500);
+  options.words_per_fault = 4;
+
+  std::printf("bench_faultsim: %s CED design, %d nodes (%d functional "
+              "gates), %d fault samples x %d words\n\n",
+              circuit, ced.design.num_nodes(), ced.functional_area(),
+              options.num_fault_samples, options.words_per_fault);
+
+  Throughput baseline = run_baseline(ced, options);
+  print_row("per-fault rerun (seed)", baseline);
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<Throughput> engine_runs;
+  for (int threads : thread_counts) {
+    engine_runs.push_back(run_engine(ced, options, threads));
+    print_row(("engine, " + std::to_string(threads) + " thread(s)").c_str(),
+              engine_runs.back());
+  }
+
+  bool bit_identical = true;
+  for (const Throughput& t : engine_runs) {
+    bit_identical = bit_identical &&
+                    t.result.erroneous == engine_runs[0].result.erroneous &&
+                    t.result.detected == engine_runs[0].result.detected;
+  }
+  double speedup = engine_runs[0].faults_per_sec / baseline.faults_per_sec;
+  std::printf("\nsingle-thread speedup over per-fault rerun: %.1fx\n",
+              speedup);
+  std::printf("thread counts bit-identical: %s\n",
+              bit_identical ? "yes" : "NO");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"circuit\": \"%s\",\n", circuit);
+  std::fprintf(f, "  \"ced_nodes\": %d,\n", ced.design.num_nodes());
+  std::fprintf(f, "  \"functional_gates\": %d,\n", ced.functional_area());
+  std::fprintf(f, "  \"fault_samples\": %d,\n", options.num_fault_samples);
+  std::fprintf(f, "  \"words_per_fault\": %d,\n", options.words_per_fault);
+  std::fprintf(f, "  \"vectors_per_fault\": %d,\n",
+               options.words_per_fault * 64);
+  std::fprintf(f,
+               "  \"baseline_per_fault_rerun\": {\"seconds\": %.4f, "
+               "\"faults_per_sec\": %.1f, \"patterns_per_sec\": %.1f, "
+               "\"coverage_pct\": %.2f},\n",
+               baseline.seconds, baseline.faults_per_sec,
+               baseline.patterns_per_sec, 100.0 * baseline.result.coverage());
+  std::fprintf(f, "  \"engine\": [\n");
+  for (size_t i = 0; i < engine_runs.size(); ++i) {
+    const Throughput& t = engine_runs[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"seconds\": %.4f, "
+                 "\"faults_per_sec\": %.1f, \"patterns_per_sec\": %.1f, "
+                 "\"coverage_pct\": %.2f}%s\n",
+                 thread_counts[i], t.seconds, t.faults_per_sec,
+                 t.patterns_per_sec, 100.0 * t.result.coverage(),
+                 i + 1 < engine_runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_single_thread\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"threads_bit_identical\": %s\n",
+               bit_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Fail loudly if the engine regresses below the 4x bar or determinism
+  // breaks, so CI can watch the perf trajectory.
+  return (speedup >= 4.0 && bit_identical) ? 0 : 1;
+}

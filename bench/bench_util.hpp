@@ -29,12 +29,24 @@ inline int scaled(int base) {
   return static_cast<int>(base * effort_scale());
 }
 
+/// Fault-simulation worker threads: APXCED_THREADS=<n> pins the count,
+/// default 0 lets the engine use all hardware threads. Results are
+/// bit-identical either way.
+inline int bench_threads() {
+  const char* env = std::getenv("APXCED_THREADS");
+  if (env == nullptr) return 0;
+  int v = std::atoi(env);
+  return v > 0 ? v : 0;
+}
+
 /// Standard pipeline options at a given threshold with scaled budgets.
 inline PipelineOptions tuned_options(double threshold, bool sharing = false) {
   PipelineOptions opt;
   opt.approx.significance_threshold = threshold;
   opt.reliability.num_fault_samples = scaled(1500);
+  opt.reliability.num_threads = bench_threads();
   opt.coverage.num_fault_samples = scaled(1500);
+  opt.coverage.num_threads = bench_threads();
   opt.logic_sharing = sharing;
   return opt;
 }

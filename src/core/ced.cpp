@@ -1,9 +1,9 @@
 #include "core/ced.hpp"
 
 #include <bit>
-#include <random>
 #include <stdexcept>
 
+#include "sim/fault_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -115,31 +115,52 @@ CedDesign build_duplication_ced(const Network& original,
 CoverageResult evaluate_ced_coverage(const CedDesign& ced,
                                      const CoverageOptions& options) {
   CoverageResult result;
-  if (ced.functional_nodes.empty()) return result;
-  std::mt19937_64 rng(options.seed);
-  Simulator sim(ced.design);
-  const Network& net = ced.design;
+  if (ced.functional_nodes.empty() || options.num_fault_samples <= 0) {
+    return result;
+  }
+  FaultSimEngine engine(ced.design);
+  CampaignOptions copt;
+  copt.num_fault_samples = options.num_fault_samples;
+  copt.words_per_fault = options.words_per_fault;
+  copt.faults_per_batch = options.faults_per_batch;
+  copt.num_threads = options.num_threads;
+  copt.seed = options.seed;
 
-  for (int s = 0; s < options.num_fault_samples; ++s) {
-    NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
-    StuckFault fault{site, static_cast<bool>(rng() & 1)};
-    PatternSet patterns =
-        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
-    sim.run(patterns);
-    sim.inject(fault);
-    const auto& z1 = sim.faulty_value(ced.error_pair.rail1);
-    const auto& z2 = sim.faulty_value(ced.error_pair.rail2);
-    for (int w = 0; w < options.words_per_fault; ++w) {
+  const std::vector<NodeId>& sites = ced.functional_nodes;
+  auto sampler = [&sites](uint64_t sample_seed) {
+    SplitMix64 rng(sample_seed);
+    NodeId site = sites[rng.next() % sites.size()];
+    return StuckFault{site, static_cast<bool>(rng.next() & 1)};
+  };
+
+  // Per-sample slots: workers write disjoint rows, reduced afterwards, so
+  // counts are bit-identical for any thread count.
+  struct Row {
+    int64_t erroneous = 0;
+    int64_t detected = 0;
+  };
+  std::vector<Row> rows(options.num_fault_samples);
+  engine.run_campaign(copt, sampler, [&](int i, const StuckFault&,
+                                         const FaultView& v) {
+    Row& row = rows[i];
+    const uint64_t* z1 = v.faulty(ced.error_pair.rail1);
+    const uint64_t* z2 = v.faulty(ced.error_pair.rail2);
+    for (int w = 0; w < v.num_words(); ++w) {
       uint64_t err = 0;
       for (NodeId out : ced.functional_outputs) {
-        err |= sim.value(out)[w] ^ sim.faulty_value(out)[w];
+        err |= v.golden(out)[w] ^ v.faulty(out)[w];
       }
       uint64_t flagged = ~(z1[w] ^ z2[w]);  // rails agree -> error signal
-      result.erroneous += std::popcount(err);
-      result.detected += std::popcount(err & flagged);
-      result.runs += 64;
+      row.erroneous += std::popcount(err);
+      row.detected += std::popcount(err & flagged);
     }
+  });
+  for (const Row& row : rows) {
+    result.erroneous += row.erroneous;
+    result.detected += row.detected;
   }
+  result.runs = static_cast<int64_t>(options.num_fault_samples) *
+                options.words_per_fault * 64;
   return result;
 }
 

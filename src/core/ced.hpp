@@ -68,6 +68,12 @@ struct CoverageResult {
 struct CoverageOptions {
   int num_fault_samples = 2000;
   int words_per_fault = 4;
+  /// Fault samples amortizing one shared golden simulation in the
+  /// FaultSimEngine (see src/sim/fault_engine.hpp).
+  int faults_per_batch = 64;
+  /// Engine worker threads; 0 = all hardware threads. Counts are
+  /// bit-identical for any value (deterministic per-sample seeds).
+  int num_threads = 0;
   uint64_t seed = 0xCED;
 };
 

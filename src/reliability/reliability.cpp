@@ -1,7 +1,9 @@
 #include "reliability/reliability.hpp"
 
 #include <bit>
-#include <random>
+#include <mutex>
+
+#include "sim/fault_engine.hpp"
 
 namespace apx {
 
@@ -10,45 +12,61 @@ ReliabilityReport analyze_reliability(const Network& net,
   ReliabilityReport report;
   report.outputs.assign(net.num_pos(), {});
   std::vector<StuckFault> faults = enumerate_faults(net);
-  if (faults.empty() || net.num_pos() == 0) return report;
+  if (faults.empty() || net.num_pos() == 0 || options.num_fault_samples <= 0) {
+    return report;
+  }
 
-  std::mt19937_64 rng(options.seed);
-  Simulator sim(net);
+  FaultSimEngine engine(net);
+  CampaignOptions copt;
+  copt.num_fault_samples = options.num_fault_samples;
+  copt.words_per_fault = options.words_per_fault;
+  copt.faults_per_batch = options.faults_per_batch;
+  copt.num_threads = options.num_threads;
+  copt.seed = options.seed;
+  auto sampler = [&faults](uint64_t sample_seed) {
+    return faults[SplitMix64(sample_seed).next() % faults.size()];
+  };
 
   std::vector<int64_t> count01(net.num_pos(), 0);
   std::vector<int64_t> count10(net.num_pos(), 0);
   int64_t any_error = 0;
   int64_t dominant_detectable = 0;
-  int64_t runs = 0;
+  const int64_t runs = static_cast<int64_t>(options.num_fault_samples) *
+                       options.words_per_fault * 64;
 
-  // The max-coverage statistic needs the dominant directions, which are only
-  // known after the direction rates: two passes over the identical sample
-  // stream (rng_copy replays the first pass exactly).
-  const int num_samples = options.num_fault_samples;
-  std::mt19937_64 rng_copy = rng;
+  // Integer accumulation under a mutex is exact and commutative, so the
+  // totals are bit-identical for any thread count / completion order.
+  std::mutex acc_mutex;
 
-  for (int s = 0; s < num_samples; ++s) {
-    const StuckFault& fault = faults[rng() % faults.size()];
-    PatternSet patterns =
-        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
-    sim.run(patterns);
-    sim.inject(fault);
-    for (int w = 0; w < options.words_per_fault; ++w) {
-      uint64_t any = 0;
+  // Pass 1: per-output directional error rates. The max-coverage statistic
+  // needs the dominant directions, which are only known after this pass;
+  // pass 2 replays the identical sample stream (the campaign's per-index
+  // seed derivation makes the replay exact by construction).
+  engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
+                                         const FaultView& v) {
+    std::vector<int64_t> c01(net.num_pos(), 0), c10(net.num_pos(), 0);
+    int64_t any = 0;
+    for (int w = 0; w < v.num_words(); ++w) {
+      uint64_t any_word = 0;
       for (int o = 0; o < net.num_pos(); ++o) {
         NodeId drv = net.po(o).driver;
-        uint64_t g = sim.value(drv)[w];
-        uint64_t f = sim.faulty_value(drv)[w];
+        uint64_t g = v.golden(drv)[w];
+        uint64_t f = v.faulty(drv)[w];
         uint64_t e01 = ~g & f;
         uint64_t e10 = g & ~f;
-        count01[o] += std::popcount(e01);
-        count10[o] += std::popcount(e10);
-        any |= e01 | e10;
+        c01[o] += std::popcount(e01);
+        c10[o] += std::popcount(e10);
+        any_word |= e01 | e10;
       }
-      any_error += std::popcount(any);
-      runs += 64;
+      any += std::popcount(any_word);
     }
-  }
+    std::lock_guard<std::mutex> lock(acc_mutex);
+    for (int o = 0; o < net.num_pos(); ++o) {
+      count01[o] += c01[o];
+      count10[o] += c10[o];
+    }
+    any_error += any;
+  });
 
   for (int o = 0; o < net.num_pos(); ++o) {
     report.outputs[o].rate_0_to_1 =
@@ -59,26 +77,25 @@ ReliabilityReport analyze_reliability(const Network& net,
   std::vector<ApproxDirection> dirs;
   for (const auto& p : report.outputs) dirs.push_back(p.dominant());
 
-  // Second pass, identical sample stream: count runs where some PO erred in
-  // its dominant (protected) direction.
-  for (int s = 0; s < num_samples; ++s) {
-    const StuckFault& fault = faults[rng_copy() % faults.size()];
-    PatternSet patterns =
-        PatternSet::random(net.num_pis(), options.words_per_fault, rng_copy());
-    sim.run(patterns);
-    sim.inject(fault);
-    for (int w = 0; w < options.words_per_fault; ++w) {
-      uint64_t dominant = 0;
+  // Pass 2, identical sample stream: count runs where some PO erred in its
+  // dominant (protected) direction.
+  engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
+                                         const FaultView& v) {
+    int64_t dominant = 0;
+    for (int w = 0; w < v.num_words(); ++w) {
+      uint64_t dominant_word = 0;
       for (int o = 0; o < net.num_pos(); ++o) {
         NodeId drv = net.po(o).driver;
-        uint64_t g = sim.value(drv)[w];
-        uint64_t f = sim.faulty_value(drv)[w];
-        dominant |= (dirs[o] == ApproxDirection::kZeroApprox) ? (~g & f)
-                                                              : (g & ~f);
+        uint64_t g = v.golden(drv)[w];
+        uint64_t f = v.faulty(drv)[w];
+        dominant_word |= (dirs[o] == ApproxDirection::kZeroApprox) ? (~g & f)
+                                                                   : (g & ~f);
       }
-      dominant_detectable += std::popcount(dominant);
+      dominant += std::popcount(dominant_word);
     }
-  }
+    std::lock_guard<std::mutex> lock(acc_mutex);
+    dominant_detectable += dominant;
+  });
 
   report.runs = runs;
   report.any_output_error_rate =

@@ -62,6 +62,12 @@ struct ReliabilityOptions {
   int num_fault_samples = 2000;
   /// Words of random vectors per sampled fault (64 vectors per word).
   int words_per_fault = 4;
+  /// Fault samples amortizing one shared golden simulation in the
+  /// FaultSimEngine (see src/sim/fault_engine.hpp).
+  int faults_per_batch = 64;
+  /// Engine worker threads; 0 = all hardware threads. Results are
+  /// bit-identical for any value.
+  int num_threads = 0;
   uint64_t seed = 0x5EED;
 };
 

@@ -1,0 +1,291 @@
+#include "sim/fault_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace apx {
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+}  // namespace
+
+/// Per-thread scratch state: a faulty-value arena over the shared golden
+/// image plus the event queue of the level-by-level cone walk. Reused
+/// across faults and batches — no allocations on the injection path.
+struct FaultSimEngine::Worker {
+  std::vector<uint64_t> values;   ///< node-major faulty words
+  std::vector<uint32_t> valid;    ///< epoch at which values[id] is current
+  std::vector<uint32_t> queued;   ///< epoch at which id was scheduled
+  uint32_t epoch = 0;
+  std::vector<std::vector<NodeId>> buckets;  ///< event queue by level
+  std::vector<const uint64_t*> fanin;        ///< scratch fanin pointers
+};
+
+FaultSimEngine::FaultSimEngine(const Network& net)
+    : net_(net), topo_(net.topo_order()), level_(net.levels()),
+      fanouts_(net.fanouts()) {
+  for (int lvl : level_) max_level_ = std::max(max_level_, lvl);
+}
+
+FaultSimEngine::~FaultSimEngine() = default;
+
+void FaultSimEngine::run_golden(const PatternSet& patterns) {
+  if (patterns.num_pis() != net_.num_pis()) {
+    throw std::logic_error("FaultSimEngine: PI count mismatch");
+  }
+  num_words_ = patterns.num_words();
+  const int W = num_words_;
+  golden_.resize(static_cast<size_t>(net_.num_nodes()) * W);
+  for (int i = 0; i < net_.num_pis(); ++i) {
+    const auto& col = patterns.column(i);
+    std::copy(col.begin(), col.end(),
+              golden_.begin() + static_cast<size_t>(net_.pis()[i]) * W);
+  }
+  std::vector<const uint64_t*> fanin;
+  for (NodeId id : topo_) {
+    const Node& n = net_.node(id);
+    uint64_t* out = &golden_[static_cast<size_t>(id) * W];
+    switch (n.kind) {
+      case NodeKind::kPi:
+        break;
+      case NodeKind::kConst0:
+        std::fill(out, out + W, 0ULL);
+        break;
+      case NodeKind::kConst1:
+        std::fill(out, out + W, ~0ULL);
+        break;
+      case NodeKind::kLogic: {
+        fanin.clear();
+        fanin.reserve(n.fanins.size());
+        for (NodeId f : n.fanins) {
+          fanin.push_back(&golden_[static_cast<size_t>(f) * W]);
+        }
+        eval_sop_words(n.sop, fanin.data(), W, out);
+        break;
+      }
+    }
+  }
+}
+
+void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
+  const int W = num_words_;
+  if (++w.epoch == 0) {
+    // uint32 epoch wrapped: old marks would alias the fresh epoch.
+    std::fill(w.valid.begin(), w.valid.end(), 0u);
+    std::fill(w.queued.begin(), w.queued.end(), 0u);
+    w.epoch = 1;
+  }
+  const uint32_t epoch = w.epoch;
+  const uint64_t forced = fault.stuck_value ? ~0ULL : 0ULL;
+  uint64_t* fv = &w.values[static_cast<size_t>(fault.node) * W];
+  const uint64_t* gv = &golden_[static_cast<size_t>(fault.node) * W];
+  bool excited = false;
+  for (int i = 0; i < W; ++i) {
+    fv[i] = forced;
+    excited |= forced != gv[i];
+  }
+  // Fault value equals golden on every pattern: nothing can propagate.
+  if (!excited) return;
+  w.valid[fault.node] = epoch;
+
+  auto schedule = [&](NodeId id) {
+    if (w.queued[id] != epoch) {
+      w.queued[id] = epoch;
+      w.buckets[level_[id]].push_back(id);
+    }
+  };
+  for (NodeId o : fanouts_[fault.node]) schedule(o);
+
+  for (int lvl = level_[fault.node] + 1; lvl <= max_level_; ++lvl) {
+    auto& bucket = w.buckets[lvl];
+    for (NodeId id : bucket) {
+      const Node& n = net_.node(id);
+      w.fanin.clear();
+      for (NodeId f : n.fanins) {
+        w.fanin.push_back(w.valid[f] == epoch
+                              ? &w.values[static_cast<size_t>(f) * W]
+                              : &golden_[static_cast<size_t>(f) * W]);
+      }
+      uint64_t* out = &w.values[static_cast<size_t>(id) * W];
+      eval_sop_words(n.sop, w.fanin.data(), W, out);
+      const uint64_t* g = &golden_[static_cast<size_t>(id) * W];
+      bool differs = false;
+      for (int i = 0; i < W; ++i) differs |= out[i] != g[i];
+      // Faulty value collapsed back to golden: the event dies here.
+      if (!differs) continue;
+      w.valid[id] = epoch;
+      for (NodeId o : fanouts_[id]) schedule(o);
+    }
+    bucket.clear();
+  }
+}
+
+FaultView FaultSimEngine::view_of(const Worker& w) const {
+  FaultView v;
+  v.golden_ = golden_.data();
+  v.values_ = w.values.data();
+  v.valid_ = w.valid.data();
+  v.epoch_ = w.epoch;
+  v.num_words_ = num_words_;
+  return v;
+}
+
+FaultSimEngine::Worker& FaultSimEngine::worker(int index) {
+  while (static_cast<int>(workers_.size()) <= index) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  Worker& w = *workers_[index];
+  size_t need = static_cast<size_t>(net_.num_nodes()) * num_words_;
+  if (w.values.size() != need) {
+    w.values.assign(need, 0);
+    w.valid.assign(net_.num_nodes(), 0);
+    w.queued.assign(net_.num_nodes(), 0);
+    w.epoch = 0;
+    w.buckets.assign(max_level_ + 1, {});
+    w.fanin.clear();
+  }
+  return w;
+}
+
+void FaultSimEngine::parallel_for(int begin, int end, int threads,
+                                  const std::function<void(Worker&, int)>& f) {
+  if (end <= begin) return;
+  threads = std::min(threads, end - begin);
+  if (threads <= 1) {
+    Worker& w = worker(0);
+    for (int i = begin; i < end; ++i) f(w, i);
+    return;
+  }
+  for (int t = 0; t < threads; ++t) worker(t);  // size arenas up front
+  std::atomic<int> next{begin};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Worker& w = *workers_[t];
+      try {
+        for (;;) {
+          int i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) break;
+          f(w, i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(end, std::memory_order_relaxed);  // drain remaining work
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+void FaultSimEngine::run_campaign(const CampaignOptions& options,
+                                  const Sampler& sampler,
+                                  const Visitor& visit) {
+  if (options.words_per_fault <= 0 || options.faults_per_batch <= 0) {
+    throw std::invalid_argument(
+        "FaultSimEngine::run_campaign: non-positive batch geometry");
+  }
+  const int samples = options.num_fault_samples;
+  if (samples <= 0) return;
+  std::vector<StuckFault> faults(samples);
+  for (int i = 0; i < samples; ++i) {
+    faults[i] = sampler(derive_seed(options.seed, static_cast<uint64_t>(i)));
+    if (faults[i].node == kNullNode || faults[i].node >= net_.num_nodes()) {
+      throw std::logic_error("FaultSimEngine::run_campaign: sampler returned "
+                             "an out-of-range fault site");
+    }
+  }
+  const int threads = resolve_threads(options.num_threads);
+  const int per_batch = options.faults_per_batch;
+  const int num_batches = (samples + per_batch - 1) / per_batch;
+  for (int b = 0; b < num_batches; ++b) {
+    PatternSet patterns = PatternSet::random(
+        net_.num_pis(), options.words_per_fault,
+        derive_seed(options.seed ^ kPatternStream, static_cast<uint64_t>(b)));
+    run_golden(patterns);
+    int begin = b * per_batch;
+    int end = std::min(samples, begin + per_batch);
+    parallel_for(begin, end, threads, [&](Worker& w, int i) {
+      simulate_fault(w, faults[i]);
+      visit(i, faults[i], view_of(w));
+    });
+  }
+}
+
+void FaultSimEngine::run_batch(const PatternSet& patterns,
+                               const std::vector<StuckFault>& faults,
+                               const Visitor& visit, int num_threads) {
+  run_golden(patterns);
+  const int threads = resolve_threads(num_threads);
+  parallel_for(0, static_cast<int>(faults.size()), threads,
+               [&](Worker& w, int i) {
+                 simulate_fault(w, faults[i]);
+                 visit(i, faults[i], view_of(w));
+               });
+}
+
+DetectionReport FaultSimEngine::detect_faults(
+    const std::vector<StuckFault>& faults, const std::vector<NodeId>& observe,
+    const DetectOptions& options) {
+  DetectionReport report;
+  report.detected.assign(faults.size(), 0);
+  report.detecting_batch.assign(faults.size(), -1);
+  if (faults.empty() || observe.empty() || options.max_words <= 0) {
+    return report;
+  }
+  const int wpb = std::max(1, std::min(options.words_per_batch,
+                                       options.max_words));
+  const int num_batches = (options.max_words + wpb - 1) / wpb;
+  const int threads = resolve_threads(options.num_threads);
+
+  std::vector<int> alive(faults.size());
+  for (size_t i = 0; i < faults.size(); ++i) alive[i] = static_cast<int>(i);
+
+  for (int b = 0; b < num_batches && !alive.empty(); ++b) {
+    PatternSet patterns = PatternSet::random(
+        net_.num_pis(), wpb,
+        derive_seed(options.seed ^ kPatternStream, static_cast<uint64_t>(b)));
+    run_golden(patterns);
+    std::vector<uint8_t> hit(alive.size(), 0);
+    parallel_for(0, static_cast<int>(alive.size()), threads,
+                 [&](Worker& w, int j) {
+                   simulate_fault(w, faults[alive[j]]);
+                   FaultView v = view_of(w);
+                   for (NodeId obs : observe) {
+                     // touched() holds exactly when faulty != golden on
+                     // some pattern — i.e. the fault is detected at obs.
+                     if (v.touched(obs)) {
+                       hit[j] = 1;
+                       break;
+                     }
+                   }
+                 });
+    report.fault_batch_evals += static_cast<int64_t>(alive.size());
+    std::vector<int> still_alive;
+    still_alive.reserve(alive.size());
+    for (size_t j = 0; j < alive.size(); ++j) {
+      if (hit[j]) {
+        report.detected[alive[j]] = 1;
+        report.detecting_batch[alive[j]] = b;
+      } else {
+        still_alive.push_back(alive[j]);
+      }
+    }
+    alive.swap(still_alive);  // fault dropping
+  }
+  return report;
+}
+
+}  // namespace apx

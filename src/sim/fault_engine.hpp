@@ -1,0 +1,208 @@
+// Shared-pattern, multi-threaded single-stuck-at fault-simulation engine.
+//
+// The measurement loops behind the paper's headline numbers (CED coverage,
+// per-output error rates) sample thousands of (fault, vector-batch) pairs.
+// The naive formulation re-generates a PatternSet and re-runs the entire
+// golden machine once per sample — O(samples x network). This engine uses
+// the classic "one golden run, N cone-incremental injections" structure:
+//
+//   * fault samples are grouped into batches that share one golden
+//     simulation of one random PatternSet;
+//   * each fault is evaluated event-driven over its fanout cone only,
+//     walked level-by-level from precomputed fanout adjacency, with
+//     propagation stopping as soon as a node's faulty value collapses back
+//     to its golden value;
+//   * every worker thread owns a reusable scratch arena (faulty values,
+//     epochs, level buckets) over the shared read-only golden image — no
+//     per-injection allocations;
+//   * results are bit-identical for any thread count because all
+//     randomness is derived deterministically per object index
+//     (see derive_seed) and visitors write into per-sample slots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+
+/// SplitMix64: the engine's seed-derivation / cheap-sampling primitive.
+/// Statistically solid for sequential seeds, 8 bytes of state, no
+/// allocation (unlike std::mt19937_64's 2.5 KB).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// The seed-derivation contract: object `index` of a stream with master
+/// seed `seed` uses splitmix64(seed ^ index). Campaigns derive fault
+/// sample i's seed from (seed, i) and pattern batch b's seed from
+/// (seed ^ kPatternStream, b), so results depend only on the master seed
+/// and the object's index — never on thread count or scheduling order.
+inline uint64_t derive_seed(uint64_t seed, uint64_t index) {
+  return SplitMix64(seed ^ index).next();
+}
+
+/// Read-only view of one fault's effect on the current pattern batch,
+/// handed to campaign visitors. Pointers are into the engine's golden
+/// image and the calling worker's arena; valid only during the visit.
+class FaultView {
+ public:
+  int num_words() const { return num_words_; }
+
+  /// Golden (fault-free) value words of a node.
+  const uint64_t* golden(NodeId id) const {
+    return golden_ + static_cast<size_t>(id) * num_words_;
+  }
+
+  /// Value words of a node under the injected fault; identical storage to
+  /// golden(id) when the fault cone did not reach the node.
+  const uint64_t* faulty(NodeId id) const {
+    return valid_[id] == epoch_
+               ? values_ + static_cast<size_t>(id) * num_words_
+               : golden(id);
+  }
+
+  /// True when the fault perturbed this node on some pattern.
+  bool touched(NodeId id) const { return valid_[id] == epoch_; }
+
+ private:
+  friend class FaultSimEngine;
+  const uint64_t* golden_ = nullptr;
+  const uint64_t* values_ = nullptr;
+  const uint32_t* valid_ = nullptr;
+  uint32_t epoch_ = 0;
+  int num_words_ = 0;
+};
+
+/// A Monte-Carlo campaign: `num_fault_samples` sampled faults, each
+/// simulated against `words_per_fault` 64-bit pattern words, with
+/// `faults_per_batch` samples amortizing one shared golden run.
+struct CampaignOptions {
+  int num_fault_samples = 2000;
+  int words_per_fault = 4;
+  /// Samples sharing one golden simulation (and its patterns). Larger
+  /// values amortize more golden work; smaller values see more distinct
+  /// vectors across the campaign.
+  int faults_per_batch = 64;
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  int num_threads = 0;
+  uint64_t seed = 0x5EED;
+};
+
+/// Options for detect_faults (fault-dropping coverage of a fault list).
+struct DetectOptions {
+  /// Pattern budget per fault, in 64-bit words.
+  int max_words = 64;
+  /// Words per shared golden batch; faults detected in an early batch are
+  /// dropped from all later batches.
+  int words_per_batch = 8;
+  int num_threads = 0;
+  uint64_t seed = 0xD7EC7;
+};
+
+/// detect_faults result. `fault_batch_evals` counts (fault, batch) pairs
+/// actually simulated — with dropping this is far below
+/// faults * ceil(max_words / words_per_batch).
+struct DetectionReport {
+  std::vector<uint8_t> detected;
+  /// Batch index at which each fault was first detected, -1 if never.
+  std::vector<int32_t> detecting_batch;
+  int64_t fault_batch_evals = 0;
+
+  int64_t num_detected() const {
+    int64_t n = 0;
+    for (uint8_t d : detected) n += d;
+    return n;
+  }
+};
+
+/// Bit-parallel fault-simulation engine over a fixed network.
+///
+/// Thread-safety: run_campaign / run_batch / detect_faults are themselves
+/// not reentrant (one campaign at a time per engine), but they invoke the
+/// visitor concurrently from worker threads — a visitor must only touch
+/// state owned by its sample index (or synchronize explicitly).
+class FaultSimEngine {
+ public:
+  explicit FaultSimEngine(const Network& net);
+  ~FaultSimEngine();
+
+  FaultSimEngine(const FaultSimEngine&) = delete;
+  FaultSimEngine& operator=(const FaultSimEngine&) = delete;
+
+  /// Draws the fault for a sample from its derived seed. Must be pure.
+  using Sampler = std::function<StuckFault(uint64_t sample_seed)>;
+  /// Called exactly once per sample with that fault's view of its batch.
+  using Visitor =
+      std::function<void(int sample_index, const StuckFault& fault,
+                         const FaultView& view)>;
+
+  /// Runs a Monte-Carlo campaign: sample i's fault is
+  /// sampler(derive_seed(seed, i)); batch b's patterns are
+  /// PatternSet::random(pis, words_per_fault, derive_seed(seed ^
+  /// kPatternStream, b)). Visitor calls may run concurrently but every
+  /// sample index is visited exactly once, with identical (fault, view)
+  /// content for any num_threads.
+  void run_campaign(const CampaignOptions& options, const Sampler& sampler,
+                    const Visitor& visit);
+
+  /// Lower-level building block: one golden run on `patterns`, then every
+  /// fault in `faults` evaluated against it (visit called with the fault's
+  /// position in the list as sample index).
+  void run_batch(const PatternSet& patterns,
+                 const std::vector<StuckFault>& faults, const Visitor& visit,
+                 int num_threads = 1);
+
+  /// Classic fault-dropping detection: simulates every fault against
+  /// successive random batches observed at `observe` nodes; a fault is
+  /// dropped from later batches once some observed node differs from
+  /// golden. Deterministic for any thread count.
+  DetectionReport detect_faults(const std::vector<StuckFault>& faults,
+                                const std::vector<NodeId>& observe,
+                                const DetectOptions& options);
+
+  const Network& network() const { return net_; }
+
+  /// Pattern-stream tag of the seed contract (exposed for reproducing a
+  /// campaign's pattern batches outside the engine).
+  static constexpr uint64_t kPatternStream = 0xBA7C85EEDULL;
+
+ private:
+  struct Worker;
+
+  void run_golden(const PatternSet& patterns);
+  void simulate_fault(Worker& w, const StuckFault& fault) const;
+  FaultView view_of(const Worker& w) const;
+  Worker& worker(int index);
+  /// Dispatches f(worker, i) for i in [begin, end) over `threads` workers.
+  void parallel_for(int begin, int end, int threads,
+                    const std::function<void(Worker&, int)>& f);
+
+  const Network& net_;
+  std::vector<NodeId> topo_;
+  std::vector<int> level_;
+  int max_level_ = 0;
+  std::vector<std::vector<NodeId>> fanouts_;
+
+  int num_words_ = 0;
+  /// Shared read-only golden image, node-major: golden_[id * num_words_].
+  std::vector<uint64_t> golden_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace apx

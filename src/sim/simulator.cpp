@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <bit>
-#include <cassert>
 #include <stdexcept>
 
 namespace apx {
@@ -17,6 +16,12 @@ PatternSet PatternSet::random(int num_pis, int num_words, uint64_t seed) {
 
 PatternSet PatternSet::biased(const std::vector<double>& probs, int num_words,
                               uint64_t seed) {
+  for (double p : probs) {
+    if (!(p >= 0.0 && p <= 1.0)) {  // also rejects NaN
+      throw std::invalid_argument(
+          "PatternSet::biased: probability outside [0,1]");
+    }
+  }
   const int num_pis = static_cast<int>(probs.size());
   PatternSet p(num_pis, num_words);
   std::mt19937_64 rng(seed);
@@ -83,21 +88,18 @@ PatternSet PatternSet::exhaustive(int num_pis) {
 }
 
 Simulator::Simulator(const Network& net)
-    : net_(net), topo_(net.topo_order()), fanouts_(net.fanouts()) {}
+    : net_(net), topo_(net.topo_order()) {}
 
-void Simulator::eval_node(NodeId id,
-                          const std::vector<std::vector<uint64_t>*>& fanin,
-                          std::vector<uint64_t>& out) const {
-  const Node& n = net_.node(id);
-  const Sop& sop = n.sop;
-  for (int w = 0; w < num_words_; ++w) {
+void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
+                    int num_words, uint64_t* out) {
+  for (int w = 0; w < num_words; ++w) {
     uint64_t acc = 0;
     for (const Cube& c : sop.cubes()) {
       uint64_t t = ~0ULL;
       for (int k = 0; k < sop.num_vars() && t; ++k) {
         LitCode code = c.get(k);
         if (code == LitCode::kFree) continue;
-        uint64_t v = (*fanin[k])[w];
+        uint64_t v = fanin[k][w];
         t &= (code == LitCode::kPos) ? v : ~v;
       }
       acc |= t;
@@ -123,7 +125,7 @@ void Simulator::run(const PatternSet& patterns) {
   for (int i = 0; i < net_.num_pis(); ++i) {
     golden_[net_.pis()[i]] = patterns.column(i);
   }
-  std::vector<std::vector<uint64_t>*> fanin;
+  std::vector<const uint64_t*> fanin;
   for (NodeId id : topo_) {
     const Node& n = net_.node(id);
     switch (n.kind) {
@@ -138,8 +140,8 @@ void Simulator::run(const PatternSet& patterns) {
       case NodeKind::kLogic: {
         fanin.clear();
         fanin.reserve(n.fanins.size());
-        for (NodeId f : n.fanins) fanin.push_back(&golden_[f]);
-        eval_node(id, fanin, golden_[id]);
+        for (NodeId f : n.fanins) fanin.push_back(golden_[f].data());
+        eval_sop_words(n.sop, fanin.data(), num_words_, golden_[id].data());
         break;
       }
     }
@@ -176,8 +178,17 @@ void Simulator::inject(const StuckFault& fault) {
 
 void Simulator::inject_forced(NodeId fault_node,
                               const std::vector<uint64_t>& forced) {
-  assert(fault_node != kNullNode);
-  assert(forced.size() == static_cast<size_t>(num_words_));
+  if (fault_node == kNullNode || fault_node < 0 ||
+      fault_node >= net_.num_nodes()) {
+    throw std::logic_error("Simulator::inject_forced: invalid fault node");
+  }
+  if (num_words_ == 0) {
+    throw std::logic_error("Simulator::inject_forced: run() must precede");
+  }
+  if (forced.size() != static_cast<size_t>(num_words_)) {
+    throw std::logic_error(
+        "Simulator::inject_forced: forced word count mismatch");
+  }
   StuckFault fault{fault_node, false};  // reuse the cone walk below
   ++epoch_;
   // Collect the fanout cone in topological order using per-node marks.
@@ -207,12 +218,13 @@ void Simulator::inject_forced(NodeId fault_node,
       continue;
     }
     const Node& n = net_.node(id);
-    std::vector<std::vector<uint64_t>*> fanin;
+    std::vector<const uint64_t*> fanin;
     fanin.reserve(n.fanins.size());
     for (NodeId f : n.fanins) {
-      fanin.push_back(faulty_epoch_[f] == epoch_ ? &faulty_[f] : &golden_[f]);
+      fanin.push_back(faulty_epoch_[f] == epoch_ ? faulty_[f].data()
+                                                 : golden_[f].data());
     }
-    eval_node(id, fanin, faulty_[id]);
+    eval_sop_words(n.sop, fanin.data(), num_words_, faulty_[id].data());
   }
 }
 

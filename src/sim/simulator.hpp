@@ -55,6 +55,12 @@ struct StuckFault {
   }
 };
 
+/// Evaluates a node's SOP bit-parallel over `num_words` words. `fanin[k]`
+/// points at the word column of SOP variable k. Shared evaluation kernel of
+/// Simulator and FaultSimEngine.
+void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
+                    int num_words, uint64_t* out);
+
 /// Bit-parallel good-machine/faulty-machine simulator over a fixed network.
 class Simulator {
  public:
@@ -93,12 +99,8 @@ class Simulator {
   const Network& network() const { return net_; }
 
  private:
-  void eval_node(NodeId id, const std::vector<std::vector<uint64_t>*>& fanin,
-                 std::vector<uint64_t>& out) const;
-
   const Network& net_;
   std::vector<NodeId> topo_;
-  std::vector<std::vector<NodeId>> fanouts_;
   int num_words_ = 0;
 
   std::vector<std::vector<uint64_t>> golden_;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
 
 #include "core/verify.hpp"
 #include "sim/simulator.hpp"
@@ -33,6 +34,22 @@ TEST(BiasedPatternTest, UniformBiasMatchesRandom) {
   for (int i = 0; i < 4; ++i) {
     EXPECT_NEAR(measured_prob(p, i), 0.5, 0.02);
   }
+}
+
+TEST(BiasedPatternTest, HitsRequestedProbabilitiesOverThousandWords) {
+  std::vector<double> probs = {0.2, 0.33, 0.5, 0.66, 0.8};
+  PatternSet p = PatternSet::biased(probs, 1000, 0xB1A5);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(measured_prob(p, static_cast<int>(i)), probs[i], 0.01)
+        << "pi " << i;
+  }
+}
+
+TEST(BiasedPatternTest, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW(PatternSet::biased({-0.1}, 4, 1), std::invalid_argument);
+  EXPECT_THROW(PatternSet::biased({0.5, 1.5}, 4, 1), std::invalid_argument);
+  EXPECT_THROW(PatternSet::biased({std::nan("")}, 4, 1),
+               std::invalid_argument);
 }
 
 TEST(BiasedPatternTest, Deterministic) {

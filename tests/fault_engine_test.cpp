@@ -1,0 +1,202 @@
+#include "sim/fault_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/ced.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+#include "reliability/reliability.hpp"
+
+namespace apx {
+namespace {
+
+Network random_network(uint32_t seed, int pis = 6, int gates = 30) {
+  std::mt19937 rng(seed);
+  Network net;
+  std::vector<NodeId> pool;
+  for (int i = 0; i < pis; ++i) {
+    pool.push_back(net.add_pi("p" + std::to_string(i)));
+  }
+  for (int g = 0; g < gates; ++g) {
+    NodeId a = pool[rng() % pool.size()];
+    NodeId b = pool[rng() % pool.size()];
+    switch (rng() % 3) {
+      case 0: pool.push_back(net.add_and(a, b)); break;
+      case 1: pool.push_back(net.add_or(a, b)); break;
+      case 2: pool.push_back(net.add_xor(a, b)); break;
+    }
+  }
+  net.add_po("f", pool.back());
+  net.add_po("g", pool[pool.size() / 2]);
+  return net;
+}
+
+CedDesign duplication_ced(const std::string& bench) {
+  Network mapped = technology_map(quick_synthesis(make_benchmark(bench)));
+  std::vector<ApproxDirection> dirs(mapped.num_pos(),
+                                    ApproxDirection::kZeroApprox);
+  return build_ced_design(mapped, mapped, dirs);
+}
+
+TEST(FaultEngineTest, RunBatchMatchesSimulator) {
+  Network net = random_network(11);
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  PatternSet patterns = PatternSet::random(net.num_pis(), 4, 77);
+
+  Simulator sim(net);
+  sim.run(patterns);
+
+  FaultSimEngine engine(net);
+  std::atomic<int> visited{0};
+  engine.run_batch(patterns, faults, [&](int i, const StuckFault& fault,
+                                         const FaultView& view) {
+    EXPECT_EQ(fault.node, faults[i].node);
+    sim.inject(fault);
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      for (int w = 0; w < view.num_words(); ++w) {
+        ASSERT_EQ(view.golden(id)[w], sim.value(id)[w]);
+        ASSERT_EQ(view.faulty(id)[w], sim.faulty_value(id)[w])
+            << "node " << id << " fault on " << fault.node;
+      }
+    }
+    ++visited;
+  });
+  EXPECT_EQ(visited.load(), static_cast<int>(faults.size()));
+}
+
+TEST(FaultEngineTest, UnexcitedFaultLeavesViewGolden) {
+  // y = a | !a is constant 1; stuck-at-1 on it never differs from golden,
+  // so nothing may propagate (early fault dropping inside the engine).
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId y = net.add_or(a, net.add_not(a), "y");
+  NodeId z = net.add_and(y, a, "z");
+  net.add_po("z", z);
+  FaultSimEngine engine(net);
+  PatternSet patterns = PatternSet::random(1, 2, 3);
+  engine.run_batch(patterns, {{y, true}},
+                   [&](int, const StuckFault&, const FaultView& view) {
+                     EXPECT_FALSE(view.touched(y));
+                     EXPECT_FALSE(view.touched(z));
+                     for (int w = 0; w < view.num_words(); ++w) {
+                       EXPECT_EQ(view.faulty(z)[w], view.golden(z)[w]);
+                     }
+                   });
+}
+
+TEST(FaultEngineTest, CampaignVisitsEverySampleExactlyOnce) {
+  Network net = random_network(5);
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  FaultSimEngine engine(net);
+  CampaignOptions opt;
+  opt.num_fault_samples = 100;
+  opt.faults_per_batch = 16;
+  opt.num_threads = 4;
+  std::vector<int> visits(opt.num_fault_samples, 0);
+  engine.run_campaign(
+      opt,
+      [&](uint64_t s) { return faults[SplitMix64(s).next() % faults.size()]; },
+      [&](int i, const StuckFault&, const FaultView&) { ++visits[i]; });
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(FaultEngineTest, SeedDerivationIsPureAndIndexStable) {
+  EXPECT_EQ(derive_seed(42, 7), derive_seed(42, 7));
+  EXPECT_NE(derive_seed(42, 7), derive_seed(42, 8));
+  EXPECT_NE(derive_seed(42, 7), derive_seed(43, 7));
+}
+
+// Satellite requirement (c): 4-thread coverage counts bit-identical to the
+// single-threaded path for a fixed seed.
+TEST(FaultEngineTest, CoverageCountsBitIdenticalAcrossThreadCounts) {
+  CedDesign ced = duplication_ced("cmp4");
+  CoverageOptions base;
+  base.num_fault_samples = 400;
+  base.faults_per_batch = 32;
+
+  CoverageOptions one = base;
+  one.num_threads = 1;
+  CoverageResult r1 = evaluate_ced_coverage(ced, one);
+
+  CoverageOptions four = base;
+  four.num_threads = 4;
+  CoverageResult r4 = evaluate_ced_coverage(ced, four);
+
+  EXPECT_GT(r1.erroneous, 0);
+  EXPECT_EQ(r1.runs, r4.runs);
+  EXPECT_EQ(r1.erroneous, r4.erroneous);
+  EXPECT_EQ(r1.detected, r4.detected);
+}
+
+TEST(FaultEngineTest, ReliabilityBitIdenticalAcrossThreadCounts) {
+  Network mapped = technology_map(quick_synthesis(make_benchmark("dec38")));
+  ReliabilityOptions one;
+  one.num_fault_samples = 300;
+  one.num_threads = 1;
+  ReliabilityOptions four = one;
+  four.num_threads = 4;
+  ReliabilityReport r1 = analyze_reliability(mapped, one);
+  ReliabilityReport r4 = analyze_reliability(mapped, four);
+  ASSERT_EQ(r1.outputs.size(), r4.outputs.size());
+  for (size_t o = 0; o < r1.outputs.size(); ++o) {
+    EXPECT_DOUBLE_EQ(r1.outputs[o].rate_0_to_1, r4.outputs[o].rate_0_to_1);
+    EXPECT_DOUBLE_EQ(r1.outputs[o].rate_1_to_0, r4.outputs[o].rate_1_to_0);
+  }
+  EXPECT_DOUBLE_EQ(r1.any_output_error_rate, r4.any_output_error_rate);
+  EXPECT_DOUBLE_EQ(r1.max_ced_coverage, r4.max_ced_coverage);
+}
+
+TEST(FaultEngineTest, DetectFaultsDropsDetectedFaults) {
+  Network net = random_network(9);
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  std::vector<NodeId> observe;
+  for (const auto& po : net.pos()) observe.push_back(po.driver);
+
+  FaultSimEngine engine(net);
+  DetectOptions opt;
+  opt.max_words = 32;
+  opt.words_per_batch = 4;
+  DetectionReport report = engine.detect_faults(faults, observe, opt);
+
+  ASSERT_EQ(report.detected.size(), faults.size());
+  const int num_batches = opt.max_words / opt.words_per_batch;
+  // Dropping: detected faults stop consuming batches, so the total work is
+  // below the no-dropping product whenever anything is detected early.
+  EXPECT_GT(report.num_detected(), 0);
+  EXPECT_LT(report.fault_batch_evals,
+            static_cast<int64_t>(faults.size()) * num_batches);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (report.detected[i]) {
+      EXPECT_GE(report.detecting_batch[i], 0);
+      EXPECT_LT(report.detecting_batch[i], num_batches);
+    } else {
+      EXPECT_EQ(report.detecting_batch[i], -1);
+    }
+  }
+
+  // Thread count must not change what is detected or when.
+  DetectOptions threaded = opt;
+  threaded.num_threads = 4;
+  DetectionReport r4 = engine.detect_faults(faults, observe, threaded);
+  EXPECT_EQ(report.detected, r4.detected);
+  EXPECT_EQ(report.detecting_batch, r4.detecting_batch);
+}
+
+TEST(FaultEngineTest, CampaignRejectsOutOfRangeFaultSites) {
+  Network net = random_network(3);
+  FaultSimEngine engine(net);
+  CampaignOptions opt;
+  opt.num_fault_samples = 4;
+  EXPECT_THROW(
+      engine.run_campaign(
+          opt, [&](uint64_t) { return StuckFault{net.num_nodes(), false}; },
+          [](int, const StuckFault&, const FaultView&) {}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace apx

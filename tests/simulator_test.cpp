@@ -130,6 +130,39 @@ TEST(SimulatorTest, SuccessiveInjectionsAreIndependent) {
   EXPECT_EQ(sim.faulty_value(sum)[0], first);
 }
 
+TEST(SimulatorTest, SecondRunInvalidatesPriorFaultValues) {
+  // Regression for the epoch logic: a re-run with same-shaped patterns must
+  // not leave stale faulty values readable (golden_ is reused in place).
+  Network net = adder_bit();
+  Simulator sim(net);
+  sim.run(PatternSet::exhaustive(3));
+  NodeId axb = *net.find_node("axb");
+  sim.inject({axb, true});
+  ASSERT_NE(sim.faulty_value(axb)[0], sim.value(axb)[0]);
+  sim.run(PatternSet::exhaustive(3));  // same shape: no reallocation path
+  EXPECT_EQ(sim.faulty_value(axb)[0], sim.value(axb)[0]);
+  NodeId sum = net.po(0).driver;
+  EXPECT_EQ(sim.faulty_value(sum)[0], sim.value(sum)[0]);
+}
+
+TEST(SimulatorTest, InjectForcedValidatesArguments) {
+  Network net = adder_bit();
+  Simulator sim(net);
+  NodeId axb = *net.find_node("axb");
+  // Before run(): no pattern shape to validate against.
+  EXPECT_THROW(sim.inject_forced(axb, {}), std::logic_error);
+  sim.run(PatternSet::exhaustive(3));  // 1 word
+  EXPECT_THROW(sim.inject_forced(axb, std::vector<uint64_t>(2, 0)),
+               std::logic_error);
+  EXPECT_THROW(sim.inject_forced(kNullNode, std::vector<uint64_t>(1, 0)),
+               std::logic_error);
+  EXPECT_THROW(sim.inject_forced(net.num_nodes(), std::vector<uint64_t>(1, 0)),
+               std::logic_error);
+  // A well-formed call still works after the failed attempts.
+  sim.inject_forced(axb, std::vector<uint64_t>(1, ~0ULL));
+  EXPECT_EQ(sim.faulty_value(axb)[0], ~0ULL);
+}
+
 TEST(SimulatorTest, EnumerateFaultsCoversLogicNodesTwice) {
   Network net = adder_bit();
   auto faults = enumerate_faults(net);

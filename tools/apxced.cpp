@@ -11,6 +11,8 @@
 //   -o <file>        output file for `synth` (BLIF/.bench/.pla by extension)
 //   --share          enable logic sharing (intrusive CED)
 //   --samples <n>    fault-injection samples (default 2000)
+//   --threads <n>    fault-simulation worker threads (default: all hardware
+//                    threads; results are bit-identical for any count)
 //
 // Circuits are read by extension: .blif, .bench, .pla.
 #include <cstdio>
@@ -79,6 +81,7 @@ struct CommonArgs {
   std::string output;
   bool share = false;
   int samples = 2000;
+  int threads = 0;  // 0 = all hardware threads
 };
 
 CommonArgs parse_common(int argc, char** argv, int start) {
@@ -99,6 +102,8 @@ CommonArgs parse_common(int argc, char** argv, int start) {
       args.share = true;
     } else if (a == "--samples") {
       args.samples = std::stoi(need_value("--samples"));
+    } else if (a == "--threads") {
+      args.threads = std::stoi(need_value("--threads"));
     } else {
       throw std::runtime_error("unknown option: " + a);
     }
@@ -110,7 +115,9 @@ PipelineOptions to_options(const CommonArgs& args) {
   PipelineOptions opt;
   opt.approx.significance_threshold = args.threshold;
   opt.reliability.num_fault_samples = args.samples;
+  opt.reliability.num_threads = args.threads;
   opt.coverage.num_fault_samples = args.samples;
+  opt.coverage.num_threads = args.threads;
   opt.logic_sharing = args.share;
   return opt;
 }
