@@ -1,0 +1,184 @@
+// Verification-oracle benchmark: full-rebuild vs incremental ApproxOracle
+// on a Table-2-sized repair loop (the stage-2 pattern of the synthesis
+// flow: mutate one node's SOP, refresh the oracle, re-verify every PO).
+// The two modes must agree bit-for-bit on every verify() answer and every
+// approximation percentage; the incremental oracle must clear a 3x
+// end-to-end speedup. Emits BENCH_verify.json (fields documented in
+// EXPERIMENTS.md).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/verify.hpp"
+
+using namespace apx;
+using namespace apx::bench;
+
+namespace {
+
+// One scripted "repair": overwrite a node's SOP (alternating between a
+// weakened function and the original), mirroring fix_node's mutations.
+struct Repair {
+  NodeId node;
+  Sop sop;
+};
+
+std::vector<Repair> make_script(const Network& net, int num_repairs) {
+  // Candidate sites: multi-cube logic nodes, spread across the circuit.
+  std::vector<NodeId> sites;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kLogic && n.sop.num_cubes() >= 2) {
+      sites.push_back(id);
+    }
+  }
+  std::vector<Repair> script;
+  for (int i = 0; i < num_repairs; ++i) {
+    NodeId id = sites[(i * 7919) % sites.size()];
+    const Sop& orig = net.node(id).sop;
+    if (i % 2 == 0) {
+      // Weaken: drop the last cube (shrinks the node's onset).
+      std::vector<Cube> cubes(orig.cubes().begin(), orig.cubes().end() - 1);
+      script.push_back({id, Sop(orig.num_vars(), std::move(cubes))});
+    } else {
+      script.push_back({id, orig});  // restore the exact function
+    }
+  }
+  return script;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::vector<uint8_t> verdicts;
+  std::vector<double> pcts;
+  ApproxOracle::Stats stats;
+  bool used_bdds = false;
+  double avg_probe_length = 0.0;
+};
+
+RunResult run_mode(const Network& net, const std::vector<Repair>& script,
+                   ApproxOracle::RefreshMode mode, size_t budget) {
+  Network approx = net;
+  RunResult r;
+  Stopwatch watch;
+  ApproxOracle oracle(net, approx, budget, mode);
+  for (const Repair& rep : script) {
+    approx.set_sop(rep.node, rep.sop);
+    oracle.refresh_approx();
+    for (int po = 0; po < net.num_pos(); ++po) {
+      r.verdicts.push_back(
+          oracle.verify(po, ApproxDirection::kOneApprox) ? 1 : 0);
+      r.pcts.push_back(oracle.approximation_pct(po, ApproxDirection::kOneApprox));
+    }
+  }
+  r.seconds = watch.seconds();
+  r.stats = oracle.oracle_stats();
+  r.used_bdds = oracle.using_bdds();
+  if (r.used_bdds) {
+    r.avg_probe_length = oracle.manager().stats().avg_probe_length();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_verify.json";
+  // term1 is the largest Table-2 stand-in whose global BDDs stay
+  // comfortably inside the budget, so the headline measures the
+  // dirty-cone BDD refresh (the SAT fallback chain has its own tests).
+  const std::string circuit = argc > 2 ? argv[2] : "term1";
+  const size_t budget = 1u << 20;
+
+  Network net = make_benchmark(circuit);
+  const int num_repairs = scaled(160);
+  std::vector<Repair> script = make_script(net, num_repairs);
+
+  std::printf("bench_verify: %s (%d PIs, %d POs, %d gates), %d scripted "
+              "repairs x %d PO checks\n\n",
+              circuit.c_str(), net.num_pis(), net.num_pos(), net.num_logic_nodes(),
+              num_repairs, net.num_pos());
+
+  RunResult full = run_mode(net, script,
+                            ApproxOracle::RefreshMode::kFullRebuild, budget);
+  std::printf("full rebuild per repair:   %8.3fs  (%llu oracle rebuilds)\n",
+              full.seconds,
+              static_cast<unsigned long long>(full.stats.full_rebuilds));
+  RunResult inc = run_mode(net, script,
+                           ApproxOracle::RefreshMode::kIncremental, budget);
+  std::printf("incremental dirty-cone:    %8.3fs  (%llu node BDDs re-derived, "
+              "%llu GC runs)\n",
+              inc.seconds,
+              static_cast<unsigned long long>(inc.stats.bdd_nodes_rebuilt),
+              static_cast<unsigned long long>(inc.stats.gc_runs));
+
+  bool verdicts_identical = full.verdicts == inc.verdicts;
+  // Canonical BDDs make the minterm counts bit-identical, not merely close.
+  bool pcts_identical =
+      full.pcts.size() == inc.pcts.size() &&
+      std::memcmp(full.pcts.data(), inc.pcts.data(),
+                  full.pcts.size() * sizeof(double)) == 0;
+  double speedup = full.seconds / inc.seconds;
+
+  // Hash-quality assertion for the flat unique table: near-collision-free
+  // probing on a real workload (see BddManager::Stats).
+  bool probes_ok = !inc.used_bdds || inc.avg_probe_length < 4.0;
+
+  std::printf("\nspeedup: %.1fx   verdicts bit-identical: %s   "
+              "pcts bit-identical: %s\n",
+              speedup, verdicts_identical ? "yes" : "NO",
+              pcts_identical ? "yes" : "NO");
+  std::printf("BDD path active: %s   avg unique-table probe length: %.3f\n",
+              inc.used_bdds ? "yes" : "no", inc.avg_probe_length);
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"circuit\": \"%s\",\n", circuit.c_str());
+  std::fprintf(f, "  \"pis\": %d,\n", net.num_pis());
+  std::fprintf(f, "  \"pos\": %d,\n", net.num_pos());
+  std::fprintf(f, "  \"gates\": %d,\n", net.num_logic_nodes());
+  std::fprintf(f, "  \"repairs\": %d,\n", num_repairs);
+  std::fprintf(f, "  \"queries\": %zu,\n", full.verdicts.size());
+  std::fprintf(f, "  \"bdd_budget\": %zu,\n", budget);
+  std::fprintf(f, "  \"bdd_path_active\": %s,\n",
+               inc.used_bdds ? "true" : "false");
+  std::fprintf(f,
+               "  \"full_rebuild\": {\"seconds\": %.4f, \"rebuilds\": %llu},\n",
+               full.seconds,
+               static_cast<unsigned long long>(full.stats.full_rebuilds));
+  std::fprintf(
+      f,
+      "  \"incremental\": {\"seconds\": %.4f, \"refreshes\": %llu, "
+      "\"bdd_nodes_rebuilt\": %llu, \"sat_nodes_reencoded\": %llu, "
+      "\"gc_runs\": %llu, \"structural_hits\": %llu, \"bdd_queries\": %llu, "
+      "\"sat_queries\": %llu},\n",
+      inc.seconds, static_cast<unsigned long long>(inc.stats.incremental_refreshes),
+      static_cast<unsigned long long>(inc.stats.bdd_nodes_rebuilt),
+      static_cast<unsigned long long>(inc.stats.sat_nodes_reencoded),
+      static_cast<unsigned long long>(inc.stats.gc_runs),
+      static_cast<unsigned long long>(inc.stats.structural_hits),
+      static_cast<unsigned long long>(inc.stats.bdd_queries),
+      static_cast<unsigned long long>(inc.stats.sat_queries));
+  std::fprintf(f, "  \"avg_unique_probe_length\": %.4f,\n",
+               inc.avg_probe_length);
+  std::fprintf(f, "  \"speedup\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"verdicts_bit_identical\": %s,\n",
+               verdicts_identical ? "true" : "false");
+  std::fprintf(f, "  \"pcts_bit_identical\": %s\n",
+               pcts_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // CI gate: the incremental oracle must stay >= 3x ahead of full rebuilds
+  // with bit-identical answers and a healthy unique table.
+  return (speedup >= 3.0 && verdicts_identical && pcts_identical && probes_ok)
+             ? 0
+             : 1;
+}

@@ -6,23 +6,68 @@
 
 namespace apx {
 
+namespace {
+
+// Smallest power of two >= n (and >= floor_cap).
+size_t pow2_at_least(size_t n, size_t floor_cap) {
+  size_t cap = floor_cap;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
 BddManager::BddManager(int num_vars, size_t max_nodes)
     : num_vars_(num_vars), max_nodes_(max_nodes) {
   // Terminal nodes: index 0 = false, 1 = true. Terminals use the sentinel
   // variable num_vars (below every real variable in the order).
   nodes_.push_back({num_vars_, 0, 0});
   nodes_.push_back({num_vars_, 1, 1});
+  unique_slots_.assign(1024, kInvalidRef);
+  // Direct-mapped lossy cache: sized to the budget (bounded at 2^20
+  // entries = 16 MB) so big managers don't thrash on a tiny cache.
+  size_t ite_cap = std::clamp(pow2_at_least(max_nodes / 4, size_t{1} << 12),
+                              size_t{1} << 12, size_t{1} << 20);
+  ite_cache_.assign(ite_cap, IteEntry{});
+}
+
+void BddManager::unique_insert(Ref id) {
+  const size_t mask = unique_slots_.size() - 1;
+  const BddNode& n = nodes_[id];
+  size_t idx = hash_triple(n.var, n.lo, n.hi) & mask;
+  while (unique_slots_[idx] != kInvalidRef) idx = (idx + 1) & mask;
+  unique_slots_[idx] = id;
+}
+
+void BddManager::unique_grow() {
+  std::vector<Ref> old = std::move(unique_slots_);
+  unique_slots_.assign(old.size() * 2, kInvalidRef);
+  // Every non-terminal node is (exactly once) in the table; re-inserting
+  // from the arena avoids touching the old slot array's order.
+  for (Ref id = 2; id < static_cast<Ref>(nodes_.size()); ++id) {
+    unique_insert(id);
+  }
 }
 
 BddManager::Ref BddManager::make_node(int32_t var, Ref lo, Ref hi) {
   if (lo == hi) return lo;
-  auto key = std::make_tuple(var, lo, hi);
-  auto it = unique_.find(key);
-  if (it != unique_.end()) return it->second;
+  const size_t mask = unique_slots_.size() - 1;
+  size_t idx = hash_triple(var, lo, hi) & mask;
+  ++stats_.unique_lookups;
+  while (true) {
+    ++stats_.unique_probes;
+    Ref slot = unique_slots_[idx];
+    if (slot == kInvalidRef) break;
+    const BddNode& n = nodes_[slot];
+    if (n.var == var && n.lo == lo && n.hi == hi) return slot;
+    idx = (idx + 1) & mask;
+  }
   if (nodes_.size() >= max_nodes_) throw BddOverflow();
   Ref id = static_cast<Ref>(nodes_.size());
   nodes_.push_back({var, lo, hi});
-  unique_.emplace(key, id);
+  unique_slots_[idx] = id;
+  ++unique_count_;
+  if ((unique_count_ + 1) * 10 >= unique_slots_.size() * 7) unique_grow();
   return id;
 }
 
@@ -52,9 +97,17 @@ BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   if (g == h) return g;
   if (g == 1 && h == 0) return f;
 
-  auto key = std::make_tuple(f, g, h);
-  auto it = ite_cache_.find(key);
-  if (it != ite_cache_.end()) return it->second;
+  const size_t mask = ite_cache_.size() - 1;
+  const size_t idx =
+      mix64(static_cast<uint64_t>(f) * 0x9E3779B97F4A7C15ULL +
+            ((static_cast<uint64_t>(g) << 32) | h)) &
+      mask;
+  IteEntry& entry = ite_cache_[idx];
+  if (entry.f == f && entry.g == g && entry.h == h) {
+    ++stats_.ite_hits;
+    return entry.result;
+  }
+  ++stats_.ite_misses;
 
   int32_t top = std::min({var_of(f), var_of(g), var_of(h)});
   auto cof = [&](Ref x, bool hi) -> Ref {
@@ -64,27 +117,40 @@ BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   Ref lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
   Ref hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
   Ref result = make_node(top, lo, hi);
-  ite_cache_.emplace(key, result);
-  return result;
+  // Lossy cache: overwrite whatever the recursive calls left in this slot.
+  IteEntry& out = ite_cache_[idx];
+  out.f = f;
+  out.g = g;
+  out.h = h;
+  out.result = result;
+  return out.result;
 }
 
 bool BddManager::implies(Ref f, Ref g) { return bdd_and(f, bdd_not(g)) == 0; }
 
-double BddManager::sat_fraction_rec(Ref f,
-                                    std::unordered_map<Ref, double>& memo) {
+void BddManager::begin_scratch_pass() const {
+  if (stamp_.size() < nodes_.size()) stamp_.resize(nodes_.size(), 0);
+  if (frac_memo_.size() < nodes_.size()) frac_memo_.resize(nodes_.size());
+  if (++stamp_epoch_ == 0) {  // epoch wrapped: invalidate everything
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    stamp_epoch_ = 1;
+  }
+}
+
+double BddManager::sat_fraction_rec(Ref f) {
   if (f == 0) return 0.0;
   if (f == 1) return 1.0;
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
-  double result = 0.5 * (sat_fraction_rec(nodes_[f].lo, memo) +
-                         sat_fraction_rec(nodes_[f].hi, memo));
-  memo.emplace(f, result);
+  if (stamp_[f] == stamp_epoch_) return frac_memo_[f];
+  double result = 0.5 * (sat_fraction_rec(nodes_[f].lo) +
+                         sat_fraction_rec(nodes_[f].hi));
+  stamp_[f] = stamp_epoch_;
+  frac_memo_[f] = result;
   return result;
 }
 
 double BddManager::sat_fraction(Ref f) {
-  std::unordered_map<Ref, double> memo;
-  return sat_fraction_rec(f, memo);
+  begin_scratch_pass();
+  return sat_fraction_rec(f);
 }
 
 double BddManager::sat_count(Ref f) {
@@ -136,15 +202,14 @@ bool BddManager::evaluate(Ref f, uint64_t input) const {
 }
 
 std::vector<bool> BddManager::support(Ref f) const {
-  std::vector<bool> seen_node;
+  begin_scratch_pass();
   std::vector<bool> vars(num_vars_, false);
   std::vector<Ref> stack = {f};
-  seen_node.resize(nodes_.size(), false);
   while (!stack.empty()) {
     Ref r = stack.back();
     stack.pop_back();
-    if (r <= 1 || seen_node[r]) continue;
-    seen_node[r] = true;
+    if (r <= 1 || stamp_[r] == stamp_epoch_) continue;
+    stamp_[r] = stamp_epoch_;
     vars[nodes_[r].var] = true;
     stack.push_back(nodes_[r].lo);
     stack.push_back(nodes_[r].hi);
@@ -153,19 +218,73 @@ std::vector<bool> BddManager::support(Ref f) const {
 }
 
 size_t BddManager::size(Ref f) const {
-  std::vector<bool> seen(nodes_.size(), false);
+  begin_scratch_pass();
   std::vector<Ref> stack = {f};
   size_t count = 0;
   while (!stack.empty()) {
     Ref r = stack.back();
     stack.pop_back();
-    if (r <= 1 || seen[r]) continue;
-    seen[r] = true;
+    if (r <= 1 || stamp_[r] == stamp_epoch_) continue;
+    stamp_[r] = stamp_epoch_;
     ++count;
     stack.push_back(nodes_[r].lo);
     stack.push_back(nodes_[r].hi);
   }
   return count;
+}
+
+std::vector<BddManager::Ref> BddManager::garbage_collect(
+    const std::vector<Ref>& roots) {
+  // Mark. Roots equal to kInvalidRef are permitted (callers keep sentinel
+  // slots for nodes outside their cones) and simply ignored.
+  std::vector<char> live(nodes_.size(), 0);
+  live[0] = live[1] = 1;
+  std::vector<Ref> stack;
+  for (Ref r : roots) {
+    if (r == kInvalidRef || r >= nodes_.size() || live[r]) continue;
+    live[r] = 1;
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    Ref r = stack.back();
+    stack.pop_back();
+    for (Ref child : {nodes_[r].lo, nodes_[r].hi}) {
+      if (!live[child]) {
+        live[child] = 1;
+        stack.push_back(child);
+      }
+    }
+  }
+
+  // Sweep: compact in index order, which preserves the children-before-
+  // parents invariant of the arena.
+  std::vector<Ref> remap(nodes_.size(), kInvalidRef);
+  std::vector<BddNode> kept;
+  for (Ref r = 0; r < static_cast<Ref>(nodes_.size()); ++r) {
+    if (!live[r]) continue;
+    remap[r] = static_cast<Ref>(kept.size());
+    BddNode n = nodes_[r];
+    if (r > 1) {
+      n.lo = remap[n.lo];
+      n.hi = remap[n.hi];
+    }
+    kept.push_back(n);
+  }
+  nodes_ = std::move(kept);
+
+  // Rebuild the unique table at a capacity fitting the survivors.
+  unique_count_ = nodes_.size() - 2;
+  unique_slots_.assign(pow2_at_least((unique_count_ + 1) * 10 / 7, 1024),
+                       kInvalidRef);
+  for (Ref id = 2; id < static_cast<Ref>(nodes_.size()); ++id) {
+    unique_insert(id);
+  }
+
+  // Refs changed meaning: drop every cached/memoized entry.
+  std::fill(ite_cache_.begin(), ite_cache_.end(), IteEntry{});
+  stamp_.assign(nodes_.size(), 0);
+  stamp_epoch_ = 0;
+  return remap;
 }
 
 }  // namespace apx

@@ -6,11 +6,22 @@
 // Nodes live in an arena; references are indices. Terminals are 0 (false)
 // and 1 (true). A node limit guards against blow-up; operations throw
 // BddOverflow when exceeded so callers can fall back to SAT/simulation.
+//
+// Internals are tuned for the incremental oracle's access pattern:
+//  * The unique table is an open-addressed flat array (power-of-two
+//    capacity, linear probing) over splitmix64-mixed (var, lo, hi) keys —
+//    no per-node heap allocation, cache-friendly probes.
+//  * The ITE cache is a lossy direct-mapped table: collisions overwrite,
+//    keeping memory bounded and lookups O(1).
+//  * sat_fraction/support/size reuse an epoch-stamped scratch arena instead
+//    of allocating a memo per call.
+//  * garbage_collect() reclaims nodes unreachable from a caller-supplied
+//    root set by mark-and-sweep compaction, so long-lived managers survive
+//    many cone rebuilds without a from-scratch reconstruction.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 namespace apx {
@@ -24,6 +35,10 @@ class BddOverflow : public std::runtime_error {
 class BddManager {
  public:
   using Ref = uint32_t;
+
+  /// Returned by garbage_collect() for refs that were not reachable from
+  /// the supplied roots (their nodes are gone).
+  static constexpr Ref kInvalidRef = 0xFFFFFFFFu;
 
   /// `max_nodes` bounds the arena (default ~8M nodes = ~128 MB).
   explicit BddManager(int num_vars, size_t max_nodes = 8u << 20);
@@ -79,6 +94,28 @@ class BddManager {
   /// Structural size (number of distinct internal nodes) of f.
   size_t size(Ref f) const;
 
+  /// Mark-and-sweep: keeps only nodes reachable from `roots` (terminals
+  /// always survive), compacts the arena and rebuilds the unique table.
+  /// Returns the old-ref -> new-ref map (kInvalidRef for collected nodes);
+  /// every Ref held by the caller MUST be remapped through it. The ITE
+  /// cache and scratch memos are invalidated.
+  std::vector<Ref> garbage_collect(const std::vector<Ref>& roots);
+
+  /// Hash-quality / workload counters (monotone since construction).
+  struct Stats {
+    uint64_t unique_lookups = 0;  ///< make_node unique-table lookups
+    uint64_t unique_probes = 0;   ///< slots inspected across those lookups
+    uint64_t ite_hits = 0;
+    uint64_t ite_misses = 0;
+    /// Mean slots inspected per unique-table lookup (1.0 = collision-free).
+    double avg_probe_length() const {
+      return unique_lookups ? static_cast<double>(unique_probes) /
+                                  static_cast<double>(unique_lookups)
+                            : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   struct BddNode {
     int32_t var;  // terminal nodes use var = num_vars (sentinel)
@@ -86,34 +123,57 @@ class BddManager {
     Ref hi;
   };
 
-  struct TripleHash {
-    size_t operator()(const std::tuple<int32_t, Ref, Ref>& t) const {
-      auto [v, l, h] = t;
-      size_t x = static_cast<size_t>(v) * 0x9E3779B97F4A7C15ULL;
-      x ^= (static_cast<size_t>(l) << 17) + 0x517CC1B727220A95ULL;
-      x ^= static_cast<size_t>(h) * 0x2545F4914F6CDD1DULL;
-      return x;
-    }
+  // Lossy direct-mapped ITE cache entry; `f == kInvalidRef` marks empty.
+  struct IteEntry {
+    Ref f = kInvalidRef;
+    Ref g = 0;
+    Ref h = 0;
+    Ref result = 0;
   };
-  struct OpHash {
-    size_t operator()(const std::tuple<Ref, Ref, Ref>& t) const {
-      auto [f, g, h] = t;
-      return (static_cast<size_t>(f) * 0x9E3779B97F4A7C15ULL) ^
-             (static_cast<size_t>(g) << 21) ^
-             (static_cast<size_t>(h) * 0x2545F4914F6CDD1DULL);
-    }
-  };
+
+  /// splitmix64 finalizer: full-avalanche mixing so sequential Refs (the
+  /// common case: nodes are allocated in topological waves) spread over
+  /// the whole table instead of clustering in the low bits.
+  static uint64_t mix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+  static uint64_t hash_triple(int32_t var, Ref lo, Ref hi) {
+    uint64_t packed = (static_cast<uint64_t>(lo) << 32) | hi;
+    return mix64(packed ^ (static_cast<uint64_t>(static_cast<uint32_t>(var)) *
+                           0x9E3779B97F4A7C15ULL));
+  }
 
   Ref make_node(int32_t var, Ref lo, Ref hi);
   int32_t var_of(Ref f) const { return nodes_[f].var; }
   Ref ite_rec(Ref f, Ref g, Ref h);
-  double sat_fraction_rec(Ref f, std::unordered_map<Ref, double>& memo);
+  void unique_insert(Ref id);
+  void unique_grow();
+  double sat_fraction_rec(Ref f);
+  /// Bumps the scratch epoch and sizes the stamp arena to the arena.
+  void begin_scratch_pass() const;
 
   int num_vars_;
   size_t max_nodes_;
   std::vector<BddNode> nodes_;
-  std::unordered_map<std::tuple<int32_t, Ref, Ref>, Ref, TripleHash> unique_;
-  std::unordered_map<std::tuple<Ref, Ref, Ref>, Ref, OpHash> ite_cache_;
+
+  // Open-addressed unique table: slots hold Refs into nodes_ (kInvalidRef
+  // = empty). Capacity is a power of two; grown at ~70% load.
+  std::vector<Ref> unique_slots_;
+  size_t unique_count_ = 0;
+
+  std::vector<IteEntry> ite_cache_;  // power-of-two, direct-mapped, lossy
+
+  // Epoch-stamped scratch arena shared by sat_fraction/support/size:
+  // stamp_[r] == stamp_epoch_ means "visited this pass" (and frac_memo_[r]
+  // valid for sat_fraction passes). No per-call allocation.
+  mutable std::vector<uint32_t> stamp_;
+  mutable std::vector<double> frac_memo_;
+  mutable uint32_t stamp_epoch_ = 0;
+
+  mutable Stats stats_;
 };
 
 }  // namespace apx

@@ -2,10 +2,8 @@
 
 namespace apx {
 
-namespace {
-
-BddManager::Ref eval_sop_on(BddManager& mgr, const Sop& sop,
-                            const std::vector<BddManager::Ref>& fanin_refs) {
+BddManager::Ref eval_sop_bdd(BddManager& mgr, const Sop& sop,
+                             const std::vector<BddManager::Ref>& fanin_refs) {
   BddManager::Ref result = mgr.zero();
   for (const Cube& c : sop.cubes()) {
     BddManager::Ref cube_ref = mgr.one();
@@ -22,8 +20,6 @@ BddManager::Ref eval_sop_on(BddManager& mgr, const Sop& sop,
   }
   return result;
 }
-
-}  // namespace
 
 NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
     : net_(net), mgr_(net.num_pis(), max_nodes) {
@@ -46,7 +42,7 @@ NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
         std::vector<BddManager::Ref> fanin_refs;
         fanin_refs.reserve(n.fanins.size());
         for (NodeId f : n.fanins) fanin_refs.push_back(refs_[f]);
-        refs_[id] = eval_sop_on(mgr_, n.sop, fanin_refs);
+        refs_[id] = eval_sop_bdd(mgr_, n.sop, fanin_refs);
         break;
       }
     }
@@ -59,7 +55,7 @@ BddManager::Ref NetworkBdds::po_ref(int po_index) const {
 
 BddManager::Ref NetworkBdds::eval_sop(
     const Sop& sop, const std::vector<BddManager::Ref>& fanin_refs) {
-  return eval_sop_on(mgr_, sop, fanin_refs);
+  return eval_sop_bdd(mgr_, sop, fanin_refs);
 }
 
 std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
@@ -82,7 +78,7 @@ std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
         std::vector<BddManager::Ref> fanin_refs;
         fanin_refs.reserve(n.fanins.size());
         for (NodeId f : n.fanins) fanin_refs.push_back(refs[f]);
-        refs[id] = eval_sop_on(mgr, n.sop, fanin_refs);
+        refs[id] = eval_sop_bdd(mgr, n.sop, fanin_refs);
         break;
       }
     }
@@ -110,7 +106,7 @@ std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,
         case NodeKind::kLogic: {
           std::vector<BddManager::Ref> fanin_refs;
           for (NodeId f : n.fanins) fanin_refs.push_back(refs[f]);
-          refs[id] = eval_sop_on(mgr, n.sop, fanin_refs);
+          refs[id] = eval_sop_bdd(mgr, n.sop, fanin_refs);
           break;
         }
       }

@@ -39,6 +39,12 @@ class NetworkBdds {
   std::vector<BddManager::Ref> refs_;
 };
 
+/// Global BDD of one node function: evaluates `sop` (variable i = fanin i)
+/// over fanin BDDs in `mgr`. The kernel behind NetworkBdds, build_cone_bdds
+/// and the oracle's dirty-cone refresh.
+BddManager::Ref eval_sop_bdd(BddManager& mgr, const Sop& sop,
+                             const std::vector<BddManager::Ref>& fanin_refs);
+
 /// Builds the global BDD of one PO cone of `net` inside an existing manager
 /// whose variables correspond to `net`'s PIs. Returns nullopt on overflow.
 std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,

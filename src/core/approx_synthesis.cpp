@@ -424,11 +424,14 @@ class SynthesisEngine {
     const int words = 16;
     std::vector<NodeId> po_roots;
     for (const PrimaryOutput& po : net_.pos()) po_roots.push_back(po.driver);
+    // One simulator pair for all rounds: run() re-reads every SOP (so the
+    // approx side observes fix_node's set_sop mutations, tracked by the
+    // network version stamps) — only the pattern set changes per round.
+    Simulator sim_orig(net_);
+    Simulator sim_approx(approx_);
     for (int round = 0; round < 64; ++round) {
       PatternSet patterns = PatternSet::random(
           net_.num_pis(), words, 0x51AB + 977 * sim_rounds_++);
-      Simulator sim_orig(net_);
-      Simulator sim_approx(approx_);
       sim_orig.run(patterns);
       sim_approx.run(patterns);
 

@@ -14,11 +14,14 @@ bool implication_holds_for(ApproxDirection d, bool g_implies_f,
 
 // SAT and simulation state is kept out of the header via this impl struct.
 struct ApproxOracleState {
-  // Shared SAT instance encoding both networks once (rebuilt on refresh).
+  // Shared SAT instance encoding both networks. The original side is
+  // encoded plainly (it never changes); the approx side uses the
+  // activation-guarded incremental encoding so repairs re-encode dirty
+  // cones in place instead of rebuilding the solver.
   std::optional<SatSolver> sat;
   std::vector<int> pi_vars;
   std::vector<int> orig_vars;
-  std::vector<int> approx_vars;
+  IncrementalEncoding approx_enc;
 
   // Shared simulation for percentage estimates.
   std::optional<Simulator> sim_orig;
@@ -27,20 +30,30 @@ struct ApproxOracleState {
 };
 
 ApproxOracle::ApproxOracle(const Network& original, const Network& approx,
-                           size_t bdd_budget)
+                           size_t bdd_budget, RefreshMode mode)
     : original_(original),
       approx_(approx),
       budget_(bdd_budget),
+      mode_(mode),
       state_(std::make_unique<ApproxOracleState>()) {
   build();
 }
 
 ApproxOracle::~ApproxOracle() = default;
 
+// Full rebuild: discards the SAT instance and the approx-side simulator
+// along with every BDD. The constructor and kFullRebuild mode come through
+// here; the incremental path only lands here after a structural mutation.
 void ApproxOracle::build() {
-  bdd_ok_ = false;
+  ++stats_.full_rebuilds;
   state_->sat.reset();
   state_->sim_approx.reset();
+  build_bdds();
+}
+
+void ApproxOracle::build_bdds() {
+  bdd_ok_ = false;
+  approx_synced_version_ = approx_.version();
   if (bdd_hostile_) return;  // earlier build hit the budget: stay on SAT
   try {
     mgr_.emplace(original_.num_pis(), budget_);
@@ -53,6 +66,7 @@ void ApproxOracle::build() {
     }
     orig_refs_ = build_cone_bdds(*mgr_, original_, orig_roots);
     approx_refs_ = build_cone_bdds(*mgr_, approx_, approx_roots);
+    nodes_after_build_ = mgr_->num_nodes();
     bdd_ok_ = true;
   } catch (const BddOverflow&) {
     mgr_.reset();
@@ -63,9 +77,101 @@ void ApproxOracle::build() {
 }
 
 void ApproxOracle::refresh_approx() {
-  // Both ref sets live in one manager; a clean rebuild keeps the manager
-  // from accumulating garbage across repair rounds.
-  build();
+  if (mode_ == RefreshMode::kFullRebuild) {
+    build();
+    return;
+  }
+  if (approx_.structure_version() > approx_synced_version_) {
+    // Node ids / fanins / PO drivers moved: cone membership and the
+    // cached orders are stale, so incremental repair doesn't apply.
+    build();
+    return;
+  }
+  std::vector<NodeId> dirty = approx_.dirty_since(approx_synced_version_);
+  approx_synced_version_ = approx_.version();
+  if (dirty.empty()) return;
+  ++stats_.incremental_refreshes;
+  state_->sim_approx.reset();  // sampled estimates must see the new SOPs
+  std::vector<NodeId> affected = fanout_closure(dirty);
+  refresh_bdds(affected);
+  refresh_sat(affected);
+}
+
+void ApproxOracle::ensure_structure_caches() {
+  if (cached_structure_version_ == approx_.structure_version()) return;
+  approx_topo_ = approx_.topo_order();
+  approx_fanouts_ = approx_.fanouts();
+  cached_structure_version_ = approx_.structure_version();
+}
+
+// Dirty nodes plus their transitive fanout, in topological order: exactly
+// the nodes whose global functions can have changed.
+std::vector<NodeId> ApproxOracle::fanout_closure(
+    const std::vector<NodeId>& dirty) {
+  ensure_structure_caches();
+  std::vector<char> affected(approx_.num_nodes(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId id : dirty) {
+    if (!affected[id]) {
+      affected[id] = 1;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId out : approx_fanouts_[id]) {
+      if (!affected[out]) {
+        affected[out] = 1;
+        stack.push_back(out);
+      }
+    }
+  }
+  std::vector<NodeId> result;
+  for (NodeId id : approx_topo_) {
+    if (affected[id]) result.push_back(id);
+  }
+  return result;
+}
+
+void ApproxOracle::refresh_bdds(const std::vector<NodeId>& affected) {
+  if (!bdd_ok_) return;
+  try {
+    std::vector<BddManager::Ref> fanin_refs;
+    for (NodeId id : affected) {
+      if (approx_refs_[id] == kNoBddRef) continue;  // outside every PO cone
+      const Node& n = approx_.node(id);
+      if (n.kind != NodeKind::kLogic) continue;
+      fanin_refs.clear();
+      for (NodeId f : n.fanins) fanin_refs.push_back(approx_refs_[f]);
+      approx_refs_[id] = eval_sop_bdd(*mgr_, n.sop, fanin_refs);
+      ++stats_.bdd_nodes_rebuilt;
+    }
+    maybe_collect();
+  } catch (const BddOverflow&) {
+    // The arena may simply be full of garbage from replaced cones: retry
+    // from an empty manager (which marks the oracle BDD-hostile if even a
+    // clean build overflows). The SAT/simulation state is untouched.
+    build_bdds();
+  }
+}
+
+void ApproxOracle::maybe_collect() {
+  size_t n = mgr_->num_nodes();
+  if (n < 4096 || n < 2 * nodes_after_build_) return;
+  std::vector<BddManager::Ref> roots;
+  roots.reserve(orig_refs_.size() + approx_refs_.size());
+  roots.insert(roots.end(), orig_refs_.begin(), orig_refs_.end());
+  roots.insert(roots.end(), approx_refs_.begin(), approx_refs_.end());
+  std::vector<BddManager::Ref> remap = mgr_->garbage_collect(roots);
+  for (BddManager::Ref& r : orig_refs_) {
+    if (r != kNoBddRef) r = remap[r];
+  }
+  for (BddManager::Ref& r : approx_refs_) {
+    if (r != kNoBddRef) r = remap[r];
+  }
+  nodes_after_build_ = mgr_->num_nodes();  // live size = new trigger base
+  ++stats_.gc_runs;
 }
 
 void ApproxOracle::ensure_sat() {
@@ -77,7 +183,21 @@ void ApproxOracle::ensure_sat() {
     state_->pi_vars.push_back(solver.new_var());
   }
   state_->orig_vars = encode_network(solver, original_, state_->pi_vars);
-  state_->approx_vars = encode_network(solver, approx_, state_->pi_vars);
+  state_->approx_enc =
+      encode_network_incremental(solver, approx_, state_->pi_vars);
+}
+
+void ApproxOracle::refresh_sat(const std::vector<NodeId>& affected) {
+  // Not yet constructed: ensure_sat() will encode the current network
+  // state when the first query needs it.
+  if (!state_->sat.has_value()) return;
+  reencode_nodes(*state_->sat, approx_, affected, state_->approx_enc);
+  stats_.sat_nodes_reencoded += affected.size();
+}
+
+const void* ApproxOracle::sat_identity() const {
+  return state_->sat.has_value() ? static_cast<const void*>(&*state_->sat)
+                                 : nullptr;
 }
 
 // During synthesis the approximate network is an id-preserving clone of the
@@ -98,11 +218,15 @@ bool ApproxOracle::cone_structurally_identical(int po) const {
 }
 
 bool ApproxOracle::verify(int po, ApproxDirection direction) {
-  if (cone_structurally_identical(po)) return true;
+  if (cone_structurally_identical(po)) {
+    ++stats_.structural_hits;
+    return true;
+  }
   if (bdd_ok_) {
     try {
       BddManager::Ref f = orig_refs_[original_.po(po).driver];
       BddManager::Ref g = approx_refs_[approx_.po(po).driver];
+      ++stats_.bdd_queries;
       return direction == ApproxDirection::kOneApprox ? mgr_->implies(g, f)
                                                       : mgr_->implies(f, g);
     } catch (const BddOverflow&) {
@@ -110,12 +234,20 @@ bool ApproxOracle::verify(int po, ApproxDirection direction) {
     }
   }
   ensure_sat();
+  ++stats_.sat_queries;
   Lit f(state_->orig_vars[original_.po(po).driver], false);
-  Lit g(state_->approx_vars[approx_.po(po).driver], false);
+  Lit g(state_->approx_enc.node_var[approx_.po(po).driver], false);
+  // Activation assumptions select the current approx-side encoding;
   // kOneApprox: g => f fails iff (g & ~f) satisfiable.
-  std::vector<Lit> assumptions =
-      direction == ApproxDirection::kOneApprox ? std::vector<Lit>{g, ~f}
-                                               : std::vector<Lit>{f, ~g};
+  std::vector<Lit> assumptions;
+  activation_assumptions(state_->approx_enc, assumptions);
+  if (direction == ApproxDirection::kOneApprox) {
+    assumptions.push_back(g);
+    assumptions.push_back(~f);
+  } else {
+    assumptions.push_back(f);
+    assumptions.push_back(~g);
+  }
   last_cex_.clear();
   SatResult r = state_->sat->solve(assumptions, sat_conflict_budget_);
   if (r == SatResult::kUnsat) return true;
@@ -146,7 +278,7 @@ double ApproxOracle::approximation_pct(int po, ApproxDirection direction,
     }
   }
   // Sampled estimate over shared random patterns (simulators are cached:
-  // the original's never changes, the approx side refreshes with build()).
+  // the original's never changes, the approx side resets on refresh).
   if (!state_->sim_orig.has_value() || state_->sim_words != fallback_words) {
     state_->sim_orig.emplace(original_);
     state_->sim_orig->run(

@@ -28,12 +28,30 @@ bool implication_holds_for(ApproxDirection d, bool g_implies_f,
 /// matching PIs and POs. Builds global BDDs for both networks in one
 /// manager; on overflow every query falls back to SAT (for decisions) or
 /// bit-parallel simulation (for percentages).
+///
+/// The oracle is incremental across repair rounds (the stage-2 loop of
+/// paper Sec. 2.2 alternates node repairs with implication checks): it
+/// watches the approx network's version stamps, and refresh_approx()
+/// re-derives only the BDDs in the transitive fanout of nodes mutated
+/// since the previous refresh. The original network's BDDs are built once
+/// and never touched; BDD garbage left behind by replaced cones is
+/// reclaimed by mark-and-sweep on the live per-node refs. The SAT fallback
+/// is likewise incremental: dirty cones are re-encoded under fresh
+/// variables with activation-literal assumptions, so the solver instance —
+/// and its learned clauses — survives every repair.
 struct ApproxOracleState;
 
 class ApproxOracle {
  public:
+  /// How refresh_approx() reconciles the oracle with a mutated network.
+  /// kFullRebuild reproduces the pre-incremental behaviour (rebuild every
+  /// BDD cone of both networks, discard the SAT instance) and exists for
+  /// the bench_verify baseline and differential tests.
+  enum class RefreshMode { kIncremental, kFullRebuild };
+
   ApproxOracle(const Network& original, const Network& approx,
-               size_t bdd_budget = 1u << 18);
+               size_t bdd_budget = 1u << 18,
+               RefreshMode mode = RefreshMode::kIncremental);
   ~ApproxOracle();
 
   /// Is PO `po` of the approx network a correct `direction`-approximation?
@@ -44,7 +62,10 @@ class ApproxOracle {
   double approximation_pct(int po, ApproxDirection direction,
                            int fallback_words = 512);
 
-  /// Rebuilds the approx-side BDDs after the approx network was mutated.
+  /// Brings the oracle up to date after the approx network was mutated.
+  /// Incremental mode re-derives only the cones downstream of the mutated
+  /// nodes (O(changed cone) instead of O(both networks)); structural
+  /// mutations (Network::structure_version()) force a full rebuild.
   void refresh_approx();
 
   /// When the last verify() returned false via the SAT path, this holds the
@@ -63,6 +84,24 @@ class ApproxOracle {
   /// True while BDD-based answers are available (diagnostics).
   bool using_bdds() const { return bdd_ok_; }
 
+  /// Workload counters (monotone over the oracle's lifetime).
+  struct Stats {
+    uint64_t structural_hits = 0;  ///< verify() answered by cone identity
+    uint64_t bdd_queries = 0;      ///< verify() answered by BDD implication
+    uint64_t sat_queries = 0;      ///< verify() answered by the SAT solver
+    uint64_t incremental_refreshes = 0;
+    uint64_t full_rebuilds = 0;
+    uint64_t bdd_nodes_rebuilt = 0;    ///< node BDDs re-derived incrementally
+    uint64_t sat_nodes_reencoded = 0;  ///< node CNFs re-encoded incrementally
+    uint64_t gc_runs = 0;              ///< BDD mark-and-sweep collections
+  };
+  const Stats& oracle_stats() const { return stats_; }
+
+  /// Identity of the SAT fallback instance (nullptr while none exists).
+  /// The incremental path keeps this stable across refresh_approx() —
+  /// asserted by tests; a change means learned clauses were thrown away.
+  const void* sat_identity() const;
+
   /// Direct access to the per-node global BDDs (valid when using_bdds()).
   /// Only nodes inside some PO cone carry a meaningful ref (kNoBddRef
   /// otherwise). Used by the repair stage's source analysis.
@@ -72,12 +111,19 @@ class ApproxOracle {
 
  private:
   void build();
+  void build_bdds();
   void ensure_sat();
   bool cone_structurally_identical(int po) const;
+  void ensure_structure_caches();
+  std::vector<NodeId> fanout_closure(const std::vector<NodeId>& dirty);
+  void refresh_bdds(const std::vector<NodeId>& affected);
+  void refresh_sat(const std::vector<NodeId>& affected);
+  void maybe_collect();
 
   const Network& original_;
   const Network& approx_;
   size_t budget_;
+  RefreshMode mode_;
   std::optional<BddManager> mgr_;
   std::vector<BddManager::Ref> orig_refs_;
   std::vector<BddManager::Ref> approx_refs_;
@@ -85,6 +131,16 @@ class ApproxOracle {
   bool bdd_hostile_ = false;  // a build overflowed: skip future BDD attempts
   int64_t sat_conflict_budget_ = 50000;
   std::vector<uint8_t> last_cex_;
+
+  // Incremental bookkeeping: the approx network version the BDD refs
+  // reflect, plus topo/fanout caches valid for one structure version.
+  uint64_t approx_synced_version_ = 0;
+  uint64_t cached_structure_version_ = ~0ull;
+  std::vector<NodeId> approx_topo_;
+  std::vector<std::vector<NodeId>> approx_fanouts_;
+  size_t nodes_after_build_ = 0;  // GC trigger baseline
+
+  Stats stats_;
   std::unique_ptr<ApproxOracleState> state_;
 };
 

@@ -16,6 +16,32 @@ Sop sop_buf1() { return *Sop::parse(1, "1"); }
 
 }  // namespace
 
+uint64_t Network::bump(NodeId id) {
+  ++version_;
+  if (id >= 0) {
+    if (node_version_.size() < nodes_.size()) {
+      node_version_.resize(nodes_.size(), 0);
+    }
+    node_version_[id] = version_;
+  }
+  return version_;
+}
+
+uint64_t Network::bump_structure() {
+  structure_version_ = ++version_;
+  return version_;
+}
+
+std::vector<NodeId> Network::dirty_since(uint64_t v) const {
+  std::vector<NodeId> dirty;
+  for (NodeId id = 0;
+       id < static_cast<NodeId>(node_version_.size()) && id < num_nodes();
+       ++id) {
+    if (node_version_[id] > v) dirty.push_back(id);
+  }
+  return dirty;
+}
+
 std::string Network::unique_name(const std::string& base) {
   std::string candidate = base.empty()
                               ? "n" + std::to_string(anon_counter_++)
@@ -35,6 +61,7 @@ NodeId Network::add_pi(const std::string& name) {
   nodes_.push_back(std::move(n));
   pis_.push_back(id);
   name_map_[nodes_[id].name] = id;
+  node_version_.push_back(bump_structure());
   return id;
 }
 
@@ -46,6 +73,7 @@ NodeId Network::add_const(bool value) {
   n.sop = value ? Sop::one(0) : Sop::zero(0);
   nodes_.push_back(std::move(n));
   name_map_[nodes_[id].name] = id;
+  node_version_.push_back(bump_structure());
   return id;
 }
 
@@ -62,6 +90,7 @@ NodeId Network::add_node(std::vector<NodeId> fanins, Sop sop,
   n.sop = std::move(sop);
   nodes_.push_back(std::move(n));
   name_map_[nodes_[id].name] = id;
+  node_version_.push_back(bump_structure());
   return id;
 }
 
@@ -83,11 +112,13 @@ NodeId Network::add_buf(NodeId a, const std::string& name) {
 
 int Network::add_po(const std::string& name, NodeId driver) {
   pos_.push_back({name, driver});
+  bump_structure();
   return static_cast<int>(pos_.size()) - 1;
 }
 
 void Network::set_po_driver(int po_index, NodeId driver) {
   pos_.at(po_index).driver = driver;
+  bump_structure();
 }
 
 int Network::num_logic_nodes() const {
@@ -119,6 +150,7 @@ void Network::set_sop(NodeId id, Sop sop) {
     throw std::logic_error("set_sop: SOP width mismatch");
   }
   n.sop = std::move(sop);
+  bump(id);
 }
 
 void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop sop) {
@@ -128,6 +160,8 @@ void Network::set_function(NodeId id, std::vector<NodeId> fanins, Sop sop) {
   Node& n = nodes_[id];
   n.fanins = std::move(fanins);
   n.sop = std::move(sop);
+  bump_structure();
+  bump(id);
 }
 
 std::optional<NodeId> Network::find_node(const std::string& name) const {
@@ -280,6 +314,8 @@ std::vector<NodeId> Network::cleanup() {
   for (PrimaryOutput& po : pos_) {
     if (po.driver != kNullNode) po.driver = map[po.driver];
   }
+  // Node ids changed meaning: every node is dirty from any prior snapshot.
+  node_version_.assign(nodes_.size(), bump_structure());
   return map;
 }
 

@@ -72,6 +72,8 @@ class Network {
   int total_literals() const;
 
   const Node& node(NodeId id) const { return nodes_[id]; }
+  /// Mutations through this reference bypass the version stamps (below);
+  /// use set_sop/set_function for changes that caches must observe.
   Node& node(NodeId id) { return nodes_[id]; }
   const std::vector<NodeId>& pis() const { return pis_; }
   const std::vector<PrimaryOutput>& pos() const { return pos_; }
@@ -124,8 +126,33 @@ class Network {
   /// std::logic_error with a description on violation.
   void check() const;
 
+  // ---- change tracking ----
+  // Monotone version stamps let long-lived analyses (the verification
+  // oracle, cached simulators) refresh only what changed between calls
+  // instead of rebuilding from scratch. Every mutation bumps the network
+  // version and stamps the touched node with it; structural mutations
+  // (new nodes, fanin changes, PO rewires, renumbering) additionally bump
+  // the structure version, which invalidates cached topo orders/fanouts.
+
+  /// Current network version; bumped by every mutation.
+  uint64_t version() const { return version_; }
+
+  /// Version of the last mutation that changed the DAG shape (node set,
+  /// fanins, PO drivers or node ids) rather than just a local function.
+  uint64_t structure_version() const { return structure_version_; }
+
+  /// Version stamp of the last mutation touching node `id`.
+  uint64_t node_version(NodeId id) const { return node_version_[id]; }
+
+  /// Ids of nodes mutated after version `v` (ascending id order). With
+  /// `v == version()` this is empty; with `v == 0` it is every node.
+  std::vector<NodeId> dirty_since(uint64_t v) const;
+
  private:
   std::string unique_name(const std::string& base);
+
+  uint64_t bump(NodeId id);
+  uint64_t bump_structure();
 
   std::string name_;
   std::vector<Node> nodes_;
@@ -133,6 +160,9 @@ class Network {
   std::vector<PrimaryOutput> pos_;
   std::unordered_map<std::string, NodeId> name_map_;
   int anon_counter_ = 0;
+  uint64_t version_ = 0;
+  uint64_t structure_version_ = 0;
+  std::vector<uint64_t> node_version_;
 };
 
 }  // namespace apx

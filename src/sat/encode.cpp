@@ -1,12 +1,81 @@
 #include "sat/encode.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 namespace apx {
 
 namespace {
 thread_local uint64_t g_last_cex = 0;
+
+// Emits the Tseitin clauses defining `out_var` <-> n's SOP over the fanin
+// variables in `var_of`. When `guard` is set (the negation of an
+// activation literal) it is appended to every clause, so the definition
+// only binds while the activation literal is assumed.
+void encode_node_clauses(SatSolver& solver, const Node& n,
+                         const std::vector<int>& var_of, int out_var,
+                         std::optional<Lit> guard) {
+  auto add = [&](std::vector<Lit> lits) {
+    if (guard.has_value()) lits.push_back(*guard);
+    solver.add_clause(std::move(lits));
+  };
+  Lit out(out_var, false);
+  if (n.kind == NodeKind::kConst0) {
+    add({~out});
+    return;
+  }
+  if (n.kind == NodeKind::kConst1) {
+    add({out});
+    return;
+  }
+  // node <-> OR of cube variables; cube <-> AND of literals.
+  const Sop& sop = n.sop;
+  if (sop.empty()) {
+    add({~out});
+    return;
+  }
+  std::vector<Lit> or_clause;  // (~out | c1 | c2 | ...)
+  or_clause.push_back(~out);
+  for (const Cube& c : sop.cubes()) {
+    // Gather cube literals over fanin SAT vars.
+    std::vector<Lit> cube_lits;
+    for (int k = 0; k < sop.num_vars(); ++k) {
+      LitCode code = c.get(k);
+      if (code == LitCode::kFree) continue;
+      cube_lits.push_back(Lit(var_of[n.fanins[k]], code == LitCode::kNeg));
+    }
+    if (cube_lits.empty()) {
+      // Full cube: node is constant 1.
+      add({out});
+      or_clause.clear();
+      break;
+    }
+    if (cube_lits.size() == 1) {
+      // cube var == the literal itself.
+      Lit cl = cube_lits[0];
+      add({~cl, out});  // cube -> out
+      or_clause.push_back(cl);
+      continue;
+    }
+    int cv = solver.new_var();
+    Lit cl(cv, false);
+    // cl -> each literal.
+    for (Lit l : cube_lits) add({~cl, l});
+    // all literals -> cl.
+    std::vector<Lit> rev;
+    for (Lit l : cube_lits) rev.push_back(~l);
+    rev.push_back(cl);
+    add(std::move(rev));
+    // cube -> out.
+    add({~cl, out});
+    or_clause.push_back(cl);
+  }
+  if (!or_clause.empty()) {
+    add(std::move(or_clause));
+  }
 }
+
+}  // namespace
 
 std::vector<int> encode_network(SatSolver& solver, const Network& net,
                                 const std::vector<int>& pi_vars) {
@@ -21,62 +90,67 @@ std::vector<int> encode_network(SatSolver& solver, const Network& net,
     if (n.kind == NodeKind::kPi) continue;
     int v = solver.new_var();
     var_of[id] = v;
-    Lit out(v, false);
-    if (n.kind == NodeKind::kConst0) {
-      solver.add_unit(~out);
-      continue;
-    }
-    if (n.kind == NodeKind::kConst1) {
-      solver.add_unit(out);
-      continue;
-    }
-    // node <-> OR of cube variables; cube <-> AND of literals.
-    const Sop& sop = n.sop;
-    if (sop.empty()) {
-      solver.add_unit(~out);
-      continue;
-    }
-    std::vector<Lit> or_clause;  // (~out | c1 | c2 | ...)
-    or_clause.push_back(~out);
-    for (const Cube& c : sop.cubes()) {
-      // Gather cube literals over fanin SAT vars.
-      std::vector<Lit> cube_lits;
-      for (int k = 0; k < sop.num_vars(); ++k) {
-        LitCode code = c.get(k);
-        if (code == LitCode::kFree) continue;
-        cube_lits.push_back(Lit(var_of[n.fanins[k]], code == LitCode::kNeg));
-      }
-      if (cube_lits.empty()) {
-        // Full cube: node is constant 1.
-        solver.add_unit(out);
-        or_clause.clear();
-        break;
-      }
-      if (cube_lits.size() == 1) {
-        // cube var == the literal itself.
-        Lit cl = cube_lits[0];
-        solver.add_binary(~cl, out);  // cube -> out
-        or_clause.push_back(cl);
-        continue;
-      }
-      int cv = solver.new_var();
-      Lit cl(cv, false);
-      // cl -> each literal.
-      for (Lit l : cube_lits) solver.add_binary(~cl, l);
-      // all literals -> cl.
-      std::vector<Lit> rev;
-      for (Lit l : cube_lits) rev.push_back(~l);
-      rev.push_back(cl);
-      solver.add_clause(std::move(rev));
-      // cube -> out.
-      solver.add_binary(~cl, out);
-      or_clause.push_back(cl);
-    }
-    if (!or_clause.empty()) {
-      solver.add_clause(std::move(or_clause));
-    }
+    encode_node_clauses(solver, n, var_of, v, std::nullopt);
   }
   return var_of;
+}
+
+IncrementalEncoding encode_network_incremental(
+    SatSolver& solver, const Network& net, const std::vector<int>& pi_vars) {
+  if (pi_vars.size() != static_cast<size_t>(net.num_pis())) {
+    throw std::logic_error(
+        "encode_network_incremental: pi_vars size mismatch");
+  }
+  IncrementalEncoding enc;
+  enc.node_var.assign(net.num_nodes(), -1);
+  enc.node_act.assign(net.num_nodes(), -1);
+  for (int i = 0; i < net.num_pis(); ++i) {
+    enc.node_var[net.pis()[i]] = pi_vars[i];
+  }
+  // The initial encoding is unguarded: activation literals are introduced
+  // only when a definition is superseded (reencode_nodes), so the number
+  // of per-solve assumptions tracks the churned set, not the network.
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kPi) continue;
+    int v = solver.new_var();
+    enc.node_var[id] = v;
+    encode_node_clauses(solver, n, enc.node_var, v, std::nullopt);
+  }
+  return enc;
+}
+
+void reencode_nodes(SatSolver& solver, const Network& net,
+                    const std::vector<NodeId>& nodes,
+                    IncrementalEncoding& enc) {
+  std::vector<bool> selected(net.num_nodes(), false);
+  for (NodeId id : nodes) selected[id] = true;
+  for (NodeId id : net.topo_order()) {
+    if (!selected[id]) continue;
+    const Node& n = net.node(id);
+    if (n.kind == NodeKind::kPi) continue;
+    // Retire a guarded old definition: the unit permanently satisfies
+    // every clause carrying the old guard, including learned clauses
+    // derived under it — the rest of the learned store stays live. An
+    // unguarded old definition (from the initial encoding) needs no
+    // retirement: it keeps pinning its now-dead output variable, which
+    // nothing references once the fanout closure is re-encoded.
+    if (enc.node_act[id] >= 0) {
+      solver.add_unit(Lit(enc.node_act[id], true));
+    }
+    int v = solver.new_var();
+    int act = solver.new_var();
+    enc.node_var[id] = v;
+    enc.node_act[id] = act;
+    encode_node_clauses(solver, n, enc.node_var, v, Lit(act, true));
+  }
+}
+
+void activation_assumptions(const IncrementalEncoding& enc,
+                            std::vector<Lit>& out) {
+  for (int act : enc.node_act) {
+    if (act >= 0) out.push_back(Lit(act, false));
+  }
 }
 
 namespace {

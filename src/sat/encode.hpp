@@ -16,6 +16,41 @@ namespace apx {
 std::vector<int> encode_network(SatSolver& solver, const Network& net,
                                 const std::vector<int>& pi_vars);
 
+/// Incremental network encoding for solvers that outlive network repairs:
+/// a node's function can be superseded in place (reencode_nodes) without
+/// resetting the solver — learned clauses survive. Superseding encodes the
+/// node under a fresh output variable with a per-node activation literal
+/// guarding the new clauses; the previous guarded definition is retired by
+/// a unit on its dead activation literal. The initial encoding is
+/// unguarded (its definitions are never retired, they just go stale on
+/// dead variables), so per-solve assumptions scale with the set of nodes
+/// ever re-encoded, not with the network.
+struct IncrementalEncoding {
+  std::vector<int> node_var;  ///< NodeId -> current SAT output variable
+  std::vector<int> node_act;  ///< NodeId -> activation var (-1: unguarded)
+};
+
+/// Encodes `net` with activation guards (same clause shape as
+/// encode_network otherwise). Every solve() against the encoding must
+/// assume the current activation literals (activation_assumptions).
+IncrementalEncoding encode_network_incremental(SatSolver& solver,
+                                               const Network& net,
+                                               const std::vector<int>& pi_vars);
+
+/// Re-encodes `nodes` under fresh output and activation variables and
+/// deactivates their previous clauses. `nodes` must be closed under fanout
+/// among re-encoded definitions: if a node's function changed, every node
+/// on a path from it to a consumed output has to be re-encoded too (their
+/// clauses reference the superseded output variables otherwise). Any
+/// iteration order is accepted; processing happens in topological order.
+void reencode_nodes(SatSolver& solver, const Network& net,
+                    const std::vector<NodeId>& nodes,
+                    IncrementalEncoding& enc);
+
+/// Appends the activation assumptions of the current encoding to `out`.
+void activation_assumptions(const IncrementalEncoding& enc,
+                            std::vector<Lit>& out);
+
 /// Tri-state answer for budgeted checks.
 enum class CheckResult { kHolds, kFails, kUnknown };
 

@@ -79,6 +79,11 @@ int SatSolver::heap_pop_undef() {
 
 bool SatSolver::add_clause(std::vector<Lit> lits) {
   if (unsat_) return false;
+  // solve() leaves its final trail in place (so model_value works); clause
+  // addition reasons about root-level truth, so undo any leftover
+  // decision levels first. This matters for incremental use, where
+  // clauses arrive between solve() calls.
+  if (!trail_lim_.empty()) backtrack(0);
   // Remove duplicates; detect tautologies; drop false literals at level 0.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code < b.code; });

@@ -88,7 +88,9 @@ PatternSet PatternSet::exhaustive(int num_pis) {
 }
 
 Simulator::Simulator(const Network& net)
-    : net_(net), topo_(net.topo_order()) {}
+    : net_(net),
+      topo_(net.topo_order()),
+      structure_version_(net.structure_version()) {}
 
 void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
                     int num_words, uint64_t* out) {
@@ -112,6 +114,10 @@ void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
 void Simulator::run(const PatternSet& patterns) {
   if (patterns.num_pis() != net_.num_pis()) {
     throw std::logic_error("Simulator::run: PI count mismatch");
+  }
+  if (structure_version_ != net_.structure_version()) {
+    topo_ = net_.topo_order();
+    structure_version_ = net_.structure_version();
   }
   bool reshape = num_words_ != patterns.num_words() ||
                  golden_.size() != static_cast<size_t>(net_.num_nodes());

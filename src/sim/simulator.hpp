@@ -61,12 +61,19 @@ struct StuckFault {
 void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
                     int num_words, uint64_t* out);
 
-/// Bit-parallel good-machine/faulty-machine simulator over a fixed network.
+/// Bit-parallel good-machine/faulty-machine simulator over a network. The
+/// simulator may outlive mutations of the network: run() re-evaluates every
+/// node and refreshes its cached topological order whenever the network's
+/// structure version moved, so one instance can be reused across repair
+/// rounds instead of being reconstructed per round.
 class Simulator {
  public:
   explicit Simulator(const Network& net);
 
-  /// Simulates the fault-free circuit on the pattern set.
+  /// Simulates the fault-free circuit on the pattern set. Picks up any
+  /// network mutation made since the previous run (SOP rewrites are
+  /// re-evaluated unconditionally; structural changes re-derive the
+  /// cached topological order via Network::structure_version()).
   void run(const PatternSet& patterns);
 
   /// Golden value words of a node (valid after run()).
@@ -101,6 +108,7 @@ class Simulator {
  private:
   const Network& net_;
   std::vector<NodeId> topo_;
+  uint64_t structure_version_ = 0;
   int num_words_ = 0;
 
   std::vector<std::vector<uint64_t>> golden_;

@@ -128,6 +128,62 @@ TEST(NetworkTest, AddNodeValidatesWidth) {
   EXPECT_THROW(net.add_node({a}, *Sop::parse(2, "11")), std::logic_error);
 }
 
+TEST(NetworkTest, VersionStampsTrackSopMutations) {
+  Network net = small_net();
+  uint64_t v0 = net.version();
+  EXPECT_TRUE(net.dirty_since(v0).empty());
+
+  NodeId n4 = *net.find_node("n4");
+  uint64_t sv = net.structure_version();
+  net.set_sop(n4, net.node(n4).sop);
+  EXPECT_GT(net.version(), v0);
+  EXPECT_EQ(net.structure_version(), sv);  // SOP rewrite is not structural
+  EXPECT_EQ(net.node_version(n4), net.version());
+
+  auto dirty = net.dirty_since(v0);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], n4);
+  EXPECT_TRUE(net.dirty_since(net.version()).empty());
+
+  // A second mutation of another node: both are dirty w.r.t. v0, only the
+  // newer one w.r.t. the intermediate version.
+  uint64_t v1 = net.version();
+  NodeId n5 = *net.find_node("n5");
+  net.set_sop(n5, net.node(n5).sop);
+  EXPECT_EQ(net.dirty_since(v0).size(), 2u);
+  ASSERT_EQ(net.dirty_since(v1).size(), 1u);
+  EXPECT_EQ(net.dirty_since(v1)[0], n5);
+}
+
+TEST(NetworkTest, StructureVersionTracksShapeChanges) {
+  Network net = small_net();
+  NodeId a = *net.find_node("a");
+  NodeId b = *net.find_node("b");
+
+  uint64_t sv = net.structure_version();
+  NodeId g = net.add_not(a, "g");
+  EXPECT_GT(net.structure_version(), sv);
+
+  sv = net.structure_version();
+  net.set_function(g, {a, b}, *Sop::parse(2, "11"));
+  EXPECT_GT(net.structure_version(), sv);
+  EXPECT_EQ(net.node_version(g), net.version());
+
+  sv = net.structure_version();
+  net.add_po("g", g);
+  EXPECT_GT(net.structure_version(), sv);
+
+  sv = net.structure_version();
+  net.set_po_driver(1, a);
+  EXPECT_GT(net.structure_version(), sv);
+
+  // cleanup() may renumber nodes: every survivor is re-stamped dirty.
+  sv = net.version();
+  net.cleanup();
+  EXPECT_GT(net.structure_version(), sv);
+  EXPECT_EQ(net.dirty_since(sv).size(), static_cast<size_t>(net.num_nodes()));
+}
+
 TEST(NetworkTest, ConstNodes) {
   Network net;
   NodeId c1 = net.add_const(true);

@@ -1,0 +1,212 @@
+// Tests for the incremental ApproxOracle: the structural fast path, the
+// BDD-overflow -> SAT fallback chain, solver-instance survival across
+// refreshes, and incremental-vs-full-rebuild equivalence.
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+// Three POs sharing internal cones: enough structure that a single-node
+// repair dirties some cones and leaves others untouched.
+Network shared_cone_net() {
+  Network net;
+  std::vector<NodeId> pi;
+  for (int i = 0; i < 8; ++i) {
+    pi.push_back(net.add_pi("x" + std::to_string(i)));
+  }
+  NodeId n1 = net.add_and(pi[0], pi[1], "n1");
+  NodeId n2 = net.add_or(pi[2], pi[3], "n2");
+  NodeId n3 = net.add_xor(pi[4], pi[5], "n3");
+  NodeId n4 = net.add_and(n1, n2, "n4");
+  NodeId n5 = net.add_or(n3, pi[6], "n5");
+  NodeId n6 = net.add_and(n4, n5, "n6");
+  NodeId n7 = net.add_or(n4, pi[7], "n7");
+  NodeId n8 = net.add_xor(n5, n7, "n8");
+  net.add_po("f0", n6);
+  net.add_po("f1", n7);
+  net.add_po("f2", n8);
+  return net;
+}
+
+// Evaluates one PO of a network on a single input assignment.
+bool eval_po(const Network& net, int po, const std::vector<uint8_t>& input) {
+  PatternSet p(net.num_pis(), 1);
+  for (int i = 0; i < net.num_pis(); ++i) {
+    p.set_word(i, 0, input[i] ? 1u : 0u);
+  }
+  Simulator sim(net);
+  sim.run(p);
+  return sim.value(net.po(po).driver)[0] & 1u;
+}
+
+TEST(VerifyOracleTest, StructuralShortCircuitTouchesNoSolver) {
+  Network net = shared_cone_net();
+  Network approx = net;  // identical clone
+  ApproxOracle oracle(net, approx);
+  for (int po = 0; po < net.num_pos(); ++po) {
+    EXPECT_TRUE(oracle.verify(po, ApproxDirection::kOneApprox));
+    EXPECT_TRUE(oracle.verify(po, ApproxDirection::kZeroApprox));
+  }
+  const ApproxOracle::Stats& s = oracle.oracle_stats();
+  EXPECT_EQ(s.structural_hits, 2u * net.num_pos());
+  EXPECT_EQ(s.bdd_queries, 0u);
+  EXPECT_EQ(s.sat_queries, 0u);
+  EXPECT_EQ(oracle.sat_identity(), nullptr);  // solver never constructed
+}
+
+TEST(VerifyOracleTest, BddOverflowFallsBackToSatWithCounterexample) {
+  // F = a & b, G = a | b: G is NOT a 1-approximation of F.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  net.add_po("f", net.add_and(a, b, "f"));
+  Network approx;
+  NodeId a2 = approx.add_pi("a");
+  NodeId b2 = approx.add_pi("b");
+  approx.add_po("f", approx.add_or(a2, b2, "f"));
+
+  // A 4-node budget cannot even hold the PI variables: the initial build
+  // overflows and every query must go through the SAT fallback.
+  ApproxOracle oracle(net, approx, /*bdd_budget=*/4);
+  EXPECT_FALSE(oracle.using_bdds());
+
+  EXPECT_FALSE(oracle.verify(0, ApproxDirection::kOneApprox));
+  EXPECT_EQ(oracle.oracle_stats().bdd_queries, 0u);
+  EXPECT_GE(oracle.oracle_stats().sat_queries, 1u);
+
+  // The counterexample must witness G = 1, F = 0.
+  const std::vector<uint8_t>& cex = oracle.last_counterexample();
+  ASSERT_EQ(cex.size(), 2u);
+  EXPECT_TRUE(eval_po(approx, 0, cex));
+  EXPECT_FALSE(eval_po(net, 0, cex));
+
+  // The other direction (F => G) holds and the SAT path proves it.
+  EXPECT_TRUE(oracle.verify(0, ApproxDirection::kZeroApprox));
+}
+
+TEST(VerifyOracleTest, SatInstanceSurvivesRefresh) {
+  // F = (a & b) | (c & d); keep the BDD path disabled so every
+  // non-structural query exercises the incremental SAT encoding.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId c = net.add_pi("c");
+  NodeId d = net.add_pi("d");
+  NodeId n1 = net.add_and(a, b, "n1");
+  NodeId n2 = net.add_and(c, d, "n2");
+  net.add_po("f", net.add_or(n1, n2, "f"));
+  Network approx = net;
+
+  ApproxOracle oracle(net, approx, /*bdd_budget=*/4);
+  EXPECT_FALSE(oracle.using_bdds());
+
+  // Repair 1: drop the a&b term. G = c & d is a valid 1-approximation.
+  approx.set_sop(n1, Sop::zero(2));
+  oracle.refresh_approx();
+  EXPECT_TRUE(oracle.verify(0, ApproxDirection::kOneApprox));
+  const void* solver = oracle.sat_identity();
+  ASSERT_NE(solver, nullptr);
+
+  // Repair 2: widen n1 to just `a`. G = a | (c & d) is NOT one.
+  approx.set_sop(n1, *Sop::parse(2, "1-"));
+  oracle.refresh_approx();
+  EXPECT_FALSE(oracle.verify(0, ApproxDirection::kOneApprox));
+  ASSERT_EQ(oracle.last_counterexample().size(), 4u);
+  EXPECT_TRUE(eval_po(approx, 0, oracle.last_counterexample()));
+  EXPECT_FALSE(eval_po(net, 0, oracle.last_counterexample()));
+
+  // Repair 3: restore exactness of n1 -> structural fast path again.
+  approx.set_sop(n1, net.node(n1).sop);
+  oracle.refresh_approx();
+  EXPECT_TRUE(oracle.verify(0, ApproxDirection::kOneApprox));
+
+  // Acceptance criterion: the solver instance never changed, so learned
+  // clauses survived every repair; dirty cones were re-encoded in place.
+  EXPECT_EQ(oracle.sat_identity(), solver);
+  const ApproxOracle::Stats& s = oracle.oracle_stats();
+  EXPECT_EQ(s.full_rebuilds, 1u);  // only the constructor
+  EXPECT_EQ(s.incremental_refreshes, 3u);
+  EXPECT_GT(s.sat_nodes_reencoded, 0u);
+}
+
+TEST(VerifyOracleTest, IncrementalMatchesFullRebuild) {
+  Network net = shared_cone_net();
+  Network approx_inc = net;
+  Network approx_full = net;
+  ApproxOracle inc(net, approx_inc, 1u << 18,
+                   ApproxOracle::RefreshMode::kIncremental);
+  ApproxOracle full(net, approx_full, 1u << 18,
+                    ApproxOracle::RefreshMode::kFullRebuild);
+  ASSERT_TRUE(inc.using_bdds());
+  ASSERT_TRUE(full.using_bdds());
+
+  // A scripted repair sequence: shrink, widen, constant-ize, restore.
+  NodeId n1 = *net.find_node("n1");
+  NodeId n4 = *net.find_node("n4");
+  NodeId n5 = *net.find_node("n5");
+  const std::vector<std::pair<NodeId, Sop>> script = {
+      {n1, Sop::zero(2)},
+      {n4, *Sop::parse(2, "1-")},
+      {n5, Sop::one(2)},
+      {n4, net.node(n4).sop},
+      {n1, *Sop::parse(2, "-1")},
+      {n5, net.node(n5).sop},
+  };
+  for (const auto& [id, sop] : script) {
+    approx_inc.set_sop(id, sop);
+    approx_full.set_sop(id, sop);
+    inc.refresh_approx();
+    full.refresh_approx();
+    for (int po = 0; po < net.num_pos(); ++po) {
+      for (ApproxDirection dir :
+           {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox}) {
+        EXPECT_EQ(inc.verify(po, dir), full.verify(po, dir))
+            << "po=" << po << " dir=" << static_cast<int>(dir);
+        // Canonical BDDs make the minterm counts bit-identical, not
+        // merely approximately equal.
+        EXPECT_EQ(inc.approximation_pct(po, dir),
+                  full.approximation_pct(po, dir))
+            << "po=" << po << " dir=" << static_cast<int>(dir);
+      }
+    }
+  }
+  EXPECT_EQ(inc.oracle_stats().full_rebuilds, 1u);
+  EXPECT_EQ(inc.oracle_stats().incremental_refreshes, script.size());
+  EXPECT_EQ(full.oracle_stats().full_rebuilds, 1u + script.size());
+  EXPECT_GT(inc.oracle_stats().bdd_nodes_rebuilt, 0u);
+}
+
+TEST(VerifyOracleTest, NoOpRefreshIsFree) {
+  Network net = shared_cone_net();
+  Network approx = net;
+  ApproxOracle oracle(net, approx);
+  oracle.refresh_approx();
+  oracle.refresh_approx();
+  EXPECT_EQ(oracle.oracle_stats().incremental_refreshes, 0u);
+  EXPECT_EQ(oracle.oracle_stats().full_rebuilds, 1u);
+}
+
+TEST(VerifyOracleTest, StructuralChangeForcesRebuild) {
+  Network net = shared_cone_net();
+  Network approx = net;
+  ApproxOracle oracle(net, approx);
+  NodeId n1 = *approx.find_node("n1");
+  NodeId x2 = *approx.find_node("x2");
+  NodeId x0 = *approx.find_node("x0");
+  // Re-wire n1 onto different fanins: a structural mutation.
+  approx.set_function(n1, {x0, x2}, *Sop::parse(2, "11"));
+  oracle.refresh_approx();
+  EXPECT_EQ(oracle.oracle_stats().full_rebuilds, 2u);
+  // Still answers correctly: n1 = x0 & x2 is not contained in x0 & x1.
+  EXPECT_FALSE(oracle.verify(0, ApproxDirection::kOneApprox));
+}
+
+}  // namespace
+}  // namespace apx
