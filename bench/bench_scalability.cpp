@@ -7,6 +7,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "core/approx_synthesis.hpp"
 #include "core/pipeline.hpp"
+#include "core/task_pool.hpp"
 #include "mapping/optimize.hpp"
 #include "reliability/reliability.hpp"
 
@@ -48,6 +49,38 @@ void BM_ReliabilityAnalysis(benchmark::State& state) {
 BENCHMARK(BM_ReliabilityAnalysis)
     ->DenseRange(0, 5)
     ->Unit(benchmark::kMillisecond);
+
+// Whole-suite scaling on the shared task pool: every circuit of the ladder
+// runs as one run_ced_pipeline task, and the per-row tasks plus their inner
+// fault campaigns share the pool's workers (Arg = worker cap; 1 = serial
+// reference). Per-row results are bit-identical across Args by the pool's
+// determinism contract.
+void BM_PipelineSuite(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<Network> nets;
+  for (const char* name : kLadder) nets.push_back(make_benchmark(name));
+  PipelineOptions opt;
+  opt.approx.significance_threshold = 0.12;
+  opt.reliability.num_fault_samples = 300;
+  opt.coverage.num_fault_samples = 300;
+  // Cap the inner loops too, so Arg(1) is a genuinely serial reference.
+  opt.approx.num_threads = threads;
+  opt.reliability.num_threads = threads;
+  opt.coverage.num_threads = threads;
+  for (auto _ : state) {
+    int64_t gates = 0;
+    std::vector<PipelineResult> rows(nets.size());
+    TaskPool::instance().parallel_for(
+        0, static_cast<int64_t>(nets.size()),
+        [&](int64_t i) { rows[i] = run_ced_pipeline(nets[i], opt); },
+        threads);
+    for (const PipelineResult& r : rows) {
+      gates += r.mapped_original.num_logic_nodes();
+    }
+    benchmark::DoNotOptimize(gates);
+  }
+}
+BENCHMARK(BM_PipelineSuite)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_TechnologyMap(benchmark::State& state) {
   Network optimized = quick_synthesis(make_benchmark(kLadder[state.range(0)]));

@@ -4,6 +4,7 @@
 
 #include "bdd/network_bdd.hpp"
 #include "core/cube_selection.hpp"
+#include "core/task_pool.hpp"
 #include "core/verify.hpp"
 #include "mapping/optimize.hpp"
 #include "sop/minimize.hpp"
@@ -60,14 +61,51 @@ class SynthesisEngine {
     int sim_repairs = 0;
     simulation_repair_rounds(sim_repairs);
 
+    // The two read-only sweeps below (verification screening here, the
+    // approximation-percentage sweep at the end) run chunked on the shared
+    // task pool, each chunk over a private oracle. The chunk count is a
+    // function of the PO count ALONE — never the thread count — because a
+    // SAT conflict-budget answer depends on the oracle's query history, so
+    // a thread-count-dependent partition would break the bit-identity
+    // contract. One chunk degenerates to the shared-oracle serial path.
+    const int P = net_.num_pos();
+    const int chunks = std::max(1, std::min(4, P / 8));
+    auto chunk_begin = [&](int c) {
+      return static_cast<int>(static_cast<int64_t>(P) * c / chunks);
+    };
+
     ApproxOracle oracle(net_, approx_, options_.bdd_budget);
     oracle.set_sat_conflict_budget(options_.sat_conflict_budget);
-    result.po_stats.resize(net_.num_pos());
-    for (int po = 0; po < net_.num_pos(); ++po) {
+    result.po_stats.resize(P);
+    for (int po = 0; po < P; ++po) {
       result.po_stats[po].direction = directions_[po];
-      if (oracle.verify(po, directions_[po])) {
-        result.po_stats[po].verified = true;
-        ++result.correct_after_stage1;
+    }
+    if (chunks > 1) {
+      std::vector<uint8_t> verified(P, 0);
+      TaskPool::instance().parallel_for(
+          0, chunks,
+          [&](int64_t c) {
+            const int b = chunk_begin(static_cast<int>(c));
+            const int e = chunk_begin(static_cast<int>(c) + 1);
+            ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
+            chunk_oracle.set_sat_conflict_budget(options_.sat_conflict_budget);
+            for (int po = b; po < e; ++po) {
+              verified[po] = chunk_oracle.verify(po, directions_[po]) ? 1 : 0;
+            }
+          },
+          options_.num_threads);
+      for (int po = 0; po < P; ++po) {  // ordered merge
+        if (verified[po]) {
+          result.po_stats[po].verified = true;
+          ++result.correct_after_stage1;
+        }
+      }
+    } else {
+      for (int po = 0; po < P; ++po) {
+        if (oracle.verify(po, directions_[po])) {
+          result.po_stats[po].verified = true;
+          ++result.correct_after_stage1;
+        }
       }
     }
     result.repairs += sim_repairs;
@@ -102,9 +140,29 @@ class SynthesisEngine {
         }
       }
     }
-    for (int po = 0; po < net_.num_pos(); ++po) {
-      result.po_stats[po].approximation_pct =
-          oracle.approximation_pct(po, directions_[po]);
+    // Final percentage sweep over the now-frozen approx network: same fixed
+    // chunking, one private oracle per chunk (approximation_pct is exact by
+    // BDD minterm counting or sampled with a fixed seed — deterministic
+    // either way). Chunk tasks write disjoint po_stats entries.
+    if (chunks > 1) {
+      TaskPool::instance().parallel_for(
+          0, chunks,
+          [&](int64_t c) {
+            const int b = chunk_begin(static_cast<int>(c));
+            const int e = chunk_begin(static_cast<int>(c) + 1);
+            ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
+            chunk_oracle.set_sat_conflict_budget(options_.sat_conflict_budget);
+            for (int po = b; po < e; ++po) {
+              result.po_stats[po].approximation_pct =
+                  chunk_oracle.approximation_pct(po, directions_[po]);
+            }
+          },
+          options_.num_threads);
+    } else {
+      for (int po = 0; po < P; ++po) {
+        result.po_stats[po].approximation_pct =
+            oracle.approximation_pct(po, directions_[po]);
+      }
     }
     compact_unused_fanins(approx_);
     approx_.cleanup();

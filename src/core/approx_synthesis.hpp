@@ -63,6 +63,15 @@ struct ApproxOptions {
   /// Random-simulation words for observability/signal probabilities.
   int sim_words = 64;
   uint64_t seed = 0x0B5E11;
+
+  /// Parallelism cap (shared task pool) for the read-only per-PO oracle
+  /// sweeps — the initial verification screening and the final
+  /// approximation-percentage sweep; 0 = apx::thread_count() (APX_THREADS
+  /// policy). The sweeps are partitioned into a fixed number of chunks
+  /// derived from the PO count alone (one private oracle per chunk), so
+  /// results are bit-identical for any value. The mutating repair loop is
+  /// always serial.
+  int num_threads = 0;
 };
 
 struct PoApproxStats {

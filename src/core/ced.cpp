@@ -133,8 +133,9 @@ CoverageResult evaluate_ced_coverage(const CedDesign& ced,
     return StuckFault{site, static_cast<bool>(rng.next() & 1)};
   };
 
-  // Per-sample slots: workers write disjoint rows, reduced afterwards, so
-  // counts are bit-identical for any thread count.
+  // Per-sample slots: pool workers write disjoint rows, reduced in sample
+  // order afterwards (ordered merge), so counts are bit-identical for any
+  // thread count.
   struct Row {
     int64_t erroneous = 0;
     int64_t detected = 0;

@@ -1,6 +1,8 @@
 #include "core/cube_selection.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "tt/truth_table.hpp"
 
@@ -95,13 +97,34 @@ std::optional<Sop> odc_cube_selection(
   // cubes by probability mass per literal so the caller can truncate.
   Sop cover = feasible.isop();
   if (fanin_probs != nullptr) {
+    // Sanitize the probabilities once up front: a value outside [0,1] —
+    // in particular NaN, under which every comparison is false and a
+    // comparator stops being a strict weak ordering (undefined behaviour
+    // in the sort) — is clamped; NaN maps to the uninformative 0.5.
+    std::vector<double> probs(fanin_probs->begin(), fanin_probs->end());
+    for (double& p : probs) {
+      p = std::isnan(p) ? 0.5 : std::clamp(p, 0.0, 1.0);
+    }
+    // Each cube's key is computed once (not per comparison) and ties break
+    // on the cube's position in the isop cover: a total order, so the
+    // selection downstream is deterministic.
     std::vector<Cube> cubes = cover.cubes();
-    std::stable_sort(cubes.begin(), cubes.end(),
-                     [&](const Cube& a, const Cube& b) {
-                       return cube_probability(a, *fanin_probs) >
-                              cube_probability(b, *fanin_probs);
-                     });
-    cover = Sop(cover.num_vars(), std::move(cubes));
+    std::vector<std::pair<double, size_t>> keyed(cubes.size());
+    for (size_t i = 0; i < cubes.size(); ++i) {
+      keyed[i] = {cube_probability(cubes[i], probs), i};
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const std::pair<double, size_t>& a,
+                 const std::pair<double, size_t>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    std::vector<Cube> ordered;
+    ordered.reserve(cubes.size());
+    for (const auto& [key, index] : keyed) {
+      ordered.push_back(std::move(cubes[index]));
+    }
+    cover = Sop(cover.num_vars(), std::move(ordered));
   }
   return cover;
 }

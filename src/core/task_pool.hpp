@@ -1,0 +1,122 @@
+// The process-wide concurrency substrate. Every parallel loop in the
+// repo — fault-simulation campaigns, reliability/coverage accumulation,
+// the read-only per-PO sweeps of the synthesis engine, and the per-circuit
+// rows of the paper-table bench drivers — runs on this one pool, so the
+// process never oversubscribes itself with nested ad-hoc std::thread
+// spawning (the pre-pool FaultSimEngine behaviour).
+//
+// Scheduling model: a parallel loop is published as a chunk-counter job on
+// a shared active-job list. Worker threads (and the submitting thread,
+// which always participates) repeatedly steal the next chunk of any
+// in-flight job — an idle worker therefore drains the fine-grained inner
+// loops of whichever coarse task is still running, which is what makes
+// imbalanced suites (one big circuit row, many small ones) scale. A
+// participant that exhausts a nested job's chunks blocks only on the
+// finite chunk bodies still executing, so nested submission from inside a
+// worker can never deadlock.
+//
+// Determinism contract (the repo convention established by the fault
+// engine's per-index seed derivation): the pool guarantees that every
+// index of a loop is executed exactly once and that `reduce_ordered`
+// folds partial results in index order on the calling thread. Callers
+// guarantee that the body writes only to state owned by its index (or its
+// slot). Under those two rules every result is bit-identical for any
+// worker count, including 1 (`APX_THREADS=1` runs loops inline on the
+// caller).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace apx {
+
+/// Global parallelism policy: the `APX_THREADS` environment variable when
+/// set to a positive integer, else std::thread::hardware_concurrency().
+/// Cached after the first read; `set_thread_count` overrides it.
+int thread_count();
+
+/// Programmatic override of thread_count() (the option-level twin of
+/// APX_THREADS; used by tests and drivers). 0 clears the override.
+void set_thread_count(int n);
+
+/// Parses an APX_THREADS-style value: positive integer => that count,
+/// anything else (null, junk, <= 0) => 0 ("unset"). Exposed for tests.
+int parse_thread_env(const char* text);
+
+/// Resolves a per-call `num_threads` option: positive values are honored
+/// verbatim (the pool grows on demand), 0 or negative defers to the
+/// thread_count() policy.
+int resolve_thread_option(int requested);
+
+class TaskPool {
+ public:
+  /// The process-wide pool. Worker threads are spawned lazily, up to the
+  /// largest parallelism any call has asked for (capped at kMaxWorkers).
+  static TaskPool& instance();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Runs body(slot, i) for every i in [begin, end). `slot` is dense in
+  /// [0, max_slots) and unique among threads concurrently executing this
+  /// loop — the hook for per-slot scratch arenas and exact per-slot
+  /// accumulators. max_slots <= 0 defers to thread_count(); max_slots == 1
+  /// (or a single-iteration range capped to it) executes inline on the
+  /// calling thread with slot 0. `grain` consecutive indices are executed
+  /// per steal. The first exception thrown by any chunk drains the loop
+  /// and is rethrown on the calling thread.
+  void parallel_for_slotted(int64_t begin, int64_t end, int max_slots,
+                            int64_t grain,
+                            const std::function<void(int, int64_t)>& body);
+
+  /// Slot-oblivious form.
+  void parallel_for(int64_t begin, int64_t end,
+                    const std::function<void(int64_t)>& body,
+                    int max_slots = 0, int64_t grain = 1);
+
+  /// out[i] = f(i) for i in [0, n): results land in index order by
+  /// construction, independent of scheduling.
+  template <typename T>
+  std::vector<T> parallel_map(int64_t n, const std::function<T(int64_t)>& f,
+                              int max_slots = 0, int64_t grain = 1) {
+    std::vector<T> out(static_cast<size_t>(n > 0 ? n : 0));
+    parallel_for(
+        0, n, [&](int64_t i) { out[static_cast<size_t>(i)] = f(i); },
+        max_slots, grain);
+    return out;
+  }
+
+  /// Ordered reduction: maps in parallel, then folds the partial results
+  /// serially in index order on the calling thread. With a deterministic
+  /// map this is bit-identical for every worker count even when `reduce`
+  /// is non-associative in floating point.
+  template <typename T, typename Reduce>
+  T reduce_ordered(int64_t n, T init, const std::function<T(int64_t)>& map_fn,
+                   const Reduce& reduce, int max_slots = 0,
+                   int64_t grain = 1) {
+    std::vector<T> parts = parallel_map<T>(n, map_fn, max_slots, grain);
+    T acc = std::move(init);
+    for (T& part : parts) acc = reduce(std::move(acc), std::move(part));
+    return acc;
+  }
+
+  /// Worker threads currently spawned (diagnostics; grows on demand).
+  int num_workers() const;
+
+  /// Hard cap on spawned workers (requests beyond it are clamped).
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  TaskPool();
+  ~TaskPool();
+
+  struct Job;
+  struct Impl;
+  Impl* impl_;
+
+  void ensure_workers(int n);
+  static void worker_loop(Impl* impl);
+};
+
+}  // namespace apx

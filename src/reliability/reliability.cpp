@@ -1,8 +1,8 @@
 #include "reliability/reliability.hpp"
 
 #include <bit>
-#include <mutex>
 
+#include "core/task_pool.hpp"
 #include "sim/fault_engine.hpp"
 
 namespace apx {
@@ -27,16 +27,19 @@ ReliabilityReport analyze_reliability(const Network& net,
     return faults[SplitMix64(sample_seed).next() % faults.size()];
   };
 
-  std::vector<int64_t> count01(net.num_pos(), 0);
-  std::vector<int64_t> count10(net.num_pos(), 0);
-  int64_t any_error = 0;
-  int64_t dominant_detectable = 0;
+  const int P = net.num_pos();
+  const int slots = resolve_thread_option(options.num_threads);
   const int64_t runs = static_cast<int64_t>(options.num_fault_samples) *
                        options.words_per_fault * 64;
 
-  // Integer accumulation under a mutex is exact and commutative, so the
-  // totals are bit-identical for any thread count / completion order.
-  std::mutex acc_mutex;
+  // Lock-free accumulation: each pool slot owns a private row of exact
+  // integer counters (strided to its slot index), merged in slot order
+  // after the campaign. Integer sums are exact and commutative, so the
+  // totals are bit-identical for any thread count / completion order —
+  // the ordered merge is belt-and-braces for that contract.
+  std::vector<int64_t> slot01(static_cast<size_t>(slots) * P, 0);
+  std::vector<int64_t> slot10(static_cast<size_t>(slots) * P, 0);
+  std::vector<int64_t> slot_any(slots, 0);
 
   // Pass 1: per-output directional error rates. The max-coverage statistic
   // needs the dominant directions, which are only known after this pass;
@@ -44,11 +47,12 @@ ReliabilityReport analyze_reliability(const Network& net,
   // seed derivation makes the replay exact by construction).
   engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
                                          const FaultView& v) {
-    std::vector<int64_t> c01(net.num_pos(), 0), c10(net.num_pos(), 0);
+    int64_t* c01 = &slot01[static_cast<size_t>(v.worker_slot()) * P];
+    int64_t* c10 = &slot10[static_cast<size_t>(v.worker_slot()) * P];
     int64_t any = 0;
     for (int w = 0; w < v.num_words(); ++w) {
       uint64_t any_word = 0;
-      for (int o = 0; o < net.num_pos(); ++o) {
+      for (int o = 0; o < P; ++o) {
         NodeId drv = net.po(o).driver;
         uint64_t g = v.golden(drv)[w];
         uint64_t f = v.faulty(drv)[w];
@@ -60,15 +64,20 @@ ReliabilityReport analyze_reliability(const Network& net,
       }
       any += std::popcount(any_word);
     }
-    std::lock_guard<std::mutex> lock(acc_mutex);
-    for (int o = 0; o < net.num_pos(); ++o) {
-      count01[o] += c01[o];
-      count10[o] += c10[o];
-    }
-    any_error += any;
+    slot_any[v.worker_slot()] += any;
   });
 
-  for (int o = 0; o < net.num_pos(); ++o) {
+  std::vector<int64_t> count01(P, 0), count10(P, 0);
+  int64_t any_error = 0;
+  for (int s = 0; s < slots; ++s) {  // ordered merge over slot index
+    for (int o = 0; o < P; ++o) {
+      count01[o] += slot01[static_cast<size_t>(s) * P + o];
+      count10[o] += slot10[static_cast<size_t>(s) * P + o];
+    }
+    any_error += slot_any[s];
+  }
+
+  for (int o = 0; o < P; ++o) {
     report.outputs[o].rate_0_to_1 =
         static_cast<double>(count01[o]) / static_cast<double>(runs);
     report.outputs[o].rate_1_to_0 =
@@ -79,12 +88,13 @@ ReliabilityReport analyze_reliability(const Network& net,
 
   // Pass 2, identical sample stream: count runs where some PO erred in its
   // dominant (protected) direction.
+  std::vector<int64_t> slot_dominant(slots, 0);
   engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
                                          const FaultView& v) {
     int64_t dominant = 0;
     for (int w = 0; w < v.num_words(); ++w) {
       uint64_t dominant_word = 0;
-      for (int o = 0; o < net.num_pos(); ++o) {
+      for (int o = 0; o < P; ++o) {
         NodeId drv = net.po(o).driver;
         uint64_t g = v.golden(drv)[w];
         uint64_t f = v.faulty(drv)[w];
@@ -93,9 +103,10 @@ ReliabilityReport analyze_reliability(const Network& net,
       }
       dominant += std::popcount(dominant_word);
     }
-    std::lock_guard<std::mutex> lock(acc_mutex);
-    dominant_detectable += dominant;
+    slot_dominant[v.worker_slot()] += dominant;
   });
+  int64_t dominant_detectable = 0;
+  for (int s = 0; s < slots; ++s) dominant_detectable += slot_dominant[s];
 
   report.runs = runs;
   report.any_output_error_rate =

@@ -65,8 +65,8 @@ struct ReliabilityOptions {
   /// Fault samples amortizing one shared golden simulation in the
   /// FaultSimEngine (see src/sim/fault_engine.hpp).
   int faults_per_batch = 64;
-  /// Engine worker threads; 0 = all hardware threads. Results are
-  /// bit-identical for any value.
+  /// Parallelism cap on the shared task pool; 0 = apx::thread_count()
+  /// (APX_THREADS policy). Results are bit-identical for any value.
   int num_threads = 0;
   uint64_t seed = 0x5EED;
 };

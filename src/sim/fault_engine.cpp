@@ -1,21 +1,11 @@
 #include "sim/fault_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
+
+#include "core/task_pool.hpp"
 
 namespace apx {
-namespace {
-
-int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  unsigned hc = std::thread::hardware_concurrency();
-  return hc > 0 ? static_cast<int>(hc) : 1;
-}
-
-}  // namespace
 
 /// Per-thread scratch state: a faulty-value arena over the shared golden
 /// image plus the event queue of the level-by-level cone walk. Reused
@@ -128,13 +118,14 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
   }
 }
 
-FaultView FaultSimEngine::view_of(const Worker& w) const {
+FaultView FaultSimEngine::view_of(const Worker& w, int slot) const {
   FaultView v;
   v.golden_ = golden_.data();
   v.values_ = w.values.data();
   v.valid_ = w.valid.data();
   v.epoch_ = w.epoch;
   v.num_words_ = num_words_;
+  v.worker_slot_ = slot;
   return v;
 }
 
@@ -155,39 +146,20 @@ FaultSimEngine::Worker& FaultSimEngine::worker(int index) {
   return w;
 }
 
-void FaultSimEngine::parallel_for(int begin, int end, int threads,
-                                  const std::function<void(Worker&, int)>& f) {
+// All fault-level parallelism rides the shared task pool: the engine never
+// spawns threads of its own, so nested use (e.g. a whole-pipeline task per
+// benchmark row, each running campaigns inside) shares one set of workers.
+void FaultSimEngine::parallel_for(
+    int begin, int end, int threads,
+    const std::function<void(Worker&, int, int)>& f) {
   if (end <= begin) return;
   threads = std::min(threads, end - begin);
-  if (threads <= 1) {
-    Worker& w = worker(0);
-    for (int i = begin; i < end; ++i) f(w, i);
-    return;
-  }
   for (int t = 0; t < threads; ++t) worker(t);  // size arenas up front
-  std::atomic<int> next{begin};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&, t] {
-      Worker& w = *workers_[t];
-      try {
-        for (;;) {
-          int i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= end) break;
-          f(w, i);
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        next.store(end, std::memory_order_relaxed);  // drain remaining work
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
+  TaskPool::instance().parallel_for_slotted(
+      begin, end, threads, /*grain=*/1,
+      [&](int slot, int64_t i) {
+        f(*workers_[slot], slot, static_cast<int>(i));
+      });
 }
 
 void FaultSimEngine::run_campaign(const CampaignOptions& options,
@@ -207,7 +179,7 @@ void FaultSimEngine::run_campaign(const CampaignOptions& options,
                              "an out-of-range fault site");
     }
   }
-  const int threads = resolve_threads(options.num_threads);
+  const int threads = resolve_thread_option(options.num_threads);
   const int per_batch = options.faults_per_batch;
   const int num_batches = (samples + per_batch - 1) / per_batch;
   for (int b = 0; b < num_batches; ++b) {
@@ -217,9 +189,9 @@ void FaultSimEngine::run_campaign(const CampaignOptions& options,
     run_golden(patterns);
     int begin = b * per_batch;
     int end = std::min(samples, begin + per_batch);
-    parallel_for(begin, end, threads, [&](Worker& w, int i) {
+    parallel_for(begin, end, threads, [&](Worker& w, int slot, int i) {
       simulate_fault(w, faults[i]);
-      visit(i, faults[i], view_of(w));
+      visit(i, faults[i], view_of(w, slot));
     });
   }
 }
@@ -228,11 +200,11 @@ void FaultSimEngine::run_batch(const PatternSet& patterns,
                                const std::vector<StuckFault>& faults,
                                const Visitor& visit, int num_threads) {
   run_golden(patterns);
-  const int threads = resolve_threads(num_threads);
+  const int threads = resolve_thread_option(num_threads);
   parallel_for(0, static_cast<int>(faults.size()), threads,
-               [&](Worker& w, int i) {
+               [&](Worker& w, int slot, int i) {
                  simulate_fault(w, faults[i]);
-                 visit(i, faults[i], view_of(w));
+                 visit(i, faults[i], view_of(w, slot));
                });
 }
 
@@ -248,7 +220,7 @@ DetectionReport FaultSimEngine::detect_faults(
   const int wpb = std::max(1, std::min(options.words_per_batch,
                                        options.max_words));
   const int num_batches = (options.max_words + wpb - 1) / wpb;
-  const int threads = resolve_threads(options.num_threads);
+  const int threads = resolve_thread_option(options.num_threads);
 
   std::vector<int> alive(faults.size());
   for (size_t i = 0; i < faults.size(); ++i) alive[i] = static_cast<int>(i);
@@ -260,9 +232,9 @@ DetectionReport FaultSimEngine::detect_faults(
     run_golden(patterns);
     std::vector<uint8_t> hit(alive.size(), 0);
     parallel_for(0, static_cast<int>(alive.size()), threads,
-                 [&](Worker& w, int j) {
+                 [&](Worker& w, int slot, int j) {
                    simulate_fault(w, faults[alive[j]]);
-                   FaultView v = view_of(w);
+                   FaultView v = view_of(w, slot);
                    for (NodeId obs : observe) {
                      // touched() holds exactly when faulty != golden on
                      // some pattern — i.e. the fault is detected at obs.

@@ -12,9 +12,10 @@
 //     walked level-by-level from precomputed fanout adjacency, with
 //     propagation stopping as soon as a node's faulty value collapses back
 //     to its golden value;
-//   * every worker thread owns a reusable scratch arena (faulty values,
-//     epochs, level buckets) over the shared read-only golden image — no
-//     per-injection allocations;
+//   * faults are distributed over the shared process-wide task pool
+//     (core/task_pool.hpp); every pool slot owns a reusable scratch arena
+//     (faulty values, epochs, level buckets) over the shared read-only
+//     golden image — no per-injection allocations;
 //   * results are bit-identical for any thread count because all
 //     randomness is derived deterministically per object index
 //     (see derive_seed) and visitors write into per-sample slots.
@@ -79,6 +80,12 @@ class FaultView {
   /// True when the fault perturbed this node on some pattern.
   bool touched(NodeId id) const { return valid_[id] == epoch_; }
 
+  /// Task-pool slot of the worker producing this view: dense in
+  /// [0, num_threads) and unique among concurrently running visitors, so
+  /// callers can accumulate into per-slot buffers without locking (merge
+  /// them in slot order for bit-identical totals).
+  int worker_slot() const { return worker_slot_; }
+
  private:
   friend class FaultSimEngine;
   const uint64_t* golden_ = nullptr;
@@ -86,6 +93,7 @@ class FaultView {
   const uint32_t* valid_ = nullptr;
   uint32_t epoch_ = 0;
   int num_words_ = 0;
+  int worker_slot_ = 0;
 };
 
 /// A Monte-Carlo campaign: `num_fault_samples` sampled faults, each
@@ -98,7 +106,8 @@ struct CampaignOptions {
   /// values amortize more golden work; smaller values see more distinct
   /// vectors across the campaign.
   int faults_per_batch = 64;
-  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  /// Parallelism cap on the shared task pool; 0 = apx::thread_count()
+  /// (the APX_THREADS policy). Results are bit-identical for any value.
   int num_threads = 0;
   uint64_t seed = 0x5EED;
 };
@@ -110,6 +119,7 @@ struct DetectOptions {
   /// Words per shared golden batch; faults detected in an early batch are
   /// dropped from all later batches.
   int words_per_batch = 8;
+  /// Parallelism cap on the shared task pool; 0 = apx::thread_count().
   int num_threads = 0;
   uint64_t seed = 0xD7EC7;
 };
@@ -186,11 +196,13 @@ class FaultSimEngine {
 
   void run_golden(const PatternSet& patterns);
   void simulate_fault(Worker& w, const StuckFault& fault) const;
-  FaultView view_of(const Worker& w) const;
+  FaultView view_of(const Worker& w, int slot) const;
   Worker& worker(int index);
-  /// Dispatches f(worker, i) for i in [begin, end) over `threads` workers.
+  /// Dispatches f(worker, slot, i) for i in [begin, end) over up to
+  /// `threads` slots of the shared task pool (arena `slot` is exclusive
+  /// to the executing thread for the duration of the loop).
   void parallel_for(int begin, int end, int threads,
-                    const std::function<void(Worker&, int)>& f);
+                    const std::function<void(Worker&, int, int)>& f);
 
   const Network& net_;
   std::vector<NodeId> topo_;
