@@ -56,6 +56,7 @@ struct RunResult {
   ApproxOracle::Stats stats;
   bool used_bdds = false;
   double avg_probe_length = 0.0;
+  BddManager::Stats bdd_stats;  // zeroes when the BDD path never activated
 };
 
 RunResult run_mode(const Network& net, const std::vector<Repair>& script,
@@ -77,7 +78,8 @@ RunResult run_mode(const Network& net, const std::vector<Repair>& script,
   r.stats = oracle.oracle_stats();
   r.used_bdds = oracle.using_bdds();
   if (r.used_bdds) {
-    r.avg_probe_length = oracle.manager().stats().avg_probe_length();
+    r.bdd_stats = oracle.manager().stats();
+    r.avg_probe_length = r.bdd_stats.avg_probe_length();
   }
   return r;
 }
@@ -132,6 +134,12 @@ int main(int argc, char** argv) {
               pcts_identical ? "yes" : "NO");
   std::printf("BDD path active: %s   avg unique-table probe length: %.3f\n",
               inc.used_bdds ? "yes" : "no", inc.avg_probe_length);
+  std::printf("BDD arena: peak %llu nodes, %llu GC runs, %llu reorders "
+              "(%.1f ms sifting)\n",
+              static_cast<unsigned long long>(inc.bdd_stats.peak_nodes),
+              static_cast<unsigned long long>(inc.bdd_stats.gc_runs),
+              static_cast<unsigned long long>(inc.bdd_stats.reorder_runs),
+              inc.bdd_stats.reorder_time_ms);
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -167,6 +175,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(inc.stats.sat_queries));
   std::fprintf(f, "  \"avg_unique_probe_length\": %.4f,\n",
                inc.avg_probe_length);
+  std::fprintf(f,
+               "  \"bdd\": {\"peak_nodes\": %llu, \"gc_runs\": %llu, "
+               "\"reorder_runs\": %llu, \"reorder_time_ms\": %.3f},\n",
+               static_cast<unsigned long long>(inc.bdd_stats.peak_nodes),
+               static_cast<unsigned long long>(inc.bdd_stats.gc_runs),
+               static_cast<unsigned long long>(inc.bdd_stats.reorder_runs),
+               inc.bdd_stats.reorder_time_ms);
   std::fprintf(f, "  \"speedup\": %.2f,\n", speedup);
   std::fprintf(f, "  \"verdicts_bit_identical\": %s,\n",
                verdicts_identical ? "true" : "false");

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <numeric>
 
 namespace apx {
 
@@ -17,18 +19,42 @@ size_t pow2_at_least(size_t n, size_t floor_cap) {
 
 }  // namespace
 
-BddManager::BddManager(int num_vars, size_t max_nodes)
-    : num_vars_(num_vars), max_nodes_(max_nodes) {
+BddManager::BddManager(int num_vars, size_t max_nodes,
+                       std::vector<int> level_to_var)
+    : num_vars_(num_vars), max_nodes_(max_nodes), reorder_threshold_(8192) {
   // Terminal nodes: index 0 = false, 1 = true. Terminals use the sentinel
   // variable num_vars (below every real variable in the order).
   nodes_.push_back({num_vars_, 0, 0});
   nodes_.push_back({num_vars_, 1, 1});
+  var2level_.resize(num_vars_ + 1);
+  level2var_.resize(num_vars_ + 1);
+  if (level_to_var.empty()) {
+    std::iota(var2level_.begin(), var2level_.end(), 0);
+    std::iota(level2var_.begin(), level2var_.end(), 0);
+  } else {
+    assert(static_cast<int>(level_to_var.size()) == num_vars_ &&
+           "level_to_var must cover every variable");
+    std::vector<char> placed(num_vars_, 0);
+    for (int l = 0; l < num_vars_; ++l) {
+      int v = level_to_var[l];
+      assert(v >= 0 && v < num_vars_ && !placed[v] &&
+             "level_to_var must be a permutation of 0..num_vars-1");
+      placed[v] = 1;
+      level2var_[l] = v;
+      var2level_[v] = l;
+    }
+    (void)placed;
+    // The terminal sentinel sits below every real level.
+    level2var_[num_vars_] = num_vars_;
+    var2level_[num_vars_] = num_vars_;
+  }
   unique_slots_.assign(1024, kInvalidRef);
   // Direct-mapped lossy cache: sized to the budget (bounded at 2^20
   // entries = 16 MB) so big managers don't thrash on a tiny cache.
   size_t ite_cap = std::clamp(pow2_at_least(max_nodes / 4, size_t{1} << 12),
                               size_t{1} << 12, size_t{1} << 20);
   ite_cache_.assign(ite_cap, IteEntry{});
+  stats_.peak_nodes = 2;
 }
 
 void BddManager::unique_insert(Ref id) {
@@ -39,14 +65,56 @@ void BddManager::unique_insert(Ref id) {
   unique_slots_[idx] = id;
 }
 
+void BddManager::unique_erase(Ref id) {
+  const size_t mask = unique_slots_.size() - 1;
+  const BddNode& n = nodes_[id];
+  size_t idx = hash_triple(n.var, n.lo, n.hi) & mask;
+  while (unique_slots_[idx] != id) {
+    assert(unique_slots_[idx] != kInvalidRef && "erasing a node not in table");
+    idx = (idx + 1) & mask;
+  }
+  // Backward-shift deletion: slide later cluster members up into the hole
+  // whenever their home slot is at or before it, so linear probing never
+  // needs tombstones.
+  size_t hole = idx;
+  size_t probe = idx;
+  while (true) {
+    probe = (probe + 1) & mask;
+    Ref s = unique_slots_[probe];
+    if (s == kInvalidRef) break;
+    const BddNode& m = nodes_[s];
+    size_t home = hash_triple(m.var, m.lo, m.hi) & mask;
+    if (((probe - home) & mask) >= ((probe - hole) & mask)) {
+      unique_slots_[hole] = s;
+      hole = probe;
+    }
+  }
+  unique_slots_[hole] = kInvalidRef;
+  --unique_count_;
+}
+
 void BddManager::unique_grow() {
   std::vector<Ref> old = std::move(unique_slots_);
   unique_slots_.assign(old.size() * 2, kInvalidRef);
-  // Every non-terminal node is (exactly once) in the table; re-inserting
-  // from the arena avoids touching the old slot array's order.
+  // Every live non-terminal node is (exactly once) in the table;
+  // re-inserting from the arena avoids touching the old slot array.
   for (Ref id = 2; id < static_cast<Ref>(nodes_.size()); ++id) {
-    unique_insert(id);
+    if (nodes_[id].var != kFreeVar) unique_insert(id);
   }
+}
+
+BddManager::Ref BddManager::alloc_node(int32_t var, Ref lo, Ref hi) {
+  Ref id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = {var, lo, hi};
+  } else {
+    id = static_cast<Ref>(nodes_.size());
+    nodes_.push_back({var, lo, hi});
+  }
+  if (live_nodes() > stats_.peak_nodes) stats_.peak_nodes = live_nodes();
+  return id;
 }
 
 BddManager::Ref BddManager::make_node(int32_t var, Ref lo, Ref hi) {
@@ -62,12 +130,18 @@ BddManager::Ref BddManager::make_node(int32_t var, Ref lo, Ref hi) {
     if (n.var == var && n.lo == lo && n.hi == hi) return slot;
     idx = (idx + 1) & mask;
   }
-  if (nodes_.size() >= max_nodes_) throw BddOverflow();
-  Ref id = static_cast<Ref>(nodes_.size());
-  nodes_.push_back({var, lo, hi});
+  if (live_nodes() >= max_nodes_) throw BddOverflow();
+  Ref id = alloc_node(var, lo, hi);
   unique_slots_[idx] = id;
   ++unique_count_;
   if ((unique_count_ + 1) * 10 >= unique_slots_.size() * 7) unique_grow();
+  // Reordering here would move levels under the feet of in-flight
+  // recursions (ite_rec holds refs and a top level on its stack), so only
+  // latch the request; cooperative callers reorder() at a safe point.
+  if (auto_reorder_ && !in_reorder_ && !reorder_pending_ &&
+      live_nodes() >= reorder_threshold_) {
+    reorder_pending_ = true;
+  }
   return id;
 }
 
@@ -109,14 +183,17 @@ BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   }
   ++stats_.ite_misses;
 
-  int32_t top = std::min({var_of(f), var_of(g), var_of(h)});
+  // Decompose on the topmost *level* (not variable index): the recursion
+  // is what makes the permutation layer transparent to callers.
+  int32_t top_level = std::min({level_of(f), level_of(g), level_of(h)});
+  int32_t top_var = level2var_[top_level];
   auto cof = [&](Ref x, bool hi) -> Ref {
-    if (var_of(x) != top) return x;
+    if (nodes_[x].var != top_var) return x;
     return hi ? nodes_[x].hi : nodes_[x].lo;
   };
   Ref lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
   Ref hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
-  Ref result = make_node(top, lo, hi);
+  Ref result = make_node(top_var, lo, hi);
   // Lossy cache: overwrite whatever the recursive calls left in this slot.
   IteEntry& out = ite_cache_[idx];
   out.f = f;
@@ -131,6 +208,7 @@ bool BddManager::implies(Ref f, Ref g) { return bdd_and(f, bdd_not(g)) == 0; }
 void BddManager::begin_scratch_pass() const {
   if (stamp_.size() < nodes_.size()) stamp_.resize(nodes_.size(), 0);
   if (frac_memo_.size() < nodes_.size()) frac_memo_.resize(nodes_.size());
+  if (ref_memo_.size() < nodes_.size()) ref_memo_.resize(nodes_.size());
   if (++stamp_epoch_ == 0) {  // epoch wrapped: invalidate everything
     std::fill(stamp_.begin(), stamp_.end(), 0);
     stamp_epoch_ = 1;
@@ -157,14 +235,26 @@ double BddManager::sat_count(Ref f) {
   return sat_fraction(f) * std::ldexp(1.0, num_vars_);
 }
 
-BddManager::Ref BddManager::cofactor(Ref f, int v, bool value) {
+BddManager::Ref BddManager::cofactor_rec(Ref f, int32_t vlevel, bool value) {
   if (f <= 1) return f;
-  int32_t top = var_of(f);
-  if (top > v) return f;  // f does not depend on v (v above top in order)
-  if (top == v) return value ? nodes_[f].hi : nodes_[f].lo;
-  Ref lo = cofactor(nodes_[f].lo, v, value);
-  Ref hi = cofactor(nodes_[f].hi, v, value);
-  return make_node(top, lo, hi);
+  const int32_t lev = level_of(f);
+  if (lev > vlevel) return f;  // f does not depend on v (v above f's top)
+  if (lev == vlevel) return value ? nodes_[f].hi : nodes_[f].lo;
+  if (stamp_[f] == stamp_epoch_) return ref_memo_[f];
+  Ref lo = cofactor_rec(nodes_[f].lo, vlevel, value);
+  Ref hi = cofactor_rec(nodes_[f].hi, vlevel, value);
+  // Only nodes of f's input DAG are stamped, all of which predate the
+  // pass, so make_node growing the arena past stamp_.size() is safe.
+  Ref result = make_node(nodes_[f].var, lo, hi);
+  stamp_[f] = stamp_epoch_;
+  ref_memo_[f] = result;
+  return result;
+}
+
+BddManager::Ref BddManager::cofactor(Ref f, int v, bool value) {
+  assert(v >= 0 && v < num_vars_);
+  begin_scratch_pass();
+  return cofactor_rec(f, var2level_[v], value);
 }
 
 BddManager::Ref BddManager::exists(Ref f, int var) {
@@ -176,11 +266,15 @@ BddManager::Ref BddManager::forall(Ref f, int var) {
 }
 
 BddManager::Ref BddManager::exists_many(Ref f, const std::vector<bool>& vars) {
-  // Quantify bottom-up (highest index first) so intermediate results stay
-  // small near the terminals.
-  for (int v = static_cast<int>(vars.size()) - 1; v >= 0; --v) {
-    if (vars[v]) f = exists(f, v);
+  // Quantify bottom-up (deepest level first) so intermediate results stay
+  // small near the terminals. Depth means level, not variable index.
+  std::vector<int> order;
+  for (int v = 0; v < static_cast<int>(vars.size()); ++v) {
+    if (vars[v]) order.push_back(v);
   }
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return var2level_[a] > var2level_[b]; });
+  for (int v : order) f = exists(f, v);
   return f;
 }
 
@@ -235,42 +329,52 @@ size_t BddManager::size(Ref f) const {
 
 std::vector<BddManager::Ref> BddManager::garbage_collect(
     const std::vector<Ref>& roots) {
-  // Mark. Roots equal to kInvalidRef are permitted (callers keep sentinel
-  // slots for nodes outside their cones) and simply ignored.
-  std::vector<char> live(nodes_.size(), 0);
-  live[0] = live[1] = 1;
+  ++stats_.gc_runs;
+  std::vector<Ref> remap(nodes_.size(), kInvalidRef);
+  std::vector<BddNode> kept;
+  kept.reserve(live_nodes());
+  kept.push_back(nodes_[0]);
+  kept.push_back(nodes_[1]);
+  remap[0] = 0;
+  remap[1] = 1;
+  // Post-order DFS compaction: a node is emitted only after both children,
+  // so children's remap entries are final when the parent is rewritten.
+  // (Index order is not enough once free-list reuse by sifting breaks the
+  // arena's children-before-parents monotonicity.) Roots equal to
+  // kInvalidRef are permitted (callers keep sentinel slots for nodes
+  // outside their cones) and simply ignored.
   std::vector<Ref> stack;
   for (Ref r : roots) {
-    if (r == kInvalidRef || r >= nodes_.size() || live[r]) continue;
-    live[r] = 1;
+    if (r == kInvalidRef || r >= remap.size() || remap[r] != kInvalidRef) {
+      continue;
+    }
+    assert(nodes_[r].var != kFreeVar && "GC root references a freed node");
     stack.push_back(r);
   }
   while (!stack.empty()) {
     Ref r = stack.back();
+    if (remap[r] != kInvalidRef) {  // finished via another parent
+      stack.pop_back();
+      continue;
+    }
+    const Ref lo = nodes_[r].lo;
+    const Ref hi = nodes_[r].hi;
+    bool ready = true;
+    if (remap[lo] == kInvalidRef) {
+      stack.push_back(lo);
+      ready = false;
+    }
+    if (remap[hi] == kInvalidRef) {
+      stack.push_back(hi);
+      ready = false;
+    }
+    if (!ready) continue;
     stack.pop_back();
-    for (Ref child : {nodes_[r].lo, nodes_[r].hi}) {
-      if (!live[child]) {
-        live[child] = 1;
-        stack.push_back(child);
-      }
-    }
-  }
-
-  // Sweep: compact in index order, which preserves the children-before-
-  // parents invariant of the arena.
-  std::vector<Ref> remap(nodes_.size(), kInvalidRef);
-  std::vector<BddNode> kept;
-  for (Ref r = 0; r < static_cast<Ref>(nodes_.size()); ++r) {
-    if (!live[r]) continue;
     remap[r] = static_cast<Ref>(kept.size());
-    BddNode n = nodes_[r];
-    if (r > 1) {
-      n.lo = remap[n.lo];
-      n.hi = remap[n.hi];
-    }
-    kept.push_back(n);
+    kept.push_back({nodes_[r].var, remap[lo], remap[hi]});
   }
   nodes_ = std::move(kept);
+  free_list_.clear();
 
   // Rebuild the unique table at a capacity fitting the survivors.
   unique_count_ = nodes_.size() - 2;
@@ -284,6 +388,251 @@ std::vector<BddManager::Ref> BddManager::garbage_collect(
   std::fill(ite_cache_.begin(), ite_cache_.end(), IteEntry{});
   stamp_.assign(nodes_.size(), 0);
   stamp_epoch_ = 0;
+  return remap;
+}
+
+// ---- dynamic reordering ----
+
+void BddManager::register_external_refs(std::vector<Ref>* slots) {
+  unregister_external_refs(slots);  // idempotent
+  external_slots_.push_back(slots);
+}
+
+void BddManager::unregister_external_refs(std::vector<Ref>* slots) {
+  external_slots_.erase(
+      std::remove(external_slots_.begin(), external_slots_.end(), slots),
+      external_slots_.end());
+}
+
+void BddManager::deref(Ref r) {
+  // Drop one reference; cascade-free nodes whose count hits zero. Freed
+  // slots leave the unique table, get var = kFreeVar (so stale var_nodes_
+  // entries are skipped), and join the free list for reuse.
+  std::vector<Ref> stack = {r};
+  while (!stack.empty()) {
+    Ref x = stack.back();
+    stack.pop_back();
+    if (x <= 1) continue;
+    assert(parent_count_[x] > 0 && "deref of an unreferenced node");
+    if (--parent_count_[x] != 0) continue;
+    unique_erase(x);  // before the key (var, lo, hi) is clobbered
+    stack.push_back(nodes_[x].lo);
+    stack.push_back(nodes_[x].hi);
+    nodes_[x].var = kFreeVar;
+    free_list_.push_back(x);
+  }
+}
+
+BddManager::Ref BddManager::swap_find_or_make(int32_t var, Ref lo, Ref hi) {
+  // make_node twin for use inside swaps: maintains parent_count_ (result's
+  // count is pre-incremented for the caller's reference; a fresh node also
+  // counts its two children) and var_nodes_. No reorder latch, no node cap
+  // — the sift_var max-growth abort bounds temporary growth instead.
+  Ref id;
+  if (lo == hi) {
+    id = lo;
+  } else {
+    const size_t mask = unique_slots_.size() - 1;
+    size_t idx = hash_triple(var, lo, hi) & mask;
+    ++stats_.unique_lookups;
+    Ref found = kInvalidRef;
+    while (true) {
+      ++stats_.unique_probes;
+      Ref slot = unique_slots_[idx];
+      if (slot == kInvalidRef) break;
+      const BddNode& n = nodes_[slot];
+      if (n.var == var && n.lo == lo && n.hi == hi) {
+        found = slot;
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (found != kInvalidRef) {
+      id = found;
+    } else {
+      id = alloc_node(var, lo, hi);
+      if (parent_count_.size() <= id) parent_count_.resize(id + 1, 0);
+      parent_count_[id] = 0;
+      ++parent_count_[lo];
+      ++parent_count_[hi];
+      unique_slots_[idx] = id;
+      ++unique_count_;
+      if ((unique_count_ + 1) * 10 >= unique_slots_.size() * 7) unique_grow();
+      var_nodes_[var].push_back(id);
+    }
+  }
+  ++parent_count_[id];
+  return id;
+}
+
+void BddManager::swap_levels(int level) {
+  // Exchange the variables at `level` and `level + 1`. Only nodes labelled
+  // with the upper variable x that reference the lower variable y change;
+  // they are rewritten *in place* (same Ref, same function, new label y),
+  // which is what keeps every live Ref stable across sifting. Nodes not
+  // at these two levels are untouched by construction.
+  const int32_t x = level2var_[level];
+  const int32_t y = level2var_[level + 1];
+  std::vector<Ref> old_list = std::move(var_nodes_[x]);
+  var_nodes_[x].clear();
+  for (Ref n : old_list) {
+    if (nodes_[n].var != x) continue;  // stale entry: freed/reused/moved
+    const Ref f0 = nodes_[n].lo;
+    const Ref f1 = nodes_[n].hi;
+    const bool lo_y = nodes_[f0].var == y;
+    const bool hi_y = nodes_[f1].var == y;
+    if (!lo_y && !hi_y) {
+      // Independent of y: keeps label x, silently moves down one level.
+      var_nodes_[x].push_back(n);
+      continue;
+    }
+    const Ref f00 = lo_y ? nodes_[f0].lo : f0;
+    const Ref f01 = lo_y ? nodes_[f0].hi : f0;
+    const Ref f10 = hi_y ? nodes_[f1].lo : f1;
+    const Ref f11 = hi_y ? nodes_[f1].hi : f1;
+    // Build the new children before erasing n: n is still in the unique
+    // table under its old key, so a rehash here re-inserts it correctly.
+    const Ref g0 = swap_find_or_make(x, f00, f10);
+    const Ref g1 = swap_find_or_make(x, f01, f11);
+    assert(g0 != g1 && "swap produced a redundant node");
+    unique_erase(n);
+    nodes_[n] = {y, g0, g1};
+    unique_insert(n);
+    ++unique_count_;  // unique_insert is count-neutral; rebalance the erase
+    var_nodes_[y].push_back(n);
+    // New references were counted above; dropping the old ones last means
+    // shared children never see a transient zero count.
+    deref(f0);
+    deref(f1);
+  }
+  std::swap(level2var_[level], level2var_[level + 1]);
+  var2level_[x] = level + 1;
+  var2level_[y] = level;
+}
+
+void BddManager::sift_var(int x) {
+  const int bottom = num_vars_ - 1;
+  const int start = var2level_[x];
+  const size_t start_size = live_internal();
+  const size_t limit = start_size + start_size / 5 + 2;  // 1.2x growth abort
+  size_t best_size = start_size;
+  int best = start;
+  int cur = start;
+  auto move_to = [&](int target) {
+    while (cur < target) swap_levels(cur++);
+    while (cur > target) swap_levels(--cur);
+  };
+  auto sweep = [&](int end, int step) {
+    while (cur != end) {
+      if (step > 0) {
+        swap_levels(cur);
+        ++cur;
+      } else {
+        --cur;
+        swap_levels(cur);
+      }
+      const size_t s = live_internal();
+      if (s < best_size) {
+        best_size = s;
+        best = cur;
+      }
+      if (s > limit) break;
+    }
+  };
+  // Sweep toward the nearer end first (fewer swaps to undo on abort),
+  // return to the start, sweep the other way, then park at the best level
+  // seen. Post-GC the live size is a pure function of the order, so
+  // live_internal() measured at each stop is exact.
+  if (bottom - start <= start) {
+    sweep(bottom, +1);
+    move_to(start);
+    sweep(0, -1);
+  } else {
+    sweep(0, -1);
+    move_to(start);
+    sweep(bottom, +1);
+  }
+  move_to(best);
+}
+
+void BddManager::sift(const std::vector<Ref>& roots) {
+  // Scoped reference counts: the arena was just garbage-collected, so
+  // every node is reachable and in-arena parent edges plus one pin per
+  // root occurrence give exact liveness for the duration of the pass.
+  parent_count_.assign(nodes_.size(), 0);
+  for (Ref r = 2; r < static_cast<Ref>(nodes_.size()); ++r) {
+    ++parent_count_[nodes_[r].lo];
+    ++parent_count_[nodes_[r].hi];
+  }
+  for (Ref r : roots) {
+    if (r != kInvalidRef) ++parent_count_[r];
+  }
+  var_nodes_.assign(num_vars_, {});
+  for (Ref r = 2; r < static_cast<Ref>(nodes_.size()); ++r) {
+    var_nodes_[nodes_[r].var].push_back(r);
+  }
+
+  constexpr size_t kMaxSiftVars = 128;  // CUDD-style per-pass variable cap
+  constexpr int kMaxPasses = 3;
+  size_t prev = live_internal();
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    // Most-populated variables first: biggest expected gain, and empty
+    // variables are skipped outright (their swaps are no-ops anyway).
+    std::vector<std::pair<size_t, int>> occupancy;
+    occupancy.reserve(num_vars_);
+    for (int v = 0; v < num_vars_; ++v) {
+      size_t count = 0;
+      for (Ref r : var_nodes_[v]) count += nodes_[r].var == v;
+      if (count) occupancy.emplace_back(count, v);
+    }
+    std::sort(occupancy.begin(), occupancy.end(),
+              [](const std::pair<size_t, int>& a,
+                 const std::pair<size_t, int>& b) { return a.first > b.first; });
+    if (occupancy.size() > kMaxSiftVars) occupancy.resize(kMaxSiftVars);
+    for (const auto& [count, v] : occupancy) sift_var(v);
+    const size_t now = live_internal();
+    if (now + prev / 50 >= prev) break;  // pass gained < 2%: converged
+    prev = now;
+  }
+  parent_count_.clear();
+  var_nodes_.clear();
+}
+
+std::vector<BddManager::Ref> BddManager::reorder(
+    const std::vector<Ref>& extra_roots) {
+  reorder_pending_ = false;
+  std::vector<Ref> roots;
+  for (const std::vector<Ref>* slots : external_slots_) {
+    for (Ref r : *slots) {
+      if (r != kInvalidRef) roots.push_back(r);
+    }
+  }
+  for (Ref r : extra_roots) {
+    if (r != kInvalidRef) roots.push_back(r);
+  }
+  if (roots.empty()) {
+    // No known roots: collecting would drop every node. Identity no-op.
+    std::vector<Ref> identity(nodes_.size());
+    std::iota(identity.begin(), identity.end(), 0);
+    return identity;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Ref> remap = garbage_collect(roots);
+  for (std::vector<Ref>* slots : external_slots_) {
+    for (Ref& r : *slots) {
+      if (r != kInvalidRef) r = remap[r];
+    }
+  }
+  for (Ref& r : roots) r = remap[r];  // all live: they were the GC roots
+  in_reorder_ = true;
+  sift(roots);
+  in_reorder_ = false;
+  ++stats_.reorder_runs;
+  // Back off: don't re-trigger until the arena doubles from here.
+  reorder_threshold_ = std::max(reorder_threshold_, 2 * live_nodes());
+  stats_.reorder_time_ms += std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
   return remap;
 }
 

@@ -9,15 +9,33 @@
 //
 // Internals are tuned for the incremental oracle's access pattern:
 //  * The unique table is an open-addressed flat array (power-of-two
-//    capacity, linear probing) over splitmix64-mixed (var, lo, hi) keys —
-//    no per-node heap allocation, cache-friendly probes.
+//    capacity, linear probing, backward-shift deletion) over
+//    splitmix64-mixed (var, lo, hi) keys — no per-node heap allocation,
+//    cache-friendly probes.
 //  * The ITE cache is a lossy direct-mapped table: collisions overwrite,
 //    keeping memory bounded and lookups O(1).
-//  * sat_fraction/support/size reuse an epoch-stamped scratch arena instead
-//    of allocating a memo per call.
+//  * sat_fraction/support/size/cofactor reuse an epoch-stamped scratch
+//    arena instead of allocating a memo per call; cofactor (and compose,
+//    which recurses through it) is memoized per pass, so shared DAGs cost
+//    O(nodes) instead of exponential plain recursion.
 //  * garbage_collect() reclaims nodes unreachable from a caller-supplied
 //    root set by mark-and-sweep compaction, so long-lived managers survive
 //    many cone rebuilds without a from-scratch reconstruction.
+//
+// Variable ordering: the manager carries a permutation layer (PI index <->
+// level). The external interface speaks variable indices throughout —
+// var(i), evaluate bit i, support[i] — while the internal recursions
+// branch by level, so any order is transparent to callers. A structural
+// static order (network/ordering.hpp) seeds the permutation; Rudell
+// sifting (reorder()) refines it dynamically with in-place adjacent-level
+// swaps on the flat arena: a swap preserves every live Ref's identity and
+// function, so only the garbage-collection phase of reorder() moves refs,
+// and the returned remap follows the garbage_collect() contract. Clients
+// holding long-lived refs register their vectors via
+// register_external_refs(); reorder() uses them as GC roots and rewrites
+// them in place. make_node latches a reorder request when the live arena
+// crosses the growth threshold; cooperative callers poll reorder_pending()
+// at safe points (no operation in flight) and invoke reorder().
 #pragma once
 
 #include <cstdint>
@@ -40,19 +58,32 @@ class BddManager {
   /// the supplied roots (their nodes are gone).
   static constexpr Ref kInvalidRef = 0xFFFFFFFFu;
 
-  /// `max_nodes` bounds the arena (default ~8M nodes = ~128 MB).
-  explicit BddManager(int num_vars, size_t max_nodes = 8u << 20);
+  /// `max_nodes` bounds the live arena (default ~8M nodes = ~128 MB).
+  /// `level_to_var`, when non-empty, must be a permutation of
+  /// 0..num_vars-1: position l holds the variable placed at level l
+  /// (level 0 = top). Empty selects the identity order.
+  explicit BddManager(int num_vars, size_t max_nodes = 8u << 20,
+                      std::vector<int> level_to_var = {});
 
   int num_vars() const { return num_vars_; }
+  /// Arena extent, including freed (reusable) slots.
   size_t num_nodes() const { return nodes_.size(); }
+  /// Nodes currently alive (arena minus the free list).
+  size_t live_nodes() const { return nodes_.size() - free_list_.size(); }
 
   Ref zero() const { return 0; }
   Ref one() const { return 1; }
 
-  /// BDD for variable `var` (variable order = index order).
+  /// BDD for variable `var` (position in the order given by the
+  /// permutation layer; identity unless constructed/reordered otherwise).
   Ref var(int var);
   /// BDD for the literal var / var'.
   Ref literal(int var, bool positive);
+
+  /// Current level of variable `var` / variable at `level` (diagnostics,
+  /// tests, and the ordering benches).
+  int level_of_var(int var) const { return var2level_[var]; }
+  int var_at_level(int level) const { return level2var_[level]; }
 
   Ref bdd_not(Ref f);
   Ref bdd_and(Ref f, Ref g);
@@ -69,7 +100,7 @@ class BddManager {
   /// Number of satisfying minterms (as double; exact up to 2^53).
   double sat_count(Ref f);
 
-  /// Cofactor f with var=value.
+  /// Cofactor f with var=value (memoized per call over f's DAG).
   Ref cofactor(Ref f, int var, bool value);
 
   /// Existential quantification: exists var. f = f|var=0 OR f|var=1.
@@ -101,12 +132,52 @@ class BddManager {
   /// cache and scratch memos are invalidated.
   std::vector<Ref> garbage_collect(const std::vector<Ref>& roots);
 
+  // ---- dynamic reordering ----
+
+  /// Registers a vector of externally held refs. Registered vectors are
+  /// used as garbage-collection roots by reorder() and are rewritten in
+  /// place through the remap (entries equal to kInvalidRef are skipped,
+  /// matching the build_cone_bdds sentinel). The pointer must stay valid
+  /// until unregistered or the manager is destroyed; the vector may be
+  /// reassigned (same object) freely between calls.
+  void register_external_refs(std::vector<Ref>* slots);
+  void unregister_external_refs(std::vector<Ref>* slots);
+
+  /// Garbage-collects from the registered vectors plus `extra_roots`,
+  /// then runs Rudell sifting passes over the compacted arena. Adjacent-
+  /// level swaps are in-place and function-preserving, so the returned
+  /// remap — which callers holding *unregistered* refs (the extras) MUST
+  /// apply, per the garbage_collect contract — comes entirely from the
+  /// collection phase. Registered vectors are rewritten automatically; do
+  /// not also pass their contents as extras (the remap would be applied
+  /// twice). With no registered vectors and no extras this is a no-op
+  /// returning the identity map.
+  std::vector<Ref> reorder(const std::vector<Ref>& extra_roots = {});
+
+  /// True when make_node crossed the growth threshold since the last
+  /// reorder: cooperative callers should invoke reorder() at their next
+  /// safe point (no refs in flight outside registered vectors).
+  bool reorder_pending() const { return reorder_pending_; }
+
+  /// Enables/disables the make_node growth trigger (sifting via an
+  /// explicit reorder() call works either way). The threshold is the live
+  /// node count that latches reorder_pending_; it doubles after every
+  /// reorder so a structurally big result cannot thrash.
+  void set_auto_reorder(bool enabled) { auto_reorder_ = enabled; }
+  void set_reorder_threshold(size_t threshold) {
+    reorder_threshold_ = threshold;
+  }
+
   /// Hash-quality / workload counters (monotone since construction).
   struct Stats {
     uint64_t unique_lookups = 0;  ///< make_node unique-table lookups
     uint64_t unique_probes = 0;   ///< slots inspected across those lookups
     uint64_t ite_hits = 0;
     uint64_t ite_misses = 0;
+    uint64_t peak_nodes = 0;    ///< max live nodes ever in the arena
+    uint64_t gc_runs = 0;       ///< garbage_collect invocations
+    uint64_t reorder_runs = 0;  ///< reorder() invocations that sifted
+    double reorder_time_ms = 0.0;  ///< total wall time inside reorder()
     /// Mean slots inspected per unique-table lookup (1.0 = collision-free).
     double avg_probe_length() const {
       return unique_lookups ? static_cast<double>(unique_probes) /
@@ -122,6 +193,9 @@ class BddManager {
     Ref lo;
     Ref hi;
   };
+
+  /// Arena slots on the free list carry this var marker.
+  static constexpr int32_t kFreeVar = -1;
 
   // Lossy direct-mapped ITE cache entry; `f == kInvalidRef` marks empty.
   struct IteEntry {
@@ -148,16 +222,34 @@ class BddManager {
 
   Ref make_node(int32_t var, Ref lo, Ref hi);
   int32_t var_of(Ref f) const { return nodes_[f].var; }
+  int32_t level_of(Ref f) const { return var2level_[nodes_[f].var]; }
   Ref ite_rec(Ref f, Ref g, Ref h);
+  size_t unique_find_slot(int32_t var, Ref lo, Ref hi) const;
   void unique_insert(Ref id);
+  void unique_erase(Ref id);
   void unique_grow();
+  Ref alloc_node(int32_t var, Ref lo, Ref hi);
   double sat_fraction_rec(Ref f);
+  Ref cofactor_rec(Ref f, int32_t vlevel, bool value);
   /// Bumps the scratch epoch and sizes the stamp arena to the arena.
   void begin_scratch_pass() const;
+
+  // ---- sifting internals (valid only inside reorder()) ----
+  void sift(const std::vector<Ref>& roots);
+  void sift_var(int var);
+  void swap_levels(int level);
+  Ref swap_find_or_make(int32_t var, Ref lo, Ref hi);
+  void deref(Ref r);
+  size_t live_internal() const { return nodes_.size() - 2 - free_list_.size(); }
 
   int num_vars_;
   size_t max_nodes_;
   std::vector<BddNode> nodes_;
+
+  // Permutation layer: both arrays have num_vars_+1 entries; the last maps
+  // the terminal sentinel to itself so level_of works on terminals.
+  std::vector<int> var2level_;
+  std::vector<int> level2var_;
 
   // Open-addressed unique table: slots hold Refs into nodes_ (kInvalidRef
   // = empty). Capacity is a power of two; grown at ~70% load.
@@ -166,12 +258,28 @@ class BddManager {
 
   std::vector<IteEntry> ite_cache_;  // power-of-two, direct-mapped, lossy
 
-  // Epoch-stamped scratch arena shared by sat_fraction/support/size:
-  // stamp_[r] == stamp_epoch_ means "visited this pass" (and frac_memo_[r]
-  // valid for sat_fraction passes). No per-call allocation.
+  // Epoch-stamped scratch arena shared by sat_fraction/support/size/
+  // cofactor: stamp_[r] == stamp_epoch_ means "visited this pass" (with
+  // frac_memo_[r] / ref_memo_[r] valid for the pass kind that stamped).
+  // No per-call allocation.
   mutable std::vector<uint32_t> stamp_;
   mutable std::vector<double> frac_memo_;
+  mutable std::vector<Ref> ref_memo_;
   mutable uint32_t stamp_epoch_ = 0;
+
+  // Reordering state. free_list_ holds arena slots vacated by sifting
+  // (alloc_node reuses them before growing the arena); parent_count_ and
+  // var_nodes_ are per-reorder scratch (in-arena reference counts seeded
+  // with root pins, and per-variable node lists, both maintained across
+  // swaps).
+  bool auto_reorder_ = true;
+  bool reorder_pending_ = false;
+  bool in_reorder_ = false;
+  size_t reorder_threshold_;
+  std::vector<Ref> free_list_;
+  std::vector<std::vector<Ref>*> external_slots_;
+  std::vector<uint32_t> parent_count_;
+  std::vector<std::vector<Ref>> var_nodes_;
 
   mutable Stats stats_;
 };

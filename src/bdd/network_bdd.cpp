@@ -1,5 +1,9 @@
 #include "bdd/network_bdd.hpp"
 
+#include <cassert>
+
+#include "network/ordering.hpp"
+
 namespace apx {
 
 BddManager::Ref eval_sop_bdd(BddManager& mgr, const Sop& sop,
@@ -11,6 +15,7 @@ BddManager::Ref eval_sop_bdd(BddManager& mgr, const Sop& sop,
       LitCode code = c.get(v);
       if (code == LitCode::kFree) continue;
       BddManager::Ref lit = fanin_refs[v];
+      assert(lit != kNoBddRef && "SOP fanin has no BDD (outside built cone)");
       if (code == LitCode::kNeg) lit = mgr.bdd_not(lit);
       cube_ref = mgr.bdd_and(cube_ref, lit);
       if (cube_ref == mgr.zero()) break;
@@ -21,33 +26,53 @@ BddManager::Ref eval_sop_bdd(BddManager& mgr, const Sop& sop,
   return result;
 }
 
+namespace {
+
+// Shared sweep body for the three builders: computes the BDD of one node
+// from its fanins' already-built BDDs. The caller guarantees topological
+// order. Between nodes is the safe point for dynamic reordering: no refs
+// live outside `refs` (and whatever the manager has registered).
+void build_node_bdd(BddManager& mgr, const Node& n, NodeId id,
+                    std::vector<BddManager::Ref>& refs) {
+  switch (n.kind) {
+    case NodeKind::kPi:
+      break;  // set up front
+    case NodeKind::kConst0:
+      refs[id] = mgr.zero();
+      break;
+    case NodeKind::kConst1:
+      refs[id] = mgr.one();
+      break;
+    case NodeKind::kLogic: {
+      std::vector<BddManager::Ref> fanin_refs;
+      fanin_refs.reserve(n.fanins.size());
+      for (NodeId f : n.fanins) {
+        assert(refs[f] != kNoBddRef && "fanin outside the built cone");
+        fanin_refs.push_back(refs[f]);
+      }
+      refs[id] = eval_sop_bdd(mgr, n.sop, fanin_refs);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
 NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
-    : net_(net), mgr_(net.num_pis(), max_nodes) {
-  refs_.assign(net.num_nodes(), mgr_.zero());
+    : net_(net), mgr_(net.num_pis(), max_nodes, static_pi_order(net)) {
+  refs_.assign(net.num_nodes(), kNoBddRef);
+  mgr_.register_external_refs(&refs_);
   for (int i = 0; i < net.num_pis(); ++i) {
     refs_[net.pis()[i]] = mgr_.var(i);
   }
   for (NodeId id : net.topo_order()) {
-    const Node& n = net.node(id);
-    switch (n.kind) {
-      case NodeKind::kPi:
-        break;  // already set
-      case NodeKind::kConst0:
-        refs_[id] = mgr_.zero();
-        break;
-      case NodeKind::kConst1:
-        refs_[id] = mgr_.one();
-        break;
-      case NodeKind::kLogic: {
-        std::vector<BddManager::Ref> fanin_refs;
-        fanin_refs.reserve(n.fanins.size());
-        for (NodeId f : n.fanins) fanin_refs.push_back(refs_[f]);
-        refs_[id] = eval_sop_bdd(mgr_, n.sop, fanin_refs);
-        break;
-      }
-    }
+    build_node_bdd(mgr_, net.node(id), id, refs_);
+    // Safe point: every live ref is in the registered refs_ vector.
+    if (mgr_.reorder_pending()) mgr_.reorder();
   }
 }
+
+NetworkBdds::~NetworkBdds() { mgr_.unregister_external_refs(&refs_); }
 
 BddManager::Ref NetworkBdds::po_ref(int po_index) const {
   return refs_.at(net_.po(po_index).driver);
@@ -64,22 +89,14 @@ std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
   std::vector<BddManager::Ref> refs(net.num_nodes(), kNoBddRef);
   for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
   for (NodeId id : net.cone_of(roots)) {
-    const Node& n = net.node(id);
-    switch (n.kind) {
-      case NodeKind::kPi:
-        break;
-      case NodeKind::kConst0:
-        refs[id] = mgr.zero();
-        break;
-      case NodeKind::kConst1:
-        refs[id] = mgr.one();
-        break;
-      case NodeKind::kLogic: {
-        std::vector<BddManager::Ref> fanin_refs;
-        fanin_refs.reserve(n.fanins.size());
-        for (NodeId f : n.fanins) fanin_refs.push_back(refs[f]);
-        refs[id] = eval_sop_bdd(mgr, n.sop, fanin_refs);
-        break;
+    build_node_bdd(mgr, net.node(id), id, refs);
+    if (mgr.reorder_pending()) {
+      // The partial refs vector is not registered with the manager: pass
+      // it as extra roots and remap it by hand (kNoBddRef entries are
+      // skipped on both sides of the contract).
+      std::vector<BddManager::Ref> remap = mgr.reorder(refs);
+      for (BddManager::Ref& r : refs) {
+        if (r != kNoBddRef) r = remap[r];
       }
     }
   }
@@ -90,24 +107,14 @@ std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,
                                             const Network& net,
                                             int po_index) {
   try {
-    std::vector<BddManager::Ref> refs(net.num_nodes(), mgr.zero());
+    std::vector<BddManager::Ref> refs(net.num_nodes(), kNoBddRef);
     for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
     for (NodeId id : net.cone_of({net.po(po_index).driver})) {
-      const Node& n = net.node(id);
-      switch (n.kind) {
-        case NodeKind::kPi:
-          break;
-        case NodeKind::kConst0:
-          refs[id] = mgr.zero();
-          break;
-        case NodeKind::kConst1:
-          refs[id] = mgr.one();
-          break;
-        case NodeKind::kLogic: {
-          std::vector<BddManager::Ref> fanin_refs;
-          for (NodeId f : n.fanins) fanin_refs.push_back(refs[f]);
-          refs[id] = eval_sop_bdd(mgr, n.sop, fanin_refs);
-          break;
+      build_node_bdd(mgr, net.node(id), id, refs);
+      if (mgr.reorder_pending()) {
+        std::vector<BddManager::Ref> remap = mgr.reorder(refs);
+        for (BddManager::Ref& r : refs) {
+          if (r != kNoBddRef) r = remap[r];
         }
       }
     }

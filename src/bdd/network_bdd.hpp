@@ -12,12 +12,21 @@
 namespace apx {
 
 /// Global BDDs of a network's nodes. PI variable i is the i-th PI of the
-/// network the object was built from.
+/// network the object was built from; internally the manager is seeded
+/// with the structural static order (network/ordering.hpp) and refines it
+/// by sifting when the arena crosses the growth threshold — both invisible
+/// to callers, who keep addressing variables by PI index.
 class NetworkBdds {
  public:
   /// Builds BDDs for every node in the cone of the POs (and any roots
   /// given). Throws BddOverflow if the budget is exceeded.
   explicit NetworkBdds(const Network& net, size_t max_nodes = 8u << 20);
+  ~NetworkBdds();
+
+  // refs_ is registered with mgr_ as a reorder root set; moving either
+  // would dangle that registration.
+  NetworkBdds(const NetworkBdds&) = delete;
+  NetworkBdds& operator=(const NetworkBdds&) = delete;
 
   BddManager& manager() { return mgr_; }
 
@@ -41,12 +50,17 @@ class NetworkBdds {
 
 /// Global BDD of one node function: evaluates `sop` (variable i = fanin i)
 /// over fanin BDDs in `mgr`. The kernel behind NetworkBdds, build_cone_bdds
-/// and the oracle's dirty-cone refresh.
+/// and the oracle's dirty-cone refresh. Asserts that no fanin ref is the
+/// kNoBddRef sentinel (a fanin outside the built cone is a caller bug, not
+/// a silent constant-0).
 BddManager::Ref eval_sop_bdd(BddManager& mgr, const Sop& sop,
                              const std::vector<BddManager::Ref>& fanin_refs);
 
 /// Builds the global BDD of one PO cone of `net` inside an existing manager
-/// whose variables correspond to `net`'s PIs. Returns nullopt on overflow.
+/// whose variables correspond to `net`'s PIs (under whatever order the
+/// manager carries). Returns nullopt on overflow. Polls the manager's
+/// reorder latch between nodes; the caller's other refs survive only if
+/// they are registered with the manager (see register_external_refs).
 std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,
                                             const Network& net, int po_index);
 

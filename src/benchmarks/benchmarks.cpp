@@ -365,30 +365,39 @@ Network make_decoder38() {
   return net;
 }
 
-Network make_comparator4() {
+Network make_comparator(int bits) {
   Network net;
-  net.set_name("cmp4");
+  net.set_name("cmp" + std::to_string(bits));
   std::vector<NodeId> a, b;
-  for (int i = 0; i < 4; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
-  for (int i = 0; i < 4; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
-  // eq = AND of xnors; gt via priority chain from the MSB.
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+  // eq = AND of per-bit xnors; gt via a priority chain from the MSB:
+  // gt = (a_n>b_n) + eq_n (a_{n-1}>b_{n-1}) + eq_n eq_{n-1} (...) + ...
   std::vector<NodeId> xnor, a_gt_b;
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < bits; ++i) {
     xnor.push_back(net.add_node({a[i], b[i]}, *Sop::parse(2, "00\n11")));
     a_gt_b.push_back(net.add_node({a[i], b[i]}, *Sop::parse(2, "10")));
   }
-  NodeId eq = net.add_and(net.add_and(xnor[0], xnor[1]),
-                          net.add_and(xnor[2], xnor[3]), "eq");
-  // gt = a3>b3 + eq3(a2>b2) + eq3 eq2 (a1>b1) + eq3 eq2 eq1 (a0>b0).
-  NodeId t3 = a_gt_b[3];
-  NodeId t2 = net.add_and(xnor[3], a_gt_b[2]);
-  NodeId e32 = net.add_and(xnor[3], xnor[2]);
-  NodeId t1 = net.add_and(e32, a_gt_b[1]);
-  NodeId e321 = net.add_and(e32, xnor[1]);
-  NodeId t0 = net.add_and(e321, a_gt_b[0]);
-  NodeId gt = net.add_or(net.add_or(t3, t2), net.add_or(t1, t0), "gt");
+  NodeId eq = xnor[0];
+  for (int i = 1; i < bits; ++i) {
+    eq = net.add_and(eq, xnor[i], i == bits - 1 ? "eq" : "");
+  }
+  NodeId gt = a_gt_b[bits - 1];
+  NodeId eq_prefix = kNullNode;  // AND of xnors above bit i
+  for (int i = bits - 2; i >= 0; --i) {
+    eq_prefix = eq_prefix == kNullNode
+                    ? xnor[i + 1]
+                    : net.add_and(eq_prefix, xnor[i + 1]);
+    gt = net.add_or(gt, net.add_and(eq_prefix, a_gt_b[i]));
+  }
   net.add_po("eq", eq);
   net.add_po("gt", gt);
+  return net;
+}
+
+Network make_comparator4() {
+  Network net = make_comparator(4);
+  net.set_name("cmp4");
   return net;
 }
 
@@ -438,17 +447,21 @@ Network make_benchmark(const std::string& name) {
   if (name == "fadd") return make_full_adder();
   if (name == "rca4") return make_ripple_adder(4);
   if (name == "rca8") return make_ripple_adder(8);
+  if (name == "rca16") return make_ripple_adder(16);
   if (name == "mux41") return make_mux41();
   if (name == "dec38") return make_decoder38();
   if (name == "cmp4") return make_comparator4();
+  if (name == "cmp8") return make_comparator(8);
+  if (name == "cmp16") return make_comparator(16);
   if (name == "maj5") return make_majority5();
   if (name == "alu1") return make_alu_slice();
   return generate_benchmark(mcnc_profile(name));
 }
 
 std::vector<std::string> benchmark_names() {
-  std::vector<std::string> names = {"c17",  "fadd", "rca4", "rca8", "mux41",
-                                    "dec38", "cmp4", "maj5", "alu1"};
+  std::vector<std::string> names = {"c17",   "fadd", "rca4", "rca8",
+                                    "rca16", "mux41", "dec38", "cmp4",
+                                    "cmp8",  "cmp16", "maj5", "alu1"};
   for (const auto& p : mcnc_profiles()) names.push_back(p.name);
   return names;
 }

@@ -50,13 +50,18 @@ Network make_full_adder();
 Network make_ripple_adder(int bits);
 Network make_mux41();
 Network make_decoder38();
+/// N-bit magnitude comparator (eq, gt POs). PI order is a0..aN-1,b0..bN-1 —
+/// the separated order that is exponentially bad for the identity BDD
+/// ordering and linear under interleaving, which the ordering benches use.
+Network make_comparator(int bits);
 Network make_comparator4();
 Network make_majority5();
 Network make_alu_slice();
 
-/// Unified lookup: embedded circuits by name ("c17", "rca4", "mux41",
-/// "dec38", "cmp4", "maj5", "alu1") or generated MCNC stand-ins
-/// ("cmb", "cordic", ..., "i10"). Throws std::out_of_range if unknown.
+/// Unified lookup: embedded circuits by name ("c17", "rca4"/"rca8"/"rca16",
+/// "mux41", "dec38", "cmp4"/"cmp8"/"cmp16", "maj5", "alu1") or generated
+/// MCNC stand-ins ("cmb", "cordic", ..., "i10"). Throws std::out_of_range
+/// if unknown.
 Network make_benchmark(const std::string& name);
 
 /// All available benchmark names.

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "network/ordering.hpp"
 #include "sat/encode.hpp"
 #include "sim/simulator.hpp"
 
@@ -56,7 +57,10 @@ void ApproxOracle::build_bdds() {
   approx_synced_version_ = approx_.version();
   if (bdd_hostile_) return;  // earlier build hit the budget: stay on SAT
   try {
-    mgr_.emplace(original_.num_pis(), budget_);
+    // Both networks share PIs, so the original's structural order (the
+    // stable one: the approx side is an evolving clone) seeds the manager.
+    // Sifting refines it when the arena crosses the growth threshold.
+    mgr_.emplace(original_.num_pis(), budget_, static_pi_order(original_));
     std::vector<NodeId> orig_roots, approx_roots;
     for (const PrimaryOutput& po : original_.pos()) {
       orig_roots.push_back(po.driver);
@@ -65,8 +69,12 @@ void ApproxOracle::build_bdds() {
       approx_roots.push_back(po.driver);
     }
     orig_refs_ = build_cone_bdds(*mgr_, original_, orig_roots);
+    // Register each held vector once it is live so any reorder — during
+    // the second build or later queries — rewrites it in place.
+    mgr_->register_external_refs(&orig_refs_);
     approx_refs_ = build_cone_bdds(*mgr_, approx_, approx_roots);
-    nodes_after_build_ = mgr_->num_nodes();
+    mgr_->register_external_refs(&approx_refs_);
+    nodes_after_build_ = mgr_->live_nodes();
     bdd_ok_ = true;
   } catch (const BddOverflow&) {
     mgr_.reset();
@@ -146,6 +154,9 @@ void ApproxOracle::refresh_bdds(const std::vector<NodeId>& affected) {
       for (NodeId f : n.fanins) fanin_refs.push_back(approx_refs_[f]);
       approx_refs_[id] = eval_sop_bdd(*mgr_, n.sop, fanin_refs);
       ++stats_.bdd_nodes_rebuilt;
+      // Safe point: both held vectors are registered, so a reorder here
+      // rewrites them in place; fanin_refs is refilled per node.
+      if (mgr_->reorder_pending()) mgr_->reorder();
     }
     maybe_collect();
   } catch (const BddOverflow&) {
@@ -157,7 +168,7 @@ void ApproxOracle::refresh_bdds(const std::vector<NodeId>& affected) {
 }
 
 void ApproxOracle::maybe_collect() {
-  size_t n = mgr_->num_nodes();
+  size_t n = mgr_->live_nodes();
   if (n < 4096 || n < 2 * nodes_after_build_) return;
   std::vector<BddManager::Ref> roots;
   roots.reserve(orig_refs_.size() + approx_refs_.size());
@@ -170,7 +181,7 @@ void ApproxOracle::maybe_collect() {
   for (BddManager::Ref& r : approx_refs_) {
     if (r != kNoBddRef) r = remap[r];
   }
-  nodes_after_build_ = mgr_->num_nodes();  // live size = new trigger base
+  nodes_after_build_ = mgr_->live_nodes();  // live size = new trigger base
   ++stats_.gc_runs;
 }
 
@@ -227,8 +238,13 @@ bool ApproxOracle::verify(int po, ApproxDirection direction) {
       BddManager::Ref f = orig_refs_[original_.po(po).driver];
       BddManager::Ref g = approx_refs_[approx_.po(po).driver];
       ++stats_.bdd_queries;
-      return direction == ApproxDirection::kOneApprox ? mgr_->implies(g, f)
-                                                      : mgr_->implies(f, g);
+      bool holds = direction == ApproxDirection::kOneApprox
+                       ? mgr_->implies(g, f)
+                       : mgr_->implies(f, g);
+      // Safe point: the query's transient nodes are garbage now, and the
+      // held vectors are registered.
+      if (mgr_->reorder_pending()) mgr_->reorder();
+      return holds;
     } catch (const BddOverflow&) {
       bdd_ok_ = false;  // fall through to SAT below
     }
@@ -267,6 +283,7 @@ double ApproxOracle::approximation_pct(int po, ApproxDirection direction,
                                        int fallback_words) {
   if (bdd_ok_) {
     try {
+      if (mgr_->reorder_pending()) mgr_->reorder();
       double pf = mgr_->sat_fraction(orig_refs_[original_.po(po).driver]);
       double pg = mgr_->sat_fraction(approx_refs_[approx_.po(po).driver]);
       if (direction == ApproxDirection::kOneApprox) {

@@ -1,0 +1,49 @@
+#include "network/ordering.hpp"
+
+#include <algorithm>
+
+namespace apx {
+
+std::vector<int> static_pi_order(const Network& net) {
+  const std::vector<int> depth = net.levels();
+  std::vector<char> seen(net.num_nodes(), 0);
+  std::vector<int> order;
+  order.reserve(net.num_pis());
+
+  std::vector<NodeId> stack;
+  std::vector<int> fanin_idx;  // scratch for the deepest-first fanin sort
+  for (const PrimaryOutput& po : net.pos()) {
+    if (po.driver == kNullNode) continue;
+    stack.push_back(po.driver);
+    while (!stack.empty()) {
+      NodeId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = 1;
+      const Node& n = net.node(id);
+      if (n.kind == NodeKind::kPi) {
+        order.push_back(net.pi_index(id));
+        continue;
+      }
+      // Push fanins shallowest-first so the deepest fanin is expanded
+      // first (LIFO): variables feeding long reconvergent paths surface
+      // early and land near the top of the order.
+      fanin_idx.assign(n.fanins.size(), 0);
+      for (size_t i = 0; i < n.fanins.size(); ++i) {
+        fanin_idx[i] = static_cast<int>(i);
+      }
+      std::stable_sort(fanin_idx.begin(), fanin_idx.end(),
+                       [&](int a, int b) {
+                         return depth[n.fanins[a]] < depth[n.fanins[b]];
+                       });
+      for (int i : fanin_idx) stack.push_back(n.fanins[i]);
+    }
+  }
+  // PIs outside every PO cone still need a level: append them.
+  for (int i = 0; i < net.num_pis(); ++i) {
+    if (!seen[net.pis()[i]]) order.push_back(i);
+  }
+  return order;
+}
+
+}  // namespace apx

@@ -1,0 +1,25 @@
+// Structural BDD variable-ordering heuristics over a Network.
+//
+// The quality of a BDD variable order dominates both peak node count and
+// build time (often exponentially: a ripple-carry adder is linear under an
+// interleaved order and exponential under the "all a's then all b's" PI
+// order). static_pi_order computes the classic Malik/Fujita-style order:
+// an interleaved depth-first traversal of the PO fanin cones, appending
+// each primary input the first time the walk reaches it, with fanins
+// visited deepest-first so the variables feeding long paths end up near
+// the top of the order. The result seeds BddManager's permutation layer;
+// sifting (BddManager::reorder) refines it dynamically.
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Returns a permutation of the PI indices: position l holds the PI index
+/// placed at BDD level l (level 0 = top of the order). PIs outside every
+/// PO cone are appended at the bottom. Deterministic for a given network.
+std::vector<int> static_pi_order(const Network& net);
+
+}  // namespace apx

@@ -1,0 +1,328 @@
+// Order-invariance and dynamic-reordering tests for the BDD manager's
+// permutation layer (bdd.hpp): every query — evaluate, sat_count, implies,
+// boolean_difference — must be bit-identical whether the manager runs the
+// identity order, a random permutation, the structural static order
+// (network/ordering.hpp), or sifts dynamically mid-build. The independent
+// reference is the truth-table engine (src/tt), composed over the network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/network_bdd.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "network/ordering.hpp"
+#include "tt/truth_table.hpp"
+
+namespace apx {
+namespace {
+
+Network random_network(std::mt19937& rng, int pis, int gates) {
+  Network net;
+  std::vector<NodeId> pool;
+  for (int i = 0; i < pis; ++i) {
+    pool.push_back(net.add_pi("p" + std::to_string(i)));
+  }
+  for (int g = 0; g < gates; ++g) {
+    NodeId a = pool[rng() % pool.size()];
+    NodeId b = pool[rng() % pool.size()];
+    switch (rng() % 4) {
+      case 0:
+        pool.push_back(net.add_and(a, b));
+        break;
+      case 1:
+        pool.push_back(net.add_or(a, b));
+        break;
+      case 2:
+        pool.push_back(net.add_xor(a, b));
+        break;
+      case 3:
+        pool.push_back(net.add_not(a));
+        break;
+    }
+  }
+  net.add_po("f", pool.back());
+  net.add_po("g", pool[pool.size() / 2]);
+  return net;
+}
+
+// Global truth table of every node, composed bottom-up with the tt engine
+// (independent of the BDD package: different recursion, different memo).
+std::vector<TruthTable> global_tables(const Network& net) {
+  const int n = net.num_pis();
+  std::vector<TruthTable> tt(net.num_nodes(), TruthTable::zeros(n));
+  for (NodeId id : net.topo_order()) {
+    const Node& node = net.node(id);
+    switch (node.kind) {
+      case NodeKind::kConst0:
+        tt[id] = TruthTable::zeros(n);
+        break;
+      case NodeKind::kConst1:
+        tt[id] = TruthTable::ones(n);
+        break;
+      case NodeKind::kPi:
+        tt[id] = TruthTable::variable(n, net.pi_index(id));
+        break;
+      case NodeKind::kLogic: {
+        TruthTable acc = TruthTable::zeros(n);
+        for (const Cube& c : node.sop.cubes()) {
+          TruthTable cube_tt = TruthTable::ones(n);
+          for (int v = 0; v < c.num_vars(); ++v) {
+            LitCode code = c.get(v);
+            if (code == LitCode::kFree) continue;
+            const TruthTable& fanin = tt[node.fanins[v]];
+            cube_tt &= (code == LitCode::kPos) ? fanin : ~fanin;
+          }
+          acc |= cube_tt;
+        }
+        tt[id] = acc;
+        break;
+      }
+    }
+  }
+  return tt;
+}
+
+double tt_count(const TruthTable& t) {
+  double count = 0.0;
+  for (uint64_t m = 0; m < (uint64_t{1} << t.num_vars()); ++m) {
+    count += t.get(m) ? 1.0 : 0.0;
+  }
+  return count;
+}
+
+std::vector<int> random_order(int n, uint32_t seed) {
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  return order;
+}
+
+// One manager configuration under test: an explicit level_to_var order
+// plus optionally forced sifting (tiny trigger threshold) mid-build.
+struct OrderConfig {
+  const char* name;
+  std::vector<int> order;
+  bool sift;
+};
+
+// Builds both PO cones under `cfg` and checks every query against the
+// truth-table reference. Exercises the cooperative reorder path exactly
+// the way NetworkBdds/ApproxOracle do (registered refs + polling).
+void check_config(const Network& net, const std::vector<TruthTable>& tt,
+                  const OrderConfig& cfg) {
+  const int n = net.num_pis();
+  BddManager mgr(n, 1u << 20, cfg.order);
+  mgr.set_auto_reorder(cfg.sift);
+  if (cfg.sift) mgr.set_reorder_threshold(48);
+
+  std::vector<BddManager::Ref> po(net.num_pos(), BddManager::kInvalidRef);
+  mgr.register_external_refs(&po);
+  for (int i = 0; i < net.num_pos(); ++i) {
+    auto ref = build_po_bdd(mgr, net, i);
+    ASSERT_TRUE(ref.has_value()) << cfg.name;
+    po[i] = *ref;
+  }
+  if (cfg.sift) {
+    mgr.reorder();  // settle: refs in `po` are rewritten in place
+    EXPECT_FALSE(mgr.reorder_pending());
+  }
+
+  // The permutation layer must remain a permutation whatever sifting did.
+  std::vector<char> seen(n, 0);
+  for (int l = 0; l < n; ++l) {
+    int v = mgr.var_at_level(l);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    EXPECT_EQ(mgr.level_of_var(v), l) << cfg.name;
+    EXPECT_FALSE(seen[v]) << cfg.name;
+    seen[v] = 1;
+  }
+
+  for (int i = 0; i < net.num_pos(); ++i) {
+    const TruthTable& ref_tt = tt[net.pos()[i].driver];
+    for (uint64_t m = 0; m < (uint64_t{1} << n); ++m) {
+      ASSERT_EQ(mgr.evaluate(po[i], m), ref_tt.get(m))
+          << cfg.name << " po " << i << " minterm " << m;
+    }
+    // Counting and Boolean difference go through sat_fraction/cofactor,
+    // which recurse by level: exact equality, not approximate.
+    EXPECT_EQ(mgr.sat_count(po[i]), tt_count(ref_tt)) << cfg.name;
+    for (int v = 0; v < n; ++v) {
+      BddManager::Ref diff = mgr.boolean_difference(po[i], v);
+      EXPECT_EQ(mgr.sat_count(diff), tt_count(ref_tt.boolean_difference(v)))
+          << cfg.name << " po " << i << " var " << v;
+    }
+  }
+  const TruthTable& f = tt[net.pos()[0].driver];
+  const TruthTable& g = tt[net.pos()[1].driver];
+  EXPECT_EQ(mgr.implies(po[0], po[1]), (f & ~g) == TruthTable::zeros(n))
+      << cfg.name;
+  mgr.unregister_external_refs(&po);
+}
+
+class BddOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddOrderProperty, QueriesInvariantUnderOrdering) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const int pis = 6 + static_cast<int>(rng() % 5);  // 6..10 PIs
+    Network net = random_network(rng, pis, 28);
+    std::vector<TruthTable> tt = global_tables(net);
+    std::vector<OrderConfig> configs;
+    configs.push_back({"identity", {}, false});
+    configs.push_back({"static", static_pi_order(net), false});
+    configs.push_back({"random-a", random_order(pis, GetParam() * 31 + trial), false});
+    configs.push_back({"random-b", random_order(pis, GetParam() * 57 + trial), false});
+    configs.push_back({"identity+sift", {}, true});
+    configs.push_back({"static+sift", static_pi_order(net), true});
+    for (const OrderConfig& cfg : configs) check_config(net, tt, cfg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddOrderProperty,
+                         ::testing::Values(3, 17, 29, 71));
+
+// Sifting keeps every externally held Ref valid: adjacent-level swaps are
+// in place, and the GC phase rewrites registered vectors through the
+// remap. Hold the full node-BDD vector of a comparator (the classic
+// order-sensitive function), force repeated reorders, and re-check every
+// node function after each one.
+TEST(BddSifting, RefsSurviveRepeatedReorders) {
+  Network net = make_comparator(6);  // 12 PIs, separated (bad) PI order
+  std::vector<TruthTable> tt = global_tables(net);
+  BddManager mgr(net.num_pis(), 1u << 20);  // identity order
+  mgr.set_auto_reorder(false);
+
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+  mgr.register_external_refs(&refs);
+
+  const size_t natural_size = mgr.live_nodes();
+  for (int round = 0; round < 3; ++round) {
+    mgr.reorder();
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      if (refs[id] == kNoBddRef) continue;
+      for (uint64_t m = 0; m < (uint64_t{1} << net.num_pis()); m += 7) {
+        ASSERT_EQ(mgr.evaluate(refs[id], m), tt[id].get(m))
+            << "round " << round << " node " << id << " minterm " << m;
+      }
+    }
+  }
+  // The separated order is exponentially bad for a comparator; sifting
+  // must find a materially smaller (interleaved-like) order.
+  EXPECT_LT(mgr.live_nodes(), natural_size);
+  EXPECT_GE(mgr.stats().reorder_runs, 3u);
+  mgr.unregister_external_refs(&refs);
+}
+
+// Unregistered callers get the GC remap back from reorder() and must be
+// able to chase their refs through it (garbage_collect contract).
+TEST(BddSifting, ReorderRemapCoversExtraRoots) {
+  Network net = make_comparator(4);
+  std::vector<TruthTable> tt = global_tables(net);
+  BddManager mgr(net.num_pis(), 1u << 20);
+  mgr.set_auto_reorder(false);
+
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+
+  std::vector<BddManager::Ref> remap = mgr.reorder(refs);  // not registered
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (refs[id] == kNoBddRef) continue;
+    BddManager::Ref moved = remap[refs[id]];
+    ASSERT_NE(moved, BddManager::kInvalidRef);
+    for (uint64_t m = 0; m < (uint64_t{1} << net.num_pis()); ++m) {
+      ASSERT_EQ(mgr.evaluate(moved, m), tt[id].get(m));
+    }
+  }
+}
+
+// With no registered vectors and no extras, reorder() must not collect
+// the arena out from under the caller: identity map, nothing freed.
+TEST(BddSifting, ReorderWithoutRootsIsIdentity) {
+  BddManager mgr(4);
+  BddManager::Ref f = mgr.bdd_and(mgr.var(0), mgr.var(2));
+  size_t before = mgr.live_nodes();
+  std::vector<BddManager::Ref> remap = mgr.reorder();
+  EXPECT_EQ(mgr.live_nodes(), before);
+  EXPECT_EQ(remap[f], f);
+  EXPECT_TRUE(mgr.evaluate(f, 0b0101));
+}
+
+// make_node only latches the trigger; reorder() clears it, shrinks the
+// comparator, and backs the threshold off so it cannot thrash.
+TEST(BddSifting, AutoTriggerLatchesAndClears) {
+  Network net = make_comparator(8);  // 16 PIs: identity order blows up
+  BddManager mgr(net.num_pis(), 1u << 20);
+  mgr.set_auto_reorder(true);
+  mgr.set_reorder_threshold(128);
+
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  // build_cone_bdds polls the latch and reorders internally; afterwards
+  // the latch must be clear and at least one sift must have run.
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+  EXPECT_FALSE(mgr.reorder_pending());
+  EXPECT_GE(mgr.stats().reorder_runs, 1u);
+
+  // Spot-check the comparator functions (a == b and a > b on 8+8 bits).
+  std::mt19937 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t a = rng() % 256, b = rng() % 256;
+    uint64_t input = a | (b << 8);
+    EXPECT_EQ(mgr.evaluate(refs[roots[0]], input), a == b);
+    EXPECT_EQ(mgr.evaluate(refs[roots[1]], input), a > b);
+  }
+}
+
+// The static structural order alone (no sifting) must already beat the
+// separated identity order on the comparator: interleaving is the known
+// linear-size order for it.
+TEST(BddOrdering, StaticOrderBeatsIdentityOnComparator) {
+  Network net = make_comparator(8);
+  size_t identity_size, static_size;
+  {
+    BddManager mgr(net.num_pis(), 1u << 20);
+    mgr.set_auto_reorder(false);
+    auto f = build_po_bdd(mgr, net, 1);
+    ASSERT_TRUE(f.has_value());
+    identity_size = mgr.size(*f);
+  }
+  {
+    BddManager mgr(net.num_pis(), 1u << 20, static_pi_order(net));
+    mgr.set_auto_reorder(false);
+    auto f = build_po_bdd(mgr, net, 1);
+    ASSERT_TRUE(f.has_value());
+    static_size = mgr.size(*f);
+  }
+  EXPECT_LT(static_size * 4, identity_size);
+}
+
+// static_pi_order is a permutation of the PI indices for every benchmark
+// circuit (the BddManager constructor asserts this too, but a direct test
+// localizes failures to the heuristic).
+TEST(BddOrdering, StaticOrderIsPermutation) {
+  for (const std::string& name : benchmark_names()) {
+    Network net = make_benchmark(name);
+    std::vector<int> order = static_pi_order(net);
+    ASSERT_EQ(order.size(), static_cast<size_t>(net.num_pis())) << name;
+    std::vector<char> seen(net.num_pis(), 0);
+    for (int v : order) {
+      ASSERT_GE(v, 0) << name;
+      ASSERT_LT(v, net.num_pis()) << name;
+      EXPECT_FALSE(seen[v]) << name;
+      seen[v] = 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apx
