@@ -6,6 +6,11 @@
 // bit-identical across the two runs; any drift fails the benchmark.
 // Emits BENCH_pipeline.json (fields documented in EXPERIMENTS.md).
 //
+// A third run with tracing enabled (core/trace.hpp) must reproduce the
+// same rows bit-for-bit — instrumentation is observability, not a third
+// source of nondeterminism — and contributes the per-phase wall-time
+// breakdown exported in the JSON's "phases" array.
+//
 // Exit code: non-zero when the runs are not bit-identical, or when the
 // parallel run falls below the 2.5x speedup gate on hardware with >= 4
 // cores (the gate is advisory-only on smaller machines, where the pool
@@ -18,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "core/task_pool.hpp"
+#include "core/trace.hpp"
 
 using namespace apx;
 using namespace apx::bench;
@@ -123,7 +129,20 @@ int main(int argc, char** argv) {
                   .c_str(),
               parallel.seconds);
 
+  // Third pass with tracing enabled: the rows must still be bit-identical
+  // (spans/counters observe, they must not perturb), and its phase summary
+  // becomes the exported per-phase breakdown.
+  trace::reset();
+  trace::set_trace_enabled(true);
+  SuiteRun profiled = run_suite(nets, parallel_threads);
+  trace::set_trace_enabled(false);
+  const std::vector<trace::PhaseStat> phases = trace::phase_summary();
+  std::printf("%-24s %8.3fs (tracing enabled)\n", "suite, traced",
+              profiled.seconds);
+
   const bool identical = rows_identical(serial.rows, parallel.rows);
+  const bool profiled_identical =
+      rows_identical(parallel.rows, profiled.rows);
   const double speedup =
       parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
   // The 2.5x bar needs real cores; enforce it only where they exist.
@@ -132,8 +151,10 @@ int main(int argc, char** argv) {
   std::printf("\nsuite speedup at %d threads: %.2fx (gate %.1fx, %s)\n",
               parallel_threads, speedup, kSpeedupGate,
               enforce_gate ? "enforced" : "advisory: < 4 cores");
-  std::printf("per-row outputs bit-identical: %s\n\n",
+  std::printf("per-row outputs bit-identical: %s\n",
               identical ? "yes" : "NO");
+  std::printf("traced rerun bit-identical:    %s\n\n",
+              profiled_identical ? "yes" : "NO");
 
   std::printf("%-8s %7s %9s %7s %7s %7s\n", "circuit", "gates", "checkgen",
               "apx%", "cov%", "area%");
@@ -142,6 +163,13 @@ int main(int argc, char** argv) {
     std::printf("%-8s %7d %9d %7.1f %7.1f %7.1f\n", kSuite[i], r.gates,
                 r.checkgen_gates, r.approx_pct, r.coverage_pct,
                 r.area_overhead_pct);
+  }
+
+  std::printf("\n%-36s %8s %12s %12s\n", "phase", "count", "total_ms",
+              "self_ms");
+  for (const trace::PhaseStat& p : phases) {
+    std::printf("%-36s %8lld %12.2f %12.2f\n", p.name.c_str(),
+                static_cast<long long>(p.count), p.total_ms, p.self_ms);
   }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
@@ -166,6 +194,18 @@ int main(int argc, char** argv) {
                enforce_gate ? "true" : "false");
   std::fprintf(f, "  \"rows_bit_identical\": %s,\n",
                identical ? "true" : "false");
+  std::fprintf(f, "  \"profiled_identical\": %s,\n",
+               profiled_identical ? "true" : "false");
+  std::fprintf(f, "  \"phases\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const trace::PhaseStat& p = phases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"count\": %lld, "
+                 "\"total_ms\": %.3f, \"self_ms\": %.3f}%s\n",
+                 p.name.c_str(), static_cast<long long>(p.count), p.total_ms,
+                 p.self_ms, i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"rows\": [\n");
   for (int i = 0; i < kNumRows; ++i) {
     const Row& r = parallel.rows[i];
@@ -185,7 +225,7 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
 
-  if (!identical) return 1;
+  if (!identical || !profiled_identical) return 1;
   if (enforce_gate && speedup < kSpeedupGate) return 1;
   return 0;
 }

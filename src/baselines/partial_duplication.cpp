@@ -3,12 +3,42 @@
 #include <algorithm>
 #include <bit>
 #include <numeric>
-#include <random>
 
+#include "core/trace.hpp"
+#include "sim/fault_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
 namespace {
+
+// Unbiased bounded draw (Lemire multiply-shift with rejection). The legacy
+// `rng() % n` pick over-weighted low fault indices whenever n does not
+// divide 2^64.
+size_t bounded_pick(SplitMix64& rng, uint64_t n) {
+  uint64_t x = rng.next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = rng.next();
+      m = static_cast<unsigned __int128>(x) * n;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<size_t>(m >> 64);
+}
+
+CampaignOptions campaign_options(const PartialDuplicationOptions& options,
+                                 uint64_t seed) {
+  CampaignOptions copt;
+  copt.num_fault_samples = options.num_fault_samples;
+  copt.words_per_fault = options.words_per_fault;
+  copt.faults_per_batch = options.faults_per_batch;
+  copt.num_threads = options.num_threads;
+  copt.seed = seed;
+  return copt;
+}
 
 // For POs ordered by rank, returns hist[k] = number of runs whose first
 // erroneous PO (by rank) is rank k, plus the total erroneous-run count.
@@ -20,34 +50,87 @@ struct RankHistogram {
 
 RankHistogram rank_histogram(const Network& net,
                              const std::vector<int>& ranked_pos,
+                             const std::vector<StuckFault>& faults,
                              const PartialDuplicationOptions& options) {
   RankHistogram hist;
-  hist.first_error_at_rank.assign(ranked_pos.size(), 0);
-  std::vector<StuckFault> faults = enumerate_faults(net);
-  if (faults.empty()) return hist;
-  std::mt19937_64 rng(options.seed);
-  Simulator sim(net);
+  const size_t ranks = ranked_pos.size();
+  hist.first_error_at_rank.assign(ranks, 0);
+  if (faults.empty() || options.num_fault_samples <= 0 || ranks == 0) {
+    return hist;
+  }
+
+  FaultSimEngine engine(net);
+  auto sampler = [&faults](uint64_t sample_seed) {
+    SplitMix64 rng(sample_seed);
+    return faults[bounded_pick(rng, faults.size())];
+  };
+  // Per-sample rows (ranks counters + the erroneous total), merged in
+  // sample order afterwards so the result is bit-identical for any
+  // thread count.
+  const size_t stride = ranks + 1;
+  std::vector<int64_t> rows(
+      static_cast<size_t>(options.num_fault_samples) * stride, 0);
+  engine.run_campaign(
+      campaign_options(options, options.seed), sampler,
+      [&](int i, const StuckFault&, const FaultView& v) {
+        int64_t* row = rows.data() + static_cast<size_t>(i) * stride;
+        for (int w = 0; w < v.num_words(); ++w) {
+          uint64_t remaining = ~0ULL;
+          uint64_t any = 0;
+          for (size_t k = 0; k < ranks; ++k) {
+            NodeId drv = net.po(ranked_pos[k]).driver;
+            uint64_t err = v.golden(drv)[w] ^ v.faulty(drv)[w];
+            any |= err;
+            row[k] += std::popcount(err & remaining);
+            remaining &= ~err;
+          }
+          row[ranks] += std::popcount(any);
+        }
+      });
   for (int s = 0; s < options.num_fault_samples; ++s) {
-    const StuckFault& fault = faults[rng() % faults.size()];
-    PatternSet patterns =
-        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
-    sim.run(patterns);
-    sim.inject(fault);
-    for (int w = 0; w < options.words_per_fault; ++w) {
-      uint64_t remaining = ~0ULL;
-      uint64_t any = 0;
-      for (size_t k = 0; k < ranked_pos.size(); ++k) {
-        NodeId drv = net.po(ranked_pos[k]).driver;
-        uint64_t err = sim.value(drv)[w] ^ sim.faulty_value(drv)[w];
-        any |= err;
-        uint64_t first_here = err & remaining;
-        hist.first_error_at_rank[k] += std::popcount(first_here);
-        remaining &= ~err;
-      }
-      hist.erroneous += std::popcount(any);
-    }
+    const int64_t* row = rows.data() + static_cast<size_t>(s) * stride;
+    for (size_t k = 0; k < ranks; ++k) hist.first_error_at_rank[k] += row[k];
+    hist.erroneous += row[ranks];
   }
   return hist;
+}
+
+// Per-output erroneous-bit counts over a fault-injection campaign, used to
+// rank POs by error contribution.
+std::vector<int64_t> output_error_counts(
+    const Network& net, const std::vector<StuckFault>& faults,
+    const PartialDuplicationOptions& options) {
+  const size_t num_pos = static_cast<size_t>(net.num_pos());
+  std::vector<int64_t> rate(num_pos, 0);
+  if (faults.empty() || options.num_fault_samples <= 0 || num_pos == 0) {
+    return rate;
+  }
+
+  FaultSimEngine engine(net);
+  auto sampler = [&faults](uint64_t sample_seed) {
+    SplitMix64 rng(sample_seed);
+    return faults[bounded_pick(rng, faults.size())];
+  };
+  std::vector<int64_t> rows(
+      static_cast<size_t>(options.num_fault_samples) * num_pos, 0);
+  engine.run_campaign(
+      campaign_options(options, options.seed ^ 0xABCD), sampler,
+      [&](int i, const StuckFault&, const FaultView& v) {
+        int64_t* row = rows.data() + static_cast<size_t>(i) * num_pos;
+        for (size_t o = 0; o < num_pos; ++o) {
+          NodeId drv = net.po(static_cast<int>(o)).driver;
+          const uint64_t* g = v.golden(drv);
+          const uint64_t* f = v.faulty(drv);
+          for (int w = 0; w < v.num_words(); ++w) {
+            row[o] += std::popcount(g[w] ^ f[w]);
+          }
+        }
+      });
+  for (int s = 0; s < options.num_fault_samples; ++s) {
+    const int64_t* row = rows.data() + static_cast<size_t>(s) * num_pos;
+    for (size_t o = 0; o < num_pos; ++o) rate[o] += row[o];
+  }
+  return rate;
 }
 
 }  // namespace
@@ -55,37 +138,23 @@ RankHistogram rank_histogram(const Network& net,
 PartialDuplicationResult build_partial_duplication(
     const Network& mapped, double target_coverage,
     const PartialDuplicationOptions& options) {
+  trace::Span span("baseline.partial_dup");
   PartialDuplicationResult result;
 
+  // A wire-only circuit has no gate-level fault sites; both campaigns must
+  // degrade to zero counts instead of sampling from an empty list.
+  std::vector<StuckFault> faults = enumerate_faults(mapped);
+
   // Rank POs by their error contribution (per-output error rate).
-  std::vector<double> rate(mapped.num_pos(), 0.0);
-  {
-    std::vector<StuckFault> faults = enumerate_faults(mapped);
-    std::mt19937_64 rng(options.seed ^ 0xABCD);
-    Simulator sim(mapped);
-    for (int s = 0; s < options.num_fault_samples; ++s) {
-      const StuckFault& fault = faults[rng() % faults.size()];
-      PatternSet patterns =
-          PatternSet::random(mapped.num_pis(), options.words_per_fault, rng());
-      sim.run(patterns);
-      sim.inject(fault);
-      for (int o = 0; o < mapped.num_pos(); ++o) {
-        NodeId drv = mapped.po(o).driver;
-        for (int w = 0; w < options.words_per_fault; ++w) {
-          rate[o] += std::popcount(sim.value(drv)[w] ^
-                                   sim.faulty_value(drv)[w]);
-        }
-      }
-    }
-  }
+  std::vector<int64_t> rate = output_error_counts(mapped, faults, options);
   std::vector<int> ranked(mapped.num_pos());
   std::iota(ranked.begin(), ranked.end(), 0);
-  std::sort(ranked.begin(), ranked.end(),
-            [&](int a, int b) { return rate[a] > rate[b]; });
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&](int a, int b) { return rate[a] > rate[b]; });
 
   // Prefix coverage from one fault-injection pass; select the shortest
   // prefix reaching the target.
-  RankHistogram hist = rank_histogram(mapped, ranked, options);
+  RankHistogram hist = rank_histogram(mapped, ranked, faults, options);
   int64_t covered = 0;
   size_t chosen = ranked.size();
   for (size_t k = 0; k < ranked.size(); ++k) {

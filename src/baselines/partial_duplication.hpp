@@ -16,6 +16,12 @@ struct PartialDuplicationOptions {
   /// Fault-injection budget for ranking outputs / estimating coverage.
   int num_fault_samples = 1000;
   int words_per_fault = 4;
+  /// Fault samples amortizing one shared golden simulation in the
+  /// FaultSimEngine (see src/sim/fault_engine.hpp).
+  int faults_per_batch = 64;
+  /// Parallelism cap on the shared task pool; 0 = apx::thread_count()
+  /// (APX_THREADS policy). Selection is bit-identical for any value.
+  int num_threads = 0;
   uint64_t seed = 0xD0B1;
 };
 

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/trace.hpp"
+
 namespace apx {
 
 namespace {
@@ -330,6 +332,11 @@ size_t BddManager::size(Ref f) const {
 std::vector<BddManager::Ref> BddManager::garbage_collect(
     const std::vector<Ref>& roots) {
   ++stats_.gc_runs;
+  if (trace::enabled()) {
+    trace::counter("bdd.gc_runs").add(1);
+    trace::counter("bdd.peak_nodes", trace::CounterKind::kGauge)
+        .set_max(static_cast<int64_t>(stats_.peak_nodes));
+  }
   std::vector<Ref> remap(nodes_.size(), kInvalidRef);
   std::vector<BddNode> kept;
   kept.reserve(live_nodes());
@@ -625,9 +632,17 @@ std::vector<BddManager::Ref> BddManager::reorder(
   }
   for (Ref& r : roots) r = remap[r];  // all live: they were the GC roots
   in_reorder_ = true;
-  sift(roots);
+  {
+    trace::Span span("bdd.reorder");
+    sift(roots);
+  }
   in_reorder_ = false;
   ++stats_.reorder_runs;
+  if (trace::enabled()) {
+    trace::counter("bdd.reorder_runs").add(1);
+    trace::counter("bdd.peak_nodes", trace::CounterKind::kGauge)
+        .set_max(static_cast<int64_t>(stats_.peak_nodes));
+  }
   // Back off: don't re-trigger until the arena doubles from here.
   reorder_threshold_ = std::max(reorder_threshold_, 2 * live_nodes());
   stats_.reorder_time_ms += std::chrono::duration<double, std::milli>(

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/trace.hpp"
 #include "network/ordering.hpp"
 
 namespace apx {
@@ -86,6 +87,7 @@ BddManager::Ref NetworkBdds::eval_sop(
 std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
                                              const Network& net,
                                              const std::vector<NodeId>& roots) {
+  trace::Span span("bdd.build_cones");
   std::vector<BddManager::Ref> refs(net.num_nodes(), kNoBddRef);
   for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
   for (NodeId id : net.cone_of(roots)) {

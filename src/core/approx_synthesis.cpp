@@ -5,6 +5,7 @@
 #include "bdd/network_bdd.hpp"
 #include "core/cube_selection.hpp"
 #include "core/task_pool.hpp"
+#include "core/trace.hpp"
 #include "core/verify.hpp"
 #include "mapping/optimize.hpp"
 #include "sop/minimize.hpp"
@@ -47,19 +48,29 @@ class SynthesisEngine {
 
   ApproxResult run() {
     ApproxResult result;
-    result.types = assign_types(net_, directions_, obs_, options_.type_options);
+    {
+      trace::Span s("synth.assign_types");
+      result.types =
+          assign_types(net_, directions_, obs_, options_.type_options);
+    }
     types_ = &result.types;
     repair_state_.assign(net_.num_nodes(), 0);
     stage1_phase_.assign(net_.num_nodes(), std::nullopt);
 
-    approximate_sops();
+    {
+      trace::Span s("synth.stage1");
+      approximate_sops();
+    }
 
     // Phase A: cheap global repair guided by bit-parallel simulation. One
     // simulator pair per round covers every PO; violations found this way
     // are always real, so fixing them before any exact query removes the
     // bulk of stage-2's cost on large multi-output circuits.
     int sim_repairs = 0;
-    simulation_repair_rounds(sim_repairs);
+    {
+      trace::Span s("synth.sim_repair");
+      simulation_repair_rounds(sim_repairs);
+    }
 
     // The two read-only sweeps below (verification screening here, the
     // approximation-percentage sweep at the end) run chunked on the shared
@@ -80,62 +91,70 @@ class SynthesisEngine {
     for (int po = 0; po < P; ++po) {
       result.po_stats[po].direction = directions_[po];
     }
-    if (chunks > 1) {
-      std::vector<uint8_t> verified(P, 0);
-      TaskPool::instance().parallel_for(
-          0, chunks,
-          [&](int64_t c) {
-            const int b = chunk_begin(static_cast<int>(c));
-            const int e = chunk_begin(static_cast<int>(c) + 1);
-            ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
-            chunk_oracle.set_sat_conflict_budget(options_.sat_conflict_budget);
-            for (int po = b; po < e; ++po) {
-              verified[po] = chunk_oracle.verify(po, directions_[po]) ? 1 : 0;
-            }
-          },
-          options_.num_threads);
-      for (int po = 0; po < P; ++po) {  // ordered merge
-        if (verified[po]) {
-          result.po_stats[po].verified = true;
-          ++result.correct_after_stage1;
+    {
+      trace::Span s("synth.screening");
+      if (chunks > 1) {
+        std::vector<uint8_t> verified(P, 0);
+        TaskPool::instance().parallel_for(
+            0, chunks,
+            [&](int64_t c) {
+              const int b = chunk_begin(static_cast<int>(c));
+              const int e = chunk_begin(static_cast<int>(c) + 1);
+              ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
+              chunk_oracle.set_sat_conflict_budget(
+                  options_.sat_conflict_budget);
+              for (int po = b; po < e; ++po) {
+                verified[po] =
+                    chunk_oracle.verify(po, directions_[po]) ? 1 : 0;
+              }
+            },
+            options_.num_threads);
+        for (int po = 0; po < P; ++po) {  // ordered merge
+          if (verified[po]) {
+            result.po_stats[po].verified = true;
+            ++result.correct_after_stage1;
+          }
         }
-      }
-    } else {
-      for (int po = 0; po < P; ++po) {
-        if (oracle.verify(po, directions_[po])) {
-          result.po_stats[po].verified = true;
-          ++result.correct_after_stage1;
+      } else {
+        for (int po = 0; po < P; ++po) {
+          if (oracle.verify(po, directions_[po])) {
+            result.po_stats[po].verified = true;
+            ++result.correct_after_stage1;
+          }
         }
       }
     }
     result.repairs += sim_repairs;
-    for (int po = 0; po < net_.num_pos(); ++po) {
-      if (result.po_stats[po].verified) continue;
-      result.po_stats[po].verified =
-          ensure_correctness(po, oracle, result.repairs);
-    }
-    // Repairs mutate nodes shared between cones, so a PO verified earlier
-    // can regress: re-verify all POs until a fixed point (bounded; the
-    // ultimate fallback restores cones to exact functions, which satisfy
-    // every check).
-    for (int pass = 0; pass < 4; ++pass) {
-      bool regressed = false;
+    {
+      trace::Span s("synth.repair");
       for (int po = 0; po < net_.num_pos(); ++po) {
-        if (oracle.verify(po, directions_[po])) continue;
-        regressed = true;
+        if (result.po_stats[po].verified) continue;
         result.po_stats[po].verified =
             ensure_correctness(po, oracle, result.repairs);
       }
-      if (!regressed) break;
-      if (pass == 3) {
-        // Shouldn't happen (restores are monotone), but never ship an
-        // unverified PO: nuke any stragglers to exact.
+      // Repairs mutate nodes shared between cones, so a PO verified
+      // earlier can regress: re-verify all POs until a fixed point
+      // (bounded; the ultimate fallback restores cones to exact
+      // functions, which satisfy every check).
+      for (int pass = 0; pass < 4; ++pass) {
+        bool regressed = false;
         for (int po = 0; po < net_.num_pos(); ++po) {
-          if (!oracle.verify(po, directions_[po])) {
-            restore_cone(net_.po(po).driver);
-            oracle.refresh_approx();
-            result.po_stats[po].verified =
-                oracle.verify(po, directions_[po]);
+          if (oracle.verify(po, directions_[po])) continue;
+          regressed = true;
+          result.po_stats[po].verified =
+              ensure_correctness(po, oracle, result.repairs);
+        }
+        if (!regressed) break;
+        if (pass == 3) {
+          // Shouldn't happen (restores are monotone), but never ship an
+          // unverified PO: nuke any stragglers to exact.
+          for (int po = 0; po < net_.num_pos(); ++po) {
+            if (!oracle.verify(po, directions_[po])) {
+              restore_cone(net_.po(po).driver);
+              oracle.refresh_approx();
+              result.po_stats[po].verified =
+                  oracle.verify(po, directions_[po]);
+            }
           }
         }
       }
@@ -144,24 +163,28 @@ class SynthesisEngine {
     // chunking, one private oracle per chunk (approximation_pct is exact by
     // BDD minterm counting or sampled with a fixed seed — deterministic
     // either way). Chunk tasks write disjoint po_stats entries.
-    if (chunks > 1) {
-      TaskPool::instance().parallel_for(
-          0, chunks,
-          [&](int64_t c) {
-            const int b = chunk_begin(static_cast<int>(c));
-            const int e = chunk_begin(static_cast<int>(c) + 1);
-            ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
-            chunk_oracle.set_sat_conflict_budget(options_.sat_conflict_budget);
-            for (int po = b; po < e; ++po) {
-              result.po_stats[po].approximation_pct =
-                  chunk_oracle.approximation_pct(po, directions_[po]);
-            }
-          },
-          options_.num_threads);
-    } else {
-      for (int po = 0; po < P; ++po) {
-        result.po_stats[po].approximation_pct =
-            oracle.approximation_pct(po, directions_[po]);
+    {
+      trace::Span s("synth.pct_sweep");
+      if (chunks > 1) {
+        TaskPool::instance().parallel_for(
+            0, chunks,
+            [&](int64_t c) {
+              const int b = chunk_begin(static_cast<int>(c));
+              const int e = chunk_begin(static_cast<int>(c) + 1);
+              ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
+              chunk_oracle.set_sat_conflict_budget(
+                  options_.sat_conflict_budget);
+              for (int po = b; po < e; ++po) {
+                result.po_stats[po].approximation_pct =
+                    chunk_oracle.approximation_pct(po, directions_[po]);
+              }
+            },
+            options_.num_threads);
+      } else {
+        for (int po = 0; po < P; ++po) {
+          result.po_stats[po].approximation_pct =
+              oracle.approximation_pct(po, directions_[po]);
+        }
       }
     }
     compact_unused_fanins(approx_);

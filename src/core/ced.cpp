@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "core/trace.hpp"
 #include "sim/fault_engine.hpp"
 #include "sim/simulator.hpp"
 
@@ -114,6 +115,7 @@ CedDesign build_duplication_ced(const Network& original,
 
 CoverageResult evaluate_ced_coverage(const CedDesign& ced,
                                      const CoverageOptions& options) {
+  trace::Span span("ced.coverage");
   CoverageResult result;
   if (ced.functional_nodes.empty() || options.num_fault_samples <= 0) {
     return result;
@@ -167,6 +169,7 @@ CoverageResult evaluate_ced_coverage(const CedDesign& ced,
 
 OverheadReport measure_overheads(const CedDesign& ced, int sim_words,
                                  uint64_t seed) {
+  trace::Span span("ced.overheads");
   OverheadReport report;
   report.functional_area = ced.functional_area();
   report.checkgen_area = static_cast<int>(ced.checkgen_nodes.size());

@@ -58,10 +58,14 @@ struct CoverageResult {
   int64_t erroneous = 0;  ///< runs where some functional PO differs
   int64_t detected = 0;   ///< erroneous runs flagged by the error pair
 
+  /// Detected fraction of erroneous runs, clamped to [0, 1]. Campaigns on
+  /// trivial designs (no logic, zero samples) legitimately record zero
+  /// erroneous runs — the result must stay 0, never NaN.
   double coverage() const {
-    return erroneous > 0
-               ? static_cast<double>(detected) / static_cast<double>(erroneous)
-               : 0.0;
+    if (erroneous <= 0 || detected <= 0) return 0.0;
+    const double c =
+        static_cast<double>(detected) / static_cast<double>(erroneous);
+    return c < 1.0 ? c : 1.0;
   }
 };
 
@@ -100,6 +104,9 @@ struct OverheadReport {
   int overhead_area = 0;             ///< checkgen + checkers (gates)
   double overhead_activity = 0.0;    ///< checkgen + checkers (activity)
 
+  // All percentage helpers return 0 (never NaN/inf) on degenerate
+  // denominators — a wire-only functional circuit has zero mapped area
+  // and zero switching activity, and `apxced ced` prints these directly.
   double area_overhead_pct() const {
     return functional_area > 0 ? 100.0 * checkgen_area / functional_area : 0.0;
   }

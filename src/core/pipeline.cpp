@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "core/trace.hpp"
 #include "mapping/optimize.hpp"
 
 namespace apx {
@@ -13,36 +14,63 @@ double PipelineResult::mean_approximation_pct() const {
 
 PipelineResult run_ced_pipeline(const Network& net,
                                 const PipelineOptions& options) {
+  trace::Span pipeline_span("pipeline");
   PipelineResult result;
 
   // 1. Quick synthesis and mapping of the functional circuit.
-  Network optimized = quick_synthesis(net);
-  result.mapped_original = technology_map(optimized, options.map_options);
+  Network optimized;
+  {
+    trace::Span s("pipeline.quick_synthesis");
+    optimized = quick_synthesis(net);
+  }
+  {
+    trace::Span s("pipeline.map_functional");
+    result.mapped_original = technology_map(optimized, options.map_options);
+  }
 
   // 2. Reliability analysis on the mapped netlist decides, per output,
   //    which error direction dominates and hence the approximation type.
-  result.reliability =
-      analyze_reliability(result.mapped_original, options.reliability);
-  result.directions = choose_directions(result.reliability);
+  {
+    trace::Span s("pipeline.reliability");
+    result.reliability =
+        analyze_reliability(result.mapped_original, options.reliability);
+    result.directions = choose_directions(result.reliability);
+  }
 
   // 3. Approximate-logic synthesis on the technology-independent network.
-  result.synthesis =
-      synthesize_approximation(optimized, result.directions, options.approx);
+  {
+    trace::Span s("pipeline.synthesis");
+    result.synthesis =
+        synthesize_approximation(optimized, result.directions, options.approx);
+  }
 
   // 4. Map the approximate circuit with the same library/script.
-  result.mapped_checkgen =
-      technology_map(result.synthesis.approx, options.map_options);
+  {
+    trace::Span s("pipeline.map_checkgen");
+    result.mapped_checkgen =
+        technology_map(result.synthesis.approx, options.map_options);
+  }
 
   // 5. Assemble and measure the CED design.
-  result.ced = build_ced_design(result.mapped_original,
-                                result.mapped_checkgen, result.directions);
+  {
+    trace::Span s("pipeline.assemble_ced");
+    result.ced = build_ced_design(result.mapped_original,
+                                  result.mapped_checkgen, result.directions);
+  }
   if (options.logic_sharing) {
+    trace::Span s("pipeline.logic_sharing");
     result.sharing = apply_logic_sharing(result.ced, options.sharing);
   }
-  result.coverage = evaluate_ced_coverage(result.ced, options.coverage);
-  result.overheads = measure_overheads(result.ced);
-  result.original_delay = mapped_delay(result.mapped_original);
-  result.checkgen_delay = mapped_delay(result.mapped_checkgen);
+  {
+    trace::Span s("pipeline.coverage");
+    result.coverage = evaluate_ced_coverage(result.ced, options.coverage);
+  }
+  {
+    trace::Span s("pipeline.overheads");
+    result.overheads = measure_overheads(result.ced);
+    result.original_delay = mapped_delay(result.mapped_original);
+    result.checkgen_delay = mapped_delay(result.mapped_checkgen);
+  }
   return result;
 }
 

@@ -1,6 +1,8 @@
 #include "core/task_pool.hpp"
 
 #include <algorithm>
+
+#include "core/trace.hpp"
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -140,17 +142,26 @@ void TaskPool::worker_loop(Impl* impl) {
     lock.unlock();
 
     std::exception_ptr error;
+    int64_t chunks_stolen = 0;
     try {
+      // One span per participation (not per chunk): cheap, and each pool
+      // worker shows up as its own parallel track in the Chrome trace.
+      trace::Span span("pool.work");
       for (;;) {
         int64_t i = job->next.fetch_add(job->grain,
                                         std::memory_order_relaxed);
         if (i >= job->end) break;
+        ++chunks_stolen;
         int64_t hi = std::min(i + job->grain, job->end);
         for (int64_t k = i; k < hi; ++k) (*job->body)(slot, k);
       }
     } catch (...) {
       error = std::current_exception();
       job->next.store(job->end, std::memory_order_relaxed);  // drain
+    }
+    if (trace::enabled() && chunks_stolen > 0) {
+      static trace::Counter& steals = trace::counter("pool.steals");
+      steals.add(chunks_stolen);
     }
 
     lock.lock();
@@ -175,6 +186,10 @@ void TaskPool::parallel_for_slotted(
     return;
   }
   ensure_workers(max_slots - 1);
+  if (trace::enabled()) {
+    static trace::Counter& jobs = trace::counter("pool.jobs");
+    jobs.add(1);
+  }
 
   Job job;
   job.next.store(begin, std::memory_order_relaxed);
@@ -195,6 +210,7 @@ void TaskPool::parallel_for_slotted(
 
   std::exception_ptr error;
   try {
+    trace::Span span("pool.work");
     for (;;) {
       int64_t i = job.next.fetch_add(grain, std::memory_order_relaxed);
       if (i >= end) break;

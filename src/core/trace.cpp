@@ -1,0 +1,294 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+namespace apx::trace {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct Event {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint64_t self_ns;
+};
+
+struct Frame {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t child_ns;  // time spent in already-closed nested spans
+};
+
+struct ThreadLog {
+  int tid = 0;
+  std::mutex mutex;           // append (owner) vs snapshot (exporter)
+  std::vector<Event> events;  // guarded by mutex
+  std::vector<Frame> stack;   // touched by the owning thread only
+};
+
+struct Registry {
+  std::mutex mutex;
+  // shared_ptr: a log must survive both its thread (which may exit) and
+  // any exporter holding a reference.
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::vector<Counter*> counters;
+  uint64_t origin_ns = now_ns();
+  int next_tid = 1;
+};
+
+Registry& registry() {
+  // Leaked: worker threads and atexit exporters may outlive every static
+  // destructor.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+namespace {
+
+ThreadLog* thread_log() {
+  thread_local std::shared_ptr<ThreadLog> log = [] {
+    auto l = std::make_shared<ThreadLog>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    l->tid = r.next_tid++;
+    r.logs.push_back(l);
+    return l;
+  }();
+  return log.get();
+}
+
+}  // namespace
+
+ThreadLog* begin_span(const char* name) {
+  ThreadLog* log = thread_log();
+  log->stack.push_back(Frame{name, now_ns(), 0});
+  return log;
+}
+
+void end_span(ThreadLog* log) {
+  const uint64_t now = now_ns();
+  Frame f = log->stack.back();
+  log->stack.pop_back();
+  const uint64_t dur = now - f.start_ns;
+  if (!log->stack.empty()) log->stack.back().child_ns += dur;
+  std::lock_guard<std::mutex> lock(log->mutex);
+  log->events.push_back(
+      Event{f.name, f.start_ns, dur, dur - std::min(dur, f.child_ns)});
+}
+
+}  // namespace detail
+
+namespace {
+
+// The APX_TRACE contract from the header: non-empty and != "0" enables;
+// any value other than "1" doubles as an exit-time Chrome-trace path.
+struct EnvInit {
+  EnvInit() {
+    const char* v = std::getenv("APX_TRACE");
+    if (v == nullptr || *v == '\0' || std::string_view(v) == "0") return;
+    set_trace_enabled(true);
+    if (std::string_view(v) != "1") {
+      static std::string path;
+      path = v;
+      std::atexit([] { write_chrome_trace(path); });
+    }
+  }
+};
+EnvInit env_init;
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+const char* kind_name(CounterKind k) {
+  return k == CounterKind::kMonotonic ? "monotonic" : "gauge";
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  detail::registry();  // materialize before concurrent instrumented use
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Counter& counter(const char* name, CounterKind kind) {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (Counter* c : r.counters) {
+    if (c->name() == name) return *c;
+  }
+  // Leaked alongside the registry: counter references must stay valid for
+  // the process lifetime.
+  r.counters.push_back(new Counter(name, kind));
+  return *r.counters.back();
+}
+
+std::vector<PhaseStat> phase_summary() {
+  detail::Registry& r = detail::registry();
+  std::map<std::string, PhaseStat> by_name;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto& log : r.logs) {
+      std::lock_guard<std::mutex> log_lock(log->mutex);
+      for (const detail::Event& e : log->events) {
+        PhaseStat& p = by_name[e.name];
+        p.name = e.name;
+        ++p.count;
+        p.total_ms += static_cast<double>(e.dur_ns) / 1e6;
+        p.self_ms += static_cast<double>(e.self_ns) / 1e6;
+      }
+    }
+  }
+  std::vector<PhaseStat> result;
+  result.reserve(by_name.size());
+  for (auto& [name, stat] : by_name) result.push_back(std::move(stat));
+  std::sort(result.begin(), result.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.name < b.name;
+            });
+  return result;
+}
+
+std::vector<CounterStat> counter_summary() {
+  detail::Registry& r = detail::registry();
+  std::vector<CounterStat> result;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    result.reserve(r.counters.size());
+    for (const Counter* c : r.counters) {
+      result.push_back(CounterStat{c->name(), c->kind(), c->value()});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const CounterStat& a, const CounterStat& b) {
+              return a.name < b.name;
+            });
+  return result;
+}
+
+void write_profile(std::FILE* out) {
+  std::vector<PhaseStat> phases = phase_summary();
+  std::fprintf(out, "%-36s %8s %12s %12s\n", "phase", "count", "total ms",
+               "self ms");
+  for (const PhaseStat& p : phases) {
+    std::fprintf(out, "%-36s %8lld %12.3f %12.3f\n", p.name.c_str(),
+                 static_cast<long long>(p.count), p.total_ms, p.self_ms);
+  }
+  std::vector<CounterStat> counters = counter_summary();
+  if (!counters.empty()) {
+    std::fprintf(out, "%-36s %33s\n", "counter", "value");
+    for (const CounterStat& c : counters) {
+      std::fprintf(out, "%-36s %33lld\n", c.name.c_str(),
+                   static_cast<long long>(c.value));
+    }
+  }
+}
+
+std::string summary_json() {
+  std::string out = "{\"phases\": [";
+  bool first = true;
+  char buf[128];
+  for (const PhaseStat& p : phase_summary()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    json_escape_into(out, p.name);
+    std::snprintf(buf, sizeof buf,
+                  "\", \"count\": %lld, \"total_ms\": %.3f, "
+                  "\"self_ms\": %.3f}",
+                  static_cast<long long>(p.count), p.total_ms, p.self_ms);
+    out += buf;
+  }
+  out += "], \"counters\": [";
+  first = true;
+  for (const CounterStat& c : counter_summary()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    json_escape_into(out, c.name);
+    std::snprintf(buf, sizeof buf, "\", \"kind\": \"%s\", \"value\": %lld}",
+                  kind_name(c.kind), static_cast<long long>(c.value));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  detail::Registry& r = detail::registry();
+  std::fprintf(f, "{\"traceEvents\": [");
+  bool first = true;
+  uint64_t last_end_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const uint64_t origin = r.origin_ns;
+    for (const auto& log : r.logs) {
+      std::lock_guard<std::mutex> log_lock(log->mutex);
+      for (const detail::Event& e : log->events) {
+        const uint64_t rel =
+            e.start_ns >= origin ? e.start_ns - origin : 0;
+        last_end_ns = std::max(last_end_ns, rel + e.dur_ns);
+        std::fprintf(f,
+                     "%s\n  {\"name\": \"%s\", \"cat\": \"apx\", "
+                     "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                     "\"pid\": 1, \"tid\": %d}",
+                     first ? "" : ",", e.name,
+                     static_cast<double>(rel) / 1e3,
+                     static_cast<double>(e.dur_ns) / 1e3, log->tid);
+        first = false;
+      }
+    }
+  }
+  for (const CounterStat& c : counter_summary()) {
+    std::fprintf(f,
+                 "%s\n  {\"name\": \"%s\", \"cat\": \"apx\", "
+                 "\"ph\": \"C\", \"ts\": %.3f, \"pid\": 1, "
+                 "\"args\": {\"value\": %lld}}",
+                 first ? "" : ",", c.name.c_str(),
+                 static_cast<double>(last_end_ns) / 1e3,
+                 static_cast<long long>(c.value));
+    first = false;
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+void reset() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& log : r.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+  }
+  for (Counter* c : r.counters) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  r.origin_ns = detail::now_ns();
+}
+
+}  // namespace apx::trace

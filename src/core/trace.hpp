@@ -1,0 +1,152 @@
+// Low-overhead, thread-safe instrumentation for the CED pipeline: RAII
+// scoped spans (nested, per-thread tracks) plus a process-wide named
+// counter registry (monotonic and gauge), with three exporters — a
+// per-phase summary table, a flat JSON summary, and the Chrome
+// chrome://tracing / Perfetto event format.
+//
+// Cost model: tracing is off by default and the hot-path check is one
+// relaxed atomic load. A disabled Span constructs to a null pointer and
+// its destructor is a branch — no clock reads, no allocation, no TLS
+// registration. A disabled Counter::add is the same single load. Enabled
+// spans append to per-thread buffers (two steady_clock reads plus one
+// uncontended mutex around the append), so worker threads never contend
+// on a shared log; thread ids are small dense integers so task-pool
+// workers show up as parallel tracks in the Chrome viewer.
+//
+// Enabling: set_trace_enabled(true) from code, or the APX_TRACE
+// environment variable — any non-empty value other than "0" enables
+// tracing at startup, and a value other than "1" is additionally treated
+// as a path to write the Chrome trace to at process exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace apx::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+struct ThreadLog;
+ThreadLog* begin_span(const char* name);
+void end_span(ThreadLog* log);
+}  // namespace detail
+
+/// True when tracing is currently enabled (relaxed; instrumentation sites
+/// gate themselves on this).
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns tracing on or off. Spans already open keep recording to their
+/// thread's log; spans constructed while disabled stay no-ops even if
+/// tracing is enabled before they close.
+void set_trace_enabled(bool on);
+
+/// RAII scoped span. Spans nest per thread (strict LIFO, guaranteed by
+/// scoping); the name must outlive the trace (string literals in
+/// practice).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (enabled()) log_ = detail::begin_span(name);
+  }
+  ~Span() {
+    if (log_ != nullptr) detail::end_span(log_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  detail::ThreadLog* log_ = nullptr;
+};
+
+enum class CounterKind : uint8_t {
+  kMonotonic,  ///< accumulates deltas (events, items processed)
+  kGauge,      ///< tracks a level or high-water mark (peak nodes)
+};
+
+/// A named process-wide counter. All mutators are relaxed atomics and
+/// no-ops while tracing is disabled; value() always reads.
+class Counter {
+ public:
+  /// Monotonic accumulation.
+  void add(int64_t delta) {
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Gauge store.
+  void set(int64_t v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  /// Gauge high-water mark: raises the value to `v` if larger.
+  void set_max(int64_t v) {
+    if (!enabled()) return;
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  CounterKind kind() const { return kind_; }
+
+ private:
+  friend Counter& counter(const char*, CounterKind);
+  friend void reset();
+  Counter(std::string name, CounterKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  std::string name_;
+  CounterKind kind_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Returns the process-wide counter `name`, creating it on first use; the
+/// reference stays valid for the process lifetime. The kind is fixed by
+/// the first registration. Cache the reference at hot sites
+/// (`static Counter& c = counter("...");`) — the lookup itself takes the
+/// registry mutex.
+Counter& counter(const char* name,
+                 CounterKind kind = CounterKind::kMonotonic);
+
+/// Aggregated view of every span with a given name, across all threads.
+/// self_ms excludes time spent in nested spans (of any name).
+struct PhaseStat {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+};
+
+/// Per-name span aggregation, sorted by total time descending (ties by
+/// name). Safe to call while spans are still being recorded.
+std::vector<PhaseStat> phase_summary();
+
+struct CounterStat {
+  std::string name;
+  CounterKind kind = CounterKind::kMonotonic;
+  int64_t value = 0;
+};
+
+/// Snapshot of every registered counter, sorted by name.
+std::vector<CounterStat> counter_summary();
+
+/// Human-readable per-phase + counter table (apxced --profile).
+void write_profile(std::FILE* out);
+
+/// Flat JSON summary: {"phases": [...], "counters": [...]}.
+std::string summary_json();
+
+/// Writes every recorded span as a Chrome trace-event file ("X" complete
+/// events, µs timestamps, one tid per recording thread) plus one final
+/// "C" event per counter — loadable in chrome://tracing and Perfetto.
+/// Returns false when the file cannot be opened.
+bool write_chrome_trace(const std::string& path);
+
+/// Clears all recorded events and zeroes every counter (registrations and
+/// thread ids persist). Spans currently open will still record on close.
+void reset();
+
+}  // namespace apx::trace

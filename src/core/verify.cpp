@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "core/trace.hpp"
 #include "network/ordering.hpp"
 #include "sat/encode.hpp"
 #include "sim/simulator.hpp"
@@ -40,12 +41,27 @@ ApproxOracle::ApproxOracle(const Network& original, const Network& approx,
   build();
 }
 
-ApproxOracle::~ApproxOracle() = default;
+ApproxOracle::~ApproxOracle() {
+  // Lifetime stats fold into the process-wide trace registry on teardown;
+  // the per-oracle Stats struct stays the precise API for benches/tests.
+  if (!trace::enabled()) return;
+  trace::counter("oracle.structural_hits").add(stats_.structural_hits);
+  trace::counter("oracle.bdd_queries").add(stats_.bdd_queries);
+  trace::counter("oracle.sat_queries").add(stats_.sat_queries);
+  trace::counter("oracle.incremental_refreshes")
+      .add(stats_.incremental_refreshes);
+  trace::counter("oracle.full_rebuilds").add(stats_.full_rebuilds);
+  trace::counter("oracle.bdd_nodes_rebuilt").add(stats_.bdd_nodes_rebuilt);
+  trace::counter("oracle.sat_nodes_reencoded")
+      .add(stats_.sat_nodes_reencoded);
+  trace::counter("oracle.gc_runs").add(stats_.gc_runs);
+}
 
 // Full rebuild: discards the SAT instance and the approx-side simulator
 // along with every BDD. The constructor and kFullRebuild mode come through
 // here; the incremental path only lands here after a structural mutation.
 void ApproxOracle::build() {
+  trace::Span span("oracle.build");
   ++stats_.full_rebuilds;
   state_->sat.reset();
   state_->sim_approx.reset();
@@ -85,6 +101,7 @@ void ApproxOracle::build_bdds() {
 }
 
 void ApproxOracle::refresh_approx() {
+  trace::Span span("oracle.refresh");
   if (mode_ == RefreshMode::kFullRebuild) {
     build();
     return;
@@ -229,6 +246,7 @@ bool ApproxOracle::cone_structurally_identical(int po) const {
 }
 
 bool ApproxOracle::verify(int po, ApproxDirection direction) {
+  trace::Span span("oracle.verify");
   if (cone_structurally_identical(po)) {
     ++stats_.structural_hits;
     return true;
@@ -249,6 +267,7 @@ bool ApproxOracle::verify(int po, ApproxDirection direction) {
       bdd_ok_ = false;  // fall through to SAT below
     }
   }
+  trace::Span sat_span("oracle.sat_fallback");
   ensure_sat();
   ++stats_.sat_queries;
   Lit f(state_->orig_vars[original_.po(po).driver], false);

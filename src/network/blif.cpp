@@ -54,10 +54,14 @@ Network read_blif_string(const std::string& text) {
       pending += line + " ";
       continue;
     }
+    // A joined continuation is reported at its first physical line, but
+    // line_no itself keeps counting physical lines — rewinding it here
+    // would shift every diagnostic after the continuation.
+    int effective_line = line_no;
     if (!pending.empty()) {
       line = pending + line;
       pending.clear();
-      line_no = pending_start;
+      effective_line = pending_start;
     }
     auto tokens = tokenize(line);
     if (tokens.empty()) continue;
@@ -73,28 +77,28 @@ Network read_blif_string(const std::string& text) {
                           tokens.end());
       current = nullptr;
     } else if (head == ".names") {
-      if (tokens.size() < 2) fail(line_no, ".names needs an output");
+      if (tokens.size() < 2) fail(effective_line, ".names needs an output");
       RawNames raw;
       raw.signals.assign(tokens.begin() + 1, tokens.end());
-      raw.line = line_no;
+      raw.line = effective_line;
       tables.push_back(std::move(raw));
       current = &tables.back();
     } else if (head == ".end") {
       break;
     } else if (head[0] == '.') {
       // Unsupported directive (.latch etc.) -> reject: combinational only.
-      fail(line_no, "unsupported directive " + head);
+      fail(effective_line, "unsupported directive " + head);
     } else {
-      if (current == nullptr) fail(line_no, "cube row outside .names");
+      if (current == nullptr) fail(effective_line, "cube row outside .names");
       if (tokens.size() == 1) {
         // Single-token row: constant table row ("1" or "0").
         if (current->signals.size() != 1)
-          fail(line_no, "bad constant row arity");
+          fail(effective_line, "bad constant row arity");
         current->rows.push_back({"", tokens[0][0]});
       } else if (tokens.size() == 2) {
         current->rows.push_back({tokens[0], tokens[1][0]});
       } else {
-        fail(line_no, "bad cube row");
+        fail(effective_line, "bad cube row");
       }
     }
   }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/trace.hpp"
+
 namespace apx {
 
 int SatSolver::new_var() {
@@ -332,6 +334,18 @@ int64_t SatSolver::luby(int64_t i) {
 
 SatResult SatSolver::solve(const std::vector<Lit>& assumptions,
                            int64_t conflict_budget) {
+  // Per-call deltas fold into the trace registry on every return path.
+  struct TracePublish {
+    const SatSolver* s;
+    int64_t conflicts0, decisions0;
+    ~TracePublish() {
+      if (!trace::enabled()) return;
+      trace::counter("sat.solves").add(1);
+      trace::counter("sat.conflicts").add(s->conflicts_total_ - conflicts0);
+      trace::counter("sat.decisions").add(s->decisions_total_ - decisions0);
+    }
+  } publish{this, conflicts_total_, decisions_total_};
+
   if (unsat_) return SatResult::kUnsat;
   backtrack(0);
   if (propagate() != kNoReason) {
@@ -420,6 +434,7 @@ SatResult SatSolver::solve(const std::vector<Lit>& assumptions,
 
     Lit next = pick_branch();
     if (next.code < 0) return SatResult::kSat;
+    ++decisions_total_;
     trail_lim_.push_back(trail_.size());
     enqueue(next, kNoReason);
   }

@@ -53,6 +53,7 @@ class SatSolver {
   bool model_value(int var) const;
 
   int64_t num_conflicts() const { return conflicts_total_; }
+  int64_t num_decisions() const { return decisions_total_; }
 
  private:
   enum class Value : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
@@ -108,6 +109,7 @@ class SatSolver {
 
   bool unsat_ = false;
   int64_t conflicts_total_ = 0;
+  int64_t decisions_total_ = 0;
   std::vector<bool> seen_;  // scratch for analyze()
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/task_pool.hpp"
+#include "core/trace.hpp"
 
 namespace apx {
 
@@ -30,6 +31,13 @@ FaultSimEngine::~FaultSimEngine() = default;
 void FaultSimEngine::run_golden(const PatternSet& patterns) {
   if (patterns.num_pis() != net_.num_pis()) {
     throw std::logic_error("FaultSimEngine: PI count mismatch");
+  }
+  trace::Span span("faultsim.golden");
+  if (trace::enabled()) {
+    static trace::Counter& batches = trace::counter("faultsim.batches");
+    static trace::Counter& words = trace::counter("faultsim.pattern_words");
+    batches.add(1);
+    words.add(patterns.num_words());
   }
   num_words_ = patterns.num_words();
   const int W = num_words_;
@@ -153,6 +161,10 @@ void FaultSimEngine::parallel_for(
     int begin, int end, int threads,
     const std::function<void(Worker&, int, int)>& f) {
   if (end <= begin) return;
+  if (trace::enabled()) {
+    static trace::Counter& sims = trace::counter("faultsim.fault_sims");
+    sims.add(end - begin);
+  }
   threads = std::min(threads, end - begin);
   for (int t = 0; t < threads; ++t) worker(t);  // size arenas up front
   TaskPool::instance().parallel_for_slotted(
@@ -169,6 +181,7 @@ void FaultSimEngine::run_campaign(const CampaignOptions& options,
     throw std::invalid_argument(
         "FaultSimEngine::run_campaign: non-positive batch geometry");
   }
+  trace::Span span("faultsim.campaign");
   const int samples = options.num_fault_samples;
   if (samples <= 0) return;
   std::vector<StuckFault> faults(samples);

@@ -81,12 +81,18 @@ Sop irredundant(const Sop& cover, const Sop& dc) {
     return a.literal_count() > b.literal_count();
   });
   std::vector<bool> removed(cubes.size(), false);
+  // Scratch cover reused across probes: the dc cubes form a fixed prefix,
+  // each probe truncates back to it and appends the surviving other cubes.
+  // A cover is a set (order-independent), so hoisting dc to the front
+  // changes nothing semantically.
+  Sop rest(cover.num_vars());
+  for (const Cube& d : dc.cubes()) rest.add_cube(d);
+  const int dc_prefix = rest.num_cubes();
   for (size_t i = 0; i < cubes.size(); ++i) {
-    Sop rest(cover.num_vars());
+    rest.truncate(dc_prefix);
     for (size_t j = 0; j < cubes.size(); ++j) {
       if (j != i && !removed[j]) rest.add_cube(cubes[j]);
     }
-    for (const Cube& d : dc.cubes()) rest.add_cube(d);
     if (rest.covers_cube(cubes[i])) removed[i] = true;
   }
   Sop result(cover.num_vars());
@@ -104,15 +110,20 @@ Sop minimize(const Sop& onset, const Sop& dc, const MinimizeOptions& options) {
   cover.make_scc_free();
   cover = expand_against_offset(cover, offset);
   cover = irredundant(cover, dc);
+  // Scratch rest-cover for REDUCE, hoisted out of the refinement loop: the
+  // dc cubes never change, so they sit as a fixed prefix and each cube's
+  // probe rebuilds only the tail (covers are order-independent sets).
+  Sop rest(cover.num_vars());
+  for (const Cube& d : dc.cubes()) rest.add_cube(d);
+  const int dc_prefix = rest.num_cubes();
   for (int iter = 0; iter < options.refine_iterations; ++iter) {
     // REDUCE / EXPAND / IRREDUNDANT refinement.
     Sop reduced(cover.num_vars());
     for (int i = 0; i < cover.num_cubes(); ++i) {
-      Sop rest(cover.num_vars());
+      rest.truncate(dc_prefix);
       for (int j = 0; j < cover.num_cubes(); ++j) {
         if (j != i) rest.add_cube(cover.cube(j));
       }
-      for (const Cube& d : dc.cubes()) rest.add_cube(d);
       reduced.add_cube(reduce_cube(cover.cube(i), rest));
     }
     Sop next = expand_against_offset(reduced, offset);

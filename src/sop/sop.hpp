@@ -46,6 +46,13 @@ class Sop {
   void add_cube(Cube c);
   void clear() { cubes_.clear(); }
 
+  /// Keeps only the first `n` cubes (no-op if the cover is already that
+  /// small). Lets callers reuse one cover as scratch: fill a fixed prefix
+  /// once, truncate back to it, append the per-iteration tail.
+  void truncate(int n) {
+    if (n < num_cubes()) cubes_.resize(static_cast<size_t>(n));
+  }
+
   /// Does the cover evaluate to 1 on the given minterm (num_vars <= 64)?
   bool covers_minterm(uint64_t minterm) const;
 

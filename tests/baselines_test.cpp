@@ -92,6 +92,39 @@ TEST(PartialDuplicationTest, NoFalseAlarmsAndDetectsErrors) {
   EXPECT_GT(cov.coverage(), 0.5);
 }
 
+TEST(PartialDuplicationTest, WireOnlyNetworkHasNoFaultSites) {
+  // PIs wired straight to POs: enumerate_faults() is empty. The old
+  // ranking loop computed rng() % 0 — integer division by zero (UB,
+  // SIGFPE in practice) — before ever reaching the guarded histogram.
+  Network net;
+  net.set_name("wires");
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  net.add_po("x", a);
+  net.add_po("y", b);
+  net.check();
+
+  PartialDuplicationResult r = build_partial_duplication(net, 0.9);
+  EXPECT_EQ(r.estimated_coverage, 0.0);
+  // With zero observed errors no prefix reaches the target: every PO is
+  // duplicated.
+  EXPECT_EQ(r.duplicated_pos.size(), 2u);
+}
+
+TEST(PartialDuplicationTest, SelectionIsThreadCountInvariant) {
+  Network mapped = mapped_bench("dec38");
+  PartialDuplicationOptions serial;
+  serial.num_threads = 1;
+  PartialDuplicationOptions parallel = serial;
+  parallel.num_threads = 4;
+  PartialDuplicationResult a = build_partial_duplication(mapped, 0.7, serial);
+  PartialDuplicationResult b =
+      build_partial_duplication(mapped, 0.7, parallel);
+  EXPECT_EQ(a.duplicated_pos, b.duplicated_pos);
+  EXPECT_EQ(a.estimated_coverage, b.estimated_coverage);
+  EXPECT_EQ(a.ced.design.num_nodes(), b.ced.design.num_nodes());
+}
+
 TEST(PartialDuplicationTest, CoverageTracksEstimate) {
   Network mapped = mapped_bench("dec38");
   PartialDuplicationResult r = build_partial_duplication(mapped, 0.7);

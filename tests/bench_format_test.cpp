@@ -105,6 +105,7 @@ TEST(BenchJsonTest, PipelineArtifactSchema) {
       "\"serial_seconds\"",  "\"parallel_seconds\"",
       "\"speedup\"",         "\"speedup_gate\"",
       "\"gate_enforced\"",   "\"rows_bit_identical\"",
+      "\"profiled_identical\"", "\"phases\"",
       "\"rows\"",
   };
   for (const char* key : top_level) {
@@ -121,6 +122,18 @@ TEST(BenchJsonTest, PipelineArtifactSchema) {
 
   EXPECT_NE(text.find("\"rows_bit_identical\": true"), std::string::npos)
       << "committed artifact must record a bit-identical 1-vs-N run";
+  EXPECT_NE(text.find("\"profiled_identical\": true"), std::string::npos)
+      << "traced rerun must reproduce the rows bit-for-bit";
+
+  // Per-phase breakdown entries from the traced pass.
+  const char* per_phase[] = {
+      "\"name\"", "\"count\"", "\"total_ms\"", "\"self_ms\"",
+  };
+  for (const char* key : per_phase) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  EXPECT_NE(text.find("\"pipeline\""), std::string::npos)
+      << "phases must include the whole-pipeline span";
 
   int braces = 0, brackets = 0;
   for (char c : text) {

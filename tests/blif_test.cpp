@@ -85,6 +85,48 @@ TEST(BlifTest, LineContinuation) {
   EXPECT_EQ(net.num_pis(), 2);
 }
 
+TEST(BlifTest, LineNumbersAfterContinuation) {
+  // The '\' continuation on lines 2-3 must not rewind the physical line
+  // counter: the bad .latch directive sits on physical line 7 and the
+  // diagnostic has to say so (the old parser reported line 6 — and kept
+  // drifting one further per continuation).
+  const char* text =
+      ".model cont\n"        // line 1
+      ".inputs a \\\n"       // line 2 (continued...)
+      "b\n"                  // line 3 (...joined into line 2)
+      ".outputs f\n"         // line 4
+      ".names a b f\n"       // line 5
+      "11 1\n"               // line 6
+      ".latch a b\n"         // line 7: unsupported directive
+      ".end\n";
+  try {
+    read_blif_string(text);
+    FAIL() << "expected .latch to be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(BlifTest, ContinuationErrorsReportFirstPhysicalLine) {
+  // A malformed directive assembled from a continuation is reported at the
+  // line where the continuation started.
+  const char* text =
+      ".model cont\n"        // line 1
+      ".inputs a b\n"        // line 2
+      ".outputs f\n"         // line 3
+      ".latch \\\n"          // line 4 (continued...)
+      "a b\n"                // line 5
+      ".end\n";
+  try {
+    read_blif_string(text);
+    FAIL() << "expected .latch to be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
 TEST(BlifTest, RoundTripPreservesFunction) {
   Network net = read_blif_string(kSimpleBlif);
   std::string text = write_blif_string(net);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "benchmarks/benchmarks.hpp"
 #include "core/approx_synthesis.hpp"
 #include "mapping/mapper.hpp"
@@ -122,6 +124,56 @@ TEST(CedTest, HigherThresholdLowersOverhead) {
   CedSetup loose = build_setup("cmp4", 0.4);
   EXPECT_LE(loose.checkgen.num_logic_nodes(),
             tight.checkgen.num_logic_nodes());
+}
+
+TEST(CedTest, CoverageHelperNeverNanAndClamped) {
+  CoverageResult r;
+  EXPECT_EQ(r.coverage(), 0.0);  // 0/0 must not be NaN
+  r.erroneous = 0;
+  r.detected = 5;
+  EXPECT_EQ(r.coverage(), 0.0);
+  r.erroneous = 10;
+  r.detected = 0;
+  EXPECT_EQ(r.coverage(), 0.0);
+  r.detected = 7;
+  EXPECT_DOUBLE_EQ(r.coverage(), 0.7);
+  // Defensive clamp: detected > erroneous must not report > 100%.
+  r.detected = 12;
+  EXPECT_EQ(r.coverage(), 1.0);
+  EXPECT_TRUE(std::isfinite(r.coverage()));
+}
+
+TEST(CedTest, OverheadHelpersNeverNanOnDegenerateDenominators) {
+  OverheadReport rep;  // all-zero: wire-only functional circuit
+  rep.checkgen_area = 3;
+  rep.overhead_area = 5;
+  rep.checkgen_activity = 1.5;
+  rep.overhead_activity = 2.0;
+  EXPECT_EQ(rep.area_overhead_pct(), 0.0);
+  EXPECT_EQ(rep.power_overhead_pct(), 0.0);
+  EXPECT_EQ(rep.area_overhead_with_checkers_pct(), 0.0);
+  EXPECT_EQ(rep.power_overhead_with_checkers_pct(), 0.0);
+}
+
+TEST(CedTest, TrivialDesignMeasuresFinite) {
+  // A CED design with no functional logic: coverage degrades to zero runs
+  // and every reported percentage stays finite.
+  Network original;
+  original.set_name("wires");
+  NodeId a = original.add_pi("a");
+  original.add_po("x", a);
+  std::vector<int> checked;  // duplicate nothing
+  CedDesign ced = build_duplication_ced(original, original, checked);
+
+  CoverageResult cov = evaluate_ced_coverage(ced);
+  EXPECT_EQ(cov.erroneous, 0);
+  EXPECT_EQ(cov.coverage(), 0.0);
+
+  OverheadReport rep = measure_overheads(ced);
+  EXPECT_TRUE(std::isfinite(rep.area_overhead_pct()));
+  EXPECT_TRUE(std::isfinite(rep.power_overhead_pct()));
+  EXPECT_TRUE(std::isfinite(rep.area_overhead_with_checkers_pct()));
+  EXPECT_TRUE(std::isfinite(rep.power_overhead_with_checkers_pct()));
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "tt/truth_table.hpp"
@@ -90,6 +91,86 @@ TEST_P(MinimizeProperty, IrredundantKeepsFunction) {
         if (j != i) rest.add_cube(g.cube(j));
       }
       EXPECT_FALSE(rest.covers_cube(g.cube(i)));
+    }
+  }
+}
+
+// Reference copy of the pre-scratch-reuse irredundant(): rebuilds the rest
+// cover from scratch per probe, with the dc cubes appended AFTER the other
+// cubes (the old ordering). The production version hoists dc to a fixed
+// prefix and truncates; the two must pick exactly the same cubes.
+Sop irredundant_reference(const Sop& cover, const Sop& dc) {
+  std::vector<Cube> cubes = cover.cubes();
+  std::sort(cubes.begin(), cubes.end(), [](const Cube& a, const Cube& b) {
+    return a.literal_count() > b.literal_count();
+  });
+  std::vector<bool> removed(cubes.size(), false);
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    Sop rest(cover.num_vars());
+    for (size_t j = 0; j < cubes.size(); ++j) {
+      if (j != i && !removed[j]) rest.add_cube(cubes[j]);
+    }
+    for (const Cube& d : dc.cubes()) rest.add_cube(d);
+    if (rest.covers_cube(cubes[i])) removed[i] = true;
+  }
+  Sop result(cover.num_vars());
+  for (size_t i = 0; i < cubes.size(); ++i) {
+    if (!removed[i]) result.add_cube(cubes[i]);
+  }
+  return result;
+}
+
+// Replica of minimize.cpp's reduce_cube, on the public Sop API.
+Cube reduce_cube_reference(const Cube& c, const Sop& rest_plus_dc) {
+  Sop cof = rest_plus_dc.cofactor(c);
+  Sop comp = Sop::complement(cof);
+  if (comp.empty()) return c;
+  const int n = c.num_vars();
+  Cube super = comp.cube(0);
+  for (int i = 1; i < comp.num_cubes(); ++i) {
+    const Cube& o = comp.cube(i);
+    for (int v = 0; v < n; ++v) {
+      super.set(v, static_cast<LitCode>(static_cast<uint8_t>(super.get(v)) |
+                                        static_cast<uint8_t>(o.get(v))));
+    }
+  }
+  auto reduced = c.intersect(super);
+  return reduced ? *reduced : c;
+}
+
+TEST_P(MinimizeProperty, IrredundantMatchesPerProbeRebuild) {
+  std::mt19937 rng(GetParam() + 200);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng() % 5);
+    Sop f = random_sop(rng, n, 8);
+    Sop dc = (rng() & 1) ? random_sop(rng, n, 3) : Sop::zero(n);
+    EXPECT_EQ(irredundant(f, dc), irredundant_reference(f, dc));
+  }
+}
+
+TEST_P(MinimizeProperty, ReduceIsRestOrderIndependent) {
+  // The scratch-cover rewrite moved the dc cubes from the tail of the rest
+  // cover to a fixed prefix. REDUCE must not care: its result depends only
+  // on the function of rest + dc, not the cube order.
+  std::mt19937 rng(GetParam() + 300);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng() % 5);
+    Sop f = random_sop(rng, n, 6);
+    Sop dc = random_sop(rng, n, 3);
+    for (int i = 0; i < f.num_cubes(); ++i) {
+      Sop others_then_dc(n);
+      Sop dc_then_others(n);
+      for (const Cube& d : dc.cubes()) dc_then_others.add_cube(d);
+      for (int j = 0; j < f.num_cubes(); ++j) {
+        if (j != i) {
+          others_then_dc.add_cube(f.cube(j));
+          dc_then_others.add_cube(f.cube(j));
+        }
+      }
+      for (const Cube& d : dc.cubes()) others_then_dc.add_cube(d);
+      EXPECT_EQ(
+          reduce_cube_reference(f.cube(i), others_then_dc).to_string(),
+          reduce_cube_reference(f.cube(i), dc_then_others).to_string());
     }
   }
 }

@@ -13,6 +13,10 @@
 //   --samples <n>    fault-injection samples (default 2000)
 //   --threads <n>    fault-simulation worker threads (default: all hardware
 //                    threads; results are bit-identical for any count)
+//   --profile        print a per-phase wall-time / counter table to stderr
+//                    after the run (synth/ced)
+//   --trace <file>   write a Chrome-tracing JSON (chrome://tracing or
+//                    https://ui.perfetto.dev) of the run (synth/ced)
 //
 // Circuits are read by extension: .blif, .bench, .pla.
 #include <cstdio>
@@ -21,6 +25,7 @@
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "core/trace.hpp"
 #include "mapping/optimize.hpp"
 #include "network/bench_format.hpp"
 #include "network/blif.hpp"
@@ -82,6 +87,8 @@ struct CommonArgs {
   bool share = false;
   int samples = 2000;
   int threads = 0;  // 0 = all hardware threads
+  std::string trace_path;
+  bool profile = false;
 };
 
 CommonArgs parse_common(int argc, char** argv, int start) {
@@ -104,11 +111,27 @@ CommonArgs parse_common(int argc, char** argv, int start) {
       args.samples = std::stoi(need_value("--samples"));
     } else if (a == "--threads") {
       args.threads = std::stoi(need_value("--threads"));
+    } else if (a == "--trace") {
+      args.trace_path = need_value("--trace");
+    } else if (a == "--profile") {
+      args.profile = true;
     } else {
       throw std::runtime_error("unknown option: " + a);
     }
   }
   return args;
+}
+
+void begin_tracing(const CommonArgs& args) {
+  if (args.profile || !args.trace_path.empty()) trace::set_trace_enabled(true);
+}
+
+void finish_tracing(const CommonArgs& args) {
+  if (!args.trace_path.empty()) {
+    trace::write_chrome_trace(args.trace_path);
+    std::fprintf(stderr, "wrote trace to %s\n", args.trace_path.c_str());
+  }
+  if (args.profile) trace::write_profile(stderr);
 }
 
 PipelineOptions to_options(const CommonArgs& args) {
@@ -123,8 +146,10 @@ PipelineOptions to_options(const CommonArgs& args) {
 }
 
 int cmd_synth(const std::string& path, const CommonArgs& args) {
+  begin_tracing(args);
   Network net = read_any(path);
   PipelineResult r = run_ced_pipeline(net, to_options(args));
+  finish_tracing(args);
   std::printf("directions: ");
   for (auto d : r.directions) {
     std::printf("%c", d == ApproxDirection::kZeroApprox ? '0' : '1');
@@ -144,8 +169,10 @@ int cmd_synth(const std::string& path, const CommonArgs& args) {
 }
 
 int cmd_ced(const std::string& path, const CommonArgs& args) {
+  begin_tracing(args);
   Network net = read_any(path);
   PipelineResult r = run_ced_pipeline(net, to_options(args));
+  finish_tracing(args);
   std::printf("%-24s %.1f%%\n", "area overhead",
               r.overheads.area_overhead_pct());
   std::printf("%-24s %.1f%%\n", "power overhead",
