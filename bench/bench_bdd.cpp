@@ -269,6 +269,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
+  write_host_metadata(f);
   std::fprintf(f, "  \"bdd_budget\": %zu,\n", budget);
   std::fprintf(f, "  \"threads\": %d,\n", threads);
   std::fprintf(f, "  \"circuits\": [\n");

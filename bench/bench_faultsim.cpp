@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
+  apx::bench::write_host_metadata(f);
   std::fprintf(f, "  \"circuit\": \"%s\",\n", circuit);
   std::fprintf(f, "  \"ced_nodes\": %d,\n", ced.design.num_nodes());
   std::fprintf(f, "  \"functional_gates\": %d,\n", ced.functional_area());

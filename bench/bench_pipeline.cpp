@@ -24,6 +24,7 @@
 #include "bench_util.hpp"
 #include "core/task_pool.hpp"
 #include "core/trace.hpp"
+#include "network/ordering.hpp"
 
 using namespace apx;
 using namespace apx::bench;
@@ -70,7 +71,8 @@ bool rows_identical(const std::vector<Row>& a, const std::vector<Row>& b) {
   return true;
 }
 
-SuiteRun run_suite(const std::vector<Network>& nets, int threads) {
+SuiteRun run_suite(const std::vector<Network>& nets, int threads,
+                   bool cold_order_cache = true) {
   PipelineOptions opt;
   opt.approx.significance_threshold = 0.12;
   opt.reliability.num_fault_samples = scaled(1200);
@@ -83,6 +85,14 @@ SuiteRun run_suite(const std::vector<Network>& nets, int threads) {
 
   SuiteRun run;
   run.rows.resize(kNumRows);
+  // Both timed runs start with a cold order cache so the serial baseline
+  // and the parallel run measure the same work: the cache's within-run win
+  // — reusing a converged variable order across the oracle rebuilds one
+  // pipeline performs per circuit — is counted, never leaked between the
+  // timed runs. The traced observability pass keeps the cache warm
+  // instead: its phase table is the steady-state profile, where a repeat
+  // invocation re-sifts nothing.
+  if (cold_order_cache) OrderCache::instance().clear();
   Stopwatch watch;
   TaskPool::instance().parallel_for(
       0, kNumRows,
@@ -130,13 +140,19 @@ int main(int argc, char** argv) {
               parallel.seconds);
 
   // Third pass with tracing enabled: the rows must still be bit-identical
-  // (spans/counters observe, they must not perturb), and its phase summary
-  // becomes the exported per-phase breakdown.
+  // (spans/counters observe, they must not perturb; queries are
+  // order-invariant, so a warm cache cannot change them either), and its
+  // phase summary becomes the exported per-phase breakdown. This pass
+  // reuses the orders converged during the parallel run — the profile it
+  // exports is the steady state the order cache exists to reach, with
+  // cold sifting visible in serial_seconds/parallel_seconds instead.
   trace::reset();
   trace::set_trace_enabled(true);
-  SuiteRun profiled = run_suite(nets, parallel_threads);
+  SuiteRun profiled = run_suite(nets, parallel_threads,
+                                /*cold_order_cache=*/false);
   trace::set_trace_enabled(false);
   const std::vector<trace::PhaseStat> phases = trace::phase_summary();
+  const std::vector<trace::CounterStat> counters = trace::counter_summary();
   std::printf("%-24s %8.3fs (tracing enabled)\n", "suite, traced",
               profiled.seconds);
 
@@ -171,6 +187,11 @@ int main(int argc, char** argv) {
     std::printf("%-36s %8lld %12.2f %12.2f\n", p.name.c_str(),
                 static_cast<long long>(p.count), p.total_ms, p.self_ms);
   }
+  std::printf("\n%-36s %12s\n", "counter", "value");
+  for (const trace::CounterStat& c : counters) {
+    std::printf("%-36s %12lld\n", c.name.c_str(),
+                static_cast<long long>(c.value));
+  }
 
   FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -185,6 +206,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "],\n");
   std::fprintf(f, "  \"fault_samples\": %d,\n", scaled(1200));
   std::fprintf(f, "  \"hardware_concurrency\": %d,\n", hw);
+  write_host_metadata(f);
   std::fprintf(f, "  \"threads_parallel\": %d,\n", parallel_threads);
   std::fprintf(f, "  \"serial_seconds\": %.4f,\n", serial.seconds);
   std::fprintf(f, "  \"parallel_seconds\": %.4f,\n", parallel.seconds);
@@ -206,6 +228,15 @@ int main(int argc, char** argv) {
                  p.self_ms, i + 1 < phases.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Counters from the traced pass (flat name -> value map): the CI gate
+  // reads bdd.order_cache_hits / bdd.reorder_skipped_budget from here.
+  std::fprintf(f, "  \"counters\": {\n");
+  for (size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %lld%s\n", counters[i].name.c_str(),
+                 static_cast<long long>(counters[i].value),
+                 i + 1 < counters.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"rows\": [\n");
   for (int i = 0; i < kNumRows; ++i) {
     const Row& r = parallel.rows[i];

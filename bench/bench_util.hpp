@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchmarks/benchmarks.hpp"
@@ -77,6 +78,24 @@ inline TunedRun auto_tune(const Network& net, double lambda = 0.25,
     }
   }
   return std::move(*chosen);
+}
+
+/// Host/run metadata block for every bench JSON artifact. A regressing
+/// snapshot produced on a small runner (where parallel speedup gates are
+/// advisory) must be distinguishable from a gated one, so each artifact
+/// records the physical core count, the thread-policy environment pins in
+/// effect, and the SIMD substrate (the bit-parallel simulators pack 64
+/// patterns per machine word). Emits three `"key": value,` lines at the
+/// given indent; callers place it among their top-level fields.
+inline void write_host_metadata(std::FILE* f, const char* indent = "  ") {
+  const char* apx_threads = std::getenv("APX_THREADS");
+  const char* ced_threads = std::getenv("APXCED_THREADS");
+  std::fprintf(f, "%s\"host_cores\": %u,\n", indent,
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "%s\"thread_policy\": \"APX_THREADS=%s APXCED_THREADS=%s\",\n",
+               indent, apx_threads != nullptr ? apx_threads : "unset",
+               ced_threads != nullptr ? ced_threads : "unset");
+  std::fprintf(f, "%s\"simd_width_bits\": 64,\n", indent);
 }
 
 class Stopwatch {

@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
+  apx::bench::write_host_metadata(f);
   std::fprintf(f, "  \"circuit\": \"%s\",\n", circuit.c_str());
   std::fprintf(f, "  \"pis\": %d,\n", net.num_pis());
   std::fprintf(f, "  \"pos\": %d,\n", net.num_pos());

@@ -30,26 +30,7 @@ BddManager::BddManager(int num_vars, size_t max_nodes,
   nodes_.push_back({num_vars_, 1, 1});
   var2level_.resize(num_vars_ + 1);
   level2var_.resize(num_vars_ + 1);
-  if (level_to_var.empty()) {
-    std::iota(var2level_.begin(), var2level_.end(), 0);
-    std::iota(level2var_.begin(), level2var_.end(), 0);
-  } else {
-    assert(static_cast<int>(level_to_var.size()) == num_vars_ &&
-           "level_to_var must cover every variable");
-    std::vector<char> placed(num_vars_, 0);
-    for (int l = 0; l < num_vars_; ++l) {
-      int v = level_to_var[l];
-      assert(v >= 0 && v < num_vars_ && !placed[v] &&
-             "level_to_var must be a permutation of 0..num_vars-1");
-      placed[v] = 1;
-      level2var_[l] = v;
-      var2level_[v] = l;
-    }
-    (void)placed;
-    // The terminal sentinel sits below every real level.
-    level2var_[num_vars_] = num_vars_;
-    var2level_[num_vars_] = num_vars_;
-  }
+  install_order(level_to_var);
   unique_slots_.assign(1024, kInvalidRef);
   // Direct-mapped lossy cache: sized to the budget (bounded at 2^20
   // entries = 16 MB) so big managers don't thrash on a tiny cache.
@@ -57,6 +38,40 @@ BddManager::BddManager(int num_vars, size_t max_nodes,
                               size_t{1} << 12, size_t{1} << 20);
   ite_cache_.assign(ite_cap, IteEntry{});
   stats_.peak_nodes = 2;
+}
+
+void BddManager::install_order(const std::vector<int>& level_to_var) {
+  if (level_to_var.empty()) {
+    std::iota(var2level_.begin(), var2level_.end(), 0);
+    std::iota(level2var_.begin(), level2var_.end(), 0);
+    return;
+  }
+  if (static_cast<int>(level_to_var.size()) != num_vars_) {
+    throw std::logic_error("level_to_var must cover every variable");
+  }
+  std::vector<char> placed(num_vars_, 0);
+  for (int l = 0; l < num_vars_; ++l) {
+    int v = level_to_var[l];
+    if (v < 0 || v >= num_vars_ || placed[v]) {
+      throw std::logic_error(
+          "level_to_var must be a permutation of 0..num_vars-1");
+    }
+    placed[v] = 1;
+    level2var_[l] = v;
+    var2level_[v] = l;
+  }
+  // The terminal sentinel sits below every real level.
+  level2var_[num_vars_] = num_vars_;
+  var2level_[num_vars_] = num_vars_;
+}
+
+void BddManager::seed_order(const std::vector<int>& level_to_var) {
+  // Levels are baked into every existing internal node; reinterpreting
+  // them post hoc would silently change those nodes' functions.
+  if (nodes_.size() != 2 || !free_list_.empty()) {
+    throw std::logic_error("seed_order requires an empty manager");
+  }
+  install_order(level_to_var);
 }
 
 void BddManager::unique_insert(Ref id) {
@@ -472,6 +487,46 @@ BddManager::Ref BddManager::swap_find_or_make(int32_t var, Ref lo, Ref hi) {
   return id;
 }
 
+void BddManager::build_interaction_matrix(const std::vector<Ref>& roots) {
+  // u and v interact iff some root's support contains both. Every arena
+  // node is root-reachable here (reorder() GCs first), so a node labelled
+  // x with a child labelled y implies x and y interact; contrapositive:
+  // non-interacting level pairs swap with zero node rewrites.
+  interact_words_ = (static_cast<size_t>(num_vars_) + 63) / 64;
+  interact_.assign(static_cast<size_t>(num_vars_) * interact_words_, 0);
+  std::vector<Ref> uniq(roots);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  std::vector<uint32_t> mark(nodes_.size(), 0);
+  std::vector<uint64_t> sup(interact_words_);
+  std::vector<Ref> stack;
+  uint32_t tag = 0;
+  for (Ref root : uniq) {
+    if (root <= 1) continue;
+    ++tag;
+    std::fill(sup.begin(), sup.end(), 0);
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Ref n = stack.back();
+      stack.pop_back();
+      if (n <= 1 || mark[n] == tag) continue;
+      mark[n] = tag;
+      const int32_t v = nodes_[n].var;
+      sup[static_cast<size_t>(v) / 64] |= 1ull << (static_cast<size_t>(v) % 64);
+      stack.push_back(nodes_[n].lo);
+      stack.push_back(nodes_[n].hi);
+    }
+    for (int32_t v = 0; v < num_vars_; ++v) {
+      if ((sup[static_cast<size_t>(v) / 64] >>
+           (static_cast<size_t>(v) % 64)) &
+          1u) {
+        uint64_t* row = &interact_[static_cast<size_t>(v) * interact_words_];
+        for (size_t w = 0; w < interact_words_; ++w) row[w] |= sup[w];
+      }
+    }
+  }
+}
+
 void BddManager::swap_levels(int level) {
   // Exchange the variables at `level` and `level + 1`. Only nodes labelled
   // with the upper variable x that reference the lower variable y change;
@@ -480,6 +535,15 @@ void BddManager::swap_levels(int level) {
   // at these two levels are untouched by construction.
   const int32_t x = level2var_[level];
   const int32_t y = level2var_[level + 1];
+  if (!interact_.empty() && !interacts(x, y)) {
+    // Disjoint supports: no x-node has a y-child, so the swap is pure
+    // permutation bookkeeping — the dominant case on wide, shallow
+    // circuits where most PI pairs never meet in one cone.
+    std::swap(level2var_[level], level2var_[level + 1]);
+    var2level_[x] = level + 1;
+    var2level_[y] = level;
+    return;
+  }
   std::vector<Ref> old_list = std::move(var_nodes_[x]);
   var_nodes_[x].clear();
   for (Ref n : old_list) {
@@ -578,9 +642,13 @@ void BddManager::sift(const std::vector<Ref>& roots) {
   for (Ref r = 2; r < static_cast<Ref>(nodes_.size()); ++r) {
     var_nodes_[nodes_[r].var].push_back(r);
   }
+  build_interaction_matrix(roots);
 
   constexpr size_t kMaxSiftVars = 128;  // CUDD-style per-pass variable cap
-  constexpr int kMaxPasses = 3;
+  // Two passes capture nearly all of the reduction on these table sizes;
+  // later passes cost as much as the first while reclaiming a few percent,
+  // and converged orders are cached across builds anyway.
+  constexpr int kMaxPasses = 2;
   size_t prev = live_internal();
   for (int pass = 0; pass < kMaxPasses; ++pass) {
     // Most-populated variables first: biggest expected gain, and empty
@@ -590,7 +658,12 @@ void BddManager::sift(const std::vector<Ref>& roots) {
     for (int v = 0; v < num_vars_; ++v) {
       size_t count = 0;
       for (Ref r : var_nodes_[v]) count += nodes_[r].var == v;
-      if (count) occupancy.emplace_back(count, v);
+      // Lower-bound prune: the sweep for a variable with c nodes cannot
+      // shrink the table by more than c - 1 (its own level collapsing is
+      // the best case), so single-node variables — the common tail after
+      // convergence — are skipped outright instead of paying 2n swaps
+      // for a provably zero gain.
+      if (count > 1) occupancy.emplace_back(count, v);
     }
     std::sort(occupancy.begin(), occupancy.end(),
               [](const std::pair<size_t, int>& a,
@@ -598,16 +671,36 @@ void BddManager::sift(const std::vector<Ref>& roots) {
     if (occupancy.size() > kMaxSiftVars) occupancy.resize(kMaxSiftVars);
     for (const auto& [count, v] : occupancy) sift_var(v);
     const size_t now = live_internal();
-    if (now + prev / 50 >= prev) break;  // pass gained < 2%: converged
+    // Converged when the pass gained less than 2% — with a floor of one
+    // node so small tables (prev < 50, where prev/50 == 0) still demand a
+    // real improvement to keep sifting rather than degenerating into a
+    // zero-tolerance comparison.
+    if (now + std::max<size_t>(1, prev / 50) >= prev) break;
     prev = now;
   }
   parent_count_.clear();
   var_nodes_.clear();
+  interact_.clear();
 }
 
 std::vector<BddManager::Ref> BddManager::reorder(
     const std::vector<Ref>& extra_roots) {
   reorder_pending_ = false;
+  // Reorder budget: a manager seeded with a previously converged order is
+  // not expected to beat that order until it outgrows it, so absorb the
+  // request — no GC, no sifting, refs stay valid (identity remap). The
+  // growth threshold backs off exactly like the sifting path so the
+  // make_node latch does not re-fire on the very next allocation.
+  if (reorder_budget_ != 0 && live_nodes() <= reorder_budget_) {
+    ++stats_.reorder_skipped;
+    if (trace::enabled()) {
+      trace::counter("bdd.reorder_skipped_budget").add(1);
+    }
+    reorder_threshold_ = std::max(reorder_threshold_, 2 * live_nodes());
+    std::vector<Ref> identity(nodes_.size());
+    std::iota(identity.begin(), identity.end(), 0);
+    return identity;
+  }
   std::vector<Ref> roots;
   for (const std::vector<Ref>* slots : external_slots_) {
     for (Ref r : *slots) {
@@ -643,8 +736,12 @@ std::vector<BddManager::Ref> BddManager::reorder(
     trace::counter("bdd.peak_nodes", trace::CounterKind::kGauge)
         .set_max(static_cast<int64_t>(stats_.peak_nodes));
   }
-  // Back off: don't re-trigger until the arena doubles from here.
-  reorder_threshold_ = std::max(reorder_threshold_, 2 * live_nodes());
+  // Back off: don't re-trigger until the arena quadruples from here. A
+  // monotonically growing build re-sifts O(log4 n) times instead of
+  // O(log2 n); sift cost rises with table size, so halving the re-sift
+  // count roughly halves total sift time while the max-growth abort in
+  // sift_var still bounds the peak between runs.
+  reorder_threshold_ = std::max(reorder_threshold_, 4 * live_nodes());
   stats_.reorder_time_ms += std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();

@@ -164,9 +164,42 @@ class BddManager {
   /// node count that latches reorder_pending_; it doubles after every
   /// reorder so a structurally big result cannot thrash.
   void set_auto_reorder(bool enabled) { auto_reorder_ = enabled; }
+  /// Replaces the growth threshold and re-evaluates the latched request
+  /// against it: raising the threshold above the current live count clears
+  /// a pending reorder (it would sift a table that no longer qualifies),
+  /// and lowering it below the live count latches one.
   void set_reorder_threshold(size_t threshold) {
     reorder_threshold_ = threshold;
+    if (auto_reorder_ && !in_reorder_) {
+      reorder_pending_ = live_nodes() >= reorder_threshold_;
+    }
   }
+
+  /// Arms the reorder budget: while the live-node count stays at or below
+  /// `budget`, reorder() skips sifting entirely (the pending latch is
+  /// cleared, the growth threshold backs off past the current live count,
+  /// and the identity remap is returned — refs stay valid). Callers
+  /// seeding a previously converged order use this so the seeded build
+  /// does not pay for sifting again until it outgrows what the converged
+  /// order achieved. The growth trigger still latches normally; the skip
+  /// happens (and is counted) at the reorder() safe point. 0 (the
+  /// default) disables the budget.
+  void set_reorder_budget(size_t budget) { reorder_budget_ = budget; }
+  size_t reorder_budget() const { return reorder_budget_; }
+
+  /// Current variable order, top level first: position l holds the
+  /// variable at level l (the `level_to_var` shape the constructor and
+  /// seed_order accept). The terminal sentinel is excluded.
+  std::vector<int> export_order() const {
+    return std::vector<int>(level2var_.begin(), level2var_.end() - 1);
+  }
+
+  /// Installs a previously converged var<->level permutation. Only legal
+  /// on an empty manager (no internal nodes yet): seeding reinterprets
+  /// which variable every level refers to, which would silently change
+  /// the function of existing nodes. Throws std::logic_error otherwise or
+  /// when `level_to_var` is not a permutation of 0..num_vars-1.
+  void seed_order(const std::vector<int>& level_to_var);
 
   /// Hash-quality / workload counters (monotone since construction).
   struct Stats {
@@ -177,6 +210,7 @@ class BddManager {
     uint64_t peak_nodes = 0;    ///< max live nodes ever in the arena
     uint64_t gc_runs = 0;       ///< garbage_collect invocations
     uint64_t reorder_runs = 0;  ///< reorder() invocations that sifted
+    uint64_t reorder_skipped = 0;  ///< reorder() calls absorbed by the budget
     double reorder_time_ms = 0.0;  ///< total wall time inside reorder()
     /// Mean slots inspected per unique-table lookup (1.0 = collision-free).
     double avg_probe_length() const {
@@ -238,6 +272,13 @@ class BddManager {
   void sift(const std::vector<Ref>& roots);
   void sift_var(int var);
   void swap_levels(int level);
+  void build_interaction_matrix(const std::vector<Ref>& roots);
+  bool interacts(int32_t u, int32_t v) const {
+    return (interact_[static_cast<size_t>(u) * interact_words_ +
+                      static_cast<size_t>(v) / 64] >>
+            (static_cast<size_t>(v) % 64)) &
+           1u;
+  }
   Ref swap_find_or_make(int32_t var, Ref lo, Ref hi);
   void deref(Ref r);
   size_t live_internal() const { return nodes_.size() - 2 - free_list_.size(); }
@@ -272,14 +313,25 @@ class BddManager {
   // var_nodes_ are per-reorder scratch (in-arena reference counts seeded
   // with root pins, and per-variable node lists, both maintained across
   // swaps).
+  /// Validates and installs a level_to_var permutation into var2level_/
+  /// level2var_ (shared by the constructor and seed_order).
+  void install_order(const std::vector<int>& level_to_var);
+
   bool auto_reorder_ = true;
   bool reorder_pending_ = false;
   bool in_reorder_ = false;
   size_t reorder_threshold_;
+  size_t reorder_budget_ = 0;
   std::vector<Ref> free_list_;
   std::vector<std::vector<Ref>*> external_slots_;
   std::vector<uint32_t> parent_count_;
   std::vector<std::vector<Ref>> var_nodes_;
+  // Per-reorder variable interaction matrix (row-major bitset): u and v
+  // interact iff they co-occur in some root's support. Support is a
+  // property of the functions, not the order, so the matrix stays valid
+  // across every swap of one sift run.
+  std::vector<uint64_t> interact_;
+  size_t interact_words_ = 0;
 
   mutable Stats stats_;
 };

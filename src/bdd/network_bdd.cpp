@@ -60,7 +60,13 @@ void build_node_bdd(BddManager& mgr, const Node& n, NodeId id,
 }  // namespace
 
 NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
-    : net_(net), mgr_(net.num_pis(), max_nodes, static_pi_order(net)) {
+    : net_(net),
+      mgr_(net.num_pis(), max_nodes,
+           cached_or_static_order(net, &order_key_, &seed_budget_)) {
+  // On a cache hit seed_budget_ carries 2x the converged live count, so a
+  // rebuild of the same content skips sifting until it outgrows the order
+  // it was seeded with; 0 (miss) leaves the budget disabled.
+  mgr_.set_reorder_budget(seed_budget_);
   refs_.assign(net.num_nodes(), kNoBddRef);
   mgr_.register_external_refs(&refs_);
   for (int i = 0; i < net.num_pis(); ++i) {
@@ -71,6 +77,10 @@ NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
     // Safe point: every live ref is in the registered refs_ vector.
     if (mgr_.reorder_pending()) mgr_.reorder();
   }
+  // The build survived the budget: whatever order it ended with (seeded,
+  // or refined by sifting) is worth reusing for this network content.
+  OrderCache::instance().store(order_key_,
+                               {mgr_.export_order(), mgr_.live_nodes()});
 }
 
 NetworkBdds::~NetworkBdds() { mgr_.unregister_external_refs(&refs_); }

@@ -13,9 +13,13 @@ namespace apx {
 
 /// Global BDDs of a network's nodes. PI variable i is the i-th PI of the
 /// network the object was built from; internally the manager is seeded
-/// with the structural static order (network/ordering.hpp) and refines it
-/// by sifting when the arena crosses the growth threshold — both invisible
-/// to callers, who keep addressing variables by PI index.
+/// from the process-wide OrderCache when a converged order for this
+/// network content exists (with the matching reorder budget, so the
+/// seeded build skips re-sifting) and with the structural static order
+/// otherwise, then refines by sifting when the arena crosses the growth
+/// threshold — all invisible to callers, who keep addressing variables by
+/// PI index. A successful build stores its converged order back into the
+/// cache.
 class NetworkBdds {
  public:
   /// Builds BDDs for every node in the cone of the POs (and any roots
@@ -44,6 +48,10 @@ class NetworkBdds {
 
  private:
   const Network& net_;
+  // Declared before mgr_: cached_or_static_order fills both while
+  // computing mgr_'s seed order in the member-initializer list.
+  uint64_t order_key_ = 0;
+  size_t seed_budget_ = 0;
   BddManager mgr_;
   std::vector<BddManager::Ref> refs_;
 };

@@ -1,6 +1,7 @@
 #include "core/approx_synthesis.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "bdd/network_bdd.hpp"
 #include "core/cube_selection.hpp"
@@ -8,6 +9,7 @@
 #include "core/trace.hpp"
 #include "core/verify.hpp"
 #include "mapping/optimize.hpp"
+#include "sim/simulator.hpp"
 #include "sop/minimize.hpp"
 
 namespace apx {
@@ -72,9 +74,8 @@ class SynthesisEngine {
       simulation_repair_rounds(sim_repairs);
     }
 
-    // The two read-only sweeps below (verification screening here, the
-    // approximation-percentage sweep at the end) run chunked on the shared
-    // task pool, each chunk over a private oracle. The chunk count is a
+    // The percentage sweep at the end runs chunked on the shared task
+    // pool, each chunk over a private oracle. The chunk count is a
     // function of the PO count ALONE — never the thread count — because a
     // SAT conflict-budget answer depends on the oracle's query history, so
     // a thread-count-dependent partition would break the bit-identity
@@ -93,34 +94,64 @@ class SynthesisEngine {
     }
     {
       trace::Span s("synth.screening");
-      if (chunks > 1) {
-        std::vector<uint8_t> verified(P, 0);
-        TaskPool::instance().parallel_for(
-            0, chunks,
-            [&](int64_t c) {
-              const int b = chunk_begin(static_cast<int>(c));
-              const int e = chunk_begin(static_cast<int>(c) + 1);
-              ApproxOracle chunk_oracle(net_, approx_, options_.bdd_budget);
-              chunk_oracle.set_sat_conflict_budget(
-                  options_.sat_conflict_budget);
-              for (int po = b; po < e; ++po) {
-                verified[po] =
-                    chunk_oracle.verify(po, directions_[po]) ? 1 : 0;
-              }
-            },
-            options_.num_threads);
-        for (int po = 0; po < P; ++po) {  // ordered merge
-          if (verified[po]) {
-            result.po_stats[po].verified = true;
-            ++result.correct_after_stage1;
+      // Bit-parallel prescreen: after the sim-repair rounds most POs are
+      // already clean, so exact per-PO implication checks mostly re-prove
+      // correctness. One simulator pair over a fixed pattern budget flags
+      // every PO with an observed violation of its direction contract —
+      // an observed violation is a real counterexample, so the exact
+      // check could only confirm it — and estimates its error rate along
+      // the way. Exact BDD/SAT evaluation is demoted to the final
+      // implication verify of the prescreen-clean POs on the shared
+      // oracle, replacing the per-chunk private oracles this stage used
+      // to spin up (each rebuilt every BDD cone of both networks merely
+      // to re-prove mostly-clean POs). Seeds are fixed constants rather
+      // than draws from sim_rounds_, so the prescreen leaves the repair
+      // stage's pattern stream exactly where the previous code did.
+      const int words = 16;
+      const int rounds = 4;
+      Simulator sim_orig(net_);
+      Simulator sim_approx(approx_);
+      std::vector<uint8_t> sim_clean(P, 1);
+      std::vector<int64_t> violation_bits(P, 0);
+      for (int r = 0; r < rounds; ++r) {
+        PatternSet patterns =
+            PatternSet::random(net_.num_pis(), words, 0x5C12EE + 977 * r);
+        sim_orig.run(patterns);
+        sim_approx.run(patterns);
+        for (int po = 0; po < P; ++po) {
+          NodeId drv = net_.po(po).driver;
+          NodeType dir_type = type_for_direction(directions_[po]);
+          const auto& fw = sim_orig.value(drv);
+          const auto& gw = sim_approx.value(drv);
+          for (int w = 0; w < words; ++w) {
+            uint64_t v = 0;
+            switch (dir_type) {
+              case NodeType::kDc:
+                break;
+              case NodeType::kEx:
+                v = fw[w] ^ gw[w];
+                break;
+              case NodeType::kOne:
+                v = gw[w] & ~fw[w];
+                break;
+              case NodeType::kZero:
+                v = fw[w] & ~gw[w];
+                break;
+            }
+            if (v) {
+              sim_clean[po] = 0;
+              violation_bits[po] += std::popcount(v);
+            }
           }
         }
-      } else {
-        for (int po = 0; po < P; ++po) {
-          if (oracle.verify(po, directions_[po])) {
-            result.po_stats[po].verified = true;
-            ++result.correct_after_stage1;
-          }
+      }
+      for (int po = 0; po < P; ++po) {
+        result.po_stats[po].sim_violation_rate =
+            static_cast<double>(violation_bits[po]) /
+            (64.0 * words * rounds);
+        if (sim_clean[po] && oracle.verify(po, directions_[po])) {
+          result.po_stats[po].verified = true;
+          ++result.correct_after_stage1;
         }
       }
     }

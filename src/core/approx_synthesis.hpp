@@ -64,13 +64,13 @@ struct ApproxOptions {
   int sim_words = 64;
   uint64_t seed = 0x0B5E11;
 
-  /// Parallelism cap (shared task pool) for the read-only per-PO oracle
-  /// sweeps — the initial verification screening and the final
-  /// approximation-percentage sweep; 0 = apx::thread_count() (APX_THREADS
-  /// policy). The sweeps are partitioned into a fixed number of chunks
-  /// derived from the PO count alone (one private oracle per chunk), so
-  /// results are bit-identical for any value. The mutating repair loop is
-  /// always serial.
+  /// Parallelism cap (shared task pool) for the final approximation-
+  /// percentage sweep; 0 = apx::thread_count() (APX_THREADS policy). The
+  /// sweep is partitioned into a fixed number of chunks derived from the
+  /// PO count alone (one private oracle per chunk), so results are
+  /// bit-identical for any value. The verification screening is a serial
+  /// bit-parallel simulation prescreen plus shared-oracle exact checks of
+  /// the prescreen-clean POs; the mutating repair loop is always serial.
   int num_threads = 0;
 };
 
@@ -78,6 +78,10 @@ struct PoApproxStats {
   ApproxDirection direction = ApproxDirection::kZeroApprox;
   bool verified = false;
   double approximation_pct = 0.0;
+  /// Fraction of screening-prescreen sample bits that violated the PO's
+  /// direction contract (0 when the prescreen observed no violation; an
+  /// estimate of the pre-repair error rate, not of approximation_pct).
+  double sim_violation_rate = 0.0;
 };
 
 struct ApproxResult {

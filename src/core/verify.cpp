@@ -73,10 +73,21 @@ void ApproxOracle::build_bdds() {
   approx_synced_version_ = approx_.version();
   if (bdd_hostile_) return;  // earlier build hit the budget: stay on SAT
   try {
-    // Both networks share PIs, so the original's structural order (the
-    // stable one: the approx side is an evolving clone) seeds the manager.
-    // Sifting refines it when the arena crosses the growth threshold.
-    mgr_.emplace(original_.num_pis(), budget_, static_pi_order(original_));
+    // Both networks share PIs, so the original's order (the stable one:
+    // the approx side is an evolving clone, and its near-identical cones
+    // share nodes with the original's under any order) seeds the manager.
+    // The OrderCache is consulted by content hash of the original, so a
+    // rebuild — the repair loop refreshes this oracle many times, and the
+    // screening/sweep stages spin up private oracles over the same pair —
+    // reuses the previously converged order and arms the reorder budget
+    // instead of re-sifting from the structural order. The hash is
+    // recomputed on every build, so any mutation of the original
+    // (including structural ones) keys a different entry by construction.
+    uint64_t order_key = 0;
+    size_t seed_budget = 0;
+    mgr_.emplace(original_.num_pis(), budget_,
+                 cached_or_static_order(original_, &order_key, &seed_budget));
+    mgr_->set_reorder_budget(seed_budget);
     std::vector<NodeId> orig_roots, approx_roots;
     for (const PrimaryOutput& po : original_.pos()) {
       orig_roots.push_back(po.driver);
@@ -92,6 +103,8 @@ void ApproxOracle::build_bdds() {
     mgr_->register_external_refs(&approx_refs_);
     nodes_after_build_ = mgr_->live_nodes();
     bdd_ok_ = true;
+    OrderCache::instance().store(
+        order_key, {mgr_->export_order(), mgr_->live_nodes()});
   } catch (const BddOverflow&) {
     mgr_.reset();
     orig_refs_.clear();

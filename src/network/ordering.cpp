@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/trace.hpp"
+
 namespace apx {
 
 std::vector<int> static_pi_order(const Network& net) {
@@ -44,6 +46,117 @@ std::vector<int> static_pi_order(const Network& net) {
     if (!seen[net.pis()[i]]) order.push_back(i);
   }
   return order;
+}
+
+namespace {
+
+// SplitMix64 finalizer — same mixer the BDD unique table and the fault
+// engine's seed derivation use; full-avalanche so positionally-combined
+// fields cannot cancel.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t combine(uint64_t h, uint64_t v) { return mix64(h ^ mix64(v)); }
+
+}  // namespace
+
+uint64_t network_content_hash(const Network& net) {
+  uint64_t h = mix64(0x417070726f784f64ULL);  // arbitrary domain tag
+  h = combine(h, static_cast<uint64_t>(net.num_pis()));
+  h = combine(h, static_cast<uint64_t>(net.num_nodes()));
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& n = net.node(id);
+    h = combine(h, static_cast<uint64_t>(n.kind));
+    if (n.kind == NodeKind::kPi) {
+      h = combine(h, static_cast<uint64_t>(net.pi_index(id)));
+      continue;
+    }
+    for (NodeId f : n.fanins) h = combine(h, static_cast<uint64_t>(f));
+    h = combine(h, static_cast<uint64_t>(n.sop.num_cubes()));
+    for (const Cube& c : n.sop.cubes()) {
+      for (int v = 0; v < c.num_vars(); ++v) {
+        h = combine(h, static_cast<uint64_t>(c.get(v)) + 1);
+      }
+    }
+  }
+  for (const PrimaryOutput& po : net.pos()) {
+    h = combine(h, static_cast<uint64_t>(po.driver));
+  }
+  return h;
+}
+
+OrderCache& OrderCache::instance() {
+  static OrderCache cache;
+  return cache;
+}
+
+std::optional<CachedOrder> OrderCache::lookup(uint64_t key, int num_pis) {
+  static trace::Counter& hits = trace::counter("bdd.order_cache_hits");
+  static trace::Counter& misses = trace::counter("bdd.order_cache_misses");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() ||
+      it->second.level_to_var.size() != static_cast<size_t>(num_pis)) {
+    ++stats_.misses;
+    misses.add(1);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  hits.add(1);
+  return it->second;
+}
+
+void OrderCache::store(uint64_t key, CachedOrder entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.try_emplace(key, std::move(entry));
+  if (inserted) {
+    ++stats_.stores;
+    return;
+  }
+  // Keep-best: replace only when the candidate converged strictly smaller.
+  // First-write-wins otherwise, so concurrent workers racing to store the
+  // same circuit cannot flip-flop the entry.
+  if (!inserted && entry.converged_live > 0 &&
+      entry.converged_live < it->second.converged_live) {
+    it->second = std::move(entry);
+    ++stats_.stores;
+  } else {
+    ++stats_.stores_rejected;
+  }
+}
+
+void OrderCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  stats_ = Stats{};
+}
+
+OrderCache::Stats OrderCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t OrderCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+std::vector<int> cached_or_static_order(const Network& net, uint64_t* key_out,
+                                        size_t* reorder_budget_out) {
+  const uint64_t key = network_content_hash(net);
+  if (key_out != nullptr) *key_out = key;
+  if (std::optional<CachedOrder> hit =
+          OrderCache::instance().lookup(key, net.num_pis())) {
+    if (reorder_budget_out != nullptr) {
+      *reorder_budget_out = 2 * hit->converged_live;
+    }
+    return std::move(hit->level_to_var);
+  }
+  return static_pi_order(net);
 }
 
 }  // namespace apx

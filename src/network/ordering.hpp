@@ -1,4 +1,5 @@
-// Structural BDD variable-ordering heuristics over a Network.
+// Structural BDD variable-ordering heuristics over a Network, plus the
+// process-wide cache of *converged* orders.
 //
 // The quality of a BDD variable order dominates both peak node count and
 // build time (often exponentially: a ripple-carry adder is linear under an
@@ -9,8 +10,35 @@
 // visited deepest-first so the variables feeding long paths end up near
 // the top of the order. The result seeds BddManager's permutation layer;
 // sifting (BddManager::reorder) refines it dynamically.
+//
+// Sifting is expensive — before the OrderCache it was ~98% of pipeline
+// wall time, because the synthesis flow rebuilds BDDs for the same cones
+// over and over (the repair loop refreshes the oracle 13+ times per
+// circuit, and the screening/percentage sweeps spin up private per-chunk
+// oracles over the same network pair). An order that sifting already
+// converged on for a given circuit is just as good the next time that
+// circuit's cones are built, so OrderCache memoizes it process-wide,
+// keyed by a content hash of the network. Consumers (ApproxOracle,
+// NetworkBdds) seed fresh managers from the cache and arm the manager's
+// reorder budget with the recorded converged size, so a seeded build
+// skips sifting entirely unless it grows well past what the converged
+// order achieved.
+//
+// Determinism: a cached order can never change any BDD *answer* — every
+// query (implies, sat_fraction, evaluate) is exact under any variable
+// order — so sharing the cache across task-pool workers preserves the
+// bit-identity contract of ALGORITHM.md §8 regardless of which worker
+// stores first. The store policy (first entry wins unless a later one
+// converged strictly smaller) keeps the cache contents stable anyway.
+// Staleness is handled by construction: the key is a hash of the network
+// CONTENT, so any mutation — including structural ones that bump
+// Network::structure_version() — produces a different key and misses.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "network/network.hpp"
@@ -21,5 +49,71 @@ namespace apx {
 /// placed at BDD level l (level 0 = top of the order). PIs outside every
 /// PO cone are appended at the bottom. Deterministic for a given network.
 std::vector<int> static_pi_order(const Network& net);
+
+/// Stable content hash of a network: PIs, every node's kind/fanins/SOP
+/// cubes, and the PO drivers, splitmix-mixed position by position. Two
+/// networks with identical construction-order content collide on purpose
+/// (that is the cache hit); any mutation — local SOP rewrite or structural
+/// change — moves the hash. Never hashes addresses, so the value is stable
+/// across runs and processes.
+uint64_t network_content_hash(const Network& net);
+
+/// A variable order that sifting converged on, plus the live-node count
+/// the converged build ended at (the basis for the reorder budget: a
+/// seeded rebuild should not pay for sifting again until it exceeds a
+/// multiple of this).
+struct CachedOrder {
+  std::vector<int> level_to_var;
+  size_t converged_live = 0;
+};
+
+/// Process-wide map from network content hash to converged variable
+/// order. Thread-safe; shared by every oracle and cone builder in the
+/// process (including all task-pool workers).
+class OrderCache {
+ public:
+  static OrderCache& instance();
+
+  /// Returns the cached order for `key` when present AND sized for
+  /// `num_pis` variables (a width mismatch would be a hash collision
+  /// across different circuits; treated as a miss). Counts a hit or miss
+  /// in both the internal stats and the `bdd.order_cache_hits/misses`
+  /// trace counters.
+  std::optional<CachedOrder> lookup(uint64_t key, int num_pis);
+
+  /// Records a converged order. First write wins unless `entry` converged
+  /// strictly smaller than the stored one (keep-best), so repeated
+  /// rebuilds of an evolving approximation cannot churn the entry.
+  void store(uint64_t key, CachedOrder entry);
+
+  /// Drops every entry and zeroes the stats (tests, bench cold-runs).
+  void clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stores = 0;           ///< entries inserted or improved
+    uint64_t stores_rejected = 0;  ///< keep-best kept the existing entry
+  };
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  OrderCache() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, CachedOrder> map_;
+  Stats stats_;
+};
+
+/// Cache-aware seed order for a BDD manager over `net`'s PIs: the cached
+/// converged order on a hit, static_pi_order on a miss. `key_out` always
+/// receives the content hash (for the caller's later store); on a hit
+/// `reorder_budget_out` receives 2x the recorded converged live-node
+/// count (pass to BddManager::set_reorder_budget so the seeded build
+/// skips sifting until it outgrows the converged order), on a miss it is
+/// left at 0 (no budget: cold builds sift as before).
+std::vector<int> cached_or_static_order(const Network& net, uint64_t* key_out,
+                                        size_t* reorder_budget_out);
 
 }  // namespace apx

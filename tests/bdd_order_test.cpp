@@ -306,6 +306,226 @@ TEST(BddOrdering, StaticOrderBeatsIdentityOnComparator) {
   EXPECT_LT(static_size * 4, identity_size);
 }
 
+// Regression (ISSUE 6 satellite): set_reorder_threshold must re-evaluate
+// the latched request against the new threshold. Raising it above the
+// current live count clears a pending reorder instead of forcing a
+// spurious full sift at the next safe point; lowering it below the live
+// count latches one without waiting for another make_node.
+TEST(BddSifting, SetReorderThresholdReevaluatesLatch) {
+  Network net = make_comparator(4);
+  BddManager mgr(net.num_pis(), 1u << 20);
+  mgr.set_auto_reorder(true);
+  mgr.set_reorder_threshold(16);
+
+  // Build WITHOUT polling the latch so it stays pending.
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  mgr.set_auto_reorder(false);
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+  mgr.set_auto_reorder(true);
+  mgr.set_reorder_threshold(16);  // live >> 16: latches immediately
+  ASSERT_TRUE(mgr.reorder_pending());
+
+  // Raising the threshold above the live count must clear the latch...
+  mgr.set_reorder_threshold(2 * mgr.live_nodes());
+  EXPECT_FALSE(mgr.reorder_pending());
+  // ...and lowering it back below must re-latch.
+  mgr.set_reorder_threshold(mgr.live_nodes() / 2);
+  EXPECT_TRUE(mgr.reorder_pending());
+  mgr.set_reorder_threshold(2 * mgr.live_nodes());
+  EXPECT_FALSE(mgr.reorder_pending());
+  EXPECT_EQ(mgr.stats().reorder_runs, 0u);  // latch games never sifted
+}
+
+// Regression (ISSUE 6 satellite): the sifting convergence check used a
+// `prev / 50` tolerance, which is 0 for tables under 50 nodes — the pass
+// loop then compared with zero slack instead of requiring a real gain.
+// On a small, already-optimal table sifting must converge (single pass,
+// no size growth, functions intact).
+TEST(BddSifting, SmallTableConvergence) {
+  Network net = make_comparator(2);  // 4 PIs: well under 50 nodes
+  std::vector<TruthTable> tt = global_tables(net);
+  BddManager mgr(net.num_pis(), 1u << 20);
+  mgr.set_auto_reorder(false);
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+  mgr.register_external_refs(&refs);
+  ASSERT_LT(mgr.live_nodes(), 50u);
+
+  const size_t before = mgr.live_nodes();
+  mgr.reorder();  // converges; the old zero-tolerance check is the bug
+  EXPECT_LE(mgr.live_nodes(), before);
+  EXPECT_EQ(mgr.stats().reorder_runs, 1u);
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (refs[id] == kNoBddRef) continue;
+    for (uint64_t m = 0; m < (uint64_t{1} << net.num_pis()); ++m) {
+      ASSERT_EQ(mgr.evaluate(refs[id], m), tt[id].get(m));
+    }
+  }
+  mgr.unregister_external_refs(&refs);
+}
+
+// export_order round-trips through seed_order: a fresh manager seeded with
+// a sifted manager's order carries the identical permutation.
+TEST(BddOrdering, ExportSeedOrderRoundTrip) {
+  Network net = make_comparator(6);
+  BddManager mgr(net.num_pis(), 1u << 20, static_pi_order(net));
+  mgr.set_auto_reorder(false);
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+  mgr.register_external_refs(&refs);
+  mgr.reorder();
+  std::vector<int> order = mgr.export_order();
+  ASSERT_EQ(order.size(), static_cast<size_t>(net.num_pis()));
+  mgr.unregister_external_refs(&refs);
+
+  BddManager seeded(net.num_pis(), 1u << 20);
+  seeded.seed_order(order);
+  for (int l = 0; l < net.num_pis(); ++l) {
+    EXPECT_EQ(seeded.var_at_level(l), mgr.var_at_level(l));
+  }
+
+  // Seeding is only legal before any internal node exists.
+  BddManager dirty(net.num_pis(), 1u << 20);
+  dirty.bdd_and(dirty.var(0), dirty.var(1));
+  EXPECT_THROW(dirty.seed_order(order), std::logic_error);
+  // And the permutation itself is validated.
+  std::vector<int> bogus(net.num_pis(), 0);
+  BddManager empty(net.num_pis(), 1u << 20);
+  EXPECT_THROW(empty.seed_order(bogus), std::logic_error);
+}
+
+// The reorder budget absorbs requests while the arena stays at or below
+// the budget: no sift, refs untouched, identity remap, and the skip is
+// counted. Outgrowing the budget sifts as usual.
+TEST(BddSifting, ReorderBudgetAbsorbsRequests) {
+  Network net = make_comparator(6);
+  BddManager mgr(net.num_pis(), 1u << 20, static_pi_order(net));
+  mgr.set_auto_reorder(false);
+  std::vector<NodeId> roots;
+  for (const PrimaryOutput& p : net.pos()) roots.push_back(p.driver);
+  std::vector<BddManager::Ref> refs = build_cone_bdds(mgr, net, roots);
+  mgr.register_external_refs(&refs);
+
+  mgr.set_reorder_budget(2 * mgr.live_nodes());
+  std::vector<BddManager::Ref> before = refs;
+  std::vector<BddManager::Ref> remap = mgr.reorder();
+  EXPECT_EQ(mgr.stats().reorder_runs, 0u);
+  EXPECT_EQ(mgr.stats().reorder_skipped, 1u);
+  EXPECT_EQ(refs, before);  // identity: nothing moved
+  for (BddManager::Ref r : before) {
+    if (r != kNoBddRef) EXPECT_EQ(remap[r], r);
+  }
+
+  // Below-budget arena: a second request is absorbed too.
+  mgr.reorder();
+  EXPECT_EQ(mgr.stats().reorder_skipped, 2u);
+
+  // Disarm the budget: the same request now really sifts.
+  mgr.set_reorder_budget(0);
+  mgr.reorder();
+  EXPECT_EQ(mgr.stats().reorder_runs, 1u);
+  mgr.unregister_external_refs(&refs);
+}
+
+// Seeding a converged order through the OrderCache must reproduce the
+// cold-sift results bit-for-bit: same permutation, same query answers.
+// This is the cache analogue of QueriesInvariantUnderOrdering — stronger,
+// because the seeded manager must also skip re-sifting (budget armed).
+TEST(OrderCacheTest, SeededOrderMatchesColdSift) {
+  OrderCache::instance().clear();
+  Network net = make_comparator(6);
+  std::vector<TruthTable> tt = global_tables(net);
+
+  // Cold build: miss, sift, store.
+  std::vector<double> cold_counts;
+  std::vector<int> cold_order;
+  {
+    NetworkBdds bdds(net);
+    cold_order = bdds.manager().export_order();
+    for (int po = 0; po < net.num_pos(); ++po) {
+      cold_counts.push_back(bdds.manager().sat_count(bdds.po_ref(po)));
+    }
+  }
+  ASSERT_GE(OrderCache::instance().stats().misses, 1u);
+  ASSERT_GE(OrderCache::instance().stats().stores, 1u);
+
+  // Warm rebuilds: hit, seeded, identical answers and order every time.
+  for (int round = 0; round < 3; ++round) {
+    uint64_t hits_before = OrderCache::instance().stats().hits;
+    NetworkBdds bdds(net);
+    EXPECT_GT(OrderCache::instance().stats().hits, hits_before);
+    EXPECT_EQ(bdds.manager().export_order(), cold_order);
+    for (int po = 0; po < net.num_pos(); ++po) {
+      EXPECT_EQ(bdds.manager().sat_count(bdds.po_ref(po)),
+                cold_counts[po]);
+      const TruthTable& ref_tt = tt[net.pos()[po].driver];
+      for (uint64_t m = 0; m < (uint64_t{1} << net.num_pis()); m += 5) {
+        ASSERT_EQ(bdds.manager().evaluate(bdds.po_ref(po), m),
+                  ref_tt.get(m));
+      }
+    }
+  }
+  OrderCache::instance().clear();
+}
+
+// Content-hash staleness: any mutation — a local SOP rewrite or a
+// structural rewiring — moves the hash, so a stale converged order is
+// unreachable by construction (the mutated network misses and re-sifts).
+TEST(OrderCacheTest, MutationMovesContentHash) {
+  Network net = make_comparator(4);
+  Network clone = net;
+  EXPECT_EQ(network_content_hash(net), network_content_hash(clone));
+
+  // Local function change (bumps version, not structure_version).
+  NodeId node = kNullNode;
+  for (NodeId id = 0; id < clone.num_nodes(); ++id) {
+    if (clone.node(id).kind == NodeKind::kLogic) {
+      node = id;
+      break;
+    }
+  }
+  ASSERT_NE(node, kNullNode);
+  uint64_t sv_before = clone.structure_version();
+  clone.set_sop(node, Sop::zero(clone.node(node).sop.num_vars()));
+  EXPECT_EQ(clone.structure_version(), sv_before);
+  EXPECT_NE(network_content_hash(net), network_content_hash(clone));
+
+  // Structural change (bumps structure_version): also moves the hash.
+  Network clone2 = net;
+  NodeId a = clone2.pis()[0];
+  NodeId b = clone2.pis()[1];
+  clone2.set_function(node, {a, b}, *Sop::parse(2, "11"));
+  EXPECT_GT(clone2.structure_version(), net.structure_version());
+  EXPECT_NE(network_content_hash(net), network_content_hash(clone2));
+}
+
+// Cache mechanics: width-mismatched hits are misses (hash-collision
+// guard), keep-best stores prefer strictly smaller converged sizes, and
+// clear() really empties.
+TEST(OrderCacheTest, StorePolicyAndCollisionGuard) {
+  OrderCache& cache = OrderCache::instance();
+  cache.clear();
+  const uint64_t key = 0xABCDEF;
+  cache.store(key, {{1, 0, 2}, 100});
+  ASSERT_TRUE(cache.lookup(key, 3).has_value());
+  EXPECT_FALSE(cache.lookup(key, 4).has_value()) << "width mismatch = miss";
+
+  cache.store(key, {{0, 1, 2}, 200});  // worse: rejected
+  EXPECT_EQ(cache.lookup(key, 3)->converged_live, 100u);
+  cache.store(key, {{2, 1, 0}, 50});  // better: replaces
+  EXPECT_EQ(cache.lookup(key, 3)->converged_live, 50u);
+  EXPECT_EQ(cache.lookup(key, 3)->level_to_var, (std::vector<int>{2, 1, 0}));
+  EXPECT_GE(cache.stats().stores_rejected, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(key, 3).has_value());
+  cache.clear();
+}
+
 // static_pi_order is a permutation of the PI indices for every benchmark
 // circuit (the BddManager constructor asserts this too, but a direct test
 // localizes failures to the heuristic).

@@ -106,7 +106,11 @@ TEST(BenchJsonTest, PipelineArtifactSchema) {
       "\"speedup\"",         "\"speedup_gate\"",
       "\"gate_enforced\"",   "\"rows_bit_identical\"",
       "\"profiled_identical\"", "\"phases\"",
-      "\"rows\"",
+      "\"counters\"",        "\"rows\"",
+      // Host metadata: a `gate_enforced: false` artifact from a small
+      // runner must say so in a machine-checkable way.
+      "\"host_cores\"",      "\"thread_policy\"",
+      "\"simd_width_bits\"",
   };
   for (const char* key : top_level) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
@@ -134,6 +138,12 @@ TEST(BenchJsonTest, PipelineArtifactSchema) {
   }
   EXPECT_NE(text.find("\"pipeline\""), std::string::npos)
       << "phases must include the whole-pipeline span";
+
+  // Order-cache counters from the traced pass: the committed artifact must
+  // show the cache in play (the CI gate checks the values; here only their
+  // presence is structural).
+  EXPECT_NE(text.find("\"bdd.order_cache_hits\""), std::string::npos);
+  EXPECT_NE(text.find("\"bdd.order_cache_misses\""), std::string::npos);
 
   int braces = 0, brackets = 0;
   for (char c : text) {
@@ -164,6 +174,9 @@ TEST(BenchJsonTest, BddArtifactSchema) {
       "\"fallbacks\"",
       "\"orderings_bit_identical\"",
       "\"parallel_bit_identical\"",
+      "\"host_cores\"",
+      "\"thread_policy\"",
+      "\"simd_width_bits\"",
   };
   for (const char* key : top_level) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;

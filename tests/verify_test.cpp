@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "network/ordering.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -191,6 +192,148 @@ TEST(VerifyOracleTest, NoOpRefreshIsFree) {
   oracle.refresh_approx();
   EXPECT_EQ(oracle.oracle_stats().incremental_refreshes, 0u);
   EXPECT_EQ(oracle.oracle_stats().full_rebuilds, 1u);
+}
+
+// The order cache seeds every oracle rebuilt over the same original network
+// with the previously converged variable order. Because BDD queries are
+// order-invariant, the seeded oracles must agree bit-for-bit with the cold
+// one on every verdict and every minterm count -- this is the screening /
+// pct-sweep pattern, where many short-lived oracles are built over one net.
+TEST(VerifyOracleTest, OrderCacheSeedsRepeatedOracleBuilds) {
+  OrderCache::instance().clear();
+  Network net = shared_cone_net();
+
+  // Cold build: miss, sift if warranted, store the converged order.
+  std::vector<uint8_t> cold_verdicts;
+  std::vector<double> cold_pcts;
+  std::vector<int> cold_order;
+  {
+    Network approx = net;
+    NodeId n1 = *approx.find_node("n1");
+    approx.set_sop(n1, Sop::zero(2));  // weaken: a real 1-approximation
+    ApproxOracle oracle(net, approx);
+    ASSERT_TRUE(oracle.using_bdds());
+    for (int po = 0; po < net.num_pos(); ++po) {
+      for (ApproxDirection dir :
+           {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox}) {
+        cold_verdicts.push_back(oracle.verify(po, dir) ? 1 : 0);
+        cold_pcts.push_back(oracle.approximation_pct(po, dir));
+      }
+    }
+    cold_order = oracle.manager().export_order();
+  }
+  const OrderCache::Stats after_cold = OrderCache::instance().stats();
+  EXPECT_GE(after_cold.misses, 1u);
+  EXPECT_GE(after_cold.stores, 1u);
+
+  // Warm rebuilds: every fresh oracle over the same original must hit the
+  // cache, adopt the stored order, and reproduce the cold answers exactly.
+  for (int round = 0; round < 3; ++round) {
+    Network approx = net;
+    NodeId n1 = *approx.find_node("n1");
+    approx.set_sop(n1, Sop::zero(2));
+    ApproxOracle oracle(net, approx);
+    ASSERT_TRUE(oracle.using_bdds());
+    EXPECT_EQ(oracle.manager().export_order(), cold_order) << "round " << round;
+    size_t q = 0;
+    for (int po = 0; po < net.num_pos(); ++po) {
+      for (ApproxDirection dir :
+           {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox}) {
+        EXPECT_EQ(oracle.verify(po, dir) ? 1 : 0, cold_verdicts[q])
+            << "round " << round << " po " << po;
+        // Bit-identical, not approximately equal: canonical BDDs count the
+        // same minterms under any variable order.
+        EXPECT_EQ(oracle.approximation_pct(po, dir), cold_pcts[q])
+            << "round " << round << " po " << po;
+        ++q;
+      }
+    }
+  }
+  EXPECT_GE(OrderCache::instance().stats().hits, after_cold.hits + 3u);
+  OrderCache::instance().clear();
+}
+
+// Repeated refreshes of ONE oracle (the repair-loop pattern) must also stay
+// bit-identical to a cold full-rebuild oracle when the incremental one was
+// seeded from the cache: refreshes reuse the seeded manager, full rebuilds
+// re-consult the cache every time.
+TEST(VerifyOracleTest, OrderCacheSeededRefreshMatchesColdRebuild) {
+  OrderCache::instance().clear();
+  Network net = shared_cone_net();
+  Network approx_inc = net;
+  Network approx_full = net;
+  ApproxOracle inc(net, approx_inc, 1u << 18,
+                   ApproxOracle::RefreshMode::kIncremental);
+  ApproxOracle full(net, approx_full, 1u << 18,
+                    ApproxOracle::RefreshMode::kFullRebuild);
+  ASSERT_TRUE(inc.using_bdds());
+  ASSERT_TRUE(full.using_bdds());
+
+  NodeId n1 = *net.find_node("n1");
+  NodeId n5 = *net.find_node("n5");
+  const std::vector<std::pair<NodeId, Sop>> script = {
+      {n1, Sop::zero(2)},
+      {n5, Sop::one(2)},
+      {n1, net.node(n1).sop},
+      {n5, net.node(n5).sop},
+  };
+  for (const auto& [id, sop] : script) {
+    approx_inc.set_sop(id, sop);
+    approx_full.set_sop(id, sop);
+    inc.refresh_approx();
+    full.refresh_approx();  // full rebuild: hits the cache on every repair
+    for (int po = 0; po < net.num_pos(); ++po) {
+      for (ApproxDirection dir :
+           {ApproxDirection::kOneApprox, ApproxDirection::kZeroApprox}) {
+        EXPECT_EQ(inc.verify(po, dir), full.verify(po, dir));
+        EXPECT_EQ(inc.approximation_pct(po, dir),
+                  full.approximation_pct(po, dir));
+      }
+    }
+  }
+  // The full-rebuild oracle rebuilt once per repair; all but the first
+  // build found the cache warm.
+  EXPECT_GE(OrderCache::instance().stats().hits, script.size());
+  OrderCache::instance().clear();
+}
+
+// Stale-cache case: a structural mutation of the original network moves its
+// content hash, so a fresh oracle must NOT adopt the order cached for the
+// pre-mutation network -- it misses, re-sifts, and still answers correctly.
+TEST(VerifyOracleTest, OrderCacheStaleEntryMissesAfterStructuralMutation) {
+  OrderCache::instance().clear();
+  Network net = shared_cone_net();
+  const uint64_t hash_before = network_content_hash(net);
+  {
+    Network approx = net;
+    ApproxOracle oracle(net, approx);
+    ASSERT_TRUE(oracle.using_bdds());
+  }  // leaves an entry cached under hash_before
+  EXPECT_GE(OrderCache::instance().stats().stores, 1u);
+
+  // Structural mutation of the ORIGINAL: re-wire n1 onto different fanins.
+  // structure_version bumps and the content hash moves with it.
+  NodeId n1 = *net.find_node("n1");
+  NodeId x0 = *net.find_node("x0");
+  NodeId x2 = *net.find_node("x2");
+  const uint64_t version_before = net.structure_version();
+  net.set_function(n1, {x0, x2}, *Sop::parse(2, "11"));
+  EXPECT_GT(net.structure_version(), version_before);
+  EXPECT_NE(network_content_hash(net), hash_before);
+
+  const OrderCache::Stats before = OrderCache::instance().stats();
+  Network approx = net;  // identical clone of the mutated network
+  ApproxOracle oracle(net, approx);
+  ASSERT_TRUE(oracle.using_bdds());
+  // The stale entry was keyed under the old hash: this build must miss.
+  EXPECT_GT(OrderCache::instance().stats().misses, before.misses);
+  EXPECT_EQ(OrderCache::instance().stats().hits, before.hits);
+  // And the freshly sifted oracle still answers correctly.
+  for (int po = 0; po < net.num_pos(); ++po) {
+    EXPECT_TRUE(oracle.verify(po, ApproxDirection::kOneApprox));
+    EXPECT_TRUE(oracle.verify(po, ApproxDirection::kZeroApprox));
+  }
+  OrderCache::instance().clear();
 }
 
 TEST(VerifyOracleTest, StructuralChangeForcesRebuild) {
