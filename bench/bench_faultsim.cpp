@@ -1,9 +1,10 @@
 // Fault-simulation throughput benchmark: the seed's per-fault golden
 // re-simulation loop vs the shared-pattern FaultSimEngine, on a
 // Table-1-sized CED coverage run (same fault/pattern counts), plus thread
-// scaling at 1/2/4/8 workers. Emits BENCH_faultsim.json so the perf
-// trajectory is tracked from PR 1 onward (fields documented in
-// EXPERIMENTS.md).
+// scaling at 1/2/4/8 workers and per-SIMD-width rows (scalar / AVX2 /
+// AVX-512 kernels cycled via the in-process tier hook). Emits
+// BENCH_faultsim.json so the perf trajectory is tracked from PR 1 onward
+// (fields documented in EXPERIMENTS.md).
 #include <bit>
 #include <cstdio>
 #include <random>
@@ -15,6 +16,7 @@
 #include "mapping/mapper.hpp"
 #include "mapping/optimize.hpp"
 #include "sim/fault_engine.hpp"
+#include "sim/kernels.hpp"
 
 using namespace apx;
 using namespace apx::bench;
@@ -55,8 +57,8 @@ Throughput run_baseline(const CedDesign& ced, const CoverageOptions& options) {
         PatternSet::random(net.num_pis(), options.words_per_fault, rng());
     sim.run(patterns);
     sim.inject(fault);
-    const auto& z1 = sim.faulty_value(ced.error_pair.rail1);
-    const auto& z2 = sim.faulty_value(ced.error_pair.rail2);
+    const auto z1 = sim.faulty_value(ced.error_pair.rail1);
+    const auto z2 = sim.faulty_value(ced.error_pair.rail2);
     for (int w = 0; w < options.words_per_fault; ++w) {
       uint64_t err = 0;
       for (NodeId out : ced.functional_outputs) {
@@ -79,6 +81,44 @@ Throughput run_engine(const CedDesign& ced, CoverageOptions options,
   return rates(watch.seconds(), options, result);
 }
 
+// Raw substrate sweep: full-network golden simulation of `words` pattern
+// words, repeated `reps` times through the active kernel. This isolates the
+// SOP-evaluation kernels the tentpole dispatches (the engine rows also pay
+// per-fault fixed costs: forced-row copies, excitation checks, visitors).
+// The checksum folds every node row of the value plane, so two tiers match
+// only if their planes are byte-identical.
+struct Sweep {
+  double seconds = 0.0;
+  double patterns_per_sec = 0.0;
+  uint64_t plane_checksum = 0;
+};
+
+Sweep run_substrate_sweep(const Network& net, int words, int reps,
+                          uint64_t seed) {
+  Simulator sim(net);
+  PatternSet patterns = PatternSet::random(net.num_pis(), words, seed);
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) sim.run(patterns);
+  Sweep s;
+  s.seconds = watch.seconds();
+  s.patterns_per_sec =
+      static_cast<double>(reps) * words * 64 / (s.seconds > 0 ? s.seconds : 1);
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the whole value plane
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    for (uint64_t w : sim.value(id)) {
+      h = (h ^ w) * 0x100000001b3ULL;
+    }
+  }
+  s.plane_checksum = h;
+  return s;
+}
+
+struct WidthRow {
+  simd::Tier tier;
+  Sweep sweep;
+  Throughput engine;
+};
+
 void print_row(const char* label, const Throughput& t) {
   std::printf("%-24s %8.3fs %12.0f f/s %14.0f pat/s   cov %.2f%%\n", label,
               t.seconds, t.faults_per_sec, t.patterns_per_sec,
@@ -90,6 +130,17 @@ void print_row(const char* label, const Throughput& t) {
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_faultsim.json";
   const char* circuit = "dalu";
+
+  // Open the artifact up front: the host-metadata block must record the
+  // *startup* dispatch (APX_SIMD / CPUID), not the tier the per-width loop
+  // happens to leave active.
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  apx::bench::write_host_metadata(f);
 
   // Table-1-sized workload: a mapped MCNC-profile stand-in protected by
   // duplication (functional + checkgen + checkers, everything gate-level).
@@ -103,9 +154,10 @@ int main(int argc, char** argv) {
   options.words_per_fault = 4;
 
   std::printf("bench_faultsim: %s CED design, %d nodes (%d functional "
-              "gates), %d fault samples x %d words\n\n",
+              "gates), %d fault samples x %d words, dispatch %s\n\n",
               circuit, ced.design.num_nodes(), ced.functional_area(),
-              options.num_fault_samples, options.words_per_fault);
+              options.num_fault_samples, options.words_per_fault,
+              simd::tier_name(simd::active_tier()));
 
   Throughput baseline = run_baseline(ced, options);
   print_row("per-fault rerun (seed)", baseline);
@@ -118,25 +170,62 @@ int main(int argc, char** argv) {
               engine_runs.back());
   }
 
-  bool bit_identical = true;
+  bool threads_identical = true;
   for (const Throughput& t : engine_runs) {
-    bit_identical = bit_identical &&
-                    t.result.erroneous == engine_runs[0].result.erroneous &&
-                    t.result.detected == engine_runs[0].result.detected;
+    threads_identical = threads_identical &&
+                        t.result.erroneous == engine_runs[0].result.erroneous &&
+                        t.result.detected == engine_runs[0].result.detected;
   }
   double speedup = engine_runs[0].faults_per_sec / baseline.faults_per_sec;
   std::printf("\nsingle-thread speedup over per-fault rerun: %.1fx\n",
               speedup);
-  std::printf("thread counts bit-identical: %s\n",
-              bit_identical ? "yes" : "NO");
+  std::printf("thread counts bit-identical: %s\n\n",
+              threads_identical ? "yes" : "NO");
 
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  // Per-SIMD-width rows: cycle every tier the host can execute through the
+  // in-process hook, measuring the raw substrate kernel and the full engine
+  // at each width. The loop ends on the widest tier, which is what auto
+  // dispatch picks anyway.
+  const int sweep_words = 256;
+  const int sweep_reps = scaled(40);
+  std::vector<WidthRow> widths;
+  for (simd::Tier tier :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (!simd::tier_supported(tier)) continue;
+    simd::set_tier(tier);
+    WidthRow row;
+    row.tier = tier;
+    row.sweep =
+        run_substrate_sweep(ced.design, sweep_words, sweep_reps, 0x51D);
+    row.engine = run_engine(ced, options, 1);
+    widths.push_back(row);
+    std::printf("%-8s (%3d-bit) substrate %12.0f pat/s   engine %12.0f "
+                "pat/s   cov %.2f%%\n",
+                simd::tier_name(tier), simd::width_bits(tier),
+                row.sweep.patterns_per_sec, row.engine.patterns_per_sec,
+                100.0 * row.engine.result.coverage());
   }
-  std::fprintf(f, "{\n");
-  apx::bench::write_host_metadata(f);
+
+  bool widths_identical = true;
+  for (const WidthRow& row : widths) {
+    widths_identical =
+        widths_identical &&
+        row.sweep.plane_checksum == widths[0].sweep.plane_checksum &&
+        row.engine.result.erroneous == widths[0].engine.result.erroneous &&
+        row.engine.result.detected == widths[0].engine.result.detected;
+  }
+  // The kernel gate compares the widest supported tier against the scalar
+  // row on the substrate sweep; it is enforced only where the host actually
+  // has vector units (mirrors the thread-scaling gate on small runners).
+  const bool simd_gate_enforced = simd::tier_supported(simd::Tier::kAvx2);
+  const double simd_speedup =
+      widths.back().sweep.patterns_per_sec / widths[0].sweep.patterns_per_sec;
+  std::printf("\nSIMD widths bit-identical: %s\n",
+              widths_identical ? "yes" : "NO");
+  std::printf("substrate speedup %s over scalar: %.1fx (gate %s)\n",
+              simd::tier_name(widths.back().tier), simd_speedup,
+              simd_gate_enforced ? "enforced" : "advisory");
+
   std::fprintf(f, "  \"circuit\": \"%s\",\n", circuit);
   std::fprintf(f, "  \"ced_nodes\": %d,\n", ced.design.num_nodes());
   std::fprintf(f, "  \"functional_gates\": %d,\n", ced.functional_area());
@@ -162,14 +251,43 @@ int main(int argc, char** argv) {
                  i + 1 < engine_runs.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"simd\": [\n");
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const WidthRow& row = widths[i];
+    std::fprintf(
+        f,
+        "    {\"tier\": \"%s\", \"width_bits\": %d, "
+        "\"substrate_seconds\": %.4f, \"substrate_patterns_per_sec\": %.1f, "
+        "\"plane_checksum\": \"%016llx\", "
+        "\"engine_seconds\": %.4f, \"engine_patterns_per_sec\": %.1f, "
+        "\"coverage_pct\": %.2f}%s\n",
+        simd::tier_name(row.tier), simd::width_bits(row.tier),
+        row.sweep.seconds, row.sweep.patterns_per_sec,
+        static_cast<unsigned long long>(row.sweep.plane_checksum),
+        row.engine.seconds, row.engine.patterns_per_sec,
+        100.0 * row.engine.result.coverage(),
+        i + 1 < widths.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"sweep_words\": %d,\n", sweep_words);
+  std::fprintf(f, "  \"sweep_reps\": %d,\n", sweep_reps);
   std::fprintf(f, "  \"speedup_single_thread\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"simd_speedup\": %.2f,\n", simd_speedup);
+  std::fprintf(f, "  \"simd_speedup_gate\": 3.0,\n");
+  std::fprintf(f, "  \"simd_gate_enforced\": %s,\n",
+               simd_gate_enforced ? "true" : "false");
+  std::fprintf(f, "  \"widths_bit_identical\": %s,\n",
+               widths_identical ? "true" : "false");
   std::fprintf(f, "  \"threads_bit_identical\": %s\n",
-               bit_identical ? "true" : "false");
+               threads_identical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
-  // Fail loudly if the engine regresses below the 4x bar or determinism
-  // breaks, so CI can watch the perf trajectory.
-  return (speedup >= 4.0 && bit_identical) ? 0 : 1;
+  // Fail loudly if the engine regresses below the 4x bar, determinism
+  // breaks (threads or widths), or the SIMD kernels miss the 3x substrate
+  // bar on vector-capable hosts, so CI can watch the perf trajectory.
+  bool ok = speedup >= 4.0 && threads_identical && widths_identical;
+  if (simd_gate_enforced) ok = ok && simd_speedup >= 3.0;
+  return ok ? 0 : 1;
 }

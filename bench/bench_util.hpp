@@ -14,6 +14,7 @@
 
 #include "benchmarks/benchmarks.hpp"
 #include "core/pipeline.hpp"
+#include "sim/kernels.hpp"
 
 namespace apx::bench {
 
@@ -84,9 +85,12 @@ inline TunedRun auto_tune(const Network& net, double lambda = 0.25,
 /// snapshot produced on a small runner (where parallel speedup gates are
 /// advisory) must be distinguishable from a gated one, so each artifact
 /// records the physical core count, the thread-policy environment pins in
-/// effect, and the SIMD substrate (the bit-parallel simulators pack 64
-/// patterns per machine word). Emits three `"key": value,` lines at the
-/// given indent; callers place it among their top-level fields.
+/// effect, and the SIMD substrate actually dispatched at startup:
+/// `simd_width_bits` is the active kernel lane width (64 scalar / 256 AVX2
+/// / 512 AVX-512) and `simd_policy` records how it was chosen ("auto",
+/// an APX_SIMD pin, or a clamp like "avx512->avx2(unsupported)"). Emits
+/// four `"key": value,` lines at the given indent; callers place it among
+/// their top-level fields.
 inline void write_host_metadata(std::FILE* f, const char* indent = "  ") {
   const char* apx_threads = std::getenv("APX_THREADS");
   const char* ced_threads = std::getenv("APXCED_THREADS");
@@ -95,7 +99,8 @@ inline void write_host_metadata(std::FILE* f, const char* indent = "  ") {
   std::fprintf(f, "%s\"thread_policy\": \"APX_THREADS=%s APXCED_THREADS=%s\",\n",
                indent, apx_threads != nullptr ? apx_threads : "unset",
                ced_threads != nullptr ? ced_threads : "unset");
-  std::fprintf(f, "%s\"simd_width_bits\": 64,\n", indent);
+  std::fprintf(f, "%s\"simd_width_bits\": %d,\n", indent, simd::width_bits());
+  std::fprintf(f, "%s\"simd_policy\": \"%s\",\n", indent, simd::policy());
 }
 
 class Stopwatch {

@@ -75,11 +75,12 @@ RankHistogram rank_histogram(const Network& net,
       [&](int i, const StuckFault&, const FaultView& v) {
         int64_t* row = rows.data() + static_cast<size_t>(i) * stride;
         for (int w = 0; w < v.num_words(); ++w) {
-          uint64_t remaining = ~0ULL;
+          uint64_t remaining = v.word_mask(w);
           uint64_t any = 0;
           for (size_t k = 0; k < ranks; ++k) {
             NodeId drv = net.po(ranked_pos[k]).driver;
-            uint64_t err = v.golden(drv)[w] ^ v.faulty(drv)[w];
+            uint64_t err =
+                (v.golden(drv)[w] ^ v.faulty(drv)[w]) & v.word_mask(w);
             any |= err;
             row[k] += std::popcount(err & remaining);
             remaining &= ~err;
@@ -122,7 +123,7 @@ std::vector<int64_t> output_error_counts(
           const uint64_t* g = v.golden(drv);
           const uint64_t* f = v.faulty(drv);
           for (int w = 0; w < v.num_words(); ++w) {
-            row[o] += std::popcount(g[w] ^ f[w]);
+            row[o] += std::popcount((g[w] ^ f[w]) & v.word_mask(w));
           }
         }
       });

@@ -124,6 +124,7 @@ CoverageResult evaluate_ced_coverage(const CedDesign& ced,
   CampaignOptions copt;
   copt.num_fault_samples = options.num_fault_samples;
   copt.words_per_fault = options.words_per_fault;
+  copt.vectors_per_fault = options.vectors_per_fault;
   copt.faults_per_batch = options.faults_per_batch;
   copt.num_threads = options.num_threads;
   copt.seed = options.seed;
@@ -149,10 +150,14 @@ CoverageResult evaluate_ced_coverage(const CedDesign& ced,
     const uint64_t* z1 = v.faulty(ced.error_pair.rail1);
     const uint64_t* z2 = v.faulty(ced.error_pair.rail2);
     for (int w = 0; w < v.num_words(); ++w) {
+      // word_mask keeps padding bits of a partial final word (when
+      // vectors_per_fault is not a multiple of 64) out of the counts.
+      const uint64_t mask = v.word_mask(w);
       uint64_t err = 0;
       for (NodeId out : ced.functional_outputs) {
         err |= v.golden(out)[w] ^ v.faulty(out)[w];
       }
+      err &= mask;
       uint64_t flagged = ~(z1[w] ^ z2[w]);  // rails agree -> error signal
       row.erroneous += std::popcount(err);
       row.detected += std::popcount(err & flagged);
@@ -162,8 +167,10 @@ CoverageResult evaluate_ced_coverage(const CedDesign& ced,
     result.erroneous += row.erroneous;
     result.detected += row.detected;
   }
-  result.runs = static_cast<int64_t>(options.num_fault_samples) *
-                options.words_per_fault * 64;
+  const int64_t vectors = options.vectors_per_fault > 0
+                              ? options.vectors_per_fault
+                              : static_cast<int64_t>(options.words_per_fault) * 64;
+  result.runs = static_cast<int64_t>(options.num_fault_samples) * vectors;
   return result;
 }
 

@@ -72,6 +72,11 @@ struct CoverageResult {
 struct CoverageOptions {
   int num_fault_samples = 2000;
   int words_per_fault = 4;
+  /// Pattern vectors per fault. 0 (default) = words_per_fault * 64; a
+  /// positive value overrides words_per_fault and need not be a multiple
+  /// of 64 — padding bits of the final partial word are masked out of both
+  /// the engine's detection decisions and the coverage accounting.
+  int vectors_per_fault = 0;
   /// Fault samples amortizing one shared golden simulation in the
   /// FaultSimEngine (see src/sim/fault_engine.hpp).
   int faults_per_batch = 64;

@@ -9,7 +9,7 @@
 namespace apx {
 namespace {
 
-uint64_t signature_of(const std::vector<uint64_t>& words) {
+uint64_t signature_of(const WordSpan& words) {
   uint64_t h = 0x9E3779B97F4A7C15ULL;
   for (uint64_t w : words) {
     h ^= w + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);

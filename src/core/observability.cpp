@@ -28,8 +28,7 @@ namespace {
 
 // Evaluates one node's SOP on the given fanin value words, with fanin k's
 // column complemented, into `out`.
-void eval_with_flip(const Node& n,
-                    const std::vector<const std::vector<uint64_t>*>& fanin,
+void eval_with_flip(const Node& n, const std::vector<WordSpan>& fanin,
                     int flip_index, std::vector<uint64_t>& out) {
   const Sop& sop = n.sop;
   const int words = static_cast<int>(out.size());
@@ -40,7 +39,7 @@ void eval_with_flip(const Node& n,
       for (int k = 0; k < sop.num_vars() && t; ++k) {
         LitCode code = c.get(k);
         if (code == LitCode::kFree) continue;
-        uint64_t v = (*fanin[k])[w];
+        uint64_t v = fanin[k][w];
         if (k == flip_index) v = ~v;
         t &= (code == LitCode::kPos) ? v : ~v;
       }
@@ -68,10 +67,10 @@ ObservabilityAnalysis::ObservabilityAnalysis(const Network& net, int words,
     if (n.kind != NodeKind::kLogic) continue;
     obs_[id].resize(n.fanins.size());
 
-    std::vector<const std::vector<uint64_t>*> fanin;
+    std::vector<WordSpan> fanin;
     fanin.reserve(n.fanins.size());
-    for (NodeId f : n.fanins) fanin.push_back(&sim.value(f));
-    const std::vector<uint64_t>& golden = sim.value(id);
+    for (NodeId f : n.fanins) fanin.push_back(sim.value(f));
+    const WordSpan golden = sim.value(id);
 
     std::vector<uint64_t> flipped(words);
     for (size_t k = 0; k < n.fanins.size(); ++k) {
@@ -79,7 +78,7 @@ ObservabilityAnalysis::ObservabilityAnalysis(const Network& net, int words,
       int64_t c0 = 0, c1 = 0;
       for (int w = 0; w < words; ++w) {
         uint64_t diff = golden[w] ^ flipped[w];
-        uint64_t x = (*fanin[k])[w];
+        uint64_t x = fanin[k][w];
         c0 += std::popcount(diff & ~x);
         c1 += std::popcount(diff & x);
       }

@@ -51,13 +51,14 @@ ReliabilityReport analyze_reliability(const Network& net,
     int64_t* c10 = &slot10[static_cast<size_t>(v.worker_slot()) * P];
     int64_t any = 0;
     for (int w = 0; w < v.num_words(); ++w) {
+      const uint64_t mask = v.word_mask(w);
       uint64_t any_word = 0;
       for (int o = 0; o < P; ++o) {
         NodeId drv = net.po(o).driver;
         uint64_t g = v.golden(drv)[w];
         uint64_t f = v.faulty(drv)[w];
-        uint64_t e01 = ~g & f;
-        uint64_t e10 = g & ~f;
+        uint64_t e01 = ~g & f & mask;
+        uint64_t e10 = g & ~f & mask;
         c01[o] += std::popcount(e01);
         c10[o] += std::popcount(e10);
         any_word |= e01 | e10;
@@ -101,7 +102,7 @@ ReliabilityReport analyze_reliability(const Network& net,
         dominant_word |= (dirs[o] == ApproxDirection::kZeroApprox) ? (~g & f)
                                                                    : (g & ~f);
       }
-      dominant += std::popcount(dominant_word);
+      dominant += std::popcount(dominant_word & v.word_mask(w));
     }
     slot_dominant[v.worker_slot()] += dominant;
   });

@@ -1,0 +1,133 @@
+// Flat, cache-line-aligned SoA storage for bit-parallel simulation planes.
+//
+// Every value plane (golden image, faulty scratch, pattern columns) is one
+// contiguous allocation of `rows x stride` 64-bit words, with the stride
+// rounded up to a full 64-byte cache line (8 words) so each row starts
+// 64-byte aligned and the SIMD kernels (sim/kernels.hpp) can use aligned
+// 256/512-bit loads at any lane offset that is a multiple of the lane
+// width. Padding words beyond a row's logical word count are zeroed at
+// allocation and never written by the kernels, so planes are byte-identical
+// regardless of which kernel produced them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+namespace apx {
+
+/// Non-owning view of one row of a value plane (or any word run). Mirrors
+/// the read surface of the std::vector<uint64_t> it replaced: indexing,
+/// iteration, size(), data(), and content equality.
+class WordSpan {
+ public:
+  WordSpan() = default;
+  WordSpan(const uint64_t* data, int size) : data_(data), size_(size) {}
+
+  const uint64_t* data() const { return data_; }
+  int num_words() const { return size_; }
+  size_t size() const { return static_cast<size_t>(size_); }
+  bool empty() const { return size_ == 0; }
+
+  uint64_t operator[](int w) const { return data_[w]; }
+  const uint64_t* begin() const { return data_; }
+  const uint64_t* end() const { return data_ + size_; }
+
+  friend bool operator==(const WordSpan& a, const WordSpan& b) {
+    return a.size_ == b.size_ &&
+           (a.data_ == b.data_ ||
+            std::memcmp(a.data_, b.data_, sizeof(uint64_t) * a.size_) == 0);
+  }
+  friend bool operator!=(const WordSpan& a, const WordSpan& b) {
+    return !(a == b);
+  }
+
+ private:
+  const uint64_t* data_ = nullptr;
+  int size_ = 0;
+};
+
+/// Owning arena of `rows` rows of `words` 64-bit value words each, flat and
+/// 64-byte aligned, with the row stride padded to a cache line.
+class ValueArena {
+ public:
+  static constexpr int kAlign = 64;                       ///< bytes
+  static constexpr int kWordsPerLine = kAlign / 8;        ///< 8 words
+
+  /// Row stride (in words) for a logical row of `words` words.
+  static int stride_for(int words) {
+    return (words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+  }
+
+  ValueArena() = default;
+  ~ValueArena() { release(); }
+
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+
+  ValueArena(ValueArena&& o) noexcept { steal(o); }
+  ValueArena& operator=(ValueArena&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+
+  /// (Re)shapes to `rows x words`, zero-filling the whole plane. A resize
+  /// to the current geometry still zeroes (callers use reset() to start a
+  /// fresh plane).
+  void reset(int rows, int words) {
+    int stride = stride_for(words);
+    size_t need = static_cast<size_t>(rows) * stride;
+    if (need > capacity_) {
+      release();
+      data_ = static_cast<uint64_t*>(::operator new[](
+          need * sizeof(uint64_t), std::align_val_t(kAlign)));
+      capacity_ = need;
+    }
+    rows_ = rows;
+    words_ = words;
+    stride_ = stride;
+    if (need > 0) std::memset(data_, 0, need * sizeof(uint64_t));
+  }
+
+  bool empty() const { return rows_ == 0; }
+  int rows() const { return rows_; }
+  int words() const { return words_; }      ///< logical words per row
+  int stride() const { return stride_; }    ///< allocated words per row
+
+  uint64_t* row(int r) { return data_ + static_cast<size_t>(r) * stride_; }
+  const uint64_t* row(int r) const {
+    return data_ + static_cast<size_t>(r) * stride_;
+  }
+  WordSpan span(int r) const { return WordSpan(row(r), words_); }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t(kAlign));
+      data_ = nullptr;
+    }
+    capacity_ = 0;
+    rows_ = words_ = stride_ = 0;
+  }
+  void steal(ValueArena& o) {
+    data_ = o.data_;
+    capacity_ = o.capacity_;
+    rows_ = o.rows_;
+    words_ = o.words_;
+    stride_ = o.stride_;
+    o.data_ = nullptr;
+    o.capacity_ = 0;
+    o.rows_ = o.words_ = o.stride_ = 0;
+  }
+
+  uint64_t* data_ = nullptr;
+  size_t capacity_ = 0;  ///< allocated words
+  int rows_ = 0;
+  int words_ = 0;
+  int stride_ = 0;
+};
+
+}  // namespace apx

@@ -1,6 +1,7 @@
 #include "sim/fault_engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/task_pool.hpp"
@@ -12,8 +13,8 @@ namespace apx {
 /// image plus the event queue of the level-by-level cone walk. Reused
 /// across faults and batches — no allocations on the injection path.
 struct FaultSimEngine::Worker {
-  std::vector<uint64_t> values;   ///< node-major faulty words
-  std::vector<uint32_t> valid;    ///< epoch at which values[id] is current
+  ValueArena values;              ///< faulty plane (one row per node)
+  std::vector<uint32_t> valid;    ///< epoch at which values row is current
   std::vector<uint32_t> queued;   ///< epoch at which id was scheduled
   uint32_t epoch = 0;
   std::vector<std::vector<NodeId>> buckets;  ///< event queue by level
@@ -28,9 +29,15 @@ FaultSimEngine::FaultSimEngine(const Network& net)
 
 FaultSimEngine::~FaultSimEngine() = default;
 
-void FaultSimEngine::run_golden(const PatternSet& patterns) {
+void FaultSimEngine::run_golden(const PatternSet& patterns, int num_vectors) {
   if (patterns.num_pis() != net_.num_pis()) {
     throw std::logic_error("FaultSimEngine: PI count mismatch");
+  }
+  const int total = patterns.num_words() * 64;
+  if (num_vectors <= 0) num_vectors = total;
+  if (num_vectors > total) {
+    throw std::logic_error(
+        "FaultSimEngine: num_vectors exceeds the pattern set");
   }
   trace::Span span("faultsim.golden");
   if (trace::enabled()) {
@@ -40,17 +47,22 @@ void FaultSimEngine::run_golden(const PatternSet& patterns) {
     words.add(patterns.num_words());
   }
   num_words_ = patterns.num_words();
+  num_vectors_ = num_vectors;
+  tail_mask_ = (num_vectors % 64) != 0
+                   ? (1ULL << (num_vectors % 64)) - 1
+                   : ~0ULL;
   const int W = num_words_;
-  golden_.resize(static_cast<size_t>(net_.num_nodes()) * W);
+  if (golden_.rows() != net_.num_nodes() || golden_.words() != W) {
+    golden_.reset(net_.num_nodes(), W);
+  }
   for (int i = 0; i < net_.num_pis(); ++i) {
-    const auto& col = patterns.column(i);
-    std::copy(col.begin(), col.end(),
-              golden_.begin() + static_cast<size_t>(net_.pis()[i]) * W);
+    std::memcpy(golden_.row(net_.pis()[i]), patterns.column(i).data(),
+                sizeof(uint64_t) * W);
   }
   std::vector<const uint64_t*> fanin;
   for (NodeId id : topo_) {
     const Node& n = net_.node(id);
-    uint64_t* out = &golden_[static_cast<size_t>(id) * W];
+    uint64_t* out = golden_.row(id);
     switch (n.kind) {
       case NodeKind::kPi:
         break;
@@ -63,9 +75,7 @@ void FaultSimEngine::run_golden(const PatternSet& patterns) {
       case NodeKind::kLogic: {
         fanin.clear();
         fanin.reserve(n.fanins.size());
-        for (NodeId f : n.fanins) {
-          fanin.push_back(&golden_[static_cast<size_t>(f) * W]);
-        }
+        for (NodeId f : n.fanins) fanin.push_back(golden_.row(f));
         eval_sop_words(n.sop, fanin.data(), W, out);
         break;
       }
@@ -83,15 +93,12 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
   }
   const uint32_t epoch = w.epoch;
   const uint64_t forced = fault.stuck_value ? ~0ULL : 0ULL;
-  uint64_t* fv = &w.values[static_cast<size_t>(fault.node) * W];
-  const uint64_t* gv = &golden_[static_cast<size_t>(fault.node) * W];
-  bool excited = false;
-  for (int i = 0; i < W; ++i) {
-    fv[i] = forced;
-    excited |= forced != gv[i];
-  }
-  // Fault value equals golden on every pattern: nothing can propagate.
-  if (!excited) return;
+  uint64_t* fv = w.values.row(fault.node);
+  const uint64_t* gv = golden_.row(fault.node);
+  std::fill(fv, fv + W, forced);
+  // Fault value equals golden on every valid pattern: nothing can
+  // propagate (padding bits of the final word never excite a fault).
+  if (!rows_differ(fv, gv, W, tail_mask_)) return;
   w.valid[fault.node] = epoch;
 
   auto schedule = [&](NodeId id) {
@@ -108,17 +115,14 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
       const Node& n = net_.node(id);
       w.fanin.clear();
       for (NodeId f : n.fanins) {
-        w.fanin.push_back(w.valid[f] == epoch
-                              ? &w.values[static_cast<size_t>(f) * W]
-                              : &golden_[static_cast<size_t>(f) * W]);
+        w.fanin.push_back(w.valid[f] == epoch ? w.values.row(f)
+                                              : golden_.row(f));
       }
-      uint64_t* out = &w.values[static_cast<size_t>(id) * W];
+      uint64_t* out = w.values.row(id);
       eval_sop_words(n.sop, w.fanin.data(), W, out);
-      const uint64_t* g = &golden_[static_cast<size_t>(id) * W];
-      bool differs = false;
-      for (int i = 0; i < W; ++i) differs |= out[i] != g[i];
-      // Faulty value collapsed back to golden: the event dies here.
-      if (!differs) continue;
+      // Faulty value collapsed back to golden on every valid pattern: the
+      // event dies here (padding differences cannot keep it alive).
+      if (!rows_differ(out, golden_.row(id), W, tail_mask_)) continue;
       w.valid[id] = epoch;
       for (NodeId o : fanouts_[id]) schedule(o);
     }
@@ -128,11 +132,14 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
 
 FaultView FaultSimEngine::view_of(const Worker& w, int slot) const {
   FaultView v;
-  v.golden_ = golden_.data();
-  v.values_ = w.values.data();
+  v.golden_ = golden_.row(0);
+  v.values_ = w.values.row(0);
   v.valid_ = w.valid.data();
   v.epoch_ = w.epoch;
   v.num_words_ = num_words_;
+  v.num_vectors_ = num_vectors_;
+  v.stride_ = golden_.stride();
+  v.tail_mask_ = tail_mask_;
   v.worker_slot_ = slot;
   return v;
 }
@@ -142,9 +149,8 @@ FaultSimEngine::Worker& FaultSimEngine::worker(int index) {
     workers_.push_back(std::make_unique<Worker>());
   }
   Worker& w = *workers_[index];
-  size_t need = static_cast<size_t>(net_.num_nodes()) * num_words_;
-  if (w.values.size() != need) {
-    w.values.assign(need, 0);
+  if (w.values.rows() != net_.num_nodes() || w.values.words() != num_words_) {
+    w.values.reset(net_.num_nodes(), num_words_);
     w.valid.assign(net_.num_nodes(), 0);
     w.queued.assign(net_.num_nodes(), 0);
     w.epoch = 0;
@@ -177,11 +183,16 @@ void FaultSimEngine::parallel_for(
 void FaultSimEngine::run_campaign(const CampaignOptions& options,
                                   const Sampler& sampler,
                                   const Visitor& visit) {
-  if (options.words_per_fault <= 0 || options.faults_per_batch <= 0) {
+  if ((options.words_per_fault <= 0 && options.vectors_per_fault <= 0) ||
+      options.faults_per_batch <= 0) {
     throw std::invalid_argument(
         "FaultSimEngine::run_campaign: non-positive batch geometry");
   }
   trace::Span span("faultsim.campaign");
+  const int vectors = options.vectors_per_fault > 0
+                          ? options.vectors_per_fault
+                          : options.words_per_fault * 64;
+  const int words = (vectors + 63) / 64;
   const int samples = options.num_fault_samples;
   if (samples <= 0) return;
   std::vector<StuckFault> faults(samples);
@@ -197,9 +208,9 @@ void FaultSimEngine::run_campaign(const CampaignOptions& options,
   const int num_batches = (samples + per_batch - 1) / per_batch;
   for (int b = 0; b < num_batches; ++b) {
     PatternSet patterns = PatternSet::random(
-        net_.num_pis(), options.words_per_fault,
+        net_.num_pis(), words,
         derive_seed(options.seed ^ kPatternStream, static_cast<uint64_t>(b)));
-    run_golden(patterns);
+    run_golden(patterns, vectors);
     int begin = b * per_batch;
     int end = std::min(samples, begin + per_batch);
     parallel_for(begin, end, threads, [&](Worker& w, int slot, int i) {
@@ -211,8 +222,9 @@ void FaultSimEngine::run_campaign(const CampaignOptions& options,
 
 void FaultSimEngine::run_batch(const PatternSet& patterns,
                                const std::vector<StuckFault>& faults,
-                               const Visitor& visit, int num_threads) {
-  run_golden(patterns);
+                               const Visitor& visit, int num_threads,
+                               int num_vectors) {
+  run_golden(patterns, num_vectors);
   const int threads = resolve_thread_option(num_threads);
   parallel_for(0, static_cast<int>(faults.size()), threads,
                [&](Worker& w, int slot, int i) {
@@ -242,7 +254,7 @@ DetectionReport FaultSimEngine::detect_faults(
     PatternSet patterns = PatternSet::random(
         net_.num_pis(), wpb,
         derive_seed(options.seed ^ kPatternStream, static_cast<uint64_t>(b)));
-    run_golden(patterns);
+    run_golden(patterns, 0);
     std::vector<uint8_t> hit(alive.size(), 0);
     parallel_for(0, static_cast<int>(alive.size()), threads,
                  [&](Worker& w, int slot, int j) {

@@ -16,9 +16,16 @@
 //     (core/task_pool.hpp); every pool slot owns a reusable scratch arena
 //     (faulty values, epochs, level buckets) over the shared read-only
 //     golden image — no per-injection allocations;
-//   * results are bit-identical for any thread count because all
-//     randomness is derived deterministically per object index
-//     (see derive_seed) and visitors write into per-sample slots.
+//   * value planes are flat 64-byte-aligned SoA arenas (sim/arena.hpp)
+//     evaluated by the runtime-dispatched SIMD kernels (sim/kernels.hpp);
+//   * results are bit-identical for any thread count AND any SIMD width:
+//     all randomness is derived deterministically per object index (see
+//     sim/rng.hpp), visitors write into per-sample slots, and every kernel
+//     tier computes the same pure bitwise function;
+//   * campaigns may use pattern counts that are not multiples of 64
+//     (vectors_per_fault): the final partial word's padding bits are
+//     masked out of excitation, propagation-death, and detection checks,
+//     so they can never count toward coverage.
 #pragma once
 
 #include <cstdint>
@@ -27,35 +34,10 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
-
-/// SplitMix64: the engine's seed-derivation / cheap-sampling primitive.
-/// Statistically solid for sequential seeds, 8 bytes of state, no
-/// allocation (unlike std::mt19937_64's 2.5 KB).
-class SplitMix64 {
- public:
-  explicit SplitMix64(uint64_t seed) : state_(seed) {}
-  uint64_t next() {
-    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    return z ^ (z >> 31);
-  }
-
- private:
-  uint64_t state_;
-};
-
-/// The seed-derivation contract: object `index` of a stream with master
-/// seed `seed` uses splitmix64(seed ^ index). Campaigns derive fault
-/// sample i's seed from (seed, i) and pattern batch b's seed from
-/// (seed ^ kPatternStream, b), so results depend only on the master seed
-/// and the object's index — never on thread count or scheduling order.
-inline uint64_t derive_seed(uint64_t seed, uint64_t index) {
-  return SplitMix64(seed ^ index).next();
-}
 
 /// Read-only view of one fault's effect on the current pattern batch,
 /// handed to campaign visitors. Pointers are into the engine's golden
@@ -64,20 +46,32 @@ class FaultView {
  public:
   int num_words() const { return num_words_; }
 
+  /// Number of valid pattern vectors in this batch; the high
+  /// 64*num_words() - num_vectors() bits of the final word are padding.
+  int num_vectors() const { return num_vectors_; }
+
+  /// Valid-pattern mask of word w: all-ones except for the final word,
+  /// whose padding bits are zero. AND this into any per-word popcount so
+  /// padding patterns never reach a measurement.
+  uint64_t word_mask(int w) const {
+    return w + 1 == num_words_ ? tail_mask_ : ~0ULL;
+  }
+
   /// Golden (fault-free) value words of a node.
   const uint64_t* golden(NodeId id) const {
-    return golden_ + static_cast<size_t>(id) * num_words_;
+    return golden_ + static_cast<size_t>(id) * stride_;
   }
 
   /// Value words of a node under the injected fault; identical storage to
   /// golden(id) when the fault cone did not reach the node.
   const uint64_t* faulty(NodeId id) const {
     return valid_[id] == epoch_
-               ? values_ + static_cast<size_t>(id) * num_words_
+               ? values_ + static_cast<size_t>(id) * stride_
                : golden(id);
   }
 
-  /// True when the fault perturbed this node on some pattern.
+  /// True when the fault perturbed this node on some *valid* pattern
+  /// (padding bits of the final word never count).
   bool touched(NodeId id) const { return valid_[id] == epoch_; }
 
   /// Task-pool slot of the worker producing this view: dense in
@@ -93,6 +87,9 @@ class FaultView {
   const uint32_t* valid_ = nullptr;
   uint32_t epoch_ = 0;
   int num_words_ = 0;
+  int num_vectors_ = 0;
+  int stride_ = 0;  ///< words per node row in both planes
+  uint64_t tail_mask_ = ~0ULL;
   int worker_slot_ = 0;
 };
 
@@ -102,6 +99,10 @@ class FaultView {
 struct CampaignOptions {
   int num_fault_samples = 2000;
   int words_per_fault = 4;
+  /// Pattern vectors per fault. 0 (default) means words_per_fault * 64; a
+  /// positive value overrides words_per_fault (words = ceil(v / 64)) and
+  /// masks the final word's padding bits out of all detection decisions.
+  int vectors_per_fault = 0;
   /// Samples sharing one golden simulation (and its patterns). Larger
   /// values amortize more golden work; smaller values see more distinct
   /// vectors across the campaign.
@@ -166,16 +167,18 @@ class FaultSimEngine {
   /// PatternSet::random(pis, words_per_fault, derive_seed(seed ^
   /// kPatternStream, b)). Visitor calls may run concurrently but every
   /// sample index is visited exactly once, with identical (fault, view)
-  /// content for any num_threads.
+  /// content for any num_threads and any SIMD tier.
   void run_campaign(const CampaignOptions& options, const Sampler& sampler,
                     const Visitor& visit);
 
   /// Lower-level building block: one golden run on `patterns`, then every
   /// fault in `faults` evaluated against it (visit called with the fault's
-  /// position in the list as sample index).
+  /// position in the list as sample index). A positive num_vectors
+  /// restricts detection to the first num_vectors patterns (the final
+  /// word's padding bits are masked out).
   void run_batch(const PatternSet& patterns,
                  const std::vector<StuckFault>& faults, const Visitor& visit,
-                 int num_threads = 1);
+                 int num_threads = 1, int num_vectors = 0);
 
   /// Classic fault-dropping detection: simulates every fault against
   /// successive random batches observed at `observe` nodes; a fault is
@@ -194,7 +197,7 @@ class FaultSimEngine {
  private:
   struct Worker;
 
-  void run_golden(const PatternSet& patterns);
+  void run_golden(const PatternSet& patterns, int num_vectors);
   void simulate_fault(Worker& w, const StuckFault& fault) const;
   FaultView view_of(const Worker& w, int slot) const;
   Worker& worker(int index);
@@ -211,8 +214,10 @@ class FaultSimEngine {
   std::vector<std::vector<NodeId>> fanouts_;
 
   int num_words_ = 0;
-  /// Shared read-only golden image, node-major: golden_[id * num_words_].
-  std::vector<uint64_t> golden_;
+  int num_vectors_ = 0;
+  uint64_t tail_mask_ = ~0ULL;  ///< valid bits of the final word
+  /// Shared read-only golden plane (one aligned row per node).
+  ValueArena golden_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
 };

@@ -1,15 +1,32 @@
 #include "sim/simulator.hpp"
 
 #include <bit>
+#include <cstring>
 #include <stdexcept>
+
+#include "sim/rng.hpp"
 
 namespace apx {
 
+namespace {
+
+/// Layout-independent per-word seed key: word w of PI pi draws from
+/// derive_seed(seed, pi << 32 | w). PI and word indices never reach 2^31,
+/// so keys are unique per (pi, w).
+inline uint64_t word_key(int pi, int w) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(pi)) << 32) |
+         static_cast<uint32_t>(w);
+}
+
+}  // namespace
+
 PatternSet PatternSet::random(int num_pis, int num_words, uint64_t seed) {
   PatternSet p(num_pis, num_words);
-  std::mt19937_64 rng(seed);
   for (int i = 0; i < num_pis; ++i) {
-    for (int w = 0; w < num_words; ++w) p.bits_[i][w] = rng();
+    uint64_t* row = p.bits_.row(i);
+    for (int w = 0; w < num_words; ++w) {
+      row[w] = derive_seed(seed, word_key(i, w));
+    }
   }
   return p;
 }
@@ -24,24 +41,27 @@ PatternSet PatternSet::biased(const std::vector<double>& probs, int num_words,
   }
   const int num_pis = static_cast<int>(probs.size());
   PatternSet p(num_pis, num_words);
-  std::mt19937_64 rng(seed);
   for (int i = 0; i < num_pis; ++i) {
-    // Compose the bias from 16 random words: each bit independently keeps a
-    // running Bernoulli(prob) approximation with 2^-16 resolution (binary
-    // expansion trick: walk the probability's bits from LSB of precision,
-    // AND for a 0 bit, OR for a 1 bit).
+    // Compose the bias from up to 16 random words: each bit independently
+    // keeps a running Bernoulli(prob) approximation with 2^-16 resolution
+    // (binary expansion trick: walk the probability's bits from LSB of
+    // precision, AND for a 0 bit, OR for a 1 bit). Each (pi, word) cell
+    // draws from its own derived seed, so the generated patterns are
+    // independent of generation order and layout.
     uint32_t q = static_cast<uint32_t>(probs[i] * 65536.0 + 0.5);
-    if (q == 0) continue;      // all zeros already
+    if (q == 0) continue;  // all zeros already
+    uint64_t* row = p.bits_.row(i);
     for (int w = 0; w < num_words; ++w) {
       if (q >= 65536) {
-        p.bits_[i][w] = ~0ULL;
+        row[w] = ~0ULL;
         continue;
       }
+      SplitMix64 rng(derive_seed(seed, word_key(i, w)));
       uint64_t acc = 0;
       bool first = true;
       for (int bit = 0; bit < 16; ++bit) {
         if (((q >> bit) & 1) == 0 && first) continue;
-        uint64_t r = rng();
+        uint64_t r = rng.next();
         if (first) {
           acc = r;
           first = false;
@@ -51,7 +71,7 @@ PatternSet PatternSet::biased(const std::vector<double>& probs, int num_words,
           acc = r & acc;
         }
       }
-      p.bits_[i][w] = acc;
+      row[w] = acc;
     }
   }
   return p;
@@ -67,7 +87,7 @@ PatternSet PatternSet::exhaustive(int num_pis) {
   for (uint64_t m = 0; m < total; ++m) {
     for (int i = 0; i < num_pis; ++i) {
       if ((m >> i) & 1) {
-        p.bits_[i][m >> 6] |= 1ULL << (m & 63);
+        p.bits_.row(i)[m >> 6] |= 1ULL << (m & 63);
       }
     }
   }
@@ -78,8 +98,8 @@ PatternSet PatternSet::exhaustive(int num_pis) {
     for (uint64_t m = total; m < 64; ++m) {
       uint64_t src = m % total;
       for (int i = 0; i < num_pis; ++i) {
-        if ((p.bits_[i][src >> 6] >> (src & 63)) & 1) {
-          p.bits_[i][0] |= 1ULL << m;
+        if ((p.bits_.row(i)[src >> 6] >> (src & 63)) & 1) {
+          p.bits_.row(i)[0] |= 1ULL << m;
         }
       }
     }
@@ -92,25 +112,6 @@ Simulator::Simulator(const Network& net)
       topo_(net.topo_order()),
       structure_version_(net.structure_version()) {}
 
-void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
-                    int num_words, uint64_t* out) {
-  for (int w = 0; w < num_words; ++w) {
-    uint64_t acc = 0;
-    for (const Cube& c : sop.cubes()) {
-      uint64_t t = ~0ULL;
-      for (int k = 0; k < sop.num_vars() && t; ++k) {
-        LitCode code = c.get(k);
-        if (code == LitCode::kFree) continue;
-        uint64_t v = fanin[k][w];
-        t &= (code == LitCode::kPos) ? v : ~v;
-      }
-      acc |= t;
-      if (acc == ~0ULL) break;
-    }
-    out[w] = acc;
-  }
-}
-
 void Simulator::run(const PatternSet& patterns) {
   if (patterns.num_pis() != net_.num_pis()) {
     throw std::logic_error("Simulator::run: PI count mismatch");
@@ -120,34 +121,36 @@ void Simulator::run(const PatternSet& patterns) {
     structure_version_ = net_.structure_version();
   }
   bool reshape = num_words_ != patterns.num_words() ||
-                 golden_.size() != static_cast<size_t>(net_.num_nodes());
+                 golden_.rows() != net_.num_nodes();
   num_words_ = patterns.num_words();
   if (reshape) {
-    golden_.assign(net_.num_nodes(), std::vector<uint64_t>(num_words_, 0));
-    faulty_.assign(net_.num_nodes(), {});
+    golden_.reset(net_.num_nodes(), num_words_);
+    faulty_.reset(net_.num_nodes(), num_words_);
     faulty_epoch_.assign(net_.num_nodes(), 0);
   }
   ++epoch_;  // invalidates any previous fault values
   for (int i = 0; i < net_.num_pis(); ++i) {
-    golden_[net_.pis()[i]] = patterns.column(i);
+    std::memcpy(golden_.row(net_.pis()[i]), patterns.column(i).data(),
+                sizeof(uint64_t) * num_words_);
   }
   std::vector<const uint64_t*> fanin;
   for (NodeId id : topo_) {
     const Node& n = net_.node(id);
+    uint64_t* out = golden_.row(id);
     switch (n.kind) {
       case NodeKind::kPi:
         break;
       case NodeKind::kConst0:
-        golden_[id].assign(num_words_, 0);
+        std::memset(out, 0, sizeof(uint64_t) * num_words_);
         break;
       case NodeKind::kConst1:
-        golden_[id].assign(num_words_, ~0ULL);
+        std::memset(out, 0xFF, sizeof(uint64_t) * num_words_);
         break;
       case NodeKind::kLogic: {
         fanin.clear();
         fanin.reserve(n.fanins.size());
-        for (NodeId f : n.fanins) fanin.push_back(golden_[f].data());
-        eval_sop_words(n.sop, fanin.data(), num_words_, golden_[id].data());
+        for (NodeId f : n.fanins) fanin.push_back(golden_.row(f));
+        eval_sop_words(n.sop, fanin.data(), num_words_, out);
         break;
       }
     }
@@ -155,10 +158,10 @@ void Simulator::run(const PatternSet& patterns) {
 }
 
 double Simulator::signal_probability(NodeId id) const {
-  const auto& words = golden_[id];
+  const uint64_t* words = golden_.row(id);
   uint64_t ones = 0;
-  for (uint64_t w : words) ones += std::popcount(w);
-  return static_cast<double>(ones) / (64.0 * words.size());
+  for (int w = 0; w < num_words_; ++w) ones += std::popcount(words[w]);
+  return static_cast<double>(ones) / (64.0 * num_words_);
 }
 
 double Simulator::switching_activity(NodeId id) const {
@@ -217,25 +220,26 @@ void Simulator::inject_forced(NodeId fault_node,
     }
   }
   for (NodeId id : cone) {
-    if (faulty_[id].empty()) faulty_[id].resize(num_words_);
     faulty_epoch_[id] = epoch_;
     if (id == fault.node) {
-      faulty_[id] = forced;
+      std::memcpy(faulty_.row(id), forced.data(),
+                  sizeof(uint64_t) * num_words_);
       continue;
     }
     const Node& n = net_.node(id);
     std::vector<const uint64_t*> fanin;
     fanin.reserve(n.fanins.size());
     for (NodeId f : n.fanins) {
-      fanin.push_back(faulty_epoch_[f] == epoch_ ? faulty_[f].data()
-                                                 : golden_[f].data());
+      fanin.push_back(faulty_epoch_[f] == epoch_ ? faulty_.row(f)
+                                                 : golden_.row(f));
     }
-    eval_sop_words(n.sop, fanin.data(), num_words_, faulty_[id].data());
+    eval_sop_words(n.sop, fanin.data(), num_words_, faulty_.row(id));
   }
 }
 
-const std::vector<uint64_t>& Simulator::faulty_value(NodeId id) const {
-  return faulty_epoch_[id] == epoch_ && epoch_ > 0 ? faulty_[id] : golden_[id];
+WordSpan Simulator::faulty_value(NodeId id) const {
+  return faulty_epoch_[id] == epoch_ && epoch_ > 0 ? faulty_.span(id)
+                                                   : golden_.span(id);
 }
 
 std::vector<StuckFault> enumerate_faults(const Network& net) {

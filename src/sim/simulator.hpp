@@ -1,30 +1,43 @@
-// 64-way bit-parallel logic simulation with single-stuck-at fault injection
-// and switching-activity estimation. This is the measurement engine behind
-// CED coverage (paper Sec. 4: random fault + random vector runs), power
-// overhead (total switching activity), and the sampled estimates used by the
-// synthesis core for signal probabilities.
+// Bit-parallel logic simulation with single-stuck-at fault injection and
+// switching-activity estimation, over a flat 64-byte-aligned SoA value
+// arena evaluated by runtime-dispatched SIMD kernels (sim/kernels.hpp).
+// This is the measurement engine behind CED coverage (paper Sec. 4: random
+// fault + random vector runs), power overhead (total switching activity),
+// and the sampled estimates used by the synthesis core for signal
+// probabilities.
 #pragma once
 
 #include <cstdint>
-#include <random>
 #include <vector>
 
 #include "network/network.hpp"
+#include "sim/arena.hpp"
+#include "sim/kernels.hpp"
 
 namespace apx {
 
 /// A batch of input patterns: one 64-bit word column per PI per word index.
-/// Bit b of pattern_word(pi, w) is the value of that PI in pattern 64*w+b.
+/// Bit b of word(pi, w) is the value of that PI in pattern 64*w+b.
+/// Columns live in one contiguous cache-line-aligned SoA arena (one padded
+/// row per PI) so simulators can bulk-copy and SIMD kernels can read them
+/// at full lane width.
 class PatternSet {
  public:
-  PatternSet(int num_pis, int num_words)
-      : num_pis_(num_pis), num_words_(num_words),
-        bits_(num_pis, std::vector<uint64_t>(num_words, 0)) {}
+  PatternSet(int num_pis, int num_words) : num_pis_(num_pis) {
+    bits_.reset(num_pis, num_words);
+  }
 
+  /// Uniform random patterns. Word (pi, w) is derived purely from
+  /// (seed, pi, w) — see derive_seed in sim/rng.hpp — so the generated
+  /// patterns are independent of memory layout and generation order, and
+  /// provably survive storage migrations unchanged (pinned by a
+  /// golden-vector test).
   static PatternSet random(int num_pis, int num_words, uint64_t seed);
 
   /// Biased random patterns: bit of PI i is 1 with probability probs[i]
   /// (the paper's "input vectors not equally likely" setting, Sec. 2).
+  /// Like random(), the randomness of word (pi, w) is derived purely from
+  /// (seed, pi, w).
   static PatternSet biased(const std::vector<double>& probs, int num_words,
                            uint64_t seed);
 
@@ -32,17 +45,16 @@ class PatternSet {
   static PatternSet exhaustive(int num_pis);
 
   int num_pis() const { return num_pis_; }
-  int num_words() const { return num_words_; }
-  int num_patterns() const { return num_words_ * 64; }
+  int num_words() const { return bits_.words(); }
+  int num_patterns() const { return bits_.words() * 64; }
 
-  uint64_t word(int pi, int w) const { return bits_[pi][w]; }
-  void set_word(int pi, int w, uint64_t value) { bits_[pi][w] = value; }
-  const std::vector<uint64_t>& column(int pi) const { return bits_[pi]; }
+  uint64_t word(int pi, int w) const { return bits_.row(pi)[w]; }
+  void set_word(int pi, int w, uint64_t value) { bits_.row(pi)[w] = value; }
+  WordSpan column(int pi) const { return bits_.span(pi); }
 
  private:
   int num_pis_;
-  int num_words_;
-  std::vector<std::vector<uint64_t>> bits_;
+  ValueArena bits_;
 };
 
 /// A single stuck-at fault on the output of a node.
@@ -55,17 +67,15 @@ struct StuckFault {
   }
 };
 
-/// Evaluates a node's SOP bit-parallel over `num_words` words. `fanin[k]`
-/// points at the word column of SOP variable k. Shared evaluation kernel of
-/// Simulator and FaultSimEngine.
-void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
-                    int num_words, uint64_t* out);
-
 /// Bit-parallel good-machine/faulty-machine simulator over a network. The
 /// simulator may outlive mutations of the network: run() re-evaluates every
 /// node and refreshes its cached topological order whenever the network's
 /// structure version moved, so one instance can be reused across repair
 /// rounds instead of being reconstructed per round.
+///
+/// Value planes are flat SoA arenas (one aligned row per node); value()
+/// and faulty_value() return non-owning WordSpan views that stay valid
+/// until the next run() with a different geometry.
 class Simulator {
  public:
   explicit Simulator(const Network& net);
@@ -77,7 +87,7 @@ class Simulator {
   void run(const PatternSet& patterns);
 
   /// Golden value words of a node (valid after run()).
-  const std::vector<uint64_t>& value(NodeId id) const { return golden_[id]; }
+  WordSpan value(NodeId id) const { return golden_.span(id); }
 
   /// Signal probability of a node over the simulated patterns.
   double signal_probability(NodeId id) const;
@@ -101,7 +111,7 @@ class Simulator {
   void inject_forced(NodeId node, const std::vector<uint64_t>& forced);
 
   /// Value words of a node under the last injected fault.
-  const std::vector<uint64_t>& faulty_value(NodeId id) const;
+  WordSpan faulty_value(NodeId id) const;
 
   const Network& network() const { return net_; }
 
@@ -111,10 +121,10 @@ class Simulator {
   uint64_t structure_version_ = 0;
   int num_words_ = 0;
 
-  std::vector<std::vector<uint64_t>> golden_;
-  // Faulty values, allocated lazily per node; `faulty_epoch_[id]` tells
-  // whether faulty_[id] is valid for the current fault.
-  std::vector<std::vector<uint64_t>> faulty_;
+  ValueArena golden_;
+  // Faulty plane, same geometry as golden_; `faulty_epoch_[id]` tells
+  // whether the row is valid for the current fault.
+  ValueArena faulty_;
   std::vector<uint32_t> faulty_epoch_;
   uint32_t epoch_ = 0;
 };

@@ -11,18 +11,17 @@ void TransitionSimulator::run(const PatternSet& first,
   second_.run(second);
 }
 
-const std::vector<uint64_t>& TransitionSimulator::value(NodeId id) const {
+WordSpan TransitionSimulator::value(NodeId id) const {
   return second_.value(id);
 }
 
-const std::vector<uint64_t>& TransitionSimulator::launch_value(
-    NodeId id) const {
+WordSpan TransitionSimulator::launch_value(NodeId id) const {
   return first_.value(id);
 }
 
 void TransitionSimulator::inject(const TransitionFault& fault) {
-  const auto& v1 = first_.value(fault.node);
-  const auto& v2 = second_.value(fault.node);
+  const WordSpan v1 = first_.value(fault.node);
+  const WordSpan v2 = second_.value(fault.node);
   std::vector<uint64_t> forced(v2.size());
   for (size_t w = 0; w < v2.size(); ++w) {
     // Slow-to-rise: a required 0->1 transition is missed (stays at 0), so
@@ -32,15 +31,14 @@ void TransitionSimulator::inject(const TransitionFault& fault) {
   second_.inject_forced(fault.node, forced);
 }
 
-const std::vector<uint64_t>& TransitionSimulator::faulty_value(
-    NodeId id) const {
+WordSpan TransitionSimulator::faulty_value(NodeId id) const {
   return second_.faulty_value(id);
 }
 
 std::vector<uint64_t> TransitionSimulator::launch_mask(
     const TransitionFault& fault) const {
-  const auto& v1 = first_.value(fault.node);
-  const auto& v2 = second_.value(fault.node);
+  const WordSpan v1 = first_.value(fault.node);
+  const WordSpan v2 = second_.value(fault.node);
   std::vector<uint64_t> mask(v2.size());
   for (size_t w = 0; w < v2.size(); ++w) {
     mask[w] = fault.slow_to_rise ? (~v1[w] & v2[w]) : (v1[w] & ~v2[w]);

@@ -34,16 +34,16 @@ class TransitionSimulator {
   void run(const PatternSet& first, const PatternSet& second);
 
   /// Fault-free capture values (second pattern) of a node.
-  const std::vector<uint64_t>& value(NodeId id) const;
+  WordSpan value(NodeId id) const;
 
   /// First-pattern (launch) values of a node.
-  const std::vector<uint64_t>& launch_value(NodeId id) const;
+  WordSpan launch_value(NodeId id) const;
 
   /// Injects a transition fault; faulty capture values readable via
   /// faulty_value(). run() must have been called first.
   void inject(const TransitionFault& fault);
 
-  const std::vector<uint64_t>& faulty_value(NodeId id) const;
+  WordSpan faulty_value(NodeId id) const;
 
   /// Bit mask of patterns on which the fault is *launched* (the site
   /// actually makes the slow transition), per word.

@@ -110,7 +110,7 @@ TEST(BenchJsonTest, PipelineArtifactSchema) {
       // Host metadata: a `gate_enforced: false` artifact from a small
       // runner must say so in a machine-checkable way.
       "\"host_cores\"",      "\"thread_policy\"",
-      "\"simd_width_bits\"",
+      "\"simd_width_bits\"", "\"simd_policy\"",
   };
   for (const char* key : top_level) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
@@ -177,6 +177,7 @@ TEST(BenchJsonTest, BddArtifactSchema) {
       "\"host_cores\"",
       "\"thread_policy\"",
       "\"simd_width_bits\"",
+      "\"simd_policy\"",
   };
   for (const char* key : top_level) {
     EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
@@ -199,6 +200,75 @@ TEST(BenchJsonTest, BddArtifactSchema) {
   EXPECT_NE(text.find("\"sift_peak_le_natural_all\": true"), std::string::npos);
   EXPECT_NE(text.find("\"orderings_bit_identical\": true"), std::string::npos);
   EXPECT_NE(text.find("\"parallel_bit_identical\": true"), std::string::npos);
+
+  int braces = 0, brackets = 0;
+  for (char c : text) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+// Same structural schema check for the committed BENCH_faultsim.json
+// artifact (written by bench/bench_faultsim.cpp): the thread-scaling rows,
+// the per-SIMD-width rows, and both bit-identity claims (any thread count x
+// any SIMD width) must be present and recorded as holding.
+TEST(BenchJsonTest, FaultsimArtifactSchema) {
+  const std::string path = std::string(APX_REPO_ROOT) + "/BENCH_faultsim.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed artifact: " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const char* top_level[] = {
+      "\"circuit\"",
+      "\"ced_nodes\"",
+      "\"functional_gates\"",
+      "\"fault_samples\"",
+      "\"words_per_fault\"",
+      "\"vectors_per_fault\"",
+      "\"baseline_per_fault_rerun\"",
+      "\"engine\"",
+      "\"simd\"",
+      "\"sweep_words\"",
+      "\"sweep_reps\"",
+      "\"speedup_single_thread\"",
+      "\"simd_speedup\"",
+      "\"simd_speedup_gate\"",
+      "\"simd_gate_enforced\"",
+      "\"widths_bit_identical\"",
+      "\"threads_bit_identical\"",
+      "\"host_cores\"",
+      "\"thread_policy\"",
+      "\"simd_width_bits\"",
+      "\"simd_policy\"",
+  };
+  for (const char* key : top_level) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  const char* per_width[] = {
+      "\"tier\"",
+      "\"width_bits\"",
+      "\"substrate_seconds\"",
+      "\"substrate_patterns_per_sec\"",
+      "\"plane_checksum\"",
+      "\"engine_seconds\"",
+      "\"engine_patterns_per_sec\"",
+      "\"coverage_pct\"",
+  };
+  for (const char* key : per_width) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  // The scalar row always exists (every host runs the portable kernel).
+  EXPECT_NE(text.find("\"tier\": \"scalar\""), std::string::npos);
+
+  // Both determinism claims must hold in the committed snapshot.
+  EXPECT_NE(text.find("\"threads_bit_identical\": true"), std::string::npos)
+      << "committed artifact must record a bit-identical 1-vs-N thread run";
+  EXPECT_NE(text.find("\"widths_bit_identical\": true"), std::string::npos)
+      << "committed artifact must record bit-identical SIMD tiers";
 
   int braces = 0, brackets = 0;
   for (char c : text) {

@@ -1,0 +1,165 @@
+// Word-tail handling when the vector count is not a multiple of 64
+// (CampaignOptions::vectors_per_fault / run_batch's num_vectors): the final
+// partial word's padding bits must never excite a fault, keep a dying event
+// alive, or count toward detection — in the engine *and* in every consumer
+// doing popcount accounting through FaultView::word_mask.
+#include "sim/fault_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/ced.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+
+namespace apx {
+namespace {
+
+// a AND b -> po. With 100 of 128 vectors valid, patterns are words 0..1
+// and bits 36..63 of word 1 are padding.
+struct AndFixture {
+  Network net;
+  NodeId a, b, g;
+
+  AndFixture() {
+    a = net.add_pi("a");
+    b = net.add_pi("b");
+    g = net.add_and(a, b, "g");
+    net.add_po("y", g);
+    net.check();
+  }
+};
+
+constexpr int kVectors = 100;
+constexpr uint64_t kTail = (1ULL << (kVectors % 64)) - 1;
+
+TEST(FaultTailTest, PaddingBitsCannotExciteAFault) {
+  AndFixture fx;
+  // All valid patterns drive a = b = 1, so the AND's golden value is 1 on
+  // every valid vector and a stuck-at-1 there is unexcitable. The padding
+  // bits drive a = 0, where golden is 0 and the stuck-at-1 *would* differ —
+  // only the tail mask keeps this fault silent.
+  PatternSet patterns(2, 2);
+  patterns.set_word(0, 0, ~0ULL);
+  patterns.set_word(0, 1, kTail);
+  patterns.set_word(1, 0, ~0ULL);
+  patterns.set_word(1, 1, ~0ULL);
+
+  FaultSimEngine engine(fx.net);
+  int visits = 0;
+  engine.run_batch(
+      patterns, {{fx.g, true}},
+      [&](int, const StuckFault&, const FaultView& v) {
+        ++visits;
+        EXPECT_EQ(v.num_vectors(), kVectors);
+        EXPECT_EQ(v.num_words(), 2);
+        EXPECT_EQ(v.word_mask(0), ~0ULL);
+        EXPECT_EQ(v.word_mask(1), kTail);
+        EXPECT_FALSE(v.touched(fx.g))
+            << "padding-only difference must not excite the fault";
+        // faulty() falls back to the golden row for untouched nodes, so
+        // downstream popcounts see zero difference.
+        EXPECT_EQ(v.faulty(fx.g), v.golden(fx.g));
+      },
+      /*num_threads=*/1, /*num_vectors=*/kVectors);
+  EXPECT_EQ(visits, 1);
+
+  // Same batch with every vector valid: the word-1 difference is now real
+  // and must propagate.
+  visits = 0;
+  engine.run_batch(patterns, {{fx.g, true}},
+                   [&](int, const StuckFault&, const FaultView& v) {
+                     ++visits;
+                     EXPECT_EQ(v.num_vectors(), 128);
+                     EXPECT_EQ(v.word_mask(1), ~0ULL);
+                     EXPECT_TRUE(v.touched(fx.g));
+                   },
+                   /*num_threads=*/1, /*num_vectors=*/0);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(FaultTailTest, PaddingBitsCannotKeepAPropagatingEventAlive) {
+  AndFixture fx;
+  // Excite the fault at the PI (stuck-at-0 on a, which is 1 on some valid
+  // patterns), but make b = 0 exactly on the valid patterns of word 1 so
+  // the difference reaching the AND gate survives only in padding bits
+  // there; word 0 carries the real detection.
+  PatternSet patterns(2, 2);
+  patterns.set_word(0, 0, ~0ULL);
+  patterns.set_word(0, 1, ~0ULL);
+  patterns.set_word(1, 0, ~0ULL);
+  patterns.set_word(1, 1, ~kTail);  // b = 1 only on padding vectors
+
+  FaultSimEngine engine(fx.net);
+  engine.run_batch(
+      patterns, {{fx.a, false}},
+      [&](int, const StuckFault&, const FaultView& v) {
+        ASSERT_TRUE(v.touched(fx.a));
+        ASSERT_TRUE(v.touched(fx.g));  // word 0 detects for real
+        // Detection accounting masked per word: word 1's padding-only
+        // difference contributes nothing.
+        int64_t detected = 0;
+        for (int w = 0; w < v.num_words(); ++w) {
+          uint64_t err = v.golden(fx.g)[w] ^ v.faulty(fx.g)[w];
+          detected += std::popcount(err & v.word_mask(w));
+        }
+        EXPECT_EQ(detected, 64);  // word 0 only
+      },
+      /*num_threads=*/1, /*num_vectors=*/kVectors);
+
+  // With only word 1's patterns in play the surviving difference is pure
+  // padding: the propagated event must die at the gate.
+  PatternSet word1(2, 1);
+  word1.set_word(0, 0, ~0ULL);
+  word1.set_word(1, 0, ~kTail);
+  engine.run_batch(word1, {{fx.a, false}},
+                   [&](int, const StuckFault&, const FaultView& v) {
+                     EXPECT_TRUE(v.touched(fx.a));
+                     EXPECT_FALSE(v.touched(fx.g))
+                         << "event alive on padding bits only";
+                   },
+                   /*num_threads=*/1, /*num_vectors=*/kVectors % 64);
+}
+
+TEST(FaultTailTest, RunBatchRejectsOversizedVectorCounts) {
+  AndFixture fx;
+  PatternSet patterns(2, 1);
+  FaultSimEngine engine(fx.net);
+  EXPECT_THROW(engine.run_batch(patterns, {{fx.g, true}},
+                                [](int, const StuckFault&, const FaultView&) {},
+                                1, 65),
+               std::logic_error);
+}
+
+TEST(FaultTailTest, CoverageAccountsExactlyTheValidVectors) {
+  Network mapped = technology_map(quick_synthesis(make_benchmark("cmp8")));
+  std::vector<ApproxDirection> dirs(mapped.num_pos(),
+                                    ApproxDirection::kZeroApprox);
+  CedDesign ced = build_ced_design(mapped, mapped, dirs);
+
+  CoverageOptions options;
+  options.num_fault_samples = 40;
+  options.vectors_per_fault = kVectors;
+  CoverageResult partial = evaluate_ced_coverage(ced, options);
+  EXPECT_EQ(partial.runs, int64_t{40} * kVectors);
+  EXPECT_GT(partial.erroneous, 0);
+  // Counting happens under word_mask, so no count can exceed the valid
+  // vector budget.
+  EXPECT_LE(partial.erroneous, partial.runs);
+  EXPECT_LE(partial.detected, partial.erroneous);
+
+  // The valid 100-vector prefix of a 128-vector campaign sees the same
+  // patterns (layout-independent seeding), so widening the tail can only
+  // add detections, never remove them.
+  options.vectors_per_fault = 0;
+  options.words_per_fault = 2;
+  CoverageResult full = evaluate_ced_coverage(ced, options);
+  EXPECT_EQ(full.runs, int64_t{40} * 128);
+  EXPECT_GE(full.erroneous, partial.erroneous);
+  EXPECT_GE(full.detected, partial.detected);
+}
+
+}  // namespace
+}  // namespace apx

@@ -1,0 +1,190 @@
+// Bit-identity across SIMD dispatch tiers (the tentpole guarantee: results
+// are identical for any thread count x any SIMD width).
+//
+// Every kernel tier computes the same pure bitwise function over the same
+// words, so golden and faulty value planes must be *byte-identical* whether
+// evaluated 64, 256, or 512 bits per step — and everything derived from
+// them (coverage counts, fault-detection reports, the synthesis screening
+// prescreen and the approximate networks it shapes) must not move at all.
+// The suite cycles every tier the host supports through the in-process
+// simd::set_tier hook; CI additionally runs it once per APX_SIMD value so
+// the env-var dispatch path is exercised too.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/approx_synthesis.hpp"
+#include "core/ced.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+#include "network/bench_format.hpp"
+#include "sim/fault_engine.hpp"
+#include "sim/kernels.hpp"
+#include "sim/simulator.hpp"
+
+namespace apx {
+namespace {
+
+std::vector<simd::Tier> supported_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (simd::Tier t :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// Restores auto dispatch after each test so tier forcing cannot leak into
+// other suites in the same binary.
+class SimdIdentityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::set_tier(simd::best_supported_tier()); }
+};
+
+// Full golden + faulty value planes of a Simulator run, copied out of the
+// arenas word by word so the comparison is content-based (byte identity of
+// every node row, including sub-lane tails at odd word counts).
+struct Planes {
+  std::vector<std::vector<uint64_t>> golden;
+  std::vector<std::vector<uint64_t>> faulty;
+};
+
+Planes capture_planes(const Network& net, int words, uint64_t seed) {
+  Simulator sim(net);
+  sim.run(PatternSet::random(net.num_pis(), words, seed));
+  // A mid-circuit fault site with real fanout: the last logic node's first
+  // fanin (deterministic for a fixed benchmark).
+  NodeId site = kNullNode;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) site = id;
+  }
+  if (!net.node(site).fanins.empty()) site = net.node(site).fanins[0];
+  sim.inject({site, true});
+  Planes p;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    WordSpan g = sim.value(id);
+    WordSpan f = sim.faulty_value(id);
+    p.golden.emplace_back(g.begin(), g.end());
+    p.faulty.emplace_back(f.begin(), f.end());
+  }
+  return p;
+}
+
+TEST_F(SimdIdentityTest, SimulatorPlanesAreByteIdenticalAcrossTiers) {
+  Network net = technology_map(quick_synthesis(make_benchmark("cmp8")));
+  // Odd word counts force every kernel through its sub-lane tail: 1 and 3
+  // never reach the AVX-512 8-word stride, 7 exercises 4-word + scalar
+  // remainders, 9 exercises the full stride plus both tails.
+  for (int words : {1, 3, 7, 9}) {
+    std::optional<Planes> reference;
+    for (simd::Tier tier : supported_tiers()) {
+      simd::set_tier(tier);
+      Planes p = capture_planes(net, words, 0x1DE57);
+      if (!reference) {
+        reference = std::move(p);
+        continue;
+      }
+      ASSERT_EQ(p.golden, reference->golden)
+          << "golden plane diverged at tier " << simd::tier_name(tier)
+          << ", words=" << words;
+      ASSERT_EQ(p.faulty, reference->faulty)
+          << "faulty plane diverged at tier " << simd::tier_name(tier)
+          << ", words=" << words;
+    }
+  }
+}
+
+TEST_F(SimdIdentityTest, CoverageCountsAreIdenticalAcrossTiers) {
+  Network mapped = technology_map(quick_synthesis(make_benchmark("cmp8")));
+  std::vector<ApproxDirection> dirs(mapped.num_pos(),
+                                    ApproxDirection::kZeroApprox);
+  CedDesign ced = build_ced_design(mapped, mapped, dirs);
+  CoverageOptions options;
+  options.num_fault_samples = 400;
+  options.words_per_fault = 3;  // odd count: kernels take their tail paths
+
+  std::optional<CoverageResult> reference;
+  for (simd::Tier tier : supported_tiers()) {
+    simd::set_tier(tier);
+    CoverageResult r = evaluate_ced_coverage(ced, options);
+    if (!reference) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.runs, reference->runs);
+    EXPECT_EQ(r.erroneous, reference->erroneous)
+        << "tier " << simd::tier_name(tier);
+    EXPECT_EQ(r.detected, reference->detected)
+        << "tier " << simd::tier_name(tier);
+  }
+}
+
+TEST_F(SimdIdentityTest, DetectionReportsAreIdenticalAcrossTiers) {
+  Network net = technology_map(quick_synthesis(make_benchmark("rca16")));
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  std::vector<NodeId> observe;
+  for (int o = 0; o < net.num_pos(); ++o) observe.push_back(net.po(o).driver);
+  DetectOptions options;
+  options.max_words = 6;
+  options.words_per_batch = 3;
+
+  std::optional<DetectionReport> reference;
+  for (simd::Tier tier : supported_tiers()) {
+    simd::set_tier(tier);
+    FaultSimEngine engine(net);
+    DetectionReport r = engine.detect_faults(faults, observe, options);
+    if (!reference) {
+      reference = std::move(r);
+      continue;
+    }
+    EXPECT_EQ(r.detected, reference->detected)
+        << "tier " << simd::tier_name(tier);
+    EXPECT_EQ(r.detecting_batch, reference->detecting_batch)
+        << "tier " << simd::tier_name(tier);
+    EXPECT_EQ(r.fault_batch_evals, reference->fault_batch_evals);
+  }
+}
+
+// The synthesis screening prescreen runs on simulated planes; if a tier
+// perturbed even one bit, stage-2 repair could take a different path and
+// emit a structurally different approximate network. Serializing the
+// result makes the comparison total.
+TEST_F(SimdIdentityTest, SynthesisResultsAreIdenticalAcrossTiers) {
+  Network net = make_benchmark("cmp8");
+  std::vector<ApproxDirection> dirs(net.num_pos(),
+                                    ApproxDirection::kZeroApprox);
+  ApproxOptions options;
+  options.sim_words = 9;  // odd: prescreen planes cross every tail path
+
+  std::optional<std::string> reference;
+  std::optional<int> reference_repairs;
+  for (simd::Tier tier : supported_tiers()) {
+    simd::set_tier(tier);
+    ApproxResult r = synthesize_approximation(net, dirs, options);
+    ASSERT_TRUE(r.all_verified());
+    std::string text = write_bench_string(r.approx);
+    if (!reference) {
+      reference = std::move(text);
+      reference_repairs = r.repairs;
+      continue;
+    }
+    EXPECT_EQ(text, *reference) << "tier " << simd::tier_name(tier);
+    EXPECT_EQ(r.repairs, *reference_repairs);
+  }
+}
+
+TEST_F(SimdIdentityTest, SetTierRejectsUnsupportedAndRecordsPolicy) {
+  if (!simd::tier_supported(simd::Tier::kAvx512)) {
+    EXPECT_THROW(simd::set_tier(simd::Tier::kAvx512), std::invalid_argument);
+  }
+  simd::set_tier(simd::Tier::kScalar);
+  EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
+  EXPECT_EQ(simd::width_bits(), 64);
+  EXPECT_STREQ(simd::policy(), "forced:scalar");
+}
+
+}  // namespace
+}  // namespace apx
