@@ -5,6 +5,7 @@
 // AVX-512 kernels cycled via the in-process tier hook). Emits
 // BENCH_faultsim.json so the perf trajectory is tracked from PR 1 onward
 // (fields documented in EXPERIMENTS.md).
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <random>
@@ -119,6 +120,77 @@ struct WidthRow {
   Throughput engine;
 };
 
+// Visitor-accounting sweep: isolates the campaign visitors' popcount tax.
+// One simulation materializes golden/faulty rows for every functional
+// output plus the two-rail pair; the sweep then replays the CED coverage
+// accounting over those rows `reps` times, once with the legacy per-word
+// std::popcount loop and once through the dispatched popcount-reduce
+// kernels. Both compute the identical (erroneous, detected) integers —
+// `visitor_bit_identical` in the artifact — and the ratio of their times
+// is the visitor speedup the release gate watches.
+struct VisitorSweep {
+  double scalar_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  int64_t scalar_erroneous = 0, scalar_detected = 0;
+  int64_t kernel_erroneous = 0, kernel_detected = 0;
+  uint64_t scalar_checksum = 0, kernel_checksum = 0;
+};
+
+VisitorSweep run_visitor_sweep(const CedDesign& ced, int words, int reps,
+                               uint64_t seed) {
+  Simulator sim(ced.design);
+  sim.run(PatternSet::random(ced.design.num_pis(), words, seed));
+  sim.inject({ced.functional_nodes[ced.functional_nodes.size() / 2], true});
+  std::vector<const uint64_t*> golden, faulty;
+  for (NodeId out : ced.functional_outputs) {
+    golden.push_back(sim.value(out).data());
+    faulty.push_back(sim.faulty_value(out).data());
+  }
+  const uint64_t* z1 = sim.faulty_value(ced.error_pair.rail1).data();
+  const uint64_t* z2 = sim.faulty_value(ced.error_pair.rail2).data();
+  const size_t outs = golden.size();
+
+  VisitorSweep v;
+  {
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      int64_t erroneous = 0, detected = 0;
+      for (int w = 0; w < words; ++w) {
+        uint64_t err = 0;
+        for (size_t o = 0; o < outs; ++o) err |= golden[o][w] ^ faulty[o][w];
+        uint64_t flagged = ~(z1[w] ^ z2[w]);
+        erroneous += std::popcount(err);
+        detected += std::popcount(err & flagged);
+      }
+      v.scalar_erroneous = erroneous;
+      v.scalar_detected = detected;
+      // Rep-dependent fold so the loop cannot be hoisted as invariant.
+      v.scalar_checksum +=
+          static_cast<uint64_t>(erroneous + detected) * (r + 1);
+    }
+    v.scalar_seconds = watch.seconds();
+  }
+  {
+    std::vector<uint64_t> err_row(words);
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      std::fill(err_row.begin(), err_row.end(), 0);
+      for (size_t o = 0; o < outs; ++o) {
+        accumulate_xor_or(err_row.data(), golden[o], faulty[o], words);
+      }
+      int64_t erroneous = popcount_words(err_row.data(), words, ~0ULL);
+      int64_t detected =
+          erroneous - popcount_xor_and(z1, z2, err_row.data(), words, ~0ULL);
+      v.kernel_erroneous = erroneous;
+      v.kernel_detected = detected;
+      v.kernel_checksum +=
+          static_cast<uint64_t>(erroneous + detected) * (r + 1);
+    }
+    v.kernel_seconds = watch.seconds();
+  }
+  return v;
+}
+
 void print_row(const char* label, const Throughput& t) {
   std::printf("%-24s %8.3fs %12.0f f/s %14.0f pat/s   cov %.2f%%\n", label,
               t.seconds, t.faults_per_sec, t.patterns_per_sec,
@@ -226,6 +298,27 @@ int main(int argc, char** argv) {
               simd::tier_name(widths.back().tier), simd_speedup,
               simd_gate_enforced ? "enforced" : "advisory");
 
+  // Visitor-accounting sweep at a word geometry wide enough for the vector
+  // popcount reduce to dominate the loop bookkeeping. The width loop above
+  // exited on the widest supported tier, which is what auto dispatch picks.
+  const int visitor_words = 1024;
+  const int visitor_reps = scaled(3000);
+  VisitorSweep vs =
+      run_visitor_sweep(ced, visitor_words, visitor_reps, 0xACC0);
+  const bool visitor_identical =
+      vs.scalar_erroneous == vs.kernel_erroneous &&
+      vs.scalar_detected == vs.kernel_detected &&
+      vs.scalar_checksum == vs.kernel_checksum;
+  const bool visitor_gate_enforced = simd::tier_supported(simd::Tier::kAvx2);
+  const double visitor_speedup =
+      vs.scalar_seconds / (vs.kernel_seconds > 0 ? vs.kernel_seconds : 1e-12);
+  std::printf("visitor accounting (%d words x %d reps): scalar %.3fs, "
+              "kernels %.3fs -> %.1fx (gate %s), counts %s\n",
+              visitor_words, visitor_reps, vs.scalar_seconds,
+              vs.kernel_seconds, visitor_speedup,
+              visitor_gate_enforced ? "enforced" : "advisory",
+              visitor_identical ? "identical" : "DIVERGED");
+
   std::fprintf(f, "  \"circuit\": \"%s\",\n", circuit);
   std::fprintf(f, "  \"ced_nodes\": %d,\n", ced.design.num_nodes());
   std::fprintf(f, "  \"functional_gates\": %d,\n", ced.functional_area());
@@ -276,6 +369,16 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"simd_speedup_gate\": 3.0,\n");
   std::fprintf(f, "  \"simd_gate_enforced\": %s,\n",
                simd_gate_enforced ? "true" : "false");
+  std::fprintf(f, "  \"visitor_words\": %d,\n", visitor_words);
+  std::fprintf(f, "  \"visitor_reps\": %d,\n", visitor_reps);
+  std::fprintf(f, "  \"visitor_scalar_seconds\": %.4f,\n", vs.scalar_seconds);
+  std::fprintf(f, "  \"visitor_kernel_seconds\": %.4f,\n", vs.kernel_seconds);
+  std::fprintf(f, "  \"visitor_speedup\": %.2f,\n", visitor_speedup);
+  std::fprintf(f, "  \"visitor_speedup_gate\": 2.0,\n");
+  std::fprintf(f, "  \"visitor_gate_enforced\": %s,\n",
+               visitor_gate_enforced ? "true" : "false");
+  std::fprintf(f, "  \"visitor_bit_identical\": %s,\n",
+               visitor_identical ? "true" : "false");
   std::fprintf(f, "  \"widths_bit_identical\": %s,\n",
                widths_identical ? "true" : "false");
   std::fprintf(f, "  \"threads_bit_identical\": %s\n",
@@ -285,9 +388,13 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_path.c_str());
 
   // Fail loudly if the engine regresses below the 4x bar, determinism
-  // breaks (threads or widths), or the SIMD kernels miss the 3x substrate
-  // bar on vector-capable hosts, so CI can watch the perf trajectory.
-  bool ok = speedup >= 4.0 && threads_identical && widths_identical;
+  // breaks (threads, widths, or the visitor accounting identity), or the
+  // SIMD kernels miss their bars on vector-capable hosts (3x substrate
+  // evaluation, 2x visitor accounting), so CI can watch the perf
+  // trajectory.
+  bool ok = speedup >= 4.0 && threads_identical && widths_identical &&
+            visitor_identical;
   if (simd_gate_enforced) ok = ok && simd_speedup >= 3.0;
+  if (visitor_gate_enforced) ok = ok && visitor_speedup >= 2.0;
   return ok ? 0 : 1;
 }

@@ -1,11 +1,12 @@
 #include "baselines/partial_duplication.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <numeric>
 
+#include "core/task_pool.hpp"
 #include "core/trace.hpp"
 #include "sim/fault_engine.hpp"
+#include "sim/kernels.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -70,23 +71,30 @@ RankHistogram rank_histogram(const Network& net,
   const size_t stride = ranks + 1;
   std::vector<int64_t> rows(
       static_cast<size_t>(options.num_fault_samples) * stride, 0);
+  // "First erroneous PO has rank k" counts via the prefix-OR identity: the
+  // bits rank k claims are exactly the bits it adds to the running OR of
+  // ranks 0..k, so row[k] = |prefix after k| - |prefix before k| — the
+  // per-word remaining/any bookkeeping reduced to one accumulate and one
+  // popcount kernel call per rank.
+  const int slots = resolve_thread_option(options.num_threads);
+  std::vector<std::vector<uint64_t>> any_scratch(slots);
   engine.run_campaign(
       campaign_options(options, options.seed), sampler,
       [&](int i, const StuckFault&, const FaultView& v) {
         int64_t* row = rows.data() + static_cast<size_t>(i) * stride;
-        for (int w = 0; w < v.num_words(); ++w) {
-          uint64_t remaining = v.word_mask(w);
-          uint64_t any = 0;
-          for (size_t k = 0; k < ranks; ++k) {
-            NodeId drv = net.po(ranked_pos[k]).driver;
-            uint64_t err =
-                (v.golden(drv)[w] ^ v.faulty(drv)[w]) & v.word_mask(w);
-            any |= err;
-            row[k] += std::popcount(err & remaining);
-            remaining &= ~err;
-          }
-          row[ranks] += std::popcount(any);
+        const int W = v.num_words();
+        const uint64_t tail = v.word_mask(W - 1);
+        std::vector<uint64_t>& any_row = any_scratch[v.worker_slot()];
+        any_row.assign(static_cast<size_t>(W), 0);
+        int64_t prev = 0;
+        for (size_t k = 0; k < ranks; ++k) {
+          NodeId drv = net.po(ranked_pos[k]).driver;
+          accumulate_xor_or(any_row.data(), v.golden(drv), v.faulty(drv), W);
+          const int64_t cur = popcount_words(any_row.data(), W, tail);
+          row[k] += cur - prev;
+          prev = cur;
         }
+        row[ranks] += prev;
       });
   for (int s = 0; s < options.num_fault_samples; ++s) {
     const int64_t* row = rows.data() + static_cast<size_t>(s) * stride;
@@ -118,13 +126,15 @@ std::vector<int64_t> output_error_counts(
       campaign_options(options, options.seed ^ 0xABCD), sampler,
       [&](int i, const StuckFault&, const FaultView& v) {
         int64_t* row = rows.data() + static_cast<size_t>(i) * num_pos;
+        const int W = v.num_words();
+        const uint64_t tail = v.word_mask(W - 1);
         for (size_t o = 0; o < num_pos; ++o) {
           NodeId drv = net.po(static_cast<int>(o)).driver;
           const uint64_t* g = v.golden(drv);
           const uint64_t* f = v.faulty(drv);
-          for (int w = 0; w < v.num_words(); ++w) {
-            row[o] += std::popcount((g[w] ^ f[w]) & v.word_mask(w));
-          }
+          // |g ^ f| = |~g & f| + |g & ~f|.
+          row[o] += popcount_andnot(g, f, W, tail) +
+                    popcount_andnot(f, g, W, tail);
         }
       });
   for (int s = 0; s < options.num_fault_samples; ++s) {

@@ -26,8 +26,10 @@ BddManager::BddManager(int num_vars, size_t max_nodes,
     : num_vars_(num_vars), max_nodes_(max_nodes), reorder_threshold_(8192) {
   // Terminal nodes: index 0 = false, 1 = true. Terminals use the sentinel
   // variable num_vars (below every real variable in the order).
-  nodes_.push_back({num_vars_, 0, 0});
-  nodes_.push_back({num_vars_, 1, 1});
+  var_.push_back(num_vars_);
+  kids_.push_back({0, 0});
+  var_.push_back(num_vars_);
+  kids_.push_back({1, 1});
   var2level_.resize(num_vars_ + 1);
   level2var_.resize(num_vars_ + 1);
   install_order(level_to_var);
@@ -68,7 +70,7 @@ void BddManager::install_order(const std::vector<int>& level_to_var) {
 void BddManager::seed_order(const std::vector<int>& level_to_var) {
   // Levels are baked into every existing internal node; reinterpreting
   // them post hoc would silently change those nodes' functions.
-  if (nodes_.size() != 2 || !free_list_.empty()) {
+  if (var_.size() != 2 || !free_list_.empty()) {
     throw std::logic_error("seed_order requires an empty manager");
   }
   install_order(level_to_var);
@@ -76,16 +78,14 @@ void BddManager::seed_order(const std::vector<int>& level_to_var) {
 
 void BddManager::unique_insert(Ref id) {
   const size_t mask = unique_slots_.size() - 1;
-  const BddNode& n = nodes_[id];
-  size_t idx = hash_triple(n.var, n.lo, n.hi) & mask;
+  size_t idx = hash_triple(var_[id], kids_[id].lo, kids_[id].hi) & mask;
   while (unique_slots_[idx] != kInvalidRef) idx = (idx + 1) & mask;
   unique_slots_[idx] = id;
 }
 
 void BddManager::unique_erase(Ref id) {
   const size_t mask = unique_slots_.size() - 1;
-  const BddNode& n = nodes_[id];
-  size_t idx = hash_triple(n.var, n.lo, n.hi) & mask;
+  size_t idx = hash_triple(var_[id], kids_[id].lo, kids_[id].hi) & mask;
   while (unique_slots_[idx] != id) {
     assert(unique_slots_[idx] != kInvalidRef && "erasing a node not in table");
     idx = (idx + 1) & mask;
@@ -99,8 +99,7 @@ void BddManager::unique_erase(Ref id) {
     probe = (probe + 1) & mask;
     Ref s = unique_slots_[probe];
     if (s == kInvalidRef) break;
-    const BddNode& m = nodes_[s];
-    size_t home = hash_triple(m.var, m.lo, m.hi) & mask;
+    size_t home = hash_triple(var_[s], kids_[s].lo, kids_[s].hi) & mask;
     if (((probe - home) & mask) >= ((probe - hole) & mask)) {
       unique_slots_[hole] = s;
       hole = probe;
@@ -115,8 +114,8 @@ void BddManager::unique_grow() {
   unique_slots_.assign(old.size() * 2, kInvalidRef);
   // Every live non-terminal node is (exactly once) in the table;
   // re-inserting from the arena avoids touching the old slot array.
-  for (Ref id = 2; id < static_cast<Ref>(nodes_.size()); ++id) {
-    if (nodes_[id].var != kFreeVar) unique_insert(id);
+  for (Ref id = 2; id < static_cast<Ref>(var_.size()); ++id) {
+    if (var_[id] != kFreeVar) unique_insert(id);
   }
 }
 
@@ -125,10 +124,12 @@ BddManager::Ref BddManager::alloc_node(int32_t var, Ref lo, Ref hi) {
   if (!free_list_.empty()) {
     id = free_list_.back();
     free_list_.pop_back();
-    nodes_[id] = {var, lo, hi};
+    var_[id] = var;
+    kids_[id] = {lo, hi};
   } else {
-    id = static_cast<Ref>(nodes_.size());
-    nodes_.push_back({var, lo, hi});
+    id = static_cast<Ref>(var_.size());
+    var_.push_back(var);
+    kids_.push_back({lo, hi});
   }
   if (live_nodes() > stats_.peak_nodes) stats_.peak_nodes = live_nodes();
   return id;
@@ -143,8 +144,9 @@ BddManager::Ref BddManager::make_node(int32_t var, Ref lo, Ref hi) {
     ++stats_.unique_probes;
     Ref slot = unique_slots_[idx];
     if (slot == kInvalidRef) break;
-    const BddNode& n = nodes_[slot];
-    if (n.var == var && n.lo == lo && n.hi == hi) return slot;
+    if (var_[slot] == var && kids_[slot].lo == lo && kids_[slot].hi == hi) {
+      return slot;
+    }
     idx = (idx + 1) & mask;
   }
   if (live_nodes() >= max_nodes_) throw BddOverflow();
@@ -205,8 +207,8 @@ BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
   int32_t top_level = std::min({level_of(f), level_of(g), level_of(h)});
   int32_t top_var = level2var_[top_level];
   auto cof = [&](Ref x, bool hi) -> Ref {
-    if (nodes_[x].var != top_var) return x;
-    return hi ? nodes_[x].hi : nodes_[x].lo;
+    if (var_[x] != top_var) return x;
+    return hi ? kids_[x].hi : kids_[x].lo;
   };
   Ref lo = ite_rec(cof(f, false), cof(g, false), cof(h, false));
   Ref hi = ite_rec(cof(f, true), cof(g, true), cof(h, true));
@@ -223,9 +225,9 @@ BddManager::Ref BddManager::ite_rec(Ref f, Ref g, Ref h) {
 bool BddManager::implies(Ref f, Ref g) { return bdd_and(f, bdd_not(g)) == 0; }
 
 void BddManager::begin_scratch_pass() const {
-  if (stamp_.size() < nodes_.size()) stamp_.resize(nodes_.size(), 0);
-  if (frac_memo_.size() < nodes_.size()) frac_memo_.resize(nodes_.size());
-  if (ref_memo_.size() < nodes_.size()) ref_memo_.resize(nodes_.size());
+  if (stamp_.size() < var_.size()) stamp_.resize(var_.size(), 0);
+  if (frac_memo_.size() < var_.size()) frac_memo_.resize(var_.size());
+  if (ref_memo_.size() < var_.size()) ref_memo_.resize(var_.size());
   if (++stamp_epoch_ == 0) {  // epoch wrapped: invalidate everything
     std::fill(stamp_.begin(), stamp_.end(), 0);
     stamp_epoch_ = 1;
@@ -236,8 +238,8 @@ double BddManager::sat_fraction_rec(Ref f) {
   if (f == 0) return 0.0;
   if (f == 1) return 1.0;
   if (stamp_[f] == stamp_epoch_) return frac_memo_[f];
-  double result = 0.5 * (sat_fraction_rec(nodes_[f].lo) +
-                         sat_fraction_rec(nodes_[f].hi));
+  double result =
+      0.5 * (sat_fraction_rec(kids_[f].lo) + sat_fraction_rec(kids_[f].hi));
   stamp_[f] = stamp_epoch_;
   frac_memo_[f] = result;
   return result;
@@ -256,13 +258,13 @@ BddManager::Ref BddManager::cofactor_rec(Ref f, int32_t vlevel, bool value) {
   if (f <= 1) return f;
   const int32_t lev = level_of(f);
   if (lev > vlevel) return f;  // f does not depend on v (v above f's top)
-  if (lev == vlevel) return value ? nodes_[f].hi : nodes_[f].lo;
+  if (lev == vlevel) return value ? kids_[f].hi : kids_[f].lo;
   if (stamp_[f] == stamp_epoch_) return ref_memo_[f];
-  Ref lo = cofactor_rec(nodes_[f].lo, vlevel, value);
-  Ref hi = cofactor_rec(nodes_[f].hi, vlevel, value);
+  Ref lo = cofactor_rec(kids_[f].lo, vlevel, value);
+  Ref hi = cofactor_rec(kids_[f].hi, vlevel, value);
   // Only nodes of f's input DAG are stamped, all of which predate the
   // pass, so make_node growing the arena past stamp_.size() is safe.
-  Ref result = make_node(nodes_[f].var, lo, hi);
+  Ref result = make_node(var_[f], lo, hi);
   stamp_[f] = stamp_epoch_;
   ref_memo_[f] = result;
   return result;
@@ -306,8 +308,7 @@ BddManager::Ref BddManager::compose(Ref f, int var, Ref g) {
 
 bool BddManager::evaluate(Ref f, uint64_t input) const {
   while (f > 1) {
-    const BddNode& n = nodes_[f];
-    f = ((input >> n.var) & 1) ? n.hi : n.lo;
+    f = ((input >> var_[f]) & 1) ? kids_[f].hi : kids_[f].lo;
   }
   return f == 1;
 }
@@ -321,9 +322,9 @@ std::vector<bool> BddManager::support(Ref f) const {
     stack.pop_back();
     if (r <= 1 || stamp_[r] == stamp_epoch_) continue;
     stamp_[r] = stamp_epoch_;
-    vars[nodes_[r].var] = true;
-    stack.push_back(nodes_[r].lo);
-    stack.push_back(nodes_[r].hi);
+    vars[var_[r]] = true;
+    stack.push_back(kids_[r].lo);
+    stack.push_back(kids_[r].hi);
   }
   return vars;
 }
@@ -338,8 +339,8 @@ size_t BddManager::size(Ref f) const {
     if (r <= 1 || stamp_[r] == stamp_epoch_) continue;
     stamp_[r] = stamp_epoch_;
     ++count;
-    stack.push_back(nodes_[r].lo);
-    stack.push_back(nodes_[r].hi);
+    stack.push_back(kids_[r].lo);
+    stack.push_back(kids_[r].hi);
   }
   return count;
 }
@@ -352,11 +353,15 @@ std::vector<BddManager::Ref> BddManager::garbage_collect(
     trace::counter("bdd.peak_nodes", trace::CounterKind::kGauge)
         .set_max(static_cast<int64_t>(stats_.peak_nodes));
   }
-  std::vector<Ref> remap(nodes_.size(), kInvalidRef);
-  std::vector<BddNode> kept;
-  kept.reserve(live_nodes());
-  kept.push_back(nodes_[0]);
-  kept.push_back(nodes_[1]);
+  std::vector<Ref> remap(var_.size(), kInvalidRef);
+  std::vector<int32_t> kept_var;
+  std::vector<BddChildren> kept_kids;
+  kept_var.reserve(live_nodes());
+  kept_kids.reserve(live_nodes());
+  kept_var.push_back(var_[0]);
+  kept_kids.push_back(kids_[0]);
+  kept_var.push_back(var_[1]);
+  kept_kids.push_back(kids_[1]);
   remap[0] = 0;
   remap[1] = 1;
   // Post-order DFS compaction: a node is emitted only after both children,
@@ -370,7 +375,7 @@ std::vector<BddManager::Ref> BddManager::garbage_collect(
     if (r == kInvalidRef || r >= remap.size() || remap[r] != kInvalidRef) {
       continue;
     }
-    assert(nodes_[r].var != kFreeVar && "GC root references a freed node");
+    assert(var_[r] != kFreeVar && "GC root references a freed node");
     stack.push_back(r);
   }
   while (!stack.empty()) {
@@ -379,8 +384,8 @@ std::vector<BddManager::Ref> BddManager::garbage_collect(
       stack.pop_back();
       continue;
     }
-    const Ref lo = nodes_[r].lo;
-    const Ref hi = nodes_[r].hi;
+    const Ref lo = kids_[r].lo;
+    const Ref hi = kids_[r].hi;
     bool ready = true;
     if (remap[lo] == kInvalidRef) {
       stack.push_back(lo);
@@ -392,23 +397,25 @@ std::vector<BddManager::Ref> BddManager::garbage_collect(
     }
     if (!ready) continue;
     stack.pop_back();
-    remap[r] = static_cast<Ref>(kept.size());
-    kept.push_back({nodes_[r].var, remap[lo], remap[hi]});
+    remap[r] = static_cast<Ref>(kept_var.size());
+    kept_var.push_back(var_[r]);
+    kept_kids.push_back({remap[lo], remap[hi]});
   }
-  nodes_ = std::move(kept);
+  var_ = std::move(kept_var);
+  kids_ = std::move(kept_kids);
   free_list_.clear();
 
   // Rebuild the unique table at a capacity fitting the survivors.
-  unique_count_ = nodes_.size() - 2;
+  unique_count_ = var_.size() - 2;
   unique_slots_.assign(pow2_at_least((unique_count_ + 1) * 10 / 7, 1024),
                        kInvalidRef);
-  for (Ref id = 2; id < static_cast<Ref>(nodes_.size()); ++id) {
+  for (Ref id = 2; id < static_cast<Ref>(var_.size()); ++id) {
     unique_insert(id);
   }
 
   // Refs changed meaning: drop every cached/memoized entry.
   std::fill(ite_cache_.begin(), ite_cache_.end(), IteEntry{});
-  stamp_.assign(nodes_.size(), 0);
+  stamp_.assign(var_.size(), 0);
   stamp_epoch_ = 0;
   return remap;
 }
@@ -438,9 +445,9 @@ void BddManager::deref(Ref r) {
     assert(parent_count_[x] > 0 && "deref of an unreferenced node");
     if (--parent_count_[x] != 0) continue;
     unique_erase(x);  // before the key (var, lo, hi) is clobbered
-    stack.push_back(nodes_[x].lo);
-    stack.push_back(nodes_[x].hi);
-    nodes_[x].var = kFreeVar;
+    stack.push_back(kids_[x].lo);
+    stack.push_back(kids_[x].hi);
+    var_[x] = kFreeVar;
     free_list_.push_back(x);
   }
 }
@@ -462,8 +469,8 @@ BddManager::Ref BddManager::swap_find_or_make(int32_t var, Ref lo, Ref hi) {
       ++stats_.unique_probes;
       Ref slot = unique_slots_[idx];
       if (slot == kInvalidRef) break;
-      const BddNode& n = nodes_[slot];
-      if (n.var == var && n.lo == lo && n.hi == hi) {
+      if (var_[slot] == var && kids_[slot].lo == lo &&
+          kids_[slot].hi == hi) {
         found = slot;
         break;
       }
@@ -497,7 +504,7 @@ void BddManager::build_interaction_matrix(const std::vector<Ref>& roots) {
   std::vector<Ref> uniq(roots);
   std::sort(uniq.begin(), uniq.end());
   uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-  std::vector<uint32_t> mark(nodes_.size(), 0);
+  std::vector<uint32_t> mark(var_.size(), 0);
   std::vector<uint64_t> sup(interact_words_);
   std::vector<Ref> stack;
   uint32_t tag = 0;
@@ -511,10 +518,10 @@ void BddManager::build_interaction_matrix(const std::vector<Ref>& roots) {
       stack.pop_back();
       if (n <= 1 || mark[n] == tag) continue;
       mark[n] = tag;
-      const int32_t v = nodes_[n].var;
+      const int32_t v = var_[n];
       sup[static_cast<size_t>(v) / 64] |= 1ull << (static_cast<size_t>(v) % 64);
-      stack.push_back(nodes_[n].lo);
-      stack.push_back(nodes_[n].hi);
+      stack.push_back(kids_[n].lo);
+      stack.push_back(kids_[n].hi);
     }
     for (int32_t v = 0; v < num_vars_; ++v) {
       if ((sup[static_cast<size_t>(v) / 64] >>
@@ -547,27 +554,28 @@ void BddManager::swap_levels(int level) {
   std::vector<Ref> old_list = std::move(var_nodes_[x]);
   var_nodes_[x].clear();
   for (Ref n : old_list) {
-    if (nodes_[n].var != x) continue;  // stale entry: freed/reused/moved
-    const Ref f0 = nodes_[n].lo;
-    const Ref f1 = nodes_[n].hi;
-    const bool lo_y = nodes_[f0].var == y;
-    const bool hi_y = nodes_[f1].var == y;
+    if (var_[n] != x) continue;  // stale entry: freed/reused/moved
+    const Ref f0 = kids_[n].lo;
+    const Ref f1 = kids_[n].hi;
+    const bool lo_y = var_[f0] == y;
+    const bool hi_y = var_[f1] == y;
     if (!lo_y && !hi_y) {
       // Independent of y: keeps label x, silently moves down one level.
       var_nodes_[x].push_back(n);
       continue;
     }
-    const Ref f00 = lo_y ? nodes_[f0].lo : f0;
-    const Ref f01 = lo_y ? nodes_[f0].hi : f0;
-    const Ref f10 = hi_y ? nodes_[f1].lo : f1;
-    const Ref f11 = hi_y ? nodes_[f1].hi : f1;
+    const Ref f00 = lo_y ? kids_[f0].lo : f0;
+    const Ref f01 = lo_y ? kids_[f0].hi : f0;
+    const Ref f10 = hi_y ? kids_[f1].lo : f1;
+    const Ref f11 = hi_y ? kids_[f1].hi : f1;
     // Build the new children before erasing n: n is still in the unique
     // table under its old key, so a rehash here re-inserts it correctly.
     const Ref g0 = swap_find_or_make(x, f00, f10);
     const Ref g1 = swap_find_or_make(x, f01, f11);
     assert(g0 != g1 && "swap produced a redundant node");
     unique_erase(n);
-    nodes_[n] = {y, g0, g1};
+    var_[n] = y;
+    kids_[n] = {g0, g1};
     unique_insert(n);
     ++unique_count_;  // unique_insert is count-neutral; rebalance the erase
     var_nodes_[y].push_back(n);
@@ -630,17 +638,17 @@ void BddManager::sift(const std::vector<Ref>& roots) {
   // Scoped reference counts: the arena was just garbage-collected, so
   // every node is reachable and in-arena parent edges plus one pin per
   // root occurrence give exact liveness for the duration of the pass.
-  parent_count_.assign(nodes_.size(), 0);
-  for (Ref r = 2; r < static_cast<Ref>(nodes_.size()); ++r) {
-    ++parent_count_[nodes_[r].lo];
-    ++parent_count_[nodes_[r].hi];
+  parent_count_.assign(var_.size(), 0);
+  for (Ref r = 2; r < static_cast<Ref>(var_.size()); ++r) {
+    ++parent_count_[kids_[r].lo];
+    ++parent_count_[kids_[r].hi];
   }
   for (Ref r : roots) {
     if (r != kInvalidRef) ++parent_count_[r];
   }
   var_nodes_.assign(num_vars_, {});
-  for (Ref r = 2; r < static_cast<Ref>(nodes_.size()); ++r) {
-    var_nodes_[nodes_[r].var].push_back(r);
+  for (Ref r = 2; r < static_cast<Ref>(var_.size()); ++r) {
+    var_nodes_[var_[r]].push_back(r);
   }
   build_interaction_matrix(roots);
 
@@ -657,7 +665,7 @@ void BddManager::sift(const std::vector<Ref>& roots) {
     occupancy.reserve(num_vars_);
     for (int v = 0; v < num_vars_; ++v) {
       size_t count = 0;
-      for (Ref r : var_nodes_[v]) count += nodes_[r].var == v;
+      for (Ref r : var_nodes_[v]) count += var_[r] == v;
       // Lower-bound prune: the sweep for a variable with c nodes cannot
       // shrink the table by more than c - 1 (its own level collapsing is
       // the best case), so single-node variables — the common tail after
@@ -697,7 +705,7 @@ std::vector<BddManager::Ref> BddManager::reorder(
       trace::counter("bdd.reorder_skipped_budget").add(1);
     }
     reorder_threshold_ = std::max(reorder_threshold_, 2 * live_nodes());
-    std::vector<Ref> identity(nodes_.size());
+    std::vector<Ref> identity(var_.size());
     std::iota(identity.begin(), identity.end(), 0);
     return identity;
   }
@@ -712,7 +720,7 @@ std::vector<BddManager::Ref> BddManager::reorder(
   }
   if (roots.empty()) {
     // No known roots: collecting would drop every node. Identity no-op.
-    std::vector<Ref> identity(nodes_.size());
+    std::vector<Ref> identity(var_.size());
     std::iota(identity.begin(), identity.end(), 0);
     return identity;
   }

@@ -67,9 +67,9 @@ class BddManager {
 
   int num_vars() const { return num_vars_; }
   /// Arena extent, including freed (reusable) slots.
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return var_.size(); }
   /// Nodes currently alive (arena minus the free list).
-  size_t live_nodes() const { return nodes_.size() - free_list_.size(); }
+  size_t live_nodes() const { return var_.size() - free_list_.size(); }
 
   Ref zero() const { return 0; }
   Ref one() const { return 1; }
@@ -222,8 +222,14 @@ class BddManager {
   const Stats& stats() const { return stats_; }
 
  private:
-  struct BddNode {
-    int32_t var;  // terminal nodes use var = num_vars (sentinel)
+  /// Children pair of one arena slot. 8 bytes and 8-aligned in its own
+  /// array, so an entry never straddles a cache line — unlike the legacy
+  /// 12-byte {var, lo, hi} AoS node, which crossed a line boundary every
+  /// other slot. Variable labels live in the parallel int32 `var_` array
+  /// (16 per line), so label-only sweeps (free-slot checks, occupancy
+  /// counts, var_nodes_ maintenance) touch a quarter of the lines the AoS
+  /// layout did.
+  struct BddChildren {
     Ref lo;
     Ref hi;
   };
@@ -255,8 +261,8 @@ class BddManager {
   }
 
   Ref make_node(int32_t var, Ref lo, Ref hi);
-  int32_t var_of(Ref f) const { return nodes_[f].var; }
-  int32_t level_of(Ref f) const { return var2level_[nodes_[f].var]; }
+  int32_t var_of(Ref f) const { return var_[f]; }
+  int32_t level_of(Ref f) const { return var2level_[var_[f]]; }
   Ref ite_rec(Ref f, Ref g, Ref h);
   size_t unique_find_slot(int32_t var, Ref lo, Ref hi) const;
   void unique_insert(Ref id);
@@ -281,18 +287,22 @@ class BddManager {
   }
   Ref swap_find_or_make(int32_t var, Ref lo, Ref hi);
   void deref(Ref r);
-  size_t live_internal() const { return nodes_.size() - 2 - free_list_.size(); }
+  size_t live_internal() const { return var_.size() - 2 - free_list_.size(); }
 
   int num_vars_;
   size_t max_nodes_;
-  std::vector<BddNode> nodes_;
+  // Node arena, split SoA (see BddChildren). var_[r] is the variable label
+  // of slot r (terminals use the num_vars sentinel, freed slots kFreeVar);
+  // kids_[r] holds its children. Both arrays always have identical size.
+  std::vector<int32_t> var_;
+  std::vector<BddChildren> kids_;
 
   // Permutation layer: both arrays have num_vars_+1 entries; the last maps
   // the terminal sentinel to itself so level_of works on terminals.
   std::vector<int> var2level_;
   std::vector<int> level2var_;
 
-  // Open-addressed unique table: slots hold Refs into nodes_ (kInvalidRef
+  // Open-addressed unique table: slots hold Refs into the arena (kInvalidRef
   // = empty). Capacity is a power of two; grown at ~70% load.
   std::vector<Ref> unique_slots_;
   size_t unique_count_ = 0;

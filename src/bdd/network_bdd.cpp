@@ -4,6 +4,7 @@
 
 #include "core/trace.hpp"
 #include "network/ordering.hpp"
+#include "network/topology_view.hpp"
 
 namespace apx {
 
@@ -72,7 +73,7 @@ NetworkBdds::NetworkBdds(const Network& net, size_t max_nodes)
   for (int i = 0; i < net.num_pis(); ++i) {
     refs_[net.pis()[i]] = mgr_.var(i);
   }
-  for (NodeId id : net.topo_order()) {
+  for (NodeId id : net.topology()->topo()) {
     build_node_bdd(mgr_, net.node(id), id, refs_);
     // Safe point: every live ref is in the registered refs_ vector.
     if (mgr_.reorder_pending()) mgr_.reorder();
@@ -100,7 +101,11 @@ std::vector<BddManager::Ref> build_cone_bdds(BddManager& mgr,
   trace::Span span("bdd.build_cones");
   std::vector<BddManager::Ref> refs(net.num_nodes(), kNoBddRef);
   for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
-  for (NodeId id : net.cone_of(roots)) {
+  std::shared_ptr<const TopologyView> view = net.topology();
+  ConeScratch scratch;
+  std::vector<NodeId> cone;
+  view->cone_of(roots, scratch, cone);
+  for (NodeId id : cone) {
     build_node_bdd(mgr, net.node(id), id, refs);
     if (mgr.reorder_pending()) {
       // The partial refs vector is not registered with the manager: pass
@@ -121,7 +126,12 @@ std::optional<BddManager::Ref> build_po_bdd(BddManager& mgr,
   try {
     std::vector<BddManager::Ref> refs(net.num_nodes(), kNoBddRef);
     for (int i = 0; i < net.num_pis(); ++i) refs[net.pis()[i]] = mgr.var(i);
-    for (NodeId id : net.cone_of({net.po(po_index).driver})) {
+    std::shared_ptr<const TopologyView> view = net.topology();
+    ConeScratch scratch;
+    std::vector<NodeId> cone;
+    NodeId root = net.po(po_index).driver;
+    view->cone_of(&root, 1, scratch, cone);
+    for (NodeId id : cone) {
       build_node_bdd(mgr, net.node(id), id, refs);
       if (mgr.reorder_pending()) {
         std::vector<BddManager::Ref> remap = mgr.reorder(refs);

@@ -1,6 +1,7 @@
 #include "benchmarks/benchmarks.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <random>
 #include <stdexcept>
 
@@ -408,7 +409,7 @@ Network make_majority5() {
   for (int i = 0; i < 5; ++i) x.push_back(net.add_pi("x" + std::to_string(i)));
   Sop sop(5);
   for (int m = 0; m < 32; ++m) {
-    if (__builtin_popcount(m) != 3) continue;
+    if (std::popcount(static_cast<unsigned>(m)) != 3) continue;
     // One cube per 3-subset: those three inputs high.
     Cube c = Cube::full(5);
     for (int v = 0; v < 5; ++v) {

@@ -1,7 +1,6 @@
 #include "core/approx_synthesis.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "bdd/network_bdd.hpp"
 #include "core/cube_selection.hpp"
@@ -9,6 +8,8 @@
 #include "core/trace.hpp"
 #include "core/verify.hpp"
 #include "mapping/optimize.hpp"
+#include "network/topology_view.hpp"
+#include "sim/kernels.hpp"
 #include "sim/simulator.hpp"
 #include "sop/minimize.hpp"
 
@@ -46,7 +47,8 @@ class SynthesisEngine {
         directions_(directions),
         options_(options),
         obs_(net, options.type_options.sim_words, options.type_options.seed),
-        approx_(net) {}
+        approx_(net),
+        view_(net.topology()) {}
 
   ApproxResult run() {
     ApproxResult result;
@@ -123,25 +125,26 @@ class SynthesisEngine {
           NodeType dir_type = type_for_direction(directions_[po]);
           const auto& fw = sim_orig.value(drv);
           const auto& gw = sim_approx.value(drv);
-          for (int w = 0; w < words; ++w) {
-            uint64_t v = 0;
-            switch (dir_type) {
-              case NodeType::kDc:
-                break;
-              case NodeType::kEx:
-                v = fw[w] ^ gw[w];
-                break;
-              case NodeType::kOne:
-                v = gw[w] & ~fw[w];
-                break;
-              case NodeType::kZero:
-                v = fw[w] & ~gw[w];
-                break;
-            }
-            if (v) {
-              sim_clean[po] = 0;
-              violation_bits[po] += std::popcount(v);
-            }
+          int64_t bits = 0;
+          switch (dir_type) {
+            case NodeType::kDc:
+              break;
+            case NodeType::kEx:
+              // popcount(f ^ g) = |f| + |g| - 2|f & g|.
+              bits = popcount_words(fw.data(), words, ~0ULL) +
+                     popcount_words(gw.data(), words, ~0ULL) -
+                     2 * popcount_and(fw.data(), gw.data(), words, ~0ULL);
+              break;
+            case NodeType::kOne:
+              bits = popcount_andnot(fw.data(), gw.data(), words, ~0ULL);
+              break;
+            case NodeType::kZero:
+              bits = popcount_andnot(gw.data(), fw.data(), words, ~0ULL);
+              break;
+          }
+          if (bits != 0) {
+            sim_clean[po] = 0;
+            violation_bits[po] += bits;
           }
         }
       }
@@ -367,7 +370,7 @@ class SynthesisEngine {
   // every node type, so a restored cone can never regress another PO's
   // node-level correctness.
   void restore_cone(NodeId root) {
-    for (NodeId id : net_.cone_of({root})) {
+    for (NodeId id : cone_of(root)) {
       const Node& n = net_.node(id);
       if (n.kind != NodeKind::kLogic) continue;
       approx_.set_sop(id, n.sop);
@@ -436,7 +439,7 @@ class SynthesisEngine {
   // Last-resort repair with a construction-level guarantee: exact-select
   // every type-0/1 node in the cone and restore every EX node.
   void exact_fallback(NodeId root) {
-    for (NodeId id : net_.cone_of({root})) {
+    for (NodeId id : cone_of(root)) {
       const Node& n = net_.node(id);
       if (n.kind != NodeKind::kLogic) continue;
       NodeType t = type_of(id);
@@ -462,7 +465,7 @@ class SynthesisEngine {
                                                   ApproxOracle& oracle) {
     std::vector<bool> correct(net_.num_nodes(), true);
     if (oracle.using_bdds()) {
-      for (NodeId id : net_.cone_of({root})) {
+      for (NodeId id : cone_of(root)) {
         const Node& n = net_.node(id);
         if (n.kind != NodeKind::kLogic) continue;
         correct[id] = node_correct(type_of(id), oracle.manager(),
@@ -487,7 +490,7 @@ class SynthesisEngine {
       Simulator sim_approx(approx_);
       sim_orig.run(patterns);
       sim_approx.run(patterns);
-      for (NodeId id : net_.cone_of({root})) {
+      for (NodeId id : cone_of(root)) {
         const Node& n = net_.node(id);
         if (n.kind != NodeKind::kLogic) continue;
         const auto& fw = sim_orig.value(id);
@@ -513,7 +516,7 @@ class SynthesisEngine {
       }
     }
     std::vector<NodeId> sources;
-    for (NodeId id : net_.cone_of({root})) {
+    for (NodeId id : cone_of(root)) {
       if (correct[id]) continue;
       bool fanins_ok = true;
       for (NodeId f : net_.node(id).fanins) {
@@ -584,8 +587,10 @@ class SynthesisEngine {
       if (failing_roots.empty()) return;
 
       // Within the failing cones, a node is suspect when its violation
-      // overlaps a pattern on which some PO failed.
-      std::vector<NodeId> cone = net_.cone_of(failing_roots);
+      // overlaps a pattern on which some PO failed. This cone lives in its
+      // own buffer: fix_node below re-enters cone_of() for restores.
+      view_->cone_of(failing_roots, cone_scratch_, roots_cone_buf_);
+      const std::vector<NodeId>& cone = roots_cone_buf_;
       std::vector<bool> correct(net_.num_nodes(), true);
       for (NodeId id : cone) {
         const Node& n = net_.node(id);
@@ -654,6 +659,15 @@ class SynthesisEngine {
     return bail_out();
   }
 
+  // Single-root cone query over the shared structure snapshot (approx_ is
+  // an id-preserving clone of net_, so their cones coincide); reuses one
+  // scratch + buffer, so repeated repair-loop queries allocate nothing
+  // once warmed. The returned reference is invalidated by the next call.
+  const std::vector<NodeId>& cone_of(NodeId root) {
+    view_->cone_of(&root, 1, cone_scratch_, cone_buf_);
+    return cone_buf_;
+  }
+
   const Network& net_;
   const std::vector<ApproxDirection>& directions_;
   const ApproxOptions& options_;
@@ -667,6 +681,13 @@ class SynthesisEngine {
   // conformance theorem).
   std::vector<std::optional<Sop>> stage1_phase_;
   int sim_rounds_ = 0;
+
+  // Structure snapshot of net_ (never mutated; approx_ only sees set_sop)
+  // plus cone-query scratch shared by the repair stages.
+  std::shared_ptr<const TopologyView> view_;
+  ConeScratch cone_scratch_;
+  std::vector<NodeId> cone_buf_;        ///< cone_of(root) result
+  std::vector<NodeId> roots_cone_buf_;  ///< multi-root cone (sim repair)
 };
 
 }  // namespace

@@ -1,10 +1,11 @@
 #include "core/ced.hpp"
 
-#include <bit>
 #include <stdexcept>
 
+#include "core/task_pool.hpp"
 #include "core/trace.hpp"
 #include "sim/fault_engine.hpp"
+#include "sim/kernels.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -144,24 +145,28 @@ CoverageResult evaluate_ced_coverage(const CedDesign& ced,
     int64_t detected = 0;
   };
   std::vector<Row> rows(options.num_fault_samples);
+  // Per-worker "any functional output differs" rows, reduced by the
+  // popcount kernels. The tail mask keeps padding bits of a partial final
+  // word (when vectors_per_fault is not a multiple of 64) out of the
+  // counts. The rails agree exactly where the checker flags an error, so
+  // detected = |err| - |(z1 ^ z2) & err|.
+  const int slots = resolve_thread_option(options.num_threads);
+  std::vector<std::vector<uint64_t>> err_scratch(slots);
   engine.run_campaign(copt, sampler, [&](int i, const StuckFault&,
                                          const FaultView& v) {
     Row& row = rows[i];
+    const int W = v.num_words();
+    const uint64_t tail = v.word_mask(W - 1);
+    std::vector<uint64_t>& err = err_scratch[v.worker_slot()];
+    err.assign(static_cast<size_t>(W), 0);
+    for (NodeId out : ced.functional_outputs) {
+      accumulate_xor_or(err.data(), v.golden(out), v.faulty(out), W);
+    }
     const uint64_t* z1 = v.faulty(ced.error_pair.rail1);
     const uint64_t* z2 = v.faulty(ced.error_pair.rail2);
-    for (int w = 0; w < v.num_words(); ++w) {
-      // word_mask keeps padding bits of a partial final word (when
-      // vectors_per_fault is not a multiple of 64) out of the counts.
-      const uint64_t mask = v.word_mask(w);
-      uint64_t err = 0;
-      for (NodeId out : ced.functional_outputs) {
-        err |= v.golden(out)[w] ^ v.faulty(out)[w];
-      }
-      err &= mask;
-      uint64_t flagged = ~(z1[w] ^ z2[w]);  // rails agree -> error signal
-      row.erroneous += std::popcount(err);
-      row.detected += std::popcount(err & flagged);
-    }
+    const int64_t erroneous = popcount_words(err.data(), W, tail);
+    row.erroneous += erroneous;
+    row.detected += erroneous - popcount_xor_and(z1, z2, err.data(), W, tail);
   });
   for (const Row& row : rows) {
     result.erroneous += row.erroneous;

@@ -1,7 +1,9 @@
 #include "core/delay_ced.hpp"
 
-#include <bit>
+#include <algorithm>
 #include <random>
+
+#include "sim/kernels.hpp"
 
 namespace apx {
 
@@ -13,27 +15,30 @@ CoverageResult evaluate_delay_fault_coverage(
   TransitionSimulator sim(ced.design);
   const Network& net = ced.design;
 
+  const int W = options.words_per_fault;
+  std::vector<uint64_t> err_row(W);
   for (int s = 0; s < options.num_fault_samples; ++s) {
     NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
     TransitionFault fault{site, static_cast<bool>(rng() & 1)};
-    PatternSet launch =
-        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
-    PatternSet capture =
-        PatternSet::random(net.num_pis(), options.words_per_fault, rng());
+    PatternSet launch = PatternSet::random(net.num_pis(), W, rng());
+    PatternSet capture = PatternSet::random(net.num_pis(), W, rng());
     sim.run(launch, capture);
     sim.inject(fault);
-    const auto& z1 = sim.faulty_value(ced.error_pair.rail1);
-    const auto& z2 = sim.faulty_value(ced.error_pair.rail2);
-    for (int w = 0; w < options.words_per_fault; ++w) {
-      uint64_t err = 0;
-      for (NodeId out : ced.functional_outputs) {
-        err |= sim.value(out)[w] ^ sim.faulty_value(out)[w];
-      }
-      uint64_t flagged = ~(z1[w] ^ z2[w]);
-      result.erroneous += std::popcount(err);
-      result.detected += std::popcount(err & flagged);
-      result.runs += 64;
+    const WordSpan z1 = sim.faulty_value(ced.error_pair.rail1);
+    const WordSpan z2 = sim.faulty_value(ced.error_pair.rail2);
+    std::fill(err_row.begin(), err_row.end(), 0);
+    for (NodeId out : ced.functional_outputs) {
+      accumulate_xor_or(err_row.data(), sim.value(out).data(),
+                        sim.faulty_value(out).data(), W);
     }
+    // The rails agree exactly where the checker flags the fault, so
+    // detected = |err| - |(z1 ^ z2) & err|.
+    const int64_t erroneous = popcount_words(err_row.data(), W, ~0ULL);
+    result.erroneous += erroneous;
+    result.detected +=
+        erroneous - popcount_xor_and(z1.data(), z2.data(), err_row.data(), W,
+                                     ~0ULL);
+    result.runs += 64ll * W;
   }
   return result;
 }

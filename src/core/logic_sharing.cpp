@@ -1,9 +1,10 @@
 #include "core/logic_sharing.hpp"
 
-#include <bit>
+#include <algorithm>
 #include <unordered_map>
 
 #include "sat/encode.hpp"
+#include "sim/kernels.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -85,19 +86,20 @@ SharingReport apply_logic_sharing(CedDesign& ced,
     PatternSet patterns = PatternSet::random(
         net.num_pis(), options.criticality_words, options.seed ^ 0xC417);
     fault_sim.run(patterns);
+    const int W = options.criticality_words;
+    std::vector<uint64_t> err_row(W);
     auto error_mass = [&](NodeId site) {
-      double m = 0.0;
+      int64_t m = 0;
       for (bool stuck : {false, true}) {
         fault_sim.inject({site, stuck});
-        for (int w = 0; w < options.criticality_words; ++w) {
-          uint64_t err = 0;
-          for (NodeId out : ced.functional_outputs) {
-            err |= fault_sim.value(out)[w] ^ fault_sim.faulty_value(out)[w];
-          }
-          m += std::popcount(err);
+        std::fill(err_row.begin(), err_row.end(), 0);
+        for (NodeId out : ced.functional_outputs) {
+          accumulate_xor_or(err_row.data(), fault_sim.value(out).data(),
+                            fault_sim.faulty_value(out).data(), W);
         }
+        m += popcount_words(err_row.data(), W, ~0ULL);
       }
-      return m;
+      return static_cast<double>(m);
     };
     for (NodeId f : ced.functional_nodes) {
       double m = error_mass(f);

@@ -1,8 +1,9 @@
 #include "core/masking.hpp"
 
-#include <bit>
+#include <algorithm>
 #include <random>
 
+#include "sim/kernels.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -61,27 +62,29 @@ MaskingResult evaluate_masking(const MaskingDesign& design,
   std::mt19937_64 rng(options.seed);
   Simulator sim(ced.design);
 
+  const int W = options.words_per_fault;
+  std::vector<uint64_t> raw_row(W), masked_row(W);
   for (int s = 0; s < options.num_fault_samples; ++s) {
     NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
     StuckFault fault{site, static_cast<bool>(rng() & 1)};
-    PatternSet patterns = PatternSet::random(ced.design.num_pis(),
-                                             options.words_per_fault, rng());
+    PatternSet patterns = PatternSet::random(ced.design.num_pis(), W, rng());
     sim.run(patterns);
     sim.inject(fault);
-    for (int w = 0; w < options.words_per_fault; ++w) {
-      uint64_t raw = 0, masked = 0;
-      for (size_t o = 0; o < ced.functional_outputs.size(); ++o) {
-        NodeId y = ced.functional_outputs[o];
-        NodeId m = design.masked_outputs[o];
-        raw |= sim.value(y)[w] ^ sim.faulty_value(y)[w];
-        // The corrected output is judged against the fault-free *raw*
-        // function (the masked output equals it in fault-free operation).
-        masked |= sim.value(y)[w] ^ sim.faulty_value(m)[w];
-      }
-      result.raw_errors += std::popcount(raw);
-      result.masked_errors += std::popcount(masked);
-      result.runs += 64;
+    std::fill(raw_row.begin(), raw_row.end(), 0);
+    std::fill(masked_row.begin(), masked_row.end(), 0);
+    for (size_t o = 0; o < ced.functional_outputs.size(); ++o) {
+      NodeId y = ced.functional_outputs[o];
+      NodeId m = design.masked_outputs[o];
+      accumulate_xor_or(raw_row.data(), sim.value(y).data(),
+                        sim.faulty_value(y).data(), W);
+      // The corrected output is judged against the fault-free *raw*
+      // function (the masked output equals it in fault-free operation).
+      accumulate_xor_or(masked_row.data(), sim.value(y).data(),
+                        sim.faulty_value(m).data(), W);
     }
+    result.raw_errors += popcount_words(raw_row.data(), W, ~0ULL);
+    result.masked_errors += popcount_words(masked_row.data(), W, ~0ULL);
+    result.runs += 64ll * W;
   }
   return result;
 }

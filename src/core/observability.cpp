@@ -1,8 +1,7 @@
 #include "core/observability.hpp"
 
-#include <bit>
-
 #include "core/approx_types.hpp"
+#include "sim/kernels.hpp"
 
 namespace apx {
 
@@ -75,13 +74,15 @@ ObservabilityAnalysis::ObservabilityAnalysis(const Network& net, int words,
     std::vector<uint64_t> flipped(words);
     for (size_t k = 0; k < n.fanins.size(); ++k) {
       eval_with_flip(n, fanin, static_cast<int>(k), flipped);
-      int64_t c0 = 0, c1 = 0;
-      for (int w = 0; w < words; ++w) {
-        uint64_t diff = golden[w] ^ flipped[w];
-        uint64_t x = fanin[k][w];
-        c0 += std::popcount(diff & ~x);
-        c1 += std::popcount(diff & x);
-      }
+      // diff = golden ^ flipped splits over fanin k's value x as
+      // c1 = |diff & x| and c0 = |diff| - c1, with |diff| by the
+      // directional identity |a ^ b| = |~a & b| + |a & ~b|.
+      const uint64_t* g = golden.data();
+      const uint64_t* fl = flipped.data();
+      const uint64_t* x = fanin[k].data();
+      int64_t c1 = popcount_xor_and(g, fl, x, words, ~0ULL);
+      int64_t c0 = popcount_andnot(g, fl, words, ~0ULL) +
+                   popcount_andnot(fl, g, words, ~0ULL) - c1;
       obs_[id][k].obs0 = static_cast<double>(c0) / total_patterns;
       obs_[id][k].obs1 = static_cast<double>(c1) / total_patterns;
     }

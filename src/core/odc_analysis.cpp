@@ -1,6 +1,7 @@
 #include "core/odc_analysis.hpp"
 
 #include "bdd/bdd.hpp"
+#include "network/topology_view.hpp"
 
 namespace apx {
 
@@ -13,7 +14,10 @@ std::optional<std::vector<double>> global_odc_fractions(
     const BddManager::Ref z = mgr.var(n_pis);
     std::vector<NodeId> po_drivers;
     for (const PrimaryOutput& po : net.pos()) po_drivers.push_back(po.driver);
-    std::vector<NodeId> cone = net.cone_of(po_drivers);
+    std::shared_ptr<const TopologyView> view = net.topology();
+    ConeScratch cone_scratch;
+    std::vector<NodeId> cone;
+    view->cone_of(po_drivers, cone_scratch, cone);
     std::vector<bool> in_cone(net.num_nodes(), false);
     for (NodeId id : cone) in_cone[id] = true;
 

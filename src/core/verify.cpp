@@ -1,10 +1,11 @@
 #include "core/verify.hpp"
 
-#include <bit>
+#include <algorithm>
 
 #include "core/trace.hpp"
 #include "network/ordering.hpp"
 #include "sat/encode.hpp"
+#include "sim/kernels.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -38,6 +39,9 @@ ApproxOracle::ApproxOracle(const Network& original, const Network& approx,
       budget_(bdd_budget),
       mode_(mode),
       state_(std::make_unique<ApproxOracleState>()) {
+  // The original network never mutates under the oracle, so its view is
+  // pinned once here (cone_structurally_identical walks it per verify()).
+  orig_view_ = original_.topology();
   build();
 }
 
@@ -136,39 +140,44 @@ void ApproxOracle::refresh_approx() {
 }
 
 void ApproxOracle::ensure_structure_caches() {
-  if (cached_structure_version_ == approx_.structure_version()) return;
-  approx_topo_ = approx_.topo_order();
-  approx_fanouts_ = approx_.fanouts();
-  cached_structure_version_ = approx_.structure_version();
+  if (approx_view_ != nullptr &&
+      approx_view_->structure_version() == approx_.structure_version()) {
+    return;
+  }
+  approx_view_ = approx_.topology();
 }
 
 // Dirty nodes plus their transitive fanout, in topological order: exactly
-// the nodes whose global functions can have changed.
+// the nodes whose global functions can have changed. Walks the shared
+// view's CSR fanout arrays with epoch-stamped marks; ordering by cached
+// topo positions replaces the legacy full-topo filter scan.
 std::vector<NodeId> ApproxOracle::fanout_closure(
     const std::vector<NodeId>& dirty) {
   ensure_structure_caches();
-  std::vector<char> affected(approx_.num_nodes(), 0);
-  std::vector<NodeId> stack;
+  const TopologyView& view = *approx_view_;
+  cone_scratch_.marks.begin(approx_.num_nodes());
+  auto& stack = cone_scratch_.stack;
+  stack.clear();
+  std::vector<NodeId> result;
   for (NodeId id : dirty) {
-    if (!affected[id]) {
-      affected[id] = 1;
+    if (cone_scratch_.marks.insert(id)) {
       stack.push_back(id);
+      result.push_back(id);
     }
   }
   while (!stack.empty()) {
     NodeId id = stack.back();
     stack.pop_back();
-    for (NodeId out : approx_fanouts_[id]) {
-      if (!affected[out]) {
-        affected[out] = 1;
+    for (NodeId out : view.fanouts(id)) {
+      if (cone_scratch_.marks.insert(out)) {
         stack.push_back(out);
+        result.push_back(out);
       }
     }
   }
-  std::vector<NodeId> result;
-  for (NodeId id : approx_topo_) {
-    if (affected[id]) result.push_back(id);
-  }
+  std::sort(result.begin(), result.end(), [&view](NodeId a, NodeId b) {
+    return view.topo_position(a) < view.topo_position(b);
+  });
   return result;
 }
 
@@ -248,7 +257,8 @@ bool ApproxOracle::cone_structurally_identical(int po) const {
   if (original_.num_nodes() != approx_.num_nodes()) return false;
   NodeId root = original_.po(po).driver;
   if (approx_.po(po).driver != root) return false;
-  for (NodeId id : original_.cone_of({root})) {
+  orig_view_->cone_of(&root, 1, cone_scratch_, cone_buf_);
+  for (NodeId id : cone_buf_) {
     const Node& a = original_.node(id);
     const Node& b = approx_.node(id);
     if (a.kind != b.kind || a.fanins != b.fanins || !(a.sop == b.sop)) {
@@ -342,15 +352,16 @@ double ApproxOracle::approximation_pct(int po, ApproxDirection direction,
   }
   const auto& fw = state_->sim_orig->value(original_.po(po).driver);
   const auto& gw = state_->sim_approx->value(approx_.po(po).driver);
-  int64_t denom = 0, num = 0;
-  for (size_t w = 0; w < fw.size(); ++w) {
-    if (direction == ApproxDirection::kOneApprox) {
-      denom += std::popcount(fw[w]);
-      num += std::popcount(fw[w] & gw[w]);
-    } else {
-      denom += std::popcount(~fw[w]);
-      num += std::popcount(~fw[w] & ~gw[w]);
-    }
+  const int W = fw.num_words();
+  int64_t denom, num;
+  if (direction == ApproxDirection::kOneApprox) {
+    denom = popcount_words(fw.data(), W, ~0ULL);
+    num = popcount_and(fw.data(), gw.data(), W, ~0ULL);
+  } else {
+    // Off-set counts via complements: popcount(~f) = 64W - popcount(f),
+    // and popcount(~f & ~g) = popcount(~f) - popcount(~f & g).
+    denom = 64ll * W - popcount_words(fw.data(), W, ~0ULL);
+    num = denom - popcount_andnot(fw.data(), gw.data(), W, ~0ULL);
   }
   return denom > 0 ? static_cast<double>(num) / static_cast<double>(denom)
                    : 1.0;
@@ -368,15 +379,14 @@ double weighted_approximation_percentage(const Network& original,
   sim_g.run(patterns);
   const auto& fw = sim_f.value(original.po(po).driver);
   const auto& gw = sim_g.value(approx.po(po).driver);
-  int64_t denom = 0, num = 0;
-  for (size_t w = 0; w < fw.size(); ++w) {
-    if (direction == ApproxDirection::kOneApprox) {
-      denom += std::popcount(fw[w]);
-      num += std::popcount(fw[w] & gw[w]);
-    } else {
-      denom += std::popcount(~fw[w]);
-      num += std::popcount(~fw[w] & ~gw[w]);
-    }
+  const int W = fw.num_words();
+  int64_t denom, num;
+  if (direction == ApproxDirection::kOneApprox) {
+    denom = popcount_words(fw.data(), W, ~0ULL);
+    num = popcount_and(fw.data(), gw.data(), W, ~0ULL);
+  } else {
+    denom = 64ll * W - popcount_words(fw.data(), W, ~0ULL);
+    num = denom - popcount_andnot(fw.data(), gw.data(), W, ~0ULL);
   }
   return denom > 0 ? static_cast<double>(num) / static_cast<double>(denom)
                    : 1.0;

@@ -15,6 +15,7 @@
 #include "bdd/network_bdd.hpp"
 #include "core/approx_types.hpp"
 #include "network/network.hpp"
+#include "network/topology_view.hpp"
 
 namespace apx {
 
@@ -133,11 +134,14 @@ class ApproxOracle {
   std::vector<uint8_t> last_cex_;
 
   // Incremental bookkeeping: the approx network version the BDD refs
-  // reflect, plus topo/fanout caches valid for one structure version.
+  // reflect, plus shared topology views (the approx side is refreshed per
+  // structure version; the original never mutates) and reusable cone
+  // scratch so refresh/verify traversals allocate no adjacency per call.
   uint64_t approx_synced_version_ = 0;
-  uint64_t cached_structure_version_ = ~0ull;
-  std::vector<NodeId> approx_topo_;
-  std::vector<std::vector<NodeId>> approx_fanouts_;
+  std::shared_ptr<const TopologyView> approx_view_;
+  std::shared_ptr<const TopologyView> orig_view_;
+  mutable ConeScratch cone_scratch_;
+  mutable std::vector<NodeId> cone_buf_;
   size_t nodes_after_build_ = 0;  // GC trigger baseline
 
   Stats stats_;

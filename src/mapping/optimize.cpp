@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "network/topology_view.hpp"
 #include "sop/algebraic.hpp"
 #include "sop/minimize.hpp"
 
@@ -82,7 +83,8 @@ Network optimize(const Network& net, const OptimizeOptions& options) {
   std::unordered_map<StrashKey, NodeId, StrashHash> strash;
 
   for (NodeId pi : net.pis()) map[pi] = result.add_pi(net.node(pi).name);
-  for (NodeId id : net.topo_order()) {
+  const std::shared_ptr<const TopologyView> view = net.topology();
+  for (NodeId id : view->topo()) {
     const Node& n = net.node(id);
     if (n.kind == NodeKind::kPi) continue;
     if (n.kind == NodeKind::kConst0) {
@@ -198,14 +200,15 @@ Network optimize(const Network& net, const OptimizeOptions& options) {
 Network quick_synthesis(const Network& net) { return optimize(net); }
 
 int resubstitute(Network& net) {
-  std::vector<int> level = net.levels();
-  // Candidate index: for each node, the logic nodes it feeds are found via
-  // fanouts; divisors for node f are fanout-sharing nodes whose fanins are a
-  // subset of f's fanins.
-  auto fanouts = net.fanouts();
+  // `order` pins the pre-rewrite topological order for the sweep (the
+  // legacy code iterated a by-value snapshot with the same property);
+  // `info` supplies levels and CSR fanout adjacency and is refreshed after
+  // each rewrite, exactly where the legacy levels/fanouts recompute sat.
+  const std::shared_ptr<const TopologyView> order = net.topology();
+  std::shared_ptr<const TopologyView> info = order;
   int rewrites = 0;
 
-  for (NodeId id : net.topo_order()) {
+  for (NodeId id : order->topo()) {
     const Node& n = net.node(id);
     if (n.kind != NodeKind::kLogic) continue;
     if (n.fanins.size() < 2 || n.sop.num_cubes() < 2) continue;
@@ -221,7 +224,7 @@ int resubstitute(Network& net) {
     // (which rules out any dependency of the divisor on n).
     std::unordered_map<NodeId, int> shared;
     for (NodeId f : n.fanins) {
-      for (NodeId out : fanouts[f]) ++shared[out];
+      for (NodeId out : info->fanouts(f)) ++shared[out];
     }
     const Node* best_divisor = nullptr;
     NodeId best_divisor_id = kNullNode;
@@ -232,7 +235,9 @@ int resubstitute(Network& net) {
       if (cand == id || count < 2) continue;
       const Node& d = net.node(cand);
       if (d.kind != NodeKind::kLogic) continue;
-      if (level[cand] > level[id]) continue;  // same level cannot depend on id
+      if (info->level(cand) > info->level(id)) {
+        continue;  // same level cannot depend on id
+      }
       if (d.sop.num_cubes() < 2) continue;  // single cubes rarely help
       bool subset = true;
       for (NodeId f : d.fanins) {
@@ -288,9 +293,8 @@ int resubstitute(Network& net) {
       compact_node(fanins, sop);
       net.set_function(id, std::move(fanins), std::move(sop));
       ++rewrites;
-      // Levels may have grown through the new edge; recompute lazily.
-      level = net.levels();
-      fanouts = net.fanouts();
+      // Levels may have grown through the new edge; refresh the snapshot.
+      info = net.topology();
     }
   }
   return rewrites;

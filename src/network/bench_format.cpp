@@ -1,6 +1,7 @@
 #include "network/bench_format.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <fstream>
 #include <sstream>
@@ -56,7 +57,7 @@ Sop gate_sop(const std::string& type, int k, int line) {
     if (k < 1 || k > 16) fail(line, "XOR arity unsupported");
     bool want = type == "XOR";
     for (uint64_t m = 0; m < (1ULL << k); ++m) {
-      bool parity = __builtin_popcountll(m) & 1;
+      bool parity = std::popcount(m) & 1;
       if (parity == want) sop.add_cube(Cube::minterm(k, m));
     }
   } else if (type == "NOT") {

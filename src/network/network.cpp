@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/trace.hpp"
+#include "network/topology_view.hpp"
+
 namespace apx {
 
 namespace {
@@ -15,6 +18,89 @@ Sop sop_not1() { return *Sop::parse(1, "0"); }
 Sop sop_buf1() { return *Sop::parse(1, "1"); }
 
 }  // namespace
+
+std::shared_ptr<const TopologyView> Network::topology_cache_snapshot() const {
+  std::lock_guard<std::mutex> lock(topo_mutex_);
+  return topo_cache_;
+}
+
+Network::Network(const Network& other)
+    : name_(other.name_),
+      nodes_(other.nodes_),
+      pis_(other.pis_),
+      pos_(other.pos_),
+      name_map_(other.name_map_),
+      anon_counter_(other.anon_counter_),
+      version_(other.version_),
+      structure_version_(other.structure_version_),
+      node_version_(other.node_version_),
+      topo_cache_(other.topology_cache_snapshot()) {}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  std::shared_ptr<const TopologyView> cache = other.topology_cache_snapshot();
+  name_ = other.name_;
+  nodes_ = other.nodes_;
+  pis_ = other.pis_;
+  pos_ = other.pos_;
+  name_map_ = other.name_map_;
+  anon_counter_ = other.anon_counter_;
+  version_ = other.version_;
+  structure_version_ = other.structure_version_;
+  node_version_ = other.node_version_;
+  std::lock_guard<std::mutex> lock(topo_mutex_);
+  topo_cache_ = std::move(cache);
+  return *this;
+}
+
+Network::Network(Network&& other) noexcept
+    : name_(std::move(other.name_)),
+      nodes_(std::move(other.nodes_)),
+      pis_(std::move(other.pis_)),
+      pos_(std::move(other.pos_)),
+      name_map_(std::move(other.name_map_)),
+      anon_counter_(other.anon_counter_),
+      version_(other.version_),
+      structure_version_(other.structure_version_),
+      node_version_(std::move(other.node_version_)) {
+  std::lock_guard<std::mutex> lock(other.topo_mutex_);
+  topo_cache_ = std::move(other.topo_cache_);
+}
+
+Network& Network::operator=(Network&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  nodes_ = std::move(other.nodes_);
+  pis_ = std::move(other.pis_);
+  pos_ = std::move(other.pos_);
+  name_map_ = std::move(other.name_map_);
+  anon_counter_ = other.anon_counter_;
+  version_ = other.version_;
+  structure_version_ = other.structure_version_;
+  node_version_ = std::move(other.node_version_);
+  std::shared_ptr<const TopologyView> cache;
+  {
+    std::lock_guard<std::mutex> lock(other.topo_mutex_);
+    cache = std::move(other.topo_cache_);
+  }
+  std::lock_guard<std::mutex> lock(topo_mutex_);
+  topo_cache_ = std::move(cache);
+  return *this;
+}
+
+std::shared_ptr<const TopologyView> Network::topology() const {
+  std::lock_guard<std::mutex> lock(topo_mutex_);
+  if (topo_cache_ != nullptr &&
+      topo_cache_->structure_version() == structure_version_) {
+    if (trace::enabled()) {
+      static trace::Counter& hits = trace::counter("topo.view_hits");
+      hits.add(1);
+    }
+    return topo_cache_;
+  }
+  topo_cache_ = TopologyView::build(*this);
+  return topo_cache_;
+}
 
 uint64_t Network::bump(NodeId id) {
   ++version_;
@@ -170,48 +256,14 @@ std::optional<NodeId> Network::find_node(const std::string& name) const {
   return std::nullopt;
 }
 
-std::vector<NodeId> Network::topo_order() const {
-  const int n = num_nodes();
-  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
-  std::vector<NodeId> order;
-  order.reserve(n);
-  // Iterative DFS to avoid deep recursion on big netlists.
-  std::vector<std::pair<NodeId, size_t>> stack;
-  for (NodeId root = 0; root < n; ++root) {
-    if (state[root] != 0) continue;
-    stack.emplace_back(root, 0);
-    state[root] = 1;
-    while (!stack.empty()) {
-      auto& [id, next] = stack.back();
-      const auto& fanins = nodes_[id].fanins;
-      if (next < fanins.size()) {
-        NodeId f = fanins[next++];
-        if (state[f] == 1) throw std::logic_error("topo_order: cycle");
-        if (state[f] == 0) {
-          state[f] = 1;
-          stack.emplace_back(f, 0);
-        }
-      } else {
-        state[id] = 2;
-        order.push_back(id);
-        stack.pop_back();
-      }
-    }
-  }
-  return order;
-}
+// The legacy copy-out structure APIs below all ride the cached
+// TopologyView: cold call sites keep their value semantics while paying a
+// cache hit plus one copy instead of a fresh DFS; hot paths hold the view
+// itself (Network::topology()).
 
-std::vector<int> Network::levels() const {
-  std::vector<int> level(num_nodes(), 0);
-  for (NodeId id : topo_order()) {
-    const Node& n = nodes_[id];
-    if (n.kind != NodeKind::kLogic) continue;
-    int max_in = -1;
-    for (NodeId f : n.fanins) max_in = std::max(max_in, level[f]);
-    level[id] = max_in + 1;
-  }
-  return level;
-}
+std::vector<NodeId> Network::topo_order() const { return topology()->topo(); }
+
+std::vector<int> Network::levels() const { return topology()->levels(); }
 
 int Network::depth() const {
   std::vector<int> level = levels();
@@ -223,31 +275,19 @@ int Network::depth() const {
 }
 
 std::vector<std::vector<NodeId>> Network::fanouts() const {
+  std::shared_ptr<const TopologyView> view = topology();
   std::vector<std::vector<NodeId>> result(num_nodes());
   for (NodeId id = 0; id < num_nodes(); ++id) {
-    for (NodeId f : nodes_[id].fanins) result[f].push_back(id);
+    TopologyView::Range edges = view->fanouts(id);
+    result[id].assign(edges.begin(), edges.end());
   }
   return result;
 }
 
 std::vector<NodeId> Network::cone_of(const std::vector<NodeId>& roots) const {
-  std::vector<bool> in_cone(num_nodes(), false);
-  std::vector<NodeId> stack = roots;
-  for (NodeId r : stack) in_cone[r] = true;
-  while (!stack.empty()) {
-    NodeId id = stack.back();
-    stack.pop_back();
-    for (NodeId f : nodes_[id].fanins) {
-      if (!in_cone[f]) {
-        in_cone[f] = true;
-        stack.push_back(f);
-      }
-    }
-  }
+  ConeScratch scratch;
   std::vector<NodeId> result;
-  for (NodeId id : topo_order()) {
-    if (in_cone[id]) result.push_back(id);
-  }
+  topology()->cone_of(roots, scratch, result);
   return result;
 }
 
@@ -369,7 +409,7 @@ void Network::check() const {
       throw std::logic_error("check: PO " + po.name + " undriven");
     }
   }
-  topo_order();  // throws on cycles
+  topology();  // builds (or reuses) the cached view; throws on cycles
 }
 
 }  // namespace apx

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -15,6 +17,8 @@
 #include "sop/sop.hpp"
 
 namespace apx {
+
+class TopologyView;
 
 using NodeId = int32_t;
 inline constexpr NodeId kNullNode = -1;
@@ -43,6 +47,14 @@ struct PrimaryOutput {
 class Network {
  public:
   Network() = default;
+  // Hand-written because the topology cache carries a mutex; the logical
+  // state copies/moves member-wise, and the cached view (immutable, keyed
+  // on the copied structure_version) is shared rather than rebuilt.
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
+  ~Network() = default;
 
   // ---- construction ----
   NodeId add_pi(const std::string& name);
@@ -92,7 +104,16 @@ class Network {
   std::optional<NodeId> find_node(const std::string& name) const;
 
   // ---- structure ----
+  /// Cached flat-arena snapshot of the structure (topo order, levels, CSR
+  /// fanin/fanout adjacency, allocation-free cone queries) — the hot-path
+  /// API. Rebuilt lazily when structure_version() moved; a cache hit is a
+  /// mutex lock + shared_ptr copy. The returned view is immutable and
+  /// outlives later mutations (it snapshots, not references). Throws
+  /// std::logic_error on cycles. Thread-safe.
+  std::shared_ptr<const TopologyView> topology() const;
+
   /// Topological order (PIs and constants first). Throws on cycles.
+  /// Convenience copy out of topology(); hot paths should hold the view.
   std::vector<NodeId> topo_order() const;
 
   /// Per-node logic depth: PIs/consts 0, logic nodes 1 + max(fanin level).
@@ -154,6 +175,9 @@ class Network {
   uint64_t bump(NodeId id);
   uint64_t bump_structure();
 
+  /// Snapshot of the cached view under the cache mutex (copy/move helpers).
+  std::shared_ptr<const TopologyView> topology_cache_snapshot() const;
+
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<NodeId> pis_;
@@ -163,6 +187,13 @@ class Network {
   uint64_t version_ = 0;
   uint64_t structure_version_ = 0;
   std::vector<uint64_t> node_version_;
+
+  // Lazily built structure snapshot, valid while its structure_version
+  // matches structure_version_ (mutations don't clear it; topology()
+  // compares versions). The mutex only guards the cache slot — the view
+  // itself is immutable.
+  mutable std::mutex topo_mutex_;
+  mutable std::shared_ptr<const TopologyView> topo_cache_;
 };
 
 }  // namespace apx

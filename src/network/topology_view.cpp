@@ -1,0 +1,125 @@
+#include "network/topology_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/trace.hpp"
+
+namespace apx {
+
+std::shared_ptr<const TopologyView> TopologyView::build(const Network& net) {
+  if (trace::enabled()) {
+    static trace::Counter& builds = trace::counter("topo.view_builds");
+    builds.add(1);
+  }
+  auto view = std::shared_ptr<TopologyView>(new TopologyView());
+  view->structure_version_ = net.structure_version();
+  const int n = net.num_nodes();
+
+  // Topological order: the exact iterative DFS the legacy topo_order()
+  // ran (roots 0..n-1, fanins pushed in list order). Consumers' result
+  // bytes are pinned to this order, so it must not change.
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  view->topo_.reserve(n);
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (state[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& fanins = net.node(id).fanins;
+      if (next < fanins.size()) {
+        NodeId f = fanins[next++];
+        if (state[f] == 1) throw std::logic_error("topo_order: cycle");
+        if (state[f] == 0) {
+          state[f] = 1;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        state[id] = 2;
+        view->topo_.push_back(id);
+        stack.pop_back();
+      }
+    }
+  }
+
+  view->topo_pos_.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    view->topo_pos_[view->topo_[i]] = static_cast<int32_t>(i);
+  }
+
+  // Levels over the topo order (PIs/consts 0).
+  view->level_.assign(n, 0);
+  for (NodeId id : view->topo_) {
+    const Node& node = net.node(id);
+    if (node.kind != NodeKind::kLogic) continue;
+    int max_in = -1;
+    for (NodeId f : node.fanins) max_in = std::max(max_in, view->level_[f]);
+    view->level_[id] = max_in + 1;
+    view->max_level_ = std::max(view->max_level_, view->level_[id]);
+  }
+
+  // CSR fanin + fanout adjacency. Filling fanouts in ascending consumer id
+  // (then fanin-list) order reproduces the legacy fanouts() edge order.
+  view->fanin_offset_.assign(n + 1, 0);
+  view->fanout_offset_.assign(n + 1, 0);
+  size_t total_edges = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    const auto& fanins = net.node(id).fanins;
+    view->fanin_offset_[id + 1] =
+        view->fanin_offset_[id] + static_cast<int32_t>(fanins.size());
+    for (NodeId f : fanins) ++view->fanout_offset_[f + 1];
+    total_edges += fanins.size();
+  }
+  for (NodeId id = 0; id < n; ++id) {
+    view->fanout_offset_[id + 1] += view->fanout_offset_[id];
+  }
+  view->fanin_edges_.resize(total_edges);
+  view->fanout_edges_.resize(total_edges);
+  std::vector<int32_t> fill(view->fanout_offset_.begin(),
+                            view->fanout_offset_.end() - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    const auto& fanins = net.node(id).fanins;
+    int32_t base = view->fanin_offset_[id];
+    for (size_t k = 0; k < fanins.size(); ++k) {
+      NodeId f = fanins[k];
+      view->fanin_edges_[base + static_cast<int32_t>(k)] = f;
+      view->fanout_edges_[fill[f]++] = id;
+    }
+  }
+  return view;
+}
+
+void TopologyView::cone_of(const NodeId* roots, int num_roots,
+                           ConeScratch& scratch,
+                           std::vector<NodeId>& out) const {
+  out.clear();
+  scratch.marks.begin(num_nodes());
+  scratch.stack.clear();
+  for (int i = 0; i < num_roots; ++i) {
+    NodeId r = roots[i];
+    if (scratch.marks.insert(r)) {
+      scratch.stack.push_back(r);
+      out.push_back(r);
+    }
+  }
+  while (!scratch.stack.empty()) {
+    NodeId id = scratch.stack.back();
+    scratch.stack.pop_back();
+    for (NodeId f : fanins(id)) {
+      if (scratch.marks.insert(f)) {
+        scratch.stack.push_back(f);
+        out.push_back(f);
+      }
+    }
+  }
+  // Sorting by topo position equals filtering the full topo order (the
+  // legacy formulation) without the O(num_nodes) scan per call.
+  std::sort(out.begin(), out.end(), [this](NodeId a, NodeId b) {
+    return topo_pos_[a] < topo_pos_[b];
+  });
+}
+
+}  // namespace apx

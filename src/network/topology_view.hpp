@@ -1,0 +1,152 @@
+// Cache-resident, version-stamped snapshot of a Network's structure.
+//
+// Network::topo_order(), levels(), fanouts(), and cone_of() historically
+// re-ran a DFS and allocated fresh vectors (including a vector-of-vectors
+// for fanouts) on every call, at ~30 call sites — a visible traversal tax
+// once plane evaluation went SIMD-wide. A TopologyView computes all of it
+// once per Network::structure_version() into one flat arena:
+//
+//   * topological order (byte-identical to the legacy DFS order, which
+//     downstream bit-identity gates depend on) plus each node's position
+//     in it,
+//   * per-node levels and the maximum level,
+//   * fanout AND fanin adjacency in CSR form (one offsets array + one
+//     contiguous edge array each) instead of vector-of-vectors,
+//   * cone_of() as an epoch-stamped mark sweep over the CSR fanin arrays
+//     into a caller-owned scratch, so steady-state cone queries allocate
+//     nothing.
+//
+// Views are immutable and shared: Network::topology() returns a
+// shared_ptr<const TopologyView> that consumers hold across calls;
+// structural mutations bump structure_version() which makes the next
+// topology() call rebuild (counted by the apx_trace counters
+// `topo.view_builds` / `topo.view_hits`). Function-only mutations
+// (set_sop) do not invalidate the view.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "network/network.hpp"
+
+namespace apx {
+
+/// Reusable epoch-stamped node marks: clearing between generations is O(1)
+/// (an epoch bump) instead of O(n), and storage is reused across calls so
+/// the steady state allocates nothing.
+class EpochMarks {
+ public:
+  /// Starts a new generation over `n` slots; all marks read as unset.
+  void begin(int n) {
+    if (static_cast<int>(mark_.size()) < n) mark_.resize(n, 0);
+    if (++epoch_ == 0) {  // uint32 epoch wrapped: old stamps would alias
+      std::fill(mark_.begin(), mark_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+  bool test(NodeId id) const { return mark_[id] == epoch_; }
+  void set(NodeId id) { mark_[id] = epoch_; }
+  /// Sets the mark; returns true when it was previously unset.
+  bool insert(NodeId id) {
+    if (mark_[id] == epoch_) return false;
+    mark_[id] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> mark_;
+  uint32_t epoch_ = 0;
+};
+
+/// Caller-owned scratch for TopologyView::cone_of. One instance per thread
+/// (or per long-lived analysis object), reused across calls.
+struct ConeScratch {
+  EpochMarks marks;
+  std::vector<NodeId> stack;
+};
+
+class TopologyView {
+ public:
+  /// Contiguous CSR adjacency slice.
+  class Range {
+   public:
+    const NodeId* begin() const { return begin_; }
+    const NodeId* end() const { return end_; }
+    int size() const { return static_cast<int>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    NodeId operator[](int i) const { return begin_[i]; }
+
+   private:
+    friend class TopologyView;
+    Range(const NodeId* b, const NodeId* e) : begin_(b), end_(e) {}
+    const NodeId* begin_;
+    const NodeId* end_;
+  };
+
+  /// Builds a snapshot of `net` (throws std::logic_error on cycles, like
+  /// the legacy topo_order). Normally reached via Network::topology().
+  static std::shared_ptr<const TopologyView> build(const Network& net);
+
+  /// structure_version() of the network at build time.
+  uint64_t structure_version() const { return structure_version_; }
+
+  int num_nodes() const { return static_cast<int>(topo_.size()); }
+
+  /// Topological order (PIs and constants first); identical element order
+  /// to the legacy Network::topo_order() DFS.
+  const std::vector<NodeId>& topo() const { return topo_; }
+
+  /// Index of `id` within topo().
+  int topo_position(NodeId id) const { return topo_pos_[id]; }
+
+  /// Per-node logic depth (PIs/consts 0) and its maximum.
+  const std::vector<int>& levels() const { return level_; }
+  int level(NodeId id) const { return level_[id]; }
+  int max_level() const { return max_level_; }
+
+  /// Fanout edges of `id` (consumers in ascending id order, with one entry
+  /// per fanin occurrence — identical multiset to the legacy fanouts()).
+  Range fanouts(NodeId id) const {
+    return Range(fanout_edges_.data() + fanout_offset_[id],
+                 fanout_edges_.data() + fanout_offset_[id + 1]);
+  }
+  int fanout_count(NodeId id) const {
+    return static_cast<int>(fanout_offset_[id + 1] - fanout_offset_[id]);
+  }
+
+  /// Fanin edges of `id` in fanin-list order.
+  Range fanins(NodeId id) const {
+    return Range(fanin_edges_.data() + fanin_offset_[id],
+                 fanin_edges_.data() + fanin_offset_[id + 1]);
+  }
+  int fanin_count(NodeId id) const {
+    return static_cast<int>(fanin_offset_[id + 1] - fanin_offset_[id]);
+  }
+
+  /// Transitive fanin cone of `roots` (roots included), written to `out`
+  /// in topological order — identical contents to the legacy
+  /// Network::cone_of. Allocation-free once `scratch` and `out` have grown
+  /// to their steady-state capacity.
+  void cone_of(const NodeId* roots, int num_roots, ConeScratch& scratch,
+               std::vector<NodeId>& out) const;
+  void cone_of(const std::vector<NodeId>& roots, ConeScratch& scratch,
+               std::vector<NodeId>& out) const {
+    cone_of(roots.data(), static_cast<int>(roots.size()), scratch, out);
+  }
+
+ private:
+  TopologyView() = default;
+
+  uint64_t structure_version_ = 0;
+  std::vector<NodeId> topo_;
+  std::vector<int32_t> topo_pos_;
+  std::vector<int> level_;
+  int max_level_ = 0;
+  std::vector<int32_t> fanout_offset_;  ///< num_nodes + 1 entries
+  std::vector<NodeId> fanout_edges_;
+  std::vector<int32_t> fanin_offset_;  ///< num_nodes + 1 entries
+  std::vector<NodeId> fanin_edges_;
+};
+
+}  // namespace apx

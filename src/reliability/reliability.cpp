@@ -1,9 +1,8 @@
 #include "reliability/reliability.hpp"
 
-#include <bit>
-
 #include "core/task_pool.hpp"
 #include "sim/fault_engine.hpp"
+#include "sim/kernels.hpp"
 
 namespace apx {
 
@@ -45,27 +44,27 @@ ReliabilityReport analyze_reliability(const Network& net,
   // needs the dominant directions, which are only known after this pass;
   // pass 2 replays the identical sample stream (the campaign's per-index
   // seed derivation makes the replay exact by construction).
+  // Per-worker "some PO differs" rows: e01 | e10 == g ^ f, folded across
+  // outputs by the accumulate kernel and counted once per sample.
+  std::vector<std::vector<uint64_t>> any_scratch(slots);
   engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
                                          const FaultView& v) {
-    int64_t* c01 = &slot01[static_cast<size_t>(v.worker_slot()) * P];
-    int64_t* c10 = &slot10[static_cast<size_t>(v.worker_slot()) * P];
-    int64_t any = 0;
-    for (int w = 0; w < v.num_words(); ++w) {
-      const uint64_t mask = v.word_mask(w);
-      uint64_t any_word = 0;
-      for (int o = 0; o < P; ++o) {
-        NodeId drv = net.po(o).driver;
-        uint64_t g = v.golden(drv)[w];
-        uint64_t f = v.faulty(drv)[w];
-        uint64_t e01 = ~g & f & mask;
-        uint64_t e10 = g & ~f & mask;
-        c01[o] += std::popcount(e01);
-        c10[o] += std::popcount(e10);
-        any_word |= e01 | e10;
-      }
-      any += std::popcount(any_word);
+    const int slot = v.worker_slot();
+    int64_t* c01 = &slot01[static_cast<size_t>(slot) * P];
+    int64_t* c10 = &slot10[static_cast<size_t>(slot) * P];
+    const int W = v.num_words();
+    const uint64_t tail = v.word_mask(W - 1);
+    std::vector<uint64_t>& any_row = any_scratch[slot];
+    any_row.assign(static_cast<size_t>(W), 0);
+    for (int o = 0; o < P; ++o) {
+      NodeId drv = net.po(o).driver;
+      const uint64_t* g = v.golden(drv);
+      const uint64_t* f = v.faulty(drv);
+      c01[o] += popcount_andnot(g, f, W, tail);  // ~g & f
+      c10[o] += popcount_andnot(f, g, W, tail);  // g & ~f
+      accumulate_xor_or(any_row.data(), g, f, W);
     }
-    slot_any[v.worker_slot()] += any;
+    slot_any[slot] += popcount_words(any_row.data(), W, tail);
   });
 
   std::vector<int64_t> count01(P, 0), count10(P, 0);
@@ -92,19 +91,22 @@ ReliabilityReport analyze_reliability(const Network& net,
   std::vector<int64_t> slot_dominant(slots, 0);
   engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
                                          const FaultView& v) {
-    int64_t dominant = 0;
-    for (int w = 0; w < v.num_words(); ++w) {
-      uint64_t dominant_word = 0;
-      for (int o = 0; o < P; ++o) {
-        NodeId drv = net.po(o).driver;
-        uint64_t g = v.golden(drv)[w];
-        uint64_t f = v.faulty(drv)[w];
-        dominant_word |= (dirs[o] == ApproxDirection::kZeroApprox) ? (~g & f)
-                                                                   : (g & ~f);
+    const int slot = v.worker_slot();
+    const int W = v.num_words();
+    std::vector<uint64_t>& dom_row = any_scratch[slot];
+    dom_row.assign(static_cast<size_t>(W), 0);
+    for (int o = 0; o < P; ++o) {
+      NodeId drv = net.po(o).driver;
+      const uint64_t* g = v.golden(drv);
+      const uint64_t* f = v.faulty(drv);
+      if (dirs[o] == ApproxDirection::kZeroApprox) {
+        accumulate_andnot_or(dom_row.data(), g, f, W);  // ~g & f
+      } else {
+        accumulate_andnot_or(dom_row.data(), f, g, W);  // g & ~f
       }
-      dominant += std::popcount(dominant_word & v.word_mask(w));
     }
-    slot_dominant[v.worker_slot()] += dominant;
+    slot_dominant[slot] +=
+        popcount_words(dom_row.data(), W, v.word_mask(W - 1));
   });
   int64_t dominant_detectable = 0;
   for (int s = 0; s < slots; ++s) dominant_detectable += slot_dominant[s];

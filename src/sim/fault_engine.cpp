@@ -22,10 +22,7 @@ struct FaultSimEngine::Worker {
 };
 
 FaultSimEngine::FaultSimEngine(const Network& net)
-    : net_(net), topo_(net.topo_order()), level_(net.levels()),
-      fanouts_(net.fanouts()) {
-  for (int lvl : level_) max_level_ = std::max(max_level_, lvl);
-}
+    : net_(net), view_(net.topology()) {}
 
 FaultSimEngine::~FaultSimEngine() = default;
 
@@ -60,7 +57,7 @@ void FaultSimEngine::run_golden(const PatternSet& patterns, int num_vectors) {
                 sizeof(uint64_t) * W);
   }
   std::vector<const uint64_t*> fanin;
-  for (NodeId id : topo_) {
+  for (NodeId id : view_->topo()) {
     const Node& n = net_.node(id);
     uint64_t* out = golden_.row(id);
     switch (n.kind) {
@@ -101,15 +98,17 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
   if (!rows_differ(fv, gv, W, tail_mask_)) return;
   w.valid[fault.node] = epoch;
 
+  const TopologyView& view = *view_;
   auto schedule = [&](NodeId id) {
     if (w.queued[id] != epoch) {
       w.queued[id] = epoch;
-      w.buckets[level_[id]].push_back(id);
+      w.buckets[view.level(id)].push_back(id);
     }
   };
-  for (NodeId o : fanouts_[fault.node]) schedule(o);
+  for (NodeId o : view.fanouts(fault.node)) schedule(o);
 
-  for (int lvl = level_[fault.node] + 1; lvl <= max_level_; ++lvl) {
+  const int max_level = view.max_level();
+  for (int lvl = view.level(fault.node) + 1; lvl <= max_level; ++lvl) {
     auto& bucket = w.buckets[lvl];
     for (NodeId id : bucket) {
       const Node& n = net_.node(id);
@@ -124,7 +123,7 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
       // event dies here (padding differences cannot keep it alive).
       if (!rows_differ(out, golden_.row(id), W, tail_mask_)) continue;
       w.valid[id] = epoch;
-      for (NodeId o : fanouts_[id]) schedule(o);
+      for (NodeId o : view.fanouts(id)) schedule(o);
     }
     bucket.clear();
   }
@@ -154,7 +153,7 @@ FaultSimEngine::Worker& FaultSimEngine::worker(int index) {
     w.valid.assign(net_.num_nodes(), 0);
     w.queued.assign(net_.num_nodes(), 0);
     w.epoch = 0;
-    w.buckets.assign(max_level_ + 1, {});
+    w.buckets.assign(view_->max_level() + 1, {});
     w.fanin.clear();
   }
   return w;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "network/topology_view.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -208,10 +209,10 @@ class FaultSimEngine {
                     const std::function<void(Worker&, int, int)>& f);
 
   const Network& net_;
-  std::vector<NodeId> topo_;
-  std::vector<int> level_;
-  int max_level_ = 0;
-  std::vector<std::vector<NodeId>> fanouts_;
+  /// Shared structure snapshot: topo order, levels, CSR fanout adjacency.
+  /// Held for the engine's lifetime (the network must not mutate under a
+  /// running campaign — same contract as before).
+  std::shared_ptr<const TopologyView> view_;
 
   int num_words_ = 0;
   int num_vectors_ = 0;

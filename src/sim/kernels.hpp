@@ -67,8 +67,48 @@ void eval_sop_words(const Sop& sop, const uint64_t* const* fanin,
 
 /// True when rows a and b differ on any *valid* pattern bit: all bits of
 /// words [0, num_words-1), and only the tail_mask bits of the final word.
-/// Pass ~0ULL when every pattern of the final word is valid.
+/// Pass ~0ULL when every pattern of the final word is valid. Dispatched
+/// like eval_sop_words; every tier returns the same bool.
 bool rows_differ(const uint64_t* a, const uint64_t* b, int num_words,
                  uint64_t tail_mask);
+
+// ---------------------------------------------------------------------------
+// Masked popcount-reduce kernels: the campaign visitors' accounting loops
+// (CED coverage, per-output error rates, rank histograms, observability,
+// masking, approximation percentages) all reduce value rows to integer
+// bit counts. Each kernel computes an exact integer sum — popcount over
+// full words at vector width, with the final word's padding bits (those
+// outside tail_mask) excluded — so every tier returns the identical
+// integer and the bit-identity contract extends to the accounting side
+// for free. Pass ~0ULL as tail_mask when every bit of the final word is
+// valid.
+// ---------------------------------------------------------------------------
+
+/// popcount of row a over the valid bits.
+int64_t popcount_words(const uint64_t* a, int num_words, uint64_t tail_mask);
+
+/// popcount of (a & b) over the valid bits.
+int64_t popcount_and(const uint64_t* a, const uint64_t* b, int num_words,
+                     uint64_t tail_mask);
+
+/// popcount of ((a ^ b) & c) over the valid bits — e.g. "erroneous AND
+/// golden/faulty checker disagreement" style reductions.
+int64_t popcount_xor_and(const uint64_t* a, const uint64_t* b,
+                         const uint64_t* c, int num_words,
+                         uint64_t tail_mask);
+
+/// popcount of (~a & b) over the valid bits (directional error counts:
+/// golden 0 / faulty 1 and vice versa).
+int64_t popcount_andnot(const uint64_t* a, const uint64_t* b, int num_words,
+                        uint64_t tail_mask);
+
+/// acc[w] |= a[w] ^ b[w] for all words (row-combine step used to fold a
+/// set of outputs into one "any output differs" row before counting).
+void accumulate_xor_or(uint64_t* acc, const uint64_t* a, const uint64_t* b,
+                       int num_words);
+
+/// acc[w] |= ~a[w] & b[w] for all words.
+void accumulate_andnot_or(uint64_t* acc, const uint64_t* a, const uint64_t* b,
+                          int num_words);
 
 }  // namespace apx

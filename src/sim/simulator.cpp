@@ -108,17 +108,14 @@ PatternSet PatternSet::exhaustive(int num_pis) {
 }
 
 Simulator::Simulator(const Network& net)
-    : net_(net),
-      topo_(net.topo_order()),
-      structure_version_(net.structure_version()) {}
+    : net_(net), view_(net.topology()) {}
 
 void Simulator::run(const PatternSet& patterns) {
   if (patterns.num_pis() != net_.num_pis()) {
     throw std::logic_error("Simulator::run: PI count mismatch");
   }
-  if (structure_version_ != net_.structure_version()) {
-    topo_ = net_.topo_order();
-    structure_version_ = net_.structure_version();
+  if (view_->structure_version() != net_.structure_version()) {
+    view_ = net_.topology();
   }
   bool reshape = num_words_ != patterns.num_words() ||
                  golden_.rows() != net_.num_nodes();
@@ -134,7 +131,7 @@ void Simulator::run(const PatternSet& patterns) {
                 sizeof(uint64_t) * num_words_);
   }
   std::vector<const uint64_t*> fanin;
-  for (NodeId id : topo_) {
+  for (NodeId id : view_->topo()) {
     const Node& n = net_.node(id);
     uint64_t* out = golden_.row(id);
     switch (n.kind) {
@@ -158,9 +155,7 @@ void Simulator::run(const PatternSet& patterns) {
 }
 
 double Simulator::signal_probability(NodeId id) const {
-  const uint64_t* words = golden_.row(id);
-  uint64_t ones = 0;
-  for (int w = 0; w < num_words_; ++w) ones += std::popcount(words[w]);
+  int64_t ones = popcount_words(golden_.row(id), num_words_, ~0ULL);
   return static_cast<double>(ones) / (64.0 * num_words_);
 }
 
@@ -200,26 +195,27 @@ void Simulator::inject_forced(NodeId fault_node,
   }
   StuckFault fault{fault_node, false};  // reuse the cone walk below
   ++epoch_;
-  // Collect the fanout cone in topological order using per-node marks.
-  std::vector<NodeId> cone;
-  std::vector<bool> in_cone(net_.num_nodes(), false);
-  in_cone[fault.node] = true;
-  // topo_ is cached: walk it once, adding nodes any of whose fanins are in
-  // the cone.
-  for (NodeId id : topo_) {
-    if (id == fault.node) {
-      cone.push_back(id);
-      continue;
-    }
-    for (NodeId f : net_.node(id).fanins) {
-      if (in_cone[f]) {
-        in_cone[id] = true;
-        cone.push_back(id);
+  // Collect the fanout cone in topological order with epoch-stamped marks
+  // (reused scratch: no per-injection allocation once warmed). The cached
+  // topo order is walked from the fault site's position onward — nothing
+  // before it can be in the fanout cone.
+  const TopologyView& view = *view_;
+  cone_marks_.begin(net_.num_nodes());
+  cone_.clear();
+  cone_marks_.set(fault.node);
+  cone_.push_back(fault.node);
+  const auto& topo = view.topo();
+  for (size_t t = view.topo_position(fault.node) + 1; t < topo.size(); ++t) {
+    NodeId id = topo[t];
+    for (NodeId f : view.fanins(id)) {
+      if (cone_marks_.test(f)) {
+        cone_marks_.set(id);
+        cone_.push_back(id);
         break;
       }
     }
   }
-  for (NodeId id : cone) {
+  for (NodeId id : cone_) {
     faulty_epoch_[id] = epoch_;
     if (id == fault.node) {
       std::memcpy(faulty_.row(id), forced.data(),
@@ -227,13 +223,12 @@ void Simulator::inject_forced(NodeId fault_node,
       continue;
     }
     const Node& n = net_.node(id);
-    std::vector<const uint64_t*> fanin;
-    fanin.reserve(n.fanins.size());
+    fanin_ptrs_.clear();
     for (NodeId f : n.fanins) {
-      fanin.push_back(faulty_epoch_[f] == epoch_ ? faulty_.row(f)
-                                                 : golden_.row(f));
+      fanin_ptrs_.push_back(faulty_epoch_[f] == epoch_ ? faulty_.row(f)
+                                                       : golden_.row(f));
     }
-    eval_sop_words(n.sop, fanin.data(), num_words_, faulty_.row(id));
+    eval_sop_words(n.sop, fanin_ptrs_.data(), num_words_, faulty_.row(id));
   }
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "network/topology_view.hpp"
 #include "sim/arena.hpp"
 #include "sim/kernels.hpp"
 
@@ -117,8 +118,9 @@ class Simulator {
 
  private:
   const Network& net_;
-  std::vector<NodeId> topo_;
-  uint64_t structure_version_ = 0;
+  /// Cached structure snapshot; refreshed by run() when the network's
+  /// structure_version moved.
+  std::shared_ptr<const TopologyView> view_;
   int num_words_ = 0;
 
   ValueArena golden_;
@@ -127,6 +129,12 @@ class Simulator {
   ValueArena faulty_;
   std::vector<uint32_t> faulty_epoch_;
   uint32_t epoch_ = 0;
+
+  // inject_forced scratch, reused across injections (no per-call heap
+  // allocations on the steady-state path).
+  EpochMarks cone_marks_;
+  std::vector<NodeId> cone_;
+  std::vector<const uint64_t*> fanin_ptrs_;
 };
 
 /// Enumerates all 2N single-stuck-at fault sites of the logic nodes of a

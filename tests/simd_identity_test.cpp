@@ -11,6 +11,7 @@
 // the env-var dispatch path is exercised too.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <optional>
 #include <string>
 #include <vector>
@@ -173,6 +174,66 @@ TEST_F(SimdIdentityTest, SynthesisResultsAreIdenticalAcrossTiers) {
     }
     EXPECT_EQ(text, *reference) << "tier " << simd::tier_name(tier);
     EXPECT_EQ(r.repairs, *reference_repairs);
+  }
+}
+
+TEST_F(SimdIdentityTest, PopcountKernelsAreIdenticalAcrossTiers) {
+  // Random rows at word counts crossing every vector stride and tail, with
+  // both a full and a partial final-word mask. Each tier must return the
+  // exact integer the scalar reference computes.
+  uint64_t s = 0xC0FFEE123456789ULL;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int words : {1, 3, 7, 9, 16, 33}) {
+    std::vector<uint64_t> a(words), b(words), c(words);
+    for (int w = 0; w < words; ++w) {
+      a[w] = next();
+      b[w] = next();
+      c[w] = next();
+    }
+    for (uint64_t tail : {~0ULL, (1ULL << 17) - 1}) {
+      auto ref = [&](auto f) {
+        int64_t n = 0;
+        for (int w = 0; w < words; ++w) {
+          uint64_t mask = (w + 1 == words) ? tail : ~0ULL;
+          n += std::popcount(f(a[w], b[w], c[w]) & mask);
+        }
+        return n;
+      };
+      const int64_t want_words = ref([](uint64_t x, uint64_t, uint64_t) {
+        return x;
+      });
+      const int64_t want_and = ref([](uint64_t x, uint64_t y, uint64_t) {
+        return x & y;
+      });
+      const int64_t want_xor_and = ref([](uint64_t x, uint64_t y, uint64_t z) {
+        return (x ^ y) & z;
+      });
+      const int64_t want_andnot = ref([](uint64_t x, uint64_t y, uint64_t) {
+        return ~x & y;
+      });
+      for (simd::Tier tier : supported_tiers()) {
+        simd::set_tier(tier);
+        EXPECT_EQ(popcount_words(a.data(), words, tail), want_words);
+        EXPECT_EQ(popcount_and(a.data(), b.data(), words, tail), want_and);
+        EXPECT_EQ(popcount_xor_and(a.data(), b.data(), c.data(), words, tail),
+                  want_xor_and);
+        EXPECT_EQ(popcount_andnot(a.data(), b.data(), words, tail),
+                  want_andnot);
+
+        std::vector<uint64_t> acc_xor(words, 0), acc_andnot(words, 0);
+        accumulate_xor_or(acc_xor.data(), a.data(), b.data(), words);
+        accumulate_andnot_or(acc_andnot.data(), a.data(), b.data(), words);
+        for (int w = 0; w < words; ++w) {
+          EXPECT_EQ(acc_xor[w], a[w] ^ b[w]);
+          EXPECT_EQ(acc_andnot[w], ~a[w] & b[w]);
+        }
+      }
+    }
   }
 }
 
