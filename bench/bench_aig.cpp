@@ -1,0 +1,334 @@
+// AIG substrate benchmark: the quick-synthesis scale gates. Measures the
+// pieces the 10k-gate flow leans on —
+//  * BLIF reader throughput (single-pass tokenizer + DFS dependency
+//    resolution; a reverse-ordered netlist is the old resolver's quadratic
+//    worst case),
+//  * Network -> AIG -> rewrite -> Network on the two registered large
+//    benchmarks (mult32: a 32x32 array multiplier, ~0% expected rewrite
+//    gain because adder arrays are already 4-cut-optimal; aes_rp: an
+//    AES-round-profile netlist where NPN cut rewriting earns >= 10%),
+//  * SAT-verified round-trip equivalence over the full registered suite
+//    plus bit-parallel simulation differentials on the large pair,
+//  * the end-to-end CED pipeline on aes_rp (>= 10k mapped gates) under the
+//    bench-tuned options, which exercises the AIG quick-synthesis path
+//    inside run_ced_pipeline.
+// Emits BENCH_aig.json (fields documented in EXPERIMENTS.md). Exit status
+// enforces the gates: aes_rp AND reduction >= 10%, every equivalence check
+// green, e2e wall clock within budget, and the e2e circuit really mapping
+// to >= 10k gates.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/convert.hpp"
+#include "aig/rewrite.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/pipeline.hpp"
+#include "network/blif.hpp"
+#include "network/network.hpp"
+#include "sat/encode.hpp"
+#include "sat/solver.hpp"
+#include "sim/simulator.hpp"
+
+using namespace apx;
+using namespace apx::bench;
+
+namespace {
+
+size_t count_lines(const std::string& text) {
+  size_t n = 1;
+  for (char c : text) n += (c == '\n');
+  return n;
+}
+
+// Reverse-ordered inverter chain: every table's fanin is defined after it.
+std::string make_reverse_chain_blif(int chain) {
+  std::string text = ".model rev\n.inputs x0\n.outputs y\n";
+  text.reserve(text.size() + static_cast<size_t>(chain) * 24);
+  text += ".names x" + std::to_string(chain) + " y\n1 1\n";
+  for (int i = chain; i >= 1; --i) {
+    text += ".names x" + std::to_string(i - 1) + " x" + std::to_string(i) +
+            "\n0 1\n";
+  }
+  text += ".end\n";
+  return text;
+}
+
+// Shared-solver SAT miter: every PO pair must be UNSAT-inequivalent.
+bool all_pos_equivalent(const Network& a, const Network& b) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  SatSolver solver;
+  std::vector<int> pi_vars;
+  for (int i = 0; i < a.num_pis(); ++i) pi_vars.push_back(solver.new_var());
+  const std::vector<int> va = encode_network(solver, a, pi_vars);
+  const std::vector<int> vb = encode_network(solver, b, pi_vars);
+  for (int i = 0; i < a.num_pos(); ++i) {
+    const Lit la(va[a.po(i).driver], false);
+    const Lit lb(vb[b.po(i).driver], false);
+    const Lit lx(solver.new_var(), false);
+    solver.add_ternary(~lx, la, lb);
+    solver.add_ternary(~lx, ~la, ~lb);
+    solver.add_ternary(lx, ~la, lb);
+    solver.add_ternary(lx, la, ~lb);
+    if (solver.solve({lx}) != SatResult::kUnsat) return false;
+  }
+  return true;
+}
+
+// Bit-parallel differential: identical PO planes on `words`x64 random
+// patterns (the converters preserve PI order, so one PatternSet serves
+// both networks).
+bool sim_equivalent(const Network& a, const Network& b, int words,
+                    uint64_t seed) {
+  PatternSet patterns = PatternSet::random(a.num_pis(), words, seed);
+  Simulator sim_a(a);
+  Simulator sim_b(b);
+  sim_a.run(patterns);
+  sim_b.run(patterns);
+  for (int po = 0; po < a.num_pos(); ++po) {
+    WordSpan pa = sim_a.value(a.po(po).driver);
+    WordSpan pb = sim_b.value(b.po(po).driver);
+    for (int w = 0; w < words; ++w) {
+      if (pa[w] != pb[w]) return false;
+    }
+  }
+  return true;
+}
+
+struct CircuitRow {
+  std::string name;
+  int pis = 0;
+  int pos = 0;
+  int logic_nodes = 0;
+  double to_aig_seconds = 0.0;
+  uint64_t ands_before = 0;
+  double rewrite_seconds = 0.0;
+  uint64_t ands_after = 0;
+  double and_reduction_pct = 0.0;
+  int rewrite_passes = 0;
+  uint64_t cuts_enumerated = 0;
+  double cuts_per_sec = 0.0;
+  double to_network_seconds = 0.0;
+  double round_trip_seconds = 0.0;
+  bool sim_equivalent = false;
+};
+
+CircuitRow run_circuit(const std::string& name) {
+  CircuitRow row;
+  row.name = name;
+  const Network net = make_benchmark(name);
+  row.pis = net.num_pis();
+  row.pos = net.num_pos();
+  row.logic_nodes = net.num_logic_nodes();
+
+  Stopwatch total;
+  Stopwatch watch;
+  const aig::Aig g = aig::network_to_aig(net);
+  row.to_aig_seconds = watch.seconds();
+  row.ands_before = g.count_reachable_ands();
+
+  watch = Stopwatch();
+  aig::RewriteStats stats;
+  const aig::Aig rewritten = aig::rewrite(g, aig::RewriteOptions{}, &stats);
+  row.rewrite_seconds = watch.seconds();
+  row.ands_after = stats.ands_after;
+  row.and_reduction_pct =
+      row.ands_before == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(row.ands_before - row.ands_after) /
+                static_cast<double>(row.ands_before);
+  row.rewrite_passes = stats.passes;
+  row.cuts_enumerated = stats.cuts_enumerated;
+  row.cuts_per_sec = row.rewrite_seconds > 0
+                         ? static_cast<double>(stats.cuts_enumerated) /
+                               row.rewrite_seconds
+                         : 0.0;
+
+  watch = Stopwatch();
+  const Network back = aig::aig_to_network(rewritten);
+  row.to_network_seconds = watch.seconds();
+  row.round_trip_seconds = total.seconds();
+
+  row.sim_equivalent = sim_equivalent(net, back, 64, /*seed=*/2026);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_aig.json";
+  const int threads = bench_threads();
+
+  // ---- BLIF reader throughput ----
+  std::printf("bench_aig: AIG quick-synthesis scale gates\n\n");
+  const Network mult = make_benchmark("mult32");
+  const std::string mult_blif = write_blif_string(mult);
+  Stopwatch watch;
+  const Network mult_parsed = read_blif_string(mult_blif);
+  const double blif_parse_seconds = watch.seconds();
+  const size_t blif_lines = count_lines(mult_blif);
+  // The writer emits one buffer table per PO whose name differs from its
+  // driver node, so the parsed network legitimately carries extra logic
+  // nodes; the round-trip check is functional, not structural.
+  const bool blif_round_trip_ok =
+      mult_parsed.num_pis() == mult.num_pis() &&
+      mult_parsed.num_pos() == mult.num_pos() &&
+      sim_equivalent(mult, mult_parsed, 64, /*seed=*/2026);
+
+  const std::string reverse_blif = make_reverse_chain_blif(50000);
+  const size_t reverse_lines = count_lines(reverse_blif);
+  watch = Stopwatch();
+  const Network reverse_net = read_blif_string(reverse_blif);
+  const double reverse_parse_seconds = watch.seconds();
+  const bool reverse_ok = reverse_net.num_logic_nodes() == 50001;
+
+  std::printf("BLIF: mult32 %zu lines in %.3fs (%.0f lines/s); "
+              "reverse-ordered %zu lines in %.3fs\n\n",
+              blif_lines, blif_parse_seconds,
+              blif_lines / std::max(blif_parse_seconds, 1e-9), reverse_lines,
+              reverse_parse_seconds);
+
+  // ---- AIG rewriting on the large pair ----
+  std::printf("%-8s %6s | %8s %8s %6s | %10s %10s | %6s\n", "circuit",
+              "nodes", "ANDs", "rewr", "gain%", "cuts", "cuts/s", "sim");
+  std::vector<CircuitRow> rows;
+  for (const std::string& name : large_benchmark_names()) {
+    rows.push_back(run_circuit(name));
+    const CircuitRow& r = rows.back();
+    std::printf("%-8s %6d | %8llu %8llu %5.1f%% | %10llu %10.0f | %6s\n",
+                r.name.c_str(), r.logic_nodes,
+                static_cast<unsigned long long>(r.ands_before),
+                static_cast<unsigned long long>(r.ands_after),
+                r.and_reduction_pct,
+                static_cast<unsigned long long>(r.cuts_enumerated),
+                r.cuts_per_sec, r.sim_equivalent ? "ok" : "DIFF");
+  }
+
+  // ---- SAT round-trip over the full registered suite ----
+  watch = Stopwatch();
+  int suite_circuits = 0;
+  bool suite_unsat = true;
+  for (const std::string& name : benchmark_names()) {
+    const Network net = make_benchmark(name);
+    const Network back = aig::aig_to_network(aig::network_to_aig(net));
+    suite_unsat = suite_unsat && all_pos_equivalent(net, back);
+    ++suite_circuits;
+  }
+  const double suite_seconds = watch.seconds();
+  std::printf("\nsuite round-trip: %d circuits SAT-mitred in %.1fs -> %s\n",
+              suite_circuits, suite_seconds,
+              suite_unsat ? "all UNSAT (equivalent)" : "MISMATCH");
+
+  // ---- end-to-end CED pipeline on the >= 10k-gate benchmark ----
+  const std::string e2e_name = "aes_rp";
+  const Network e2e_net = make_benchmark(e2e_name);
+  PipelineOptions opt = tuned_options(0.12);
+  opt.approx.num_threads = threads;
+  // At 128 PIs every oracle BDD overflows any realistic budget, so fail
+  // fast toward the SAT path and its sampled percentage estimates (the
+  // small budgets trade exactness of the reported approximation %, never
+  // correctness — see ApproxOptions::bdd_budget). With the defaults the
+  // synthesis stage spends minutes growing doomed BDDs before each
+  // fallback.
+  opt.approx.bdd_budget = 1u << 15;
+  opt.approx.sat_conflict_budget = 1000;
+  watch = Stopwatch();
+  const PipelineResult e2e = run_ced_pipeline(e2e_net, opt);
+  const double e2e_seconds = watch.seconds();
+  const int e2e_mapped_gates = e2e.overheads.functional_area;
+  std::printf("e2e %s: %.1fs, %d mapped gates, coverage %.1f%%, "
+              "area overhead %.1f%%\n",
+              e2e_name.c_str(), e2e_seconds, e2e_mapped_gates,
+              100.0 * e2e.coverage.coverage(),
+              e2e.overheads.area_overhead_pct());
+
+  // ---- gates ----
+  constexpr double kReductionGatePct = 10.0;
+  constexpr double kE2eBudgetSeconds = 540.0;  // "single-digit minutes"
+  constexpr int kScaleGateGates = 10000;
+  double aes_reduction_pct = 0.0;
+  bool sims_ok = true;
+  for (const CircuitRow& r : rows) {
+    if (r.name == e2e_name) aes_reduction_pct = r.and_reduction_pct;
+    sims_ok = sims_ok && r.sim_equivalent;
+  }
+  const bool round_trip_equivalent =
+      suite_unsat && sims_ok && blif_round_trip_ok && reverse_ok;
+  const bool reduction_gate = aes_reduction_pct >= kReductionGatePct;
+  const bool e2e_time_gate = e2e_seconds <= kE2eBudgetSeconds;
+  const bool scale_gate = e2e_mapped_gates >= kScaleGateGates;
+  const bool pass =
+      round_trip_equivalent && reduction_gate && e2e_time_gate && scale_gate;
+
+  std::printf("\ngates: reduction %.1f%% >= %.0f%% %s | equivalence %s | "
+              "e2e %.1fs <= %.0fs %s | scale %d >= %d %s\n",
+              aes_reduction_pct, kReductionGatePct,
+              reduction_gate ? "ok" : "FAIL",
+              round_trip_equivalent ? "ok" : "FAIL", e2e_seconds,
+              kE2eBudgetSeconds, e2e_time_gate ? "ok" : "FAIL",
+              e2e_mapped_gates, kScaleGateGates, scale_gate ? "ok" : "FAIL");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  write_host_metadata(f);
+  std::fprintf(f, "  \"threads\": %d,\n", threads);
+  std::fprintf(f,
+               "  \"blif\": {\"lines\": %zu, \"parse_seconds\": %.4f, "
+               "\"lines_per_sec\": %.0f, \"reverse_lines\": %zu, "
+               "\"reverse_parse_seconds\": %.4f, "
+               "\"round_trip_sim_equivalent\": %s},\n",
+               blif_lines, blif_parse_seconds,
+               blif_lines / std::max(blif_parse_seconds, 1e-9), reverse_lines,
+               reverse_parse_seconds, blif_round_trip_ok ? "true" : "false");
+  std::fprintf(f, "  \"circuits\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CircuitRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"pis\": %d, \"pos\": %d, "
+        "\"logic_nodes\": %d,\n"
+        "     \"to_aig_seconds\": %.4f, \"ands_before\": %llu, "
+        "\"rewrite_seconds\": %.4f, \"ands_after\": %llu,\n"
+        "     \"and_reduction_pct\": %.2f, \"rewrite_passes\": %d, "
+        "\"cuts_enumerated\": %llu, \"cuts_per_sec\": %.0f,\n"
+        "     \"to_network_seconds\": %.4f, \"round_trip_seconds\": %.4f, "
+        "\"sim_equivalent\": %s}%s\n",
+        r.name.c_str(), r.pis, r.pos, r.logic_nodes, r.to_aig_seconds,
+        static_cast<unsigned long long>(r.ands_before), r.rewrite_seconds,
+        static_cast<unsigned long long>(r.ands_after), r.and_reduction_pct,
+        r.rewrite_passes, static_cast<unsigned long long>(r.cuts_enumerated),
+        r.cuts_per_sec, r.to_network_seconds, r.round_trip_seconds,
+        r.sim_equivalent ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"suite_round_trip\": {\"circuits\": %d, "
+               "\"sat_miters_unsat\": %s, \"seconds\": %.2f},\n",
+               suite_circuits, suite_unsat ? "true" : "false", suite_seconds);
+  std::fprintf(f, "  \"round_trip_equivalent\": %s,\n",
+               round_trip_equivalent ? "true" : "false");
+  std::fprintf(f, "  \"aes_rp_and_reduction_pct\": %.2f,\n",
+               aes_reduction_pct);
+  std::fprintf(f, "  \"reduction_gate_pct\": %.1f,\n", kReductionGatePct);
+  std::fprintf(f,
+               "  \"e2e\": {\"circuit\": \"%s\", \"mapped_gates\": %d, "
+               "\"pipeline_seconds\": %.1f, \"coverage_pct\": %.2f, "
+               "\"area_overhead_pct\": %.2f},\n",
+               e2e_name.c_str(), e2e_mapped_gates, e2e_seconds,
+               100.0 * e2e.coverage.coverage(),
+               e2e.overheads.area_overhead_pct());
+  std::fprintf(f, "  \"e2e_budget_seconds\": %.1f,\n", kE2eBudgetSeconds);
+  std::fprintf(f, "  \"scale_gate_gates\": %d,\n", kScaleGateGates);
+  std::fprintf(f, "  \"gates_pass\": %s\n", pass ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

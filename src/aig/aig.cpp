@@ -1,0 +1,174 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace apx::aig {
+namespace {
+
+// SplitMix64 finalizer (same mixer as network/ordering.cpp): full-avalanche
+// so the packed (fanin0, fanin1) key spreads over the whole table.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t key_of(Lit a, Lit b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+}  // namespace
+
+Aig::Aig() {
+  nodes_.push_back(AigNode{0, 0});  // node 0: constant false
+  table_.resize(1024, 0);
+}
+
+Lit Aig::add_pi(const std::string& name) {
+  const uint32_t node = static_cast<uint32_t>(nodes_.size());
+  AigNode n;
+  n.fanin0 = kInvalidLit;
+  n.fanin1 = static_cast<Lit>(pis_.size());
+  nodes_.push_back(n);
+  pis_.push_back(node);
+  pi_names_.push_back(name.empty() ? "pi" + std::to_string(pis_.size() - 1)
+                                   : name);
+  return make_lit(node, false);
+}
+
+int Aig::add_po(Lit lit, const std::string& name) {
+  if (lit_node(lit) >= nodes_.size()) {
+    throw std::logic_error("Aig::add_po: literal out of range");
+  }
+  pos_.push_back(lit);
+  po_names_.push_back(name.empty() ? "po" + std::to_string(pos_.size() - 1)
+                                   : name);
+  return static_cast<int>(pos_.size()) - 1;
+}
+
+void Aig::grow_table() {
+  std::vector<uint32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, 0);
+  const size_t mask = table_.size() - 1;
+  for (uint32_t slot : old) {
+    if (slot == 0) continue;
+    const AigNode& n = nodes_[slot - 1];
+    size_t pos = static_cast<size_t>(mix64(key_of(n.fanin0, n.fanin1))) & mask;
+    while (table_[pos] != 0) pos = (pos + 1) & mask;
+    table_[pos] = slot;
+  }
+}
+
+Lit Aig::strash_find_or_insert(Lit a, Lit b, bool insert_allowed) {
+  // Normalize + fold. Sorted ascending by literal value, so the constant
+  // node (and hence all constant cases) surfaces as `a`.
+  if (a > b) std::swap(a, b);
+  if (a == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+
+  const size_t mask = table_.size() - 1;
+  size_t pos = static_cast<size_t>(mix64(key_of(a, b))) & mask;
+  while (table_[pos] != 0) {
+    const AigNode& n = nodes_[table_[pos] - 1];
+    if (n.fanin0 == a && n.fanin1 == b) {
+      return make_lit(table_[pos] - 1, false);
+    }
+    pos = (pos + 1) & mask;
+  }
+  if (!insert_allowed) return kInvalidLit;
+
+  const uint32_t node = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(AigNode{a, b});
+  table_[pos] = node + 1;
+  if (++table_used_ * 10 >= table_.size() * 7) grow_table();
+  return make_lit(node, false);
+}
+
+Lit Aig::create_and(Lit a, Lit b) {
+  if (lit_node(a) >= nodes_.size() || lit_node(b) >= nodes_.size()) {
+    throw std::logic_error("Aig::create_and: literal out of range");
+  }
+  return strash_find_or_insert(a, b, /*insert_allowed=*/true);
+}
+
+Lit Aig::lookup_and(Lit a, Lit b) const {
+  // Folding and probing never mutate; the insert-allowed flag is what
+  // guards the table write, so the const_cast is sound.
+  return const_cast<Aig*>(this)->strash_find_or_insert(
+      a, b, /*insert_allowed=*/false);
+}
+
+std::vector<int> Aig::levels() const {
+  std::vector<int> level(nodes_.size(), 0);
+  for (uint32_t id = 1; id < nodes_.size(); ++id) {
+    if (!is_and(id)) continue;
+    level[id] = 1 + std::max(level[lit_node(nodes_[id].fanin0)],
+                             level[lit_node(nodes_[id].fanin1)]);
+  }
+  return level;
+}
+
+int Aig::count_reachable_ands() const {
+  std::vector<char> mark(nodes_.size(), 0);
+  std::vector<uint32_t> stack;
+  for (Lit po : pos_) {
+    if (!mark[lit_node(po)]) {
+      mark[lit_node(po)] = 1;
+      stack.push_back(lit_node(po));
+    }
+  }
+  int count = 0;
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    if (!is_and(id)) continue;
+    ++count;
+    for (Lit f : {nodes_[id].fanin0, nodes_[id].fanin1}) {
+      if (!mark[lit_node(f)]) {
+        mark[lit_node(f)] = 1;
+        stack.push_back(lit_node(f));
+      }
+    }
+  }
+  return count;
+}
+
+void Aig::check() const {
+  std::unordered_set<uint64_t> seen;
+  for (uint32_t id = 1; id < nodes_.size(); ++id) {
+    if (is_pi(id)) {
+      if (pis_[nodes_[id].fanin1] != id) {
+        throw std::logic_error("aig: PI index mismatch");
+      }
+      continue;
+    }
+    const AigNode& n = nodes_[id];
+    if (lit_node(n.fanin0) >= id || lit_node(n.fanin1) >= id) {
+      throw std::logic_error("aig: fanin does not precede node");
+    }
+    if (n.fanin0 > n.fanin1) {
+      throw std::logic_error("aig: fanins not normalized");
+    }
+    if (lit_node(n.fanin0) == 0) {
+      throw std::logic_error("aig: constant fanin not folded");
+    }
+    if (lit_node(n.fanin0) == lit_node(n.fanin1)) {
+      throw std::logic_error("aig: equal/complement fanin pair not folded");
+    }
+    if (!seen.insert(key_of(n.fanin0, n.fanin1)).second) {
+      throw std::logic_error("aig: duplicate AND node escaped strashing");
+    }
+  }
+  for (Lit po : pos_) {
+    if (lit_node(po) >= nodes_.size()) {
+      throw std::logic_error("aig: PO literal out of range");
+    }
+  }
+}
+
+}  // namespace apx::aig

@@ -1,0 +1,140 @@
+// Flat, arena-allocated AND-inverter graph — the scalable representation
+// behind the quick-synthesis pass (ROADMAP: 10k+-gate circuits; standard
+// AIG practice after Mishchenko et al., DAG-aware rewriting).
+//
+// Every signal is a 32-bit *literal*: bit 0 is the complement flag, the
+// upper bits index a node, so inverters are free edge attributes rather
+// than nodes. Node 0 is the constant-false node (literal 0 = const 0,
+// literal 1 = const 1); primary inputs and AND nodes share one flat arena.
+// Nodes are immutable once created and fanins always precede their node,
+// so ascending id order IS a topological order — traversals never sort.
+//
+// create_and() performs one-shot structural hashing: inputs are normalized
+// (sorted, constant/identity/complement folded), and an open-addressed
+// hash table maps each normalized (fanin0, fanin1) pair to its node, so a
+// structurally duplicate AND is never materialized. This is the invariant
+// the rewriting pass leans on: "cost of an implementation" is the number
+// of hash misses it would take to build it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apx::aig {
+
+/// Complemented edge: 2*node + (complement? 1 : 0).
+using Lit = uint32_t;
+
+inline constexpr Lit kLitFalse = 0;  ///< constant 0 (node 0, plain)
+inline constexpr Lit kLitTrue = 1;   ///< constant 1 (node 0, complemented)
+inline constexpr Lit kInvalidLit = 0xFFFFFFFFu;
+
+inline Lit make_lit(uint32_t node, bool complement) {
+  return (node << 1) | static_cast<Lit>(complement);
+}
+inline uint32_t lit_node(Lit l) { return l >> 1; }
+inline bool lit_complemented(Lit l) { return (l & 1u) != 0; }
+inline Lit lit_not(Lit l) { return l ^ 1u; }
+/// Conditional complement: l XOR c.
+inline Lit lit_not_cond(Lit l, bool c) { return l ^ static_cast<Lit>(c); }
+
+class Aig {
+ public:
+  Aig();
+
+  // ---- construction ----
+  /// Adds a primary input; returns its (plain) literal.
+  Lit add_pi(const std::string& name = "");
+
+  /// AND with structural hashing and folding: constant inputs, equal or
+  /// complementary inputs, and duplicate structure never create a node.
+  Lit create_and(Lit a, Lit b);
+
+  Lit create_or(Lit a, Lit b) {
+    return lit_not(create_and(lit_not(a), lit_not(b)));
+  }
+  Lit create_xor(Lit a, Lit b) {
+    // a^b = (a + b)(ab)' — two of the three ANDs share structure with
+    // common XNOR/MUX idioms under strashing.
+    return create_and(lit_not(create_and(a, b)),
+                      lit_not(create_and(lit_not(a), lit_not(b))));
+  }
+  /// s ? t : e.
+  Lit create_mux(Lit s, Lit t, Lit e) {
+    return create_or(create_and(s, t), create_and(lit_not(s), e));
+  }
+
+  /// Looks up what create_and(a, b) would return *without* inserting:
+  /// kInvalidLit when a fresh node would be needed, the folded/hashed
+  /// literal otherwise. The rewriting pass uses this for dry-run costing.
+  Lit lookup_and(Lit a, Lit b) const;
+
+  int add_po(Lit lit, const std::string& name = "");
+
+  // ---- access ----
+  /// Total nodes including the constant node and PIs.
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_pis() const { return static_cast<int>(pis_.size()); }
+  int num_pos() const { return static_cast<int>(pos_.size()); }
+  /// AND-node count — the area metric of the AIG world.
+  int num_ands() const {
+    return static_cast<int>(nodes_.size()) - 1 - num_pis();
+  }
+
+  bool is_const0(uint32_t node) const { return node == 0; }
+  bool is_pi(uint32_t node) const {
+    return node != 0 && nodes_[node].fanin0 == kInvalidLit;
+  }
+  bool is_and(uint32_t node) const {
+    return node != 0 && nodes_[node].fanin0 != kInvalidLit;
+  }
+
+  Lit fanin0(uint32_t node) const { return nodes_[node].fanin0; }
+  Lit fanin1(uint32_t node) const { return nodes_[node].fanin1; }
+
+  /// PI index of a PI node (position in pis()), -1 otherwise.
+  int pi_index(uint32_t node) const {
+    return is_pi(node) ? static_cast<int>(nodes_[node].fanin1) : -1;
+  }
+  /// Node of PI `i`.
+  uint32_t pi_node(int i) const { return pis_[i]; }
+  const std::string& pi_name(int i) const { return pi_names_[i]; }
+
+  Lit po_lit(int i) const { return pos_[i]; }
+  const std::string& po_name(int i) const { return po_names_[i]; }
+
+  /// Per-node logic level: constant/PIs 0, ANDs 1 + max(fanin levels).
+  std::vector<int> levels() const;
+
+  /// Number of AND nodes in the transitive fanin cone of some PO (the
+  /// "live" size; strash-shared dead branches excluded).
+  int count_reachable_ands() const;
+
+  /// Structural-hash invariants: fanins precede nodes, normalized fanin
+  /// order, no constant/equal/complement fanin pairs, no duplicate
+  /// (fanin0, fanin1) AND pairs. Throws std::logic_error on violation.
+  void check() const;
+
+ private:
+  struct AigNode {
+    Lit fanin0 = kInvalidLit;  ///< kInvalidLit marks a PI
+    Lit fanin1 = kInvalidLit;  ///< for PIs: the PI index
+  };
+
+  void grow_table();
+  Lit strash_find_or_insert(Lit a, Lit b, bool insert_allowed);
+
+  std::vector<AigNode> nodes_;
+  std::vector<uint32_t> pis_;
+  std::vector<std::string> pi_names_;
+  std::vector<Lit> pos_;
+  std::vector<std::string> po_names_;
+
+  // Open-addressed strash table: slot holds node+1 (0 = empty). Sized a
+  // power of two; grown at ~70% load.
+  std::vector<uint32_t> table_;
+  size_t table_used_ = 0;
+};
+
+}  // namespace apx::aig

@@ -1,0 +1,145 @@
+#include "aig/npn.hpp"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+namespace apx::aig {
+
+namespace tt16 {
+
+uint16_t flip_var(uint16_t f, int v) {
+  switch (v) {
+    case 0:
+      return static_cast<uint16_t>(((f & 0xAAAA) >> 1) | ((f & 0x5555) << 1));
+    case 1:
+      return static_cast<uint16_t>(((f & 0xCCCC) >> 2) | ((f & 0x3333) << 2));
+    case 2:
+      return static_cast<uint16_t>(((f & 0xF0F0) >> 4) | ((f & 0x0F0F) << 4));
+    default:
+      return static_cast<uint16_t>(((f & 0xFF00) >> 8) | ((f & 0x00FF) << 8));
+  }
+}
+
+uint16_t swap_adjacent(uint16_t f, int v) {
+  // Keep the bits where both variables agree, exchange the 01/10 blocks.
+  switch (v) {
+    case 0:
+      return static_cast<uint16_t>((f & 0x9999) | ((f & 0x2222) << 1) |
+                                   ((f & 0x4444) >> 1));
+    case 1:
+      return static_cast<uint16_t>((f & 0xC3C3) | ((f & 0x0C0C) << 2) |
+                                   ((f & 0x3030) >> 2));
+    default:
+      return static_cast<uint16_t>((f & 0xF00F) | ((f & 0x00F0) << 4) |
+                                   ((f & 0x0F00) >> 4));
+  }
+}
+
+}  // namespace tt16
+
+namespace {
+
+uint8_t make_perm(int p0, int p1, int p2, int p3) {
+  return static_cast<uint8_t>(p0 | (p1 << 2) | (p2 << 4) | (p3 << 6));
+}
+
+constexpr uint8_t kIdentityPerm = 0 | (1 << 2) | (2 << 4) | (3 << 6);
+
+}  // namespace
+
+uint16_t NpnTable::apply(uint16_t canon, const NpnEntry& t) {
+  uint16_t f = 0;
+  for (int m = 0; m < 16; ++m) {
+    int y = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int x = (m >> t.perm(i)) & 1;
+      y |= (x ^ (t.input_neg(i) ? 1 : 0)) << i;
+    }
+    const int bit = ((canon >> y) & 1) ^ (t.output_neg() ? 1 : 0);
+    f = static_cast<uint16_t>(f | (bit << m));
+  }
+  return f;
+}
+
+NpnTable::NpnTable() {
+  entries_.assign(65536, NpnEntry{});
+  std::vector<char> claimed(65536, 0);
+
+  // Orbit BFS. `entries_[g]` stores the transform reconstructing g from the
+  // orbit's representative; the scan order makes that representative the
+  // orbit minimum, i.e. the canonical form.
+  std::deque<uint32_t> queue;
+  for (uint32_t rep = 0; rep < 65536; ++rep) {
+    if (claimed[rep]) continue;
+    reps_.push_back(static_cast<uint16_t>(rep));
+    claimed[rep] = 1;
+    entries_[rep] = NpnEntry{static_cast<uint16_t>(rep), kIdentityPerm, 0};
+    queue.clear();
+    queue.push_back(rep);
+    while (!queue.empty()) {
+      const uint32_t g = queue.front();
+      queue.pop_front();
+      const NpnEntry base = entries_[g];
+
+      auto claim = [&](uint16_t h, const NpnEntry& t) {
+        if (claimed[h]) return;
+        claimed[h] = 1;
+        entries_[h] = t;
+        queue.push_back(h);
+      };
+
+      // Output complement: h = ~g, so out_neg toggles on top of base.
+      {
+        NpnEntry t = base;
+        t.phase = static_cast<uint8_t>(t.phase ^ 0x10);
+        claim(static_cast<uint16_t>(~g & 0xFFFF), t);
+      }
+      // Input complement of variable v: h(x) = g(x with x_v flipped), so
+      // every slot feeding v gains a negation.
+      for (int v = 0; v < 4; ++v) {
+        NpnEntry t = base;
+        for (int i = 0; i < 4; ++i) {
+          if (t.perm(i) == v) t.phase = static_cast<uint8_t>(t.phase ^ (1 << i));
+        }
+        claim(tt16::flip_var(static_cast<uint16_t>(g), v), t);
+      }
+      // Adjacent transposition (v, v+1): slots that read v now read v+1 and
+      // vice versa.
+      for (int v = 0; v < 3; ++v) {
+        NpnEntry t = base;
+        int p[4];
+        for (int i = 0; i < 4; ++i) {
+          p[i] = t.perm(i);
+          if (p[i] == v) {
+            p[i] = v + 1;
+          } else if (p[i] == v + 1) {
+            p[i] = v;
+          }
+        }
+        t.perm_packed = make_perm(p[0], p[1], p[2], p[3]);
+        claim(tt16::swap_adjacent(static_cast<uint16_t>(g), v), t);
+      }
+    }
+  }
+
+  // Exhaustive self-check of the transform contract: cheap (1M bit ops)
+  // and turns any generator-composition bug into a hard startup failure
+  // instead of silently wrong rewrites.
+  for (uint32_t f = 0; f < 65536; ++f) {
+    const NpnEntry& t = entries_[f];
+    if (t.canon > f) {
+      throw std::logic_error("npn: canonical form exceeds function");
+    }
+    if (apply(t.canon, t) != static_cast<uint16_t>(f)) {
+      throw std::logic_error("npn: transform contract violated");
+    }
+  }
+}
+
+const NpnTable& NpnTable::instance() {
+  static const NpnTable table;
+  return table;
+}
+
+}  // namespace apx::aig

@@ -1,0 +1,90 @@
+// NPN canonicalization of 4-input Boolean functions, with a precomputed
+// full table over all 2^16 truth tables.
+//
+// Two functions are NPN-equivalent when one can be obtained from the other
+// by Negating inputs, Permuting inputs, and/or Negating the output — all
+// transformations that are *free* in an AIG (complemented edges and
+// wiring). The 65536 4-input functions collapse into 222 NPN classes, so a
+// rewriting database only needs one optimal implementation per class.
+//
+// The table is built once per process by orbit BFS: truth tables are
+// scanned in increasing order; the first unclaimed function is its class's
+// canonical representative (hence canonical = minimum uint16 in the
+// orbit), and its whole orbit is claimed by breadth-first application of
+// the group generators (output complement, per-input complement, adjacent
+// input transpositions), composing the transform along the way. Total work
+// is O(65536 * generators) single-word bit operations — microseconds, so
+// no baked-in data file is needed.
+//
+// Transform contract (verified exhaustively at build time): for
+// `t = NpnTable::instance().entry(f)` and all minterms (x0..x3),
+//
+//   f(x0,x1,x2,x3) == canon(y0,y1,y3,y3) ^ t.output_neg
+//   where y_i = x_{t.perm(i)} ^ t.input_neg(i)
+//
+// i.e. an implementation of `canon` computes f when its input slot i is
+// fed variable perm(i), complemented per input_neg(i), and its output is
+// complemented per output_neg(). This is exactly the direction the cut
+// rewriter needs: instantiate the database network for `canon`, wire cut
+// leaves into its inputs per the transform, done.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apx::aig {
+
+/// Truth-table operations on 16-bit tables over 4 variables (minterm m has
+/// bit i of m = value of variable i). Exposed for tests and the cut layer.
+namespace tt16 {
+
+/// Projection tables of the four variables.
+inline constexpr uint16_t kVar[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+
+/// f with variable `v` complemented in the argument list.
+uint16_t flip_var(uint16_t f, int v);
+
+/// f with adjacent variables `v` and `v+1` exchanged (v in 0..2).
+uint16_t swap_adjacent(uint16_t f, int v);
+
+/// Does f depend on variable v?
+inline bool depends_on(uint16_t f, int v) { return flip_var(f, v) != f; }
+
+}  // namespace tt16
+
+/// A packed NPN entry: canonical representative plus the transform
+/// reconstructing the original function from it (see contract above).
+struct NpnEntry {
+  uint16_t canon = 0;
+  uint8_t perm_packed = 0;  ///< 2 bits per input slot: perm(i)
+  uint8_t phase = 0;        ///< bits 0-3 input_neg(i), bit 4 output_neg
+
+  int perm(int slot) const { return (perm_packed >> (2 * slot)) & 3; }
+  bool input_neg(int slot) const { return ((phase >> slot) & 1) != 0; }
+  bool output_neg() const { return ((phase >> 4) & 1) != 0; }
+};
+
+/// Process-wide precomputed table; thread-safe after first use.
+class NpnTable {
+ public:
+  static const NpnTable& instance();
+
+  const NpnEntry& entry(uint16_t f) const { return entries_[f]; }
+  uint16_t canonical(uint16_t f) const { return entries_[f].canon; }
+
+  /// Number of distinct NPN classes (222 for 4 variables).
+  int num_classes() const { return static_cast<int>(reps_.size()); }
+  /// The canonical representatives, in increasing order.
+  const std::vector<uint16_t>& representatives() const { return reps_; }
+
+  /// Applies an entry's transform to `canon` (recomputes f; test hook).
+  static uint16_t apply(uint16_t canon, const NpnEntry& t);
+
+ private:
+  NpnTable();
+
+  std::vector<NpnEntry> entries_;
+  std::vector<uint16_t> reps_;
+};
+
+}  // namespace apx::aig

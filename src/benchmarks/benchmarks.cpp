@@ -443,7 +443,72 @@ Network make_alu_slice() {
   return net;
 }
 
+Network make_multiplier(int bits) {
+  Network net;
+  net.set_name("mult" + std::to_string(bits));
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(net.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(net.add_pi("b" + std::to_string(i)));
+
+  // Partial products bucketed by output column, then carry-save column
+  // compression: full adders three at a time, a half adder on the last
+  // pair, carries feeding the next column. Fully structural and
+  // deterministic — no generator, no calibration.
+  std::vector<std::vector<NodeId>> col(2 * bits + 1);
+  for (int i = 0; i < bits; ++i) {
+    for (int j = 0; j < bits; ++j) {
+      col[i + j].push_back(net.add_and(a[i], b[j]));
+    }
+  }
+  for (int c = 0; c < 2 * bits; ++c) {
+    size_t head = 0;
+    while (col[c].size() - head >= 3) {
+      const NodeId x = col[c][head];
+      const NodeId y = col[c][head + 1];
+      const NodeId z = col[c][head + 2];
+      head += 3;
+      const NodeId xy = net.add_xor(x, y);
+      col[c].push_back(net.add_xor(xy, z));
+      col[c + 1].push_back(
+          net.add_or(net.add_and(x, y), net.add_and(z, xy)));
+    }
+    if (col[c].size() - head == 2) {
+      const NodeId x = col[c][head];
+      const NodeId y = col[c][head + 1];
+      head += 2;
+      col[c].push_back(net.add_xor(x, y));
+      col[c + 1].push_back(net.add_and(x, y));
+    }
+    net.add_po("p" + std::to_string(c),
+               col[c].empty() ? net.add_const(false) : col[c].back());
+  }
+  // Carries spilling past column 2*bits-1 are provably constant 0 (the
+  // product fits in 2*bits bits); cleanup drops that dangling logic.
+  net.cleanup();
+  net.check();
+  return net;
+}
+
+const std::vector<BenchmarkProfile>& large_profiles() {
+  // aes_rp mirrors one round of a 128-bit block cipher datapath in
+  // profile: 128-bit in/out, wide and shallow, ~12k mapped gates.
+  static const std::vector<BenchmarkProfile> profiles = {
+      {"aes_rp", 128, 128, 12000, 0.55, 4, 18, 111},
+  };
+  return profiles;
+}
+
+std::vector<std::string> large_benchmark_names() {
+  std::vector<std::string> names = {"mult32"};
+  for (const auto& p : large_profiles()) names.push_back(p.name);
+  return names;
+}
+
 Network make_benchmark(const std::string& name) {
+  if (name == "mult32") return make_multiplier(32);
+  for (const auto& p : large_profiles()) {
+    if (p.name == name) return generate_benchmark(p);
+  }
   if (name == "c17") return make_c17();
   if (name == "fadd") return make_full_adder();
   if (name == "rca4") return make_ripple_adder(4);

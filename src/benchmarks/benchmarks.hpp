@@ -57,6 +57,22 @@ Network make_comparator(int bits);
 Network make_comparator4();
 Network make_majority5();
 Network make_alu_slice();
+/// bits x bits unsigned array multiplier (carry-save column reduction,
+/// structural AND/XOR/OR nodes, 2*bits product POs). mult32 is the
+/// deterministic >=10k-gate workhorse of the AIG scale gates.
+Network make_multiplier(int bits);
+
+// ---- large generated benchmarks (AIG scale gates) ----
+// Deliberately kept out of benchmark_names(): suite-wide tests iterate
+// that list, and these are one to two orders of magnitude larger than the
+// committed suite. make_benchmark() still resolves them by name.
+
+/// Profiles of the registered large benchmarks ("aes_rp": an AES-round-
+/// profile netlist — 128-bit datapath interface, ~12k mapped gates).
+const std::vector<BenchmarkProfile>& large_profiles();
+
+/// Names of the registered large benchmarks ("mult32", "aes_rp", ...).
+std::vector<std::string> large_benchmark_names();
 
 /// Unified lookup: embedded circuits by name ("c17", "rca4"/"rca8"/"rca16",
 /// "mux41", "dec38", "cmp4"/"cmp8"/"cmp16", "maj5", "alu1") or generated

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "aig/convert.hpp"
 #include "network/topology_view.hpp"
 #include "sop/algebraic.hpp"
 #include "sop/minimize.hpp"
@@ -197,7 +198,18 @@ Network optimize(const Network& net, const OptimizeOptions& options) {
   return result;
 }
 
-Network quick_synthesis(const Network& net) { return optimize(net); }
+Network quick_synthesis(const Network& net) {
+  return quick_synthesis(net, kAigQuickSynthesisThreshold);
+}
+
+Network quick_synthesis(const Network& net, int aig_threshold) {
+  if (aig_threshold >= 0 && net.num_logic_nodes() >= aig_threshold) {
+    // Above the threshold the SOP-level pass (per-node covers, string
+    // strash keys) stops being "quick"; the AIG substrate takes over.
+    return aig::aig_quick_synthesis(net);
+  }
+  return optimize(net);
+}
 
 int resubstitute(Network& net) {
   // `order` pins the pre-rewrite topological order for the sweep (the

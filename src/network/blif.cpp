@@ -1,25 +1,46 @@
 #include "network/blif.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
 namespace apx {
 namespace {
 
-struct RawNames {
-  std::vector<std::string> signals;  // fanins..., output last
-  std::vector<std::pair<std::string, char>> rows;  // cube text, output value
+// The reader tokenizes the whole buffer in a single pass into string_views
+// (no per-line stream objects, no per-token string copies) and keeps table
+// metadata as ranges over two flat pools reserved from a first-pass count,
+// so 100k-line files parse without quadratic reallocation. Views point into
+// the input text; continuation-joined lines live in a deque whose elements
+// never move.
+struct RawTable {
+  uint32_t first_signal = 0;  // range in signal_pool: fanins..., output last
+  uint32_t num_signals = 0;
+  uint32_t first_row = 0;  // range in row_pool
+  uint32_t num_rows = 0;
   int line = 0;
 };
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::istringstream in(line);
-  std::vector<std::string> tokens;
-  std::string t;
-  while (in >> t) tokens.push_back(t);
-  return tokens;
+void split_tokens(std::string_view line,
+                  std::vector<std::string_view>* tokens) {
+  tokens->clear();
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) {
+      ++i;
+    }
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens->push_back(line.substr(start, i - start));
+  }
 }
 
 [[noreturn]] void fail(int line, const std::string& message) {
@@ -27,31 +48,76 @@ std::vector<std::string> tokenize(const std::string& line) {
                            message);
 }
 
+/// Builds a cube directly from its row text (same contract as Cube::parse,
+/// minus the intermediate std::string).
+std::optional<Cube> parse_cube(std::string_view text) {
+  Cube c(static_cast<int>(text.size()));
+  for (size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case '0':
+        c.set(static_cast<int>(i), LitCode::kNeg);
+        break;
+      case '1':
+        c.set(static_cast<int>(i), LitCode::kPos);
+        break;
+      case '-':
+      case '2':
+        break;  // already free
+      default:
+        return std::nullopt;
+    }
+  }
+  return c;
+}
+
 }  // namespace
 
 Network read_blif_string(const std::string& text) {
-  std::istringstream in(text);
-  std::string line;
-  std::string model_name;
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  std::vector<RawNames> tables;
-  RawNames* current = nullptr;
+  // First pass: cheap counts to size every pool up front. ".names" may also
+  // match inside comments; that only over-reserves slightly.
+  const size_t line_count =
+      1 + static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+  size_t names_count = 0;
+  for (size_t p = text.find(".names"); p != std::string::npos;
+       p = text.find(".names", p + 6)) {
+    ++names_count;
+  }
+
+  std::string_view model_name;
+  std::vector<std::string_view> input_names;
+  std::vector<std::string_view> output_names;
+  std::vector<RawTable> tables;
+  std::vector<std::string_view> signal_pool;
+  std::vector<std::pair<std::string_view, char>> row_pool;  // cube, value
+  tables.reserve(names_count);
+  signal_pool.reserve(names_count * 4);
+  row_pool.reserve(line_count);
+  std::deque<std::string> joined;  // stable storage for '\' continuations
+  std::vector<std::string_view> tokens;
+  RawTable* current = nullptr;
 
   int line_no = 0;
-  std::string pending;  // for '\' continuations
+  std::string pending;  // accumulates '\' continuations
   int pending_start = 0;
-  while (std::getline(in, line)) {
+  size_t pos = 0;
+  const std::string_view full(text);
+  while (pos <= full.size()) {
+    if (pos == full.size() && pending.empty()) break;
+    size_t eol = full.find('\n', pos);
+    if (eol == std::string_view::npos) eol = full.size();
+    std::string_view line = full.substr(pos, eol - pos);
+    pos = eol + 1;
     ++line_no;
-    // Strip comments.
-    size_t hash = line.find('#');
-    if (hash != std::string::npos) line = line.substr(0, hash);
-    while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
-      line.pop_back();
+    line = line.substr(0, line.find('#'));  // strip comments
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
     if (!line.empty() && line.back() == '\\') {
-      line.pop_back();
+      line.remove_suffix(1);
       if (pending.empty()) pending_start = line_no;
-      pending += line + " ";
+      pending.append(line);
+      pending.push_back(' ');
       continue;
     }
     // A joined continuation is reported at its first physical line, but
@@ -59,13 +125,15 @@ Network read_blif_string(const std::string& text) {
     // would shift every diagnostic after the continuation.
     int effective_line = line_no;
     if (!pending.empty()) {
-      line = pending + line;
+      pending.append(line);
+      joined.push_back(std::move(pending));
       pending.clear();
+      line = joined.back();
       effective_line = pending_start;
     }
-    auto tokens = tokenize(line);
+    split_tokens(line, &tokens);
     if (tokens.empty()) continue;
-    const std::string& head = tokens[0];
+    const std::string_view head = tokens[0];
     if (head == ".model") {
       if (tokens.size() >= 2) model_name = tokens[1];
       current = nullptr;
@@ -78,113 +146,149 @@ Network read_blif_string(const std::string& text) {
       current = nullptr;
     } else if (head == ".names") {
       if (tokens.size() < 2) fail(effective_line, ".names needs an output");
-      RawNames raw;
-      raw.signals.assign(tokens.begin() + 1, tokens.end());
+      RawTable raw;
+      raw.first_signal = static_cast<uint32_t>(signal_pool.size());
+      raw.num_signals = static_cast<uint32_t>(tokens.size() - 1);
+      signal_pool.insert(signal_pool.end(), tokens.begin() + 1, tokens.end());
+      raw.first_row = static_cast<uint32_t>(row_pool.size());
       raw.line = effective_line;
-      tables.push_back(std::move(raw));
+      tables.push_back(raw);
       current = &tables.back();
     } else if (head == ".end") {
       break;
     } else if (head[0] == '.') {
       // Unsupported directive (.latch etc.) -> reject: combinational only.
-      fail(effective_line, "unsupported directive " + head);
+      fail(effective_line, "unsupported directive " + std::string(head));
     } else {
       if (current == nullptr) fail(effective_line, "cube row outside .names");
       if (tokens.size() == 1) {
         // Single-token row: constant table row ("1" or "0").
-        if (current->signals.size() != 1)
+        if (current->num_signals != 1)
           fail(effective_line, "bad constant row arity");
-        current->rows.push_back({"", tokens[0][0]});
+        row_pool.push_back({std::string_view(), tokens[0][0]});
       } else if (tokens.size() == 2) {
-        current->rows.push_back({tokens[0], tokens[1][0]});
+        row_pool.push_back({tokens[0], tokens[1][0]});
       } else {
         fail(effective_line, "bad cube row");
       }
+      ++current->num_rows;
     }
   }
 
   Network net;
-  net.set_name(model_name);
-  std::unordered_map<std::string, NodeId> by_name;
-  for (const std::string& n : input_names) by_name[n] = net.add_pi(n);
-
-  // Two passes: create placeholder nodes first (BLIF tables may be in any
-  // order), then fill functions.
-  for (const RawNames& raw : tables) {
-    const std::string& out = raw.signals.back();
-    if (by_name.count(out)) fail(raw.line, "signal redefined: " + out);
-    // Placeholder: filled below.
-    by_name[out] = kNullNode;
+  net.set_name(std::string(model_name));
+  std::unordered_map<std::string_view, NodeId> by_name;
+  std::unordered_map<std::string_view, uint32_t> table_of;  // output -> index
+  by_name.reserve(input_names.size() + tables.size());
+  table_of.reserve(tables.size());
+  for (const std::string_view n : input_names) {
+    by_name[n] = net.add_pi(std::string(n));
   }
-  // Creation in dependency order via repeated sweeps (tables are usually
-  // already ordered; bounded by number of tables).
-  std::vector<bool> done(tables.size(), false);
-  size_t remaining = tables.size();
-  while (remaining > 0) {
-    size_t progress = 0;
-    for (size_t t = 0; t < tables.size(); ++t) {
-      if (done[t]) continue;
-      const RawNames& raw = tables[t];
-      bool ready = true;
-      for (size_t i = 0; i + 1 < raw.signals.size(); ++i) {
-        auto it = by_name.find(raw.signals[i]);
-        if (it == by_name.end()) {
-          fail(raw.line, "undefined signal " + raw.signals[i]);
-        }
-        if (it->second == kNullNode) {
-          ready = false;
-          break;
-        }
+
+  // Placeholders first (BLIF tables may be in any order), then build in
+  // dependency order.
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const RawTable& raw = tables[t];
+    const std::string_view out =
+        signal_pool[raw.first_signal + raw.num_signals - 1];
+    if (by_name.count(out)) {
+      fail(raw.line, "signal redefined: " + std::string(out));
+    }
+    by_name[out] = kNullNode;  // placeholder: filled below
+    table_of[out] = static_cast<uint32_t>(t);
+  }
+
+  // Materializes one table once all its fanins exist.
+  auto build_table = [&](uint32_t t) {
+    const RawTable& raw = tables[t];
+    const std::string_view* signals = signal_pool.data() + raw.first_signal;
+    const std::string_view out = signals[raw.num_signals - 1];
+    const int num_ins = static_cast<int>(raw.num_signals) - 1;
+    Sop onset(num_ins);
+    Sop offset(num_ins);
+    for (uint32_t r = raw.first_row; r < raw.first_row + raw.num_rows; ++r) {
+      const auto& [cube_text, value] = row_pool[r];
+      std::optional<Cube> cube =
+          num_ins == 0 ? Cube::full(0) : parse_cube(cube_text);
+      if (!cube || cube->num_vars() != num_ins) {
+        fail(raw.line, "bad cube in table for " + std::string(out));
       }
-      if (!ready) continue;
-      const int num_ins = static_cast<int>(raw.signals.size()) - 1;
-      Sop onset(num_ins);
-      Sop offset(num_ins);
-      for (const auto& [cube_text, value] : raw.rows) {
-        std::optional<Cube> cube =
-            num_ins == 0 ? Cube::full(0) : Cube::parse(cube_text);
-        if (!cube || cube->num_vars() != num_ins) {
-          fail(raw.line, "bad cube in table for " + raw.signals.back());
-        }
-        if (value == '1') {
-          onset.add_cube(*cube);
-        } else if (value == '0') {
-          offset.add_cube(*cube);
-        } else {
-          fail(raw.line, "bad output value in table");
-        }
-      }
-      if (!onset.empty() && !offset.empty()) {
-        fail(raw.line, "mixed on-set and off-set rows");
-      }
-      NodeId id;
-      if (num_ins == 0) {
-        // Constant node.
-        id = net.add_const(!onset.empty());
+      if (value == '1') {
+        onset.add_cube(*cube);
+      } else if (value == '0') {
+        offset.add_cube(*cube);
       } else {
-        std::vector<NodeId> fanins;
-        for (int i = 0; i < num_ins; ++i) fanins.push_back(by_name[raw.signals[i]]);
-        Sop sop = !offset.empty() ? Sop::complement(offset) : onset;
-        sop.make_scc_free();
-        id = net.add_node(std::move(fanins), std::move(sop),
-                          raw.signals.back());
+        fail(raw.line, "bad output value in table");
       }
-      by_name[raw.signals.back()] = id;
-      done[t] = true;
-      ++progress;
-      --remaining;
     }
-    if (progress == 0) {
-      throw std::runtime_error("BLIF: cyclic or incomplete definitions");
+    if (!onset.empty() && !offset.empty()) {
+      fail(raw.line, "mixed on-set and off-set rows");
+    }
+    NodeId id;
+    if (num_ins == 0) {
+      // Constant node.
+      id = net.add_const(!onset.empty());
+    } else {
+      std::vector<NodeId> fanins;
+      fanins.reserve(num_ins);
+      for (int i = 0; i < num_ins; ++i) fanins.push_back(by_name[signals[i]]);
+      Sop sop = !offset.empty() ? Sop::complement(offset) : onset;
+      sop.make_scc_free();
+      id = net.add_node(std::move(fanins), std::move(sop), std::string(out));
+    }
+    by_name[out] = id;
+  };
+
+  // Iterative DFS over the name-dependency graph: linear in tables + fanin
+  // references (the former repeated-sweep resolution was quadratic on
+  // reverse-ordered files). state: 0 = unvisited, 1 = on stack awaiting
+  // fanins, 2 = built.
+  std::vector<char> state(tables.size(), 0);
+  std::vector<uint32_t> stack;
+  for (uint32_t root = 0; root < tables.size(); ++root) {
+    if (state[root] == 2) continue;
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      const uint32_t t = stack.back();
+      if (state[t] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      const RawTable& raw = tables[t];
+      bool pushed = false;
+      if (state[t] == 0) {
+        state[t] = 1;
+        for (uint32_t i = 0; i + 1 < raw.num_signals; ++i) {
+          const std::string_view s = signal_pool[raw.first_signal + i];
+          auto it = by_name.find(s);
+          if (it == by_name.end()) {
+            fail(raw.line, "undefined signal " + std::string(s));
+          }
+          if (it->second != kNullNode) continue;  // PI or already built
+          const uint32_t dep = table_of.at(s);
+          if (state[dep] == 1) {
+            // A fanin still on the stack below us closes a cycle.
+            throw std::runtime_error("BLIF: cyclic or incomplete definitions");
+          }
+          if (state[dep] == 0) {
+            stack.push_back(dep);
+            pushed = true;
+          }
+        }
+      }
+      if (pushed) continue;  // revisit t after its fanins are built
+      build_table(t);
+      state[t] = 2;
+      stack.pop_back();
     }
   }
 
-  for (const std::string& out : output_names) {
+  for (const std::string_view out : output_names) {
     auto it = by_name.find(out);
     if (it == by_name.end() || it->second == kNullNode) {
-      throw std::runtime_error("BLIF: undefined output " + out);
+      throw std::runtime_error("BLIF: undefined output " + std::string(out));
     }
-    net.add_po(out, it->second);
+    net.add_po(std::string(out), it->second);
   }
   net.check();
   return net;

@@ -94,35 +94,62 @@ OrderCache& OrderCache::instance() {
   return cache;
 }
 
+void OrderCache::touch_locked(Entry& e, uint64_t key) {
+  if (e.lru_it != lru_.begin()) {
+    lru_.erase(e.lru_it);
+    lru_.push_front(key);
+    e.lru_it = lru_.begin();
+  }
+}
+
+void OrderCache::enforce_cap_locked() {
+  static trace::Counter& evictions =
+      trace::counter("bdd.order_cache_evictions");
+  while (map_.size() > max_entries_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+    evictions.add(1);
+  }
+}
+
 std::optional<CachedOrder> OrderCache::lookup(uint64_t key, int num_pis) {
   static trace::Counter& hits = trace::counter("bdd.order_cache_hits");
   static trace::Counter& misses = trace::counter("bdd.order_cache_misses");
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end() ||
-      it->second.level_to_var.size() != static_cast<size_t>(num_pis)) {
+      it->second.order.level_to_var.size() != static_cast<size_t>(num_pis)) {
     ++stats_.misses;
     misses.add(1);
     return std::nullopt;
   }
   ++stats_.hits;
   hits.add(1);
-  return it->second;
+  touch_locked(it->second, key);
+  return it->second.order;
 }
 
 void OrderCache::store(uint64_t key, CachedOrder entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.try_emplace(key, std::move(entry));
+  auto [it, inserted] = map_.try_emplace(key);
   if (inserted) {
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    it->second.order = std::move(entry);
     ++stats_.stores;
+    enforce_cap_locked();
     return;
   }
   // Keep-best: replace only when the candidate converged strictly smaller.
   // First-write-wins otherwise, so concurrent workers racing to store the
-  // same circuit cannot flip-flop the entry.
-  if (!inserted && entry.converged_live > 0 &&
-      entry.converged_live < it->second.converged_live) {
-    it->second = std::move(entry);
+  // same circuit cannot flip-flop the entry. Either way the key was just
+  // used, so refresh its LRU position.
+  touch_locked(it->second, key);
+  if (entry.converged_live > 0 &&
+      entry.converged_live < it->second.order.converged_live) {
+    it->second.order = std::move(entry);
     ++stats_.stores;
   } else {
     ++stats_.stores_rejected;
@@ -132,7 +159,20 @@ void OrderCache::store(uint64_t key, CachedOrder entry) {
 void OrderCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  lru_.clear();
+  max_entries_ = kDefaultMaxEntries;
   stats_ = Stats{};
+}
+
+void OrderCache::set_max_entries(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = n < 1 ? 1 : n;
+  enforce_cap_locked();
+}
+
+size_t OrderCache::max_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_entries_;
 }
 
 OrderCache::Stats OrderCache::stats() const {

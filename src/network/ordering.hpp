@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -70,8 +71,20 @@ struct CachedOrder {
 /// Process-wide map from network content hash to converged variable
 /// order. Thread-safe; shared by every oracle and cone builder in the
 /// process (including all task-pool workers).
+///
+/// Bounded: the cache holds at most `max_entries()` orders and evicts the
+/// least-recently-used one past the cap (content hashes are ephemeral —
+/// every approximation round produces a new key, so an unbounded map grows
+/// with pipeline length). Eviction can only cost a later re-sift (a miss);
+/// it can never change a BDD answer, so the bit-identity contract is
+/// unaffected by cache pressure.
 class OrderCache {
  public:
+  /// Default LRU capacity. An entry is one PI permutation (a few hundred
+  /// bytes), so the default bounds the cache near a megabyte while still
+  /// covering every distinct cone a long repair campaign touches.
+  static constexpr size_t kDefaultMaxEntries = 1024;
+
   static OrderCache& instance();
 
   /// Returns the cached order for `key` when present AND sized for
@@ -87,13 +100,21 @@ class OrderCache {
   void store(uint64_t key, CachedOrder entry);
 
   /// Drops every entry and zeroes the stats (tests, bench cold-runs).
+  /// Restores the default capacity.
   void clear();
+
+  /// Caps the cache at `n` entries (n >= 1), evicting LRU entries
+  /// immediately if it is already over. Tests use tiny caps to exercise
+  /// the eviction path.
+  void set_max_entries(size_t n);
+  size_t max_entries() const;
 
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t stores = 0;           ///< entries inserted or improved
     uint64_t stores_rejected = 0;  ///< keep-best kept the existing entry
+    uint64_t evictions = 0;        ///< entries dropped by the LRU cap
   };
   Stats stats() const;
   size_t size() const;
@@ -101,8 +122,20 @@ class OrderCache {
  private:
   OrderCache() = default;
 
+  struct Entry {
+    CachedOrder order;
+    std::list<uint64_t>::iterator lru_it;  // position in lru_
+  };
+
+  /// Moves `key` to the most-recent end. Caller holds mu_.
+  void touch_locked(Entry& e, uint64_t key);
+  /// Evicts LRU entries until size() <= max_entries_. Caller holds mu_.
+  void enforce_cap_locked();
+
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, CachedOrder> map_;
+  std::unordered_map<uint64_t, Entry> map_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  size_t max_entries_ = kDefaultMaxEntries;
   Stats stats_;
 };
 

@@ -526,6 +526,47 @@ TEST(OrderCacheTest, StorePolicyAndCollisionGuard) {
   cache.clear();
 }
 
+// The LRU cap bounds the process-wide cache: stores past the cap evict the
+// least-recently-used entry (lookups and re-stores refresh recency), the
+// eviction counter advances, and clear() restores the default capacity.
+TEST(OrderCacheTest, LruCapEvictsLeastRecentlyUsed) {
+  OrderCache& cache = OrderCache::instance();
+  cache.clear();
+  EXPECT_EQ(cache.max_entries(), OrderCache::kDefaultMaxEntries);
+  cache.set_max_entries(3);
+  cache.store(1, {{0}, 10});
+  cache.store(2, {{0}, 10});
+  cache.store(3, {{0}, 10});
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  ASSERT_TRUE(cache.lookup(1, 1).has_value());  // 1 is now most recent
+  cache.store(4, {{0}, 10});                    // evicts LRU = 2
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup(2, 1).has_value());
+  EXPECT_TRUE(cache.lookup(1, 1).has_value());
+  EXPECT_TRUE(cache.lookup(3, 1).has_value());
+  EXPECT_TRUE(cache.lookup(4, 1).has_value());
+
+  // A keep-best-rejected re-store still refreshes recency: the lookups
+  // above (1, then 3, then 4) left 1 least-recent; re-storing 1 touches
+  // it, so the next overflow must evict 3 instead.
+  cache.store(1, {{0}, 99});  // rejected (worse), but touches
+  cache.store(5, {{0}, 10});  // evicts LRU = 3
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_FALSE(cache.lookup(3, 1).has_value());
+  EXPECT_TRUE(cache.lookup(1, 1).has_value());
+
+  // Shrinking the cap below the current size evicts immediately.
+  cache.set_max_entries(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+
+  cache.clear();
+  EXPECT_EQ(cache.max_entries(), OrderCache::kDefaultMaxEntries);
+}
+
 // static_pi_order is a permutation of the PI indices for every benchmark
 // circuit (the BddManager constructor asserts this too, but a direct test
 // localizes failures to the heuristic).

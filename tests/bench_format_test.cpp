@@ -279,6 +279,85 @@ TEST(BenchJsonTest, FaultsimArtifactSchema) {
   EXPECT_EQ(brackets, 0);
 }
 
+// Same structural schema check for the committed BENCH_aig.json artifact
+// (written by bench/bench_aig.cpp): the AIG quick-synthesis scale gates
+// must be recorded as passing in the committed snapshot.
+TEST(BenchJsonTest, AigArtifactSchema) {
+  const std::string path = std::string(APX_REPO_ROOT) + "/BENCH_aig.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing committed artifact: " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const char* top_level[] = {
+      "\"blif\"",
+      "\"circuits\"",
+      "\"suite_round_trip\"",
+      "\"round_trip_equivalent\"",
+      "\"aes_rp_and_reduction_pct\"",
+      "\"reduction_gate_pct\"",
+      "\"e2e\"",
+      "\"e2e_budget_seconds\"",
+      "\"scale_gate_gates\"",
+      "\"gates_pass\"",
+      "\"host_cores\"",
+      "\"thread_policy\"",
+      "\"simd_width_bits\"",
+      "\"simd_policy\"",
+  };
+  for (const char* key : top_level) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  const char* per_row[] = {
+      "\"name\"",
+      "\"logic_nodes\"",
+      "\"to_aig_seconds\"",
+      "\"ands_before\"",
+      "\"rewrite_seconds\"",
+      "\"ands_after\"",
+      "\"and_reduction_pct\"",
+      "\"rewrite_passes\"",
+      "\"cuts_enumerated\"",
+      "\"cuts_per_sec\"",
+      "\"to_network_seconds\"",
+      "\"round_trip_seconds\"",
+      "\"sim_equivalent\"",
+  };
+  for (const char* key : per_row) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  const char* blif_keys[] = {
+      "\"lines\"",
+      "\"parse_seconds\"",
+      "\"lines_per_sec\"",
+      "\"reverse_lines\"",
+      "\"reverse_parse_seconds\"",
+      "\"round_trip_sim_equivalent\": true",
+  };
+  for (const char* key : blif_keys) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  // Both large benchmarks and the e2e circuit must be present.
+  EXPECT_NE(text.find("\"name\": \"mult32\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"aes_rp\""), std::string::npos);
+  EXPECT_NE(text.find("\"mapped_gates\""), std::string::npos);
+  EXPECT_NE(text.find("\"pipeline_seconds\""), std::string::npos);
+
+  // The committed snapshot must show every scale gate green.
+  EXPECT_NE(text.find("\"sat_miters_unsat\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"round_trip_equivalent\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"gates_pass\": true"), std::string::npos);
+
+  int braces = 0, brackets = 0;
+  for (char c : text) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
 TEST(BenchFormatTest, RejectsSequentialAndMalformed) {
   EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"),
                std::runtime_error);

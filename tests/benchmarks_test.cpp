@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <random>
+
 #include "mapping/mapper.hpp"
 #include "mapping/optimize.hpp"
 #include "sim/simulator.hpp"
@@ -113,6 +117,69 @@ TEST(BenchmarksTest, GenerationIsDeterministic) {
   Network b = generate_benchmark(mcnc_profile("cmb"));
   EXPECT_EQ(a.num_nodes(), b.num_nodes());
   EXPECT_EQ(a.total_literals(), b.total_literals());
+}
+
+TEST(BenchmarksTest, LargeBenchmarksHaveExactProfiles) {
+  // The AIG scale gates are calibrated against these exact sizes; both
+  // circuits are deterministic, so a generator or multiplier change that
+  // moves the counts must be deliberate. Both sit above the
+  // quick-synthesis AIG threshold (5000 logic nodes).
+  const std::vector<std::string> names = large_benchmark_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "mult32");
+  EXPECT_EQ(names[1], "aes_rp");
+
+  Network mult = make_benchmark("mult32");
+  mult.check();
+  EXPECT_EQ(mult.num_pis(), 64);
+  EXPECT_EQ(mult.num_pos(), 64);
+  EXPECT_EQ(mult.num_logic_nodes(), 5888);
+
+  Network aes = make_benchmark("aes_rp");
+  aes.check();
+  EXPECT_EQ(aes.num_pis(), 128);
+  EXPECT_EQ(aes.num_pos(), 128);
+  EXPECT_EQ(aes.num_logic_nodes(), 5085);
+
+  // The large names stay out of the default suite list (suite-wide tests
+  // iterate benchmark_names() and must not pick up 10k-gate circuits).
+  const std::vector<std::string> suite = benchmark_names();
+  for (const std::string& n : names) {
+    EXPECT_EQ(std::count(suite.begin(), suite.end(), n), 0) << n;
+  }
+}
+
+TEST(BenchmarksTest, MultiplierMultiplies) {
+  // 64 random 32x32 products checked in one bit-parallel pass.
+  Network net = make_multiplier(32);
+  std::mt19937_64 rng(2026);
+  std::array<uint64_t, 64> a_vals;
+  std::array<uint64_t, 64> b_vals;
+  for (int p = 0; p < 64; ++p) {
+    a_vals[p] = rng() & 0xFFFFFFFFull;
+    b_vals[p] = rng() & 0xFFFFFFFFull;
+  }
+  PatternSet patterns(net.num_pis(), 1);
+  for (int i = 0; i < 32; ++i) {
+    uint64_t wa = 0;
+    uint64_t wb = 0;
+    for (int p = 0; p < 64; ++p) {
+      wa |= ((a_vals[p] >> i) & 1) << p;
+      wb |= ((b_vals[p] >> i) & 1) << p;
+    }
+    patterns.set_word(i, 0, wa);       // PIs a0..a31
+    patterns.set_word(32 + i, 0, wb);  // PIs b0..b31
+  }
+  Simulator sim(net);
+  sim.run(patterns);
+  for (int p = 0; p < 64; ++p) {
+    const uint64_t expect = a_vals[p] * b_vals[p];
+    uint64_t got = 0;
+    for (int c = 0; c < 64; ++c) {
+      if ((sim.value(net.po(c).driver)[0] >> p) & 1) got |= 1ULL << c;
+    }
+    EXPECT_EQ(got, expect) << "a=" << a_vals[p] << " b=" << b_vals[p];
+  }
 }
 
 TEST(BenchmarksTest, AllNamesConstructible) {

@@ -1,0 +1,130 @@
+#include "aig/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace apx::aig {
+namespace {
+
+// Independent re-implementations of the 16-bit truth-table operations via
+// minterm loops (the library uses mask/shift identities; the tests must
+// not share that code path).
+uint16_t ref_flip(uint16_t f, int v) {
+  uint16_t out = 0;
+  for (int m = 0; m < 16; ++m) {
+    out = static_cast<uint16_t>(out | (((f >> (m ^ (1 << v))) & 1) << m));
+  }
+  return out;
+}
+
+uint16_t ref_swap(uint16_t f, int v) {
+  uint16_t out = 0;
+  for (int m = 0; m < 16; ++m) {
+    const int a = (m >> v) & 1;
+    const int b = (m >> (v + 1)) & 1;
+    const int src = (m & ~((1 << v) | (1 << (v + 1)))) | (b << v) |
+                    (a << (v + 1));
+    out = static_cast<uint16_t>(out | (((f >> src) & 1) << m));
+  }
+  return out;
+}
+
+TEST(NpnTest, Tt16OpsMatchMintermSemantics) {
+  for (uint32_t f = 0; f < 65536; ++f) {
+    const uint16_t t = static_cast<uint16_t>(f);
+    for (int v = 0; v < 4; ++v) {
+      ASSERT_EQ(tt16::flip_var(t, v), ref_flip(t, v)) << f << " v" << v;
+    }
+    for (int v = 0; v < 3; ++v) {
+      ASSERT_EQ(tt16::swap_adjacent(t, v), ref_swap(t, v)) << f << " v" << v;
+    }
+  }
+}
+
+TEST(NpnTest, ProjectionsMatchTruthTable) {
+  for (int v = 0; v < 4; ++v) {
+    const TruthTable t = TruthTable::variable(4, v);
+    for (uint64_t m = 0; m < 16; ++m) {
+      EXPECT_EQ((tt16::kVar[v] >> m) & 1, t.get(m) ? 1 : 0);
+    }
+  }
+}
+
+TEST(NpnTest, NumClassesIs222) {
+  EXPECT_EQ(NpnTable::instance().num_classes(), 222);
+}
+
+TEST(NpnTest, TransformContractExhaustive) {
+  // Independent evaluator: for every function, replaying the stored
+  // transform against the canonical table must reproduce the function on
+  // each of the 16 minterms.
+  const NpnTable& npn = NpnTable::instance();
+  for (uint32_t f = 0; f < 65536; ++f) {
+    const NpnEntry& t = npn.entry(static_cast<uint16_t>(f));
+    for (int m = 0; m < 16; ++m) {
+      int y = 0;
+      for (int i = 0; i < 4; ++i) {
+        const int x = (m >> t.perm(i)) & 1;
+        y |= (x ^ (t.input_neg(i) ? 1 : 0)) << i;
+      }
+      const int expected = (f >> m) & 1;
+      const int got = ((t.canon >> y) & 1) ^ (t.output_neg() ? 1 : 0);
+      ASSERT_EQ(got, expected) << "f=" << f << " m=" << m;
+    }
+  }
+}
+
+TEST(NpnTest, DifferentialOrbitEnumerationOverAllFunctions) {
+  // Re-derive the NPN classes from scratch with the reference operations
+  // and exhaustive BFS; the precomputed table must agree on every orbit's
+  // membership and on the (minimum-element) representative.
+  const NpnTable& npn = NpnTable::instance();
+  std::vector<char> visited(65536, 0);
+  std::vector<uint32_t> stack;
+  int classes = 0;
+  for (uint32_t rep = 0; rep < 65536; ++rep) {
+    if (visited[rep]) continue;
+    ++classes;
+    stack.assign(1, rep);
+    visited[rep] = 1;
+    while (!stack.empty()) {
+      const uint16_t g = static_cast<uint16_t>(stack.back());
+      stack.pop_back();
+      ASSERT_EQ(npn.canonical(g), rep) << "g=" << g;
+      ASSERT_LE(npn.canonical(g), g);
+      uint16_t next[8];
+      next[0] = static_cast<uint16_t>(~g & 0xFFFF);
+      for (int v = 0; v < 4; ++v) next[1 + v] = ref_flip(g, v);
+      for (int v = 0; v < 3; ++v) next[5 + v] = ref_swap(g, v);
+      for (uint16_t h : next) {
+        if (!visited[h]) {
+          visited[h] = 1;
+          stack.push_back(h);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(classes, 222);
+  EXPECT_EQ(npn.num_classes(), classes);
+}
+
+TEST(NpnTest, RepresentativesAreFixedPoints) {
+  const NpnTable& npn = NpnTable::instance();
+  uint16_t prev = 0;
+  bool first = true;
+  for (uint16_t rep : npn.representatives()) {
+    EXPECT_EQ(npn.canonical(rep), rep);
+    const NpnEntry& t = npn.entry(rep);
+    EXPECT_FALSE(t.output_neg());
+    EXPECT_EQ(t.phase, 0);
+    if (!first) EXPECT_GT(rep, prev);
+    prev = rep;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace apx::aig
