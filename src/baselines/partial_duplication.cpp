@@ -41,6 +41,39 @@ CampaignOptions campaign_options(const PartialDuplicationOptions& options,
   return copt;
 }
 
+// Campaign dispatch over the configured fault model. The selection
+// accounting is fault-agnostic, so the single-stuck-at path keeps the
+// legacy bounded_pick sampler verbatim (bit-identical selections) while
+// the richer models ride the engine's stock samplers.
+void run_model_campaign(FaultSimEngine& engine, const Network& net,
+                        const std::vector<StuckFault>& faults,
+                        const PartialDuplicationOptions& options,
+                        uint64_t seed,
+                        const std::function<void(int, const FaultView&)>& body) {
+  CampaignOptions copt = campaign_options(options, seed);
+  if (options.model == FaultModel::kSingleStuckAt) {
+    auto sampler = [&faults](uint64_t sample_seed) {
+      SplitMix64 rng(sample_seed);
+      return faults[bounded_pick(rng, faults.size())];
+    };
+    engine.run_campaign(copt, sampler,
+                        [&](int i, const StuckFault&, const FaultView& v) {
+                          body(i, v);
+                        });
+    return;
+  }
+  std::vector<NodeId> sites;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) sites.push_back(id);
+  }
+  copt.model = options.model;
+  copt.sites_per_fault = options.sites_per_fault;
+  copt.burst_vectors = options.burst_vectors;
+  engine.run_campaign(
+      copt, FaultSimEngine::make_sampler(options.model, std::move(sites), copt),
+      [&](int i, const FaultSpec&, const FaultView& v) { body(i, v); });
+}
+
 // For POs ordered by rank, returns hist[k] = number of runs whose first
 // erroneous PO (by rank) is rank k, plus the total erroneous-run count.
 // Prefix-coverage(k) = sum(hist[0..k-1]) / erroneous.
@@ -61,10 +94,6 @@ RankHistogram rank_histogram(const Network& net,
   }
 
   FaultSimEngine engine(net);
-  auto sampler = [&faults](uint64_t sample_seed) {
-    SplitMix64 rng(sample_seed);
-    return faults[bounded_pick(rng, faults.size())];
-  };
   // Per-sample rows (ranks counters + the erroneous total), merged in
   // sample order afterwards so the result is bit-identical for any
   // thread count.
@@ -78,9 +107,9 @@ RankHistogram rank_histogram(const Network& net,
   // popcount kernel call per rank.
   const int slots = resolve_thread_option(options.num_threads);
   std::vector<std::vector<uint64_t>> any_scratch(slots);
-  engine.run_campaign(
-      campaign_options(options, options.seed), sampler,
-      [&](int i, const StuckFault&, const FaultView& v) {
+  run_model_campaign(
+      engine, net, faults, options, options.seed,
+      [&](int i, const FaultView& v) {
         int64_t* row = rows.data() + static_cast<size_t>(i) * stride;
         const int W = v.num_words();
         const uint64_t tail = v.word_mask(W - 1);
@@ -116,15 +145,11 @@ std::vector<int64_t> output_error_counts(
   }
 
   FaultSimEngine engine(net);
-  auto sampler = [&faults](uint64_t sample_seed) {
-    SplitMix64 rng(sample_seed);
-    return faults[bounded_pick(rng, faults.size())];
-  };
   std::vector<int64_t> rows(
       static_cast<size_t>(options.num_fault_samples) * num_pos, 0);
-  engine.run_campaign(
-      campaign_options(options, options.seed ^ 0xABCD), sampler,
-      [&](int i, const StuckFault&, const FaultView& v) {
+  run_model_campaign(
+      engine, net, faults, options, options.seed ^ 0xABCD,
+      [&](int i, const FaultView& v) {
         int64_t* row = rows.data() + static_cast<size_t>(i) * num_pos;
         const int W = v.num_words();
         const uint64_t tail = v.word_mask(W - 1);

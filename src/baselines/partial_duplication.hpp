@@ -16,6 +16,15 @@ struct PartialDuplicationOptions {
   /// Fault-injection budget for ranking outputs / estimating coverage.
   int num_fault_samples = 1000;
   int words_per_fault = 4;
+  /// Fault model driving both selection campaigns (output ranking and
+  /// prefix coverage). kSingleStuckAt takes the exact legacy code path
+  /// (bit-identical selections); the other models use the engine's stock
+  /// samplers over the logic nodes.
+  FaultModel model = FaultModel::kSingleStuckAt;
+  /// Simultaneous stuck-at sites per sample under kMultiStuckAt.
+  int sites_per_fault = 2;
+  /// Forced vector-window length under kTransientBurst.
+  int burst_vectors = 16;
   /// Fault samples amortizing one shared golden simulation in the
   /// FaultSimEngine (see src/sim/fault_engine.hpp).
   int faults_per_batch = 64;

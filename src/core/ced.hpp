@@ -12,6 +12,7 @@
 #include "core/approx_types.hpp"
 #include "core/checker.hpp"
 #include "network/network.hpp"
+#include "sim/fault_engine.hpp"
 
 namespace apx {
 
@@ -77,6 +78,15 @@ struct CoverageOptions {
   /// of 64 — padding bits of the final partial word are masked out of both
   /// the engine's detection decisions and the coverage accounting.
   int vectors_per_fault = 0;
+  /// Fault model injected over the functional gates. kSingleStuckAt takes
+  /// the exact legacy code path (bit-identical results); the other models
+  /// use the engine's stock samplers (FaultSimEngine::make_sampler) with
+  /// the two knobs below.
+  FaultModel model = FaultModel::kSingleStuckAt;
+  /// Simultaneous stuck-at sites per sample under kMultiStuckAt.
+  int sites_per_fault = 2;
+  /// Forced vector-window length under kTransientBurst.
+  int burst_vectors = 16;
   /// Fault samples amortizing one shared golden simulation in the
   /// FaultSimEngine (see src/sim/fault_engine.hpp).
   int faults_per_batch = 64;

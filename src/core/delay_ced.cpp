@@ -10,15 +10,19 @@ namespace apx {
 CoverageResult evaluate_delay_fault_coverage(
     const CedDesign& ced, const DelayCoverageOptions& options) {
   CoverageResult result;
-  if (ced.functional_nodes.empty()) return result;
+  const Network& net = ced.design;
+  std::vector<NodeId> sites = ced.functional_nodes;
+  if (options.include_pi_stems) {
+    sites.insert(sites.end(), net.pis().begin(), net.pis().end());
+  }
+  if (sites.empty()) return result;
   std::mt19937_64 rng(options.seed);
   TransitionSimulator sim(ced.design);
-  const Network& net = ced.design;
 
   const int W = options.words_per_fault;
   std::vector<uint64_t> err_row(W);
   for (int s = 0; s < options.num_fault_samples; ++s) {
-    NodeId site = ced.functional_nodes[rng() % ced.functional_nodes.size()];
+    NodeId site = sites[rng() % sites.size()];
     TransitionFault fault{site, static_cast<bool>(rng() & 1)};
     PatternSet launch = PatternSet::random(net.num_pis(), W, rng());
     PatternSet capture = PatternSet::random(net.num_pis(), W, rng());

@@ -14,6 +14,12 @@ struct DelayCoverageOptions {
   int num_fault_samples = 1000;
   int words_per_fault = 4;
   uint64_t seed = 0xDE1A;
+  /// Also sample slow transitions on the PI fanout stems (a real defect
+  /// site on any speed-path). In an exact-duplicate CED a PI-stem fault is
+  /// common mode — the functional circuit and the check-symbol generator
+  /// see the same stale input, so such faults are structurally undetectable
+  /// there; set false to measure gate-level coverage only.
+  bool include_pi_stems = true;
 };
 
 /// Monte-Carlo transition-fault injection over the functional gates of a

@@ -25,6 +25,34 @@ ReliabilityReport analyze_reliability(const Network& net,
   auto sampler = [&faults](uint64_t sample_seed) {
     return faults[SplitMix64(sample_seed).next() % faults.size()];
   };
+  // Model dispatch: both passes replay the identical sample stream, so the
+  // fault-agnostic accounting bodies below are shared; only the sampler
+  // (and the visitor's fault type) changes with the model.
+  FaultSimEngine::SpecSampler spec_sampler;
+  if (options.model != FaultModel::kSingleStuckAt) {
+    std::vector<NodeId> site_nodes;
+    for (NodeId id = 0; id < net.num_nodes(); ++id) {
+      if (net.node(id).kind == NodeKind::kLogic) site_nodes.push_back(id);
+    }
+    copt.model = options.model;
+    copt.sites_per_fault = options.sites_per_fault;
+    copt.burst_vectors = options.burst_vectors;
+    spec_sampler = FaultSimEngine::make_sampler(options.model,
+                                                std::move(site_nodes), copt);
+  }
+  auto run_pass = [&](const std::function<void(int, const FaultView&)>& body) {
+    if (options.model == FaultModel::kSingleStuckAt) {
+      engine.run_campaign(copt, sampler,
+                          [&](int i, const StuckFault&, const FaultView& v) {
+                            body(i, v);
+                          });
+    } else {
+      engine.run_campaign(copt, spec_sampler,
+                          [&](int i, const FaultSpec&, const FaultView& v) {
+                            body(i, v);
+                          });
+    }
+  };
 
   const int P = net.num_pos();
   const int slots = resolve_thread_option(options.num_threads);
@@ -47,8 +75,7 @@ ReliabilityReport analyze_reliability(const Network& net,
   // Per-worker "some PO differs" rows: e01 | e10 == g ^ f, folded across
   // outputs by the accumulate kernel and counted once per sample.
   std::vector<std::vector<uint64_t>> any_scratch(slots);
-  engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
-                                         const FaultView& v) {
+  run_pass([&](int, const FaultView& v) {
     const int slot = v.worker_slot();
     int64_t* c01 = &slot01[static_cast<size_t>(slot) * P];
     int64_t* c10 = &slot10[static_cast<size_t>(slot) * P];
@@ -89,8 +116,7 @@ ReliabilityReport analyze_reliability(const Network& net,
   // Pass 2, identical sample stream: count runs where some PO erred in its
   // dominant (protected) direction.
   std::vector<int64_t> slot_dominant(slots, 0);
-  engine.run_campaign(copt, sampler, [&](int, const StuckFault&,
-                                         const FaultView& v) {
+  run_pass([&](int, const FaultView& v) {
     const int slot = v.worker_slot();
     const int W = v.num_words();
     std::vector<uint64_t>& dom_row = any_scratch[slot];

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "sim/fault_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace apx {
@@ -62,6 +63,14 @@ struct ReliabilityOptions {
   int num_fault_samples = 2000;
   /// Words of random vectors per sampled fault (64 vectors per word).
   int words_per_fault = 4;
+  /// Fault model driving the error-rate campaign. kSingleStuckAt takes the
+  /// exact legacy code path (bit-identical results); the other models use
+  /// the engine's stock samplers over the logic nodes.
+  FaultModel model = FaultModel::kSingleStuckAt;
+  /// Simultaneous stuck-at sites per sample under kMultiStuckAt.
+  int sites_per_fault = 2;
+  /// Forced vector-window length under kTransientBurst.
+  int burst_vectors = 16;
   /// Fault samples amortizing one shared golden simulation in the
   /// FaultSimEngine (see src/sim/fault_engine.hpp).
   int faults_per_batch = 64;

@@ -3,11 +3,47 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "core/task_pool.hpp"
 #include "core/trace.hpp"
 
 namespace apx {
+
+namespace {
+
+/// Bit mask of word `w` covering the vector window [start, start + len).
+/// Bits outside the window are zero; a window that does not intersect the
+/// word yields 0.
+uint64_t window_word_mask(int32_t start, int32_t len, int w) {
+  const int64_t lo = static_cast<int64_t>(w) * 64;
+  const int64_t hi = lo + 64;
+  const int64_t s = std::max<int64_t>(start, lo);
+  const int64_t e = std::min<int64_t>(static_cast<int64_t>(start) + len, hi);
+  if (s >= e) return 0;
+  const int b = static_cast<int>(e - lo);
+  const int a = static_cast<int>(s - lo);
+  const uint64_t upto = b == 64 ? ~0ULL : (1ULL << b) - 1;
+  return upto & ~((1ULL << a) - 1);
+}
+
+}  // namespace
+
+const char* fault_model_name(FaultModel model) {
+  switch (model) {
+    case FaultModel::kSingleStuckAt: return "single_stuck_at";
+    case FaultModel::kMultiStuckAt: return "multi_stuck_at";
+    case FaultModel::kTransientBurst: return "transient_burst";
+  }
+  return "unknown";
+}
+
+void FaultSpec::add(const FaultSite& site) {
+  if (num_sites >= kMaxSites) {
+    throw std::logic_error("FaultSpec::add: more than kMaxSites sites");
+  }
+  sites[num_sites++] = site;
+}
 
 /// Per-thread scratch state: a faulty-value arena over the shared golden
 /// image plus the event queue of the level-by-level cone walk. Reused
@@ -22,7 +58,54 @@ struct FaultSimEngine::Worker {
 };
 
 FaultSimEngine::FaultSimEngine(const Network& net)
-    : net_(net), view_(net.topology()) {}
+    : net_(net), view_(net.topology()) {
+  observable_.assign(net.num_nodes(), 0);
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (!view_->fanouts(id).empty()) observable_[id] = 1;
+  }
+  for (const PrimaryOutput& po : net.pos()) {
+    if (po.driver != kNullNode) observable_[po.driver] = 1;
+  }
+}
+
+bool FaultSimEngine::is_live_site(NodeId node, bool stuck_value) const {
+  if (node == kNullNode || node >= net_.num_nodes()) return false;
+  const NodeKind kind = net_.node(node).kind;
+  if (kind == NodeKind::kConst0 && !stuck_value) return false;
+  if (kind == NodeKind::kConst1 && stuck_value) return false;
+  return observable_[node] != 0;
+}
+
+bool FaultSimEngine::validate_spec(const FaultSpec& spec,
+                                   int num_vectors) const {
+  if (spec.num_sites <= 0 || spec.num_sites > FaultSpec::kMaxSites) {
+    throw std::logic_error(
+        "FaultSimEngine: FaultSpec with no sites (or too many)");
+  }
+  bool live = true;
+  for (int s = 0; s < spec.num_sites; ++s) {
+    const FaultSite& site = spec.sites[s];
+    if (site.node == kNullNode || site.node >= net_.num_nodes()) {
+      throw std::logic_error(
+          "FaultSimEngine: sampler returned an out-of-range fault site");
+    }
+    for (int t = 0; t < s; ++t) {
+      if (spec.sites[t].node == site.node) {
+        throw std::logic_error(
+            "FaultSimEngine: FaultSpec names the same node twice");
+      }
+    }
+    if (site.transient &&
+        (site.burst_length <= 0 || site.burst_start < 0 ||
+         site.burst_start >= num_vectors)) {
+      throw std::logic_error(
+          "FaultSimEngine: transient burst window outside the campaign's "
+          "vector range");
+    }
+    live = live && is_live_site(site.node, site.stuck_value);
+  }
+  return live;
+}
 
 FaultSimEngine::~FaultSimEngine() = default;
 
@@ -129,6 +212,86 @@ void FaultSimEngine::simulate_fault(Worker& w, const StuckFault& fault) const {
   }
 }
 
+// Generalized injection. For a single permanent site this walks the exact
+// schedule of the StuckFault overload (the extra `queued` pin on the site
+// is never consulted in a DAG), so the single-stuck-at path is
+// byte-identical to the legacy engine.
+void FaultSimEngine::simulate_fault(Worker& w, const FaultSpec& spec) const {
+  const int W = num_words_;
+  if (++w.epoch == 0) {
+    // uint32 epoch wrapped: old marks would alias the fresh epoch.
+    std::fill(w.valid.begin(), w.valid.end(), 0u);
+    std::fill(w.queued.begin(), w.queued.end(), 0u);
+    w.epoch = 1;
+  }
+  const uint32_t epoch = w.epoch;
+  const TopologyView& view = *view_;
+
+  // Pin every site before seeding: a site's row is forced below and must
+  // never be re-evaluated by the cone walk, even when it lies inside
+  // another site's fanout cone — a stuck site blocks propagation through
+  // itself, and a transient site holds golden outside its burst window.
+  // Pinning also makes the event schedule a pure function of the spec
+  // (site order, then CSR fanout order), independent of threads.
+  for (int s = 0; s < spec.num_sites; ++s) {
+    w.queued[spec.sites[s].node] = epoch;
+  }
+
+  auto schedule = [&](NodeId id) {
+    if (w.queued[id] != epoch) {
+      w.queued[id] = epoch;
+      w.buckets[view.level(id)].push_back(id);
+    }
+  };
+
+  int min_level = view.max_level();
+  bool excited = false;
+  for (int s = 0; s < spec.num_sites; ++s) {
+    const FaultSite& site = spec.sites[s];
+    const uint64_t forced = site.stuck_value ? ~0ULL : 0ULL;
+    uint64_t* fv = w.values.row(site.node);
+    const uint64_t* gv = golden_.row(site.node);
+    if (!site.transient) {
+      std::fill(fv, fv + W, forced);
+    } else {
+      for (int word = 0; word < W; ++word) {
+        const uint64_t m =
+            window_word_mask(site.burst_start, site.burst_length, word);
+        fv[word] = (gv[word] & ~m) | (forced & m);
+      }
+    }
+    // Site value equals golden on every valid pattern: nothing propagates
+    // from this site (padding bits of the final word never excite it).
+    if (!rows_differ(fv, gv, W, tail_mask_)) continue;
+    w.valid[site.node] = epoch;
+    excited = true;
+    min_level = std::min(min_level, view.level(site.node));
+    for (NodeId o : view.fanouts(site.node)) schedule(o);
+  }
+  if (!excited) return;
+
+  const int max_level = view.max_level();
+  for (int lvl = min_level + 1; lvl <= max_level; ++lvl) {
+    auto& bucket = w.buckets[lvl];
+    for (NodeId id : bucket) {
+      const Node& n = net_.node(id);
+      w.fanin.clear();
+      for (NodeId f : n.fanins) {
+        w.fanin.push_back(w.valid[f] == epoch ? w.values.row(f)
+                                              : golden_.row(f));
+      }
+      uint64_t* out = w.values.row(id);
+      eval_sop_words(n.sop, w.fanin.data(), W, out);
+      // Faulty value collapsed back to golden on every valid pattern: the
+      // event dies here (padding differences cannot keep it alive).
+      if (!rows_differ(out, golden_.row(id), W, tail_mask_)) continue;
+      w.valid[id] = epoch;
+      for (NodeId o : view.fanouts(id)) schedule(o);
+    }
+    bucket.clear();
+  }
+}
+
 FaultView FaultSimEngine::view_of(const Worker& w, int slot) const {
   FaultView v;
   v.golden_ = golden_.row(0);
@@ -179,9 +342,28 @@ void FaultSimEngine::parallel_for(
       });
 }
 
+// The legacy StuckFault campaign rides the FaultSpec core: the wrapper
+// sampler produces single permanent sites, whose injection is
+// byte-identical to the original single-stuck-at engine (see
+// simulate_fault above), and the wrapper visitor hands the site back as a
+// StuckFault. Seed schedule, batch geometry and dead-site policy are the
+// spec core's.
 void FaultSimEngine::run_campaign(const CampaignOptions& options,
                                   const Sampler& sampler,
                                   const Visitor& visit) {
+  run_campaign(
+      options,
+      SpecSampler([&sampler](uint64_t sample_seed) {
+        return FaultSpec::stuck_at(sampler(sample_seed));
+      }),
+      SpecVisitor([&visit](int i, const FaultSpec& f, const FaultView& v) {
+        visit(i, StuckFault{f.sites[0].node, f.sites[0].stuck_value}, v);
+      }));
+}
+
+void FaultSimEngine::run_campaign(const CampaignOptions& options,
+                                  const SpecSampler& sampler,
+                                  const SpecVisitor& visit) {
   if ((options.words_per_fault <= 0 && options.vectors_per_fault <= 0) ||
       options.faults_per_batch <= 0) {
     throw std::invalid_argument(
@@ -194,13 +376,37 @@ void FaultSimEngine::run_campaign(const CampaignOptions& options,
   const int words = (vectors + 63) / 64;
   const int samples = options.num_fault_samples;
   if (samples <= 0) return;
-  std::vector<StuckFault> faults(samples);
+  std::vector<FaultSpec> faults(samples);
   for (int i = 0; i < samples; ++i) {
-    faults[i] = sampler(derive_seed(options.seed, static_cast<uint64_t>(i)));
-    if (faults[i].node == kNullNode || faults[i].node >= net_.num_nodes()) {
-      throw std::logic_error("FaultSimEngine::run_campaign: sampler returned "
-                             "an out-of-range fault site");
+    const uint64_t sample_seed =
+        derive_seed(options.seed, static_cast<uint64_t>(i));
+    FaultSpec spec = sampler(sample_seed);
+    bool live = validate_spec(spec, vectors);
+    if (!live && options.dead_sites == DeadSitePolicy::kReject) {
+      throw std::logic_error(
+          "FaultSimEngine::run_campaign: sampler returned a dead fault site "
+          "(sample " +
+          std::to_string(i) +
+          "): a same-polarity stuck-at on a constant or an unobservable "
+          "node can never produce an erroneous run; fix the sampler's site "
+          "list or pick a DeadSitePolicy");
     }
+    if (!live && options.dead_sites == DeadSitePolicy::kResample) {
+      // Deterministic redraw: depends only on the sample seed, so any
+      // thread count / batch geometry sees the same replacement spec.
+      for (int attempt = 1; !live && attempt <= 64; ++attempt) {
+        spec = sampler(derive_seed(sample_seed ^ kResampleStream,
+                                   static_cast<uint64_t>(attempt)));
+        live = validate_spec(spec, vectors);
+      }
+      if (!live) {
+        throw std::logic_error(
+            "FaultSimEngine::run_campaign: 64 consecutive dead redraws "
+            "(sample " +
+            std::to_string(i) + "); the sampler's site list looks dead");
+      }
+    }
+    faults[i] = spec;
   }
   const int threads = resolve_thread_option(options.num_threads);
   const int per_batch = options.faults_per_batch;
@@ -230,6 +436,91 @@ void FaultSimEngine::run_batch(const PatternSet& patterns,
                  simulate_fault(w, faults[i]);
                  visit(i, faults[i], view_of(w, slot));
                });
+}
+
+void FaultSimEngine::run_batch(const PatternSet& patterns,
+                               const std::vector<FaultSpec>& faults,
+                               const SpecVisitor& visit, int num_threads,
+                               int num_vectors) {
+  run_golden(patterns, num_vectors);
+  // Structural validation only (range, duplicates, burst shape): the
+  // caller owns the explicit fault list, so dead sites are allowed here.
+  for (const FaultSpec& spec : faults) validate_spec(spec, num_vectors_);
+  const int threads = resolve_thread_option(num_threads);
+  parallel_for(0, static_cast<int>(faults.size()), threads,
+               [&](Worker& w, int slot, int i) {
+                 simulate_fault(w, faults[i]);
+                 visit(i, faults[i], view_of(w, slot));
+               });
+}
+
+FaultSimEngine::SpecSampler FaultSimEngine::make_sampler(
+    FaultModel model, std::vector<NodeId> sites,
+    const CampaignOptions& options) {
+  if (sites.empty()) {
+    throw std::invalid_argument(
+        "FaultSimEngine::make_sampler: empty site list");
+  }
+  const int vectors = options.vectors_per_fault > 0
+                          ? options.vectors_per_fault
+                          : options.words_per_fault * 64;
+  switch (model) {
+    case FaultModel::kSingleStuckAt:
+      // Exactly the legacy uniform stuck-at sampler (same SplitMix64 draw
+      // order), so campaigns through this sampler reproduce historical
+      // single-fault results bit for bit.
+      return [sites = std::move(sites)](uint64_t sample_seed) {
+        SplitMix64 rng(sample_seed);
+        const NodeId node = sites[rng.next() % sites.size()];
+        StuckFault fault{node, static_cast<bool>(rng.next() & 1)};
+        return FaultSpec::stuck_at(fault);
+      };
+    case FaultModel::kMultiStuckAt: {
+      const int k = std::min(std::max(options.sites_per_fault, 1),
+                             FaultSpec::kMaxSites);
+      // `sites` must hold at least k distinct nodes or the rejection loop
+      // below cannot terminate; the size check catches the common case.
+      if (static_cast<size_t>(k) > sites.size()) {
+        throw std::invalid_argument(
+            "FaultSimEngine::make_sampler: fewer candidate sites than "
+            "sites_per_fault");
+      }
+      return [sites = std::move(sites), k](uint64_t sample_seed) {
+        SplitMix64 rng(sample_seed);
+        FaultSpec spec;
+        while (spec.num_sites < k) {
+          const NodeId node = sites[rng.next() % sites.size()];
+          bool duplicate = false;
+          for (int s = 0; s < spec.num_sites; ++s) {
+            duplicate = duplicate || spec.sites[s].node == node;
+          }
+          if (duplicate) continue;
+          FaultSite site;
+          site.node = node;
+          site.stuck_value = (rng.next() & 1) != 0;
+          spec.add(site);
+        }
+        return spec;
+      };
+    }
+    case FaultModel::kTransientBurst: {
+      const int burst = std::min(std::max(options.burst_vectors, 1), vectors);
+      return [sites = std::move(sites), burst, vectors](uint64_t sample_seed) {
+        SplitMix64 rng(sample_seed);
+        FaultSite site;
+        site.node = sites[rng.next() % sites.size()];
+        site.stuck_value = (rng.next() & 1) != 0;
+        site.transient = true;
+        site.burst_length = burst;
+        site.burst_start = static_cast<int32_t>(
+            rng.next() % static_cast<uint64_t>(vectors - burst + 1));
+        FaultSpec spec;
+        spec.add(site);
+        return spec;
+      };
+    }
+  }
+  throw std::invalid_argument("FaultSimEngine::make_sampler: unknown model");
 }
 
 DetectionReport FaultSimEngine::detect_faults(

@@ -1,4 +1,5 @@
-// Shared-pattern, multi-threaded single-stuck-at fault-simulation engine.
+// Shared-pattern, multi-threaded fault-simulation engine (single and
+// multi-site stuck-at faults, plus burst-transient faults).
 //
 // The measurement loops behind the paper's headline numbers (CED coverage,
 // per-output error rates) sample thousands of (fault, vector-batch) pairs.
@@ -25,7 +26,13 @@
 //   * campaigns may use pattern counts that are not multiples of 64
 //     (vectors_per_fault): the final partial word's padding bits are
 //     masked out of excitation, propagation-death, and detection checks,
-//     so they can never count toward coverage.
+//     so they can never count toward coverage;
+//   * fault models beyond single stuck-at ride the same walk: a FaultSpec
+//     seeds every site's row up front (transient sites force only their
+//     burst window's bits, keeping golden elsewhere) and schedules the
+//     union of the sites' fanouts; site rows are pinned for the batch so
+//     the walk never re-evaluates them, which keeps the schedule — and
+//     hence the results — independent of thread count and visit order.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +46,67 @@
 #include "sim/simulator.hpp"
 
 namespace apx {
+
+/// Fault models a campaign can sample from. All three ride the same
+/// event-driven substrate; kSingleStuckAt takes the exact code path the
+/// original single-fault engine used (bit-identical results).
+enum class FaultModel {
+  kSingleStuckAt,   ///< one permanent stuck-at site per sample
+  kMultiStuckAt,    ///< `sites_per_fault` simultaneous stuck-at sites
+  kTransientBurst,  ///< one site forced only on a contiguous vector window
+};
+
+const char* fault_model_name(FaultModel model);
+
+/// One site of a (possibly multi-site) fault. A permanent site forces
+/// `stuck_value` on every pattern vector; a transient site forces it only
+/// on vectors [burst_start, burst_start + burst_length) and carries the
+/// golden value everywhere else.
+struct FaultSite {
+  NodeId node = kNullNode;
+  bool stuck_value = false;
+  bool transient = false;
+  int32_t burst_start = 0;
+  int32_t burst_length = 0;
+};
+
+/// A sampled fault: up to kMaxSites simultaneous sites. Plain value type;
+/// construct single stuck-ats through the factory (deliberately no implicit
+/// StuckFault conversion, so the legacy overloads stay unambiguous).
+struct FaultSpec {
+  static constexpr int kMaxSites = 4;
+
+  FaultSite sites[kMaxSites] = {};
+  int num_sites = 0;
+
+  static FaultSpec stuck_at(const StuckFault& f) {
+    FaultSpec spec;
+    spec.sites[0].node = f.node;
+    spec.sites[0].stuck_value = f.stuck_value;
+    spec.num_sites = 1;
+    return spec;
+  }
+
+  /// Appends a site; throws std::logic_error beyond kMaxSites.
+  void add(const FaultSite& site);
+};
+
+/// What run_campaign does when a sampler returns a dead site — a stuck-at
+/// that can never propagate: same-polarity stuck-at on a kConst0/kConst1
+/// node, or a site with no fanouts that drives no PO. Silently simulating
+/// such samples wastes campaign budget and quietly deflates error rates.
+enum class DeadSitePolicy {
+  /// Throw std::logic_error naming the sample (default: samplers are
+  /// expected to draw from live gate-level sites; see the Sampler docs).
+  kReject,
+  /// Re-invoke the sampler with deterministically re-derived seeds until a
+  /// live spec appears (bit-identical for any thread count; throws after
+  /// 64 dead draws in a row).
+  kResample,
+  /// Legacy behavior: simulate the dead site anyway (it contributes
+  /// golden-equal runs). For differential tests over arbitrary site lists.
+  kAllow,
+};
 
 /// Read-only view of one fault's effect on the current pattern batch,
 /// handed to campaign visitors. Pointers are into the engine's golden
@@ -112,6 +180,19 @@ struct CampaignOptions {
   /// (the APX_THREADS policy). Results are bit-identical for any value.
   int num_threads = 0;
   uint64_t seed = 0x5EED;
+
+  /// Fault model the stock samplers draw from (make_sampler). The engine
+  /// core is model-agnostic — a campaign's model is whatever its sampler
+  /// returns; these knobs parameterize the stock samplers only.
+  FaultModel model = FaultModel::kSingleStuckAt;
+  /// Simultaneous stuck-at sites per sample under kMultiStuckAt
+  /// (clamped to [1, FaultSpec::kMaxSites]; sites are distinct nodes).
+  int sites_per_fault = 2;
+  /// Length of the forced vector window under kTransientBurst (clamped to
+  /// [1, vectors]; the window start is derived from the sample seed).
+  int burst_vectors = 16;
+  /// Dead-site handling (see DeadSitePolicy).
+  DeadSitePolicy dead_sites = DeadSitePolicy::kReject;
 };
 
 /// Options for detect_faults (fault-dropping coverage of a fault list).
@@ -156,12 +237,23 @@ class FaultSimEngine {
   FaultSimEngine(const FaultSimEngine&) = delete;
   FaultSimEngine& operator=(const FaultSimEngine&) = delete;
 
-  /// Draws the fault for a sample from its derived seed. Must be pure.
+  /// Draws the fault for a sample from its derived seed. Must be pure: the
+  /// returned fault depends only on sample_seed, never on call order.
+  /// Contract: samplers should return *live* sites — gate-level nodes that
+  /// are observable (have fanouts or drive a PO) and, for constants, the
+  /// opposite polarity. Dead sites can never produce an erroneous run;
+  /// CampaignOptions::dead_sites picks what the engine does with them.
   using Sampler = std::function<StuckFault(uint64_t sample_seed)>;
   /// Called exactly once per sample with that fault's view of its batch.
   using Visitor =
       std::function<void(int sample_index, const StuckFault& fault,
                          const FaultView& view)>;
+
+  /// Generalized forms over FaultSpec (multi-site / transient faults).
+  /// Same purity and liveness contract as Sampler, for every site.
+  using SpecSampler = std::function<FaultSpec(uint64_t sample_seed)>;
+  using SpecVisitor = std::function<void(
+      int sample_index, const FaultSpec& fault, const FaultView& view)>;
 
   /// Runs a Monte-Carlo campaign: sample i's fault is
   /// sampler(derive_seed(seed, i)); batch b's patterns are
@@ -172,14 +264,45 @@ class FaultSimEngine {
   void run_campaign(const CampaignOptions& options, const Sampler& sampler,
                     const Visitor& visit);
 
+  /// FaultSpec campaign: identical seed/batch schedule; specs sampled
+  /// through a single-site permanent sampler produce byte-identical views
+  /// to the StuckFault overload.
+  void run_campaign(const CampaignOptions& options, const SpecSampler& sampler,
+                    const SpecVisitor& visit);
+
+  /// Stock deterministic sampler for `options.model`, drawing uniformly
+  /// from `sites` with per-site random polarity. kMultiStuckAt draws
+  /// `options.sites_per_fault` distinct nodes; kTransientBurst places a
+  /// `options.burst_vectors`-long forced window uniformly inside the
+  /// campaign's vector range, both derived purely from the sample seed.
+  /// kSingleStuckAt reproduces the legacy uniform stuck-at sampler bit for
+  /// bit. `sites` must be non-empty.
+  static SpecSampler make_sampler(FaultModel model,
+                                  std::vector<NodeId> sites,
+                                  const CampaignOptions& options);
+
+  /// True when a stuck-at of this polarity at `node` can ever produce an
+  /// erroneous run: the node is observable (fanouts or a PO driver) and is
+  /// not a constant of the same polarity. See DeadSitePolicy.
+  bool is_live_site(NodeId node, bool stuck_value) const;
+
   /// Lower-level building block: one golden run on `patterns`, then every
   /// fault in `faults` evaluated against it (visit called with the fault's
   /// position in the list as sample index). A positive num_vectors
   /// restricts detection to the first num_vectors patterns (the final
-  /// word's padding bits are masked out).
+  /// word's padding bits are masked out). num_threads follows the
+  /// CampaignOptions convention: 0 = apx::thread_count() (APX_THREADS
+  /// policy); results are bit-identical for any value. No dead-site
+  /// validation — the caller owns the explicit fault list.
   void run_batch(const PatternSet& patterns,
                  const std::vector<StuckFault>& faults, const Visitor& visit,
-                 int num_threads = 1, int num_vectors = 0);
+                 int num_threads = 0, int num_vectors = 0);
+
+  /// FaultSpec form of run_batch.
+  void run_batch(const PatternSet& patterns,
+                 const std::vector<FaultSpec>& faults,
+                 const SpecVisitor& visit, int num_threads = 0,
+                 int num_vectors = 0);
 
   /// Classic fault-dropping detection: simulates every fault against
   /// successive random batches observed at `observe` nodes; a fault is
@@ -195,11 +318,19 @@ class FaultSimEngine {
   /// campaign's pattern batches outside the engine).
   static constexpr uint64_t kPatternStream = 0xBA7C85EEDULL;
 
+  /// Seed stream of DeadSitePolicy::kResample: dead sample i's redraw a
+  /// uses sampler(derive_seed(derive_seed(seed, i) ^ kResampleStream, a)).
+  static constexpr uint64_t kResampleStream = 0xDEAD517EULL;
+
  private:
   struct Worker;
 
   void run_golden(const PatternSet& patterns, int num_vectors);
   void simulate_fault(Worker& w, const StuckFault& fault) const;
+  void simulate_fault(Worker& w, const FaultSpec& fault) const;
+  /// Structural validation (range, duplicate sites, burst shape); throws
+  /// std::logic_error. Returns true when every site is live.
+  bool validate_spec(const FaultSpec& spec, int num_vectors) const;
   FaultView view_of(const Worker& w, int slot) const;
   Worker& worker(int index);
   /// Dispatches f(worker, slot, i) for i in [begin, end) over up to
@@ -209,6 +340,8 @@ class FaultSimEngine {
                     const std::function<void(Worker&, int, int)>& f);
 
   const Network& net_;
+  /// observable_[id]: node has fanouts or drives a PO (dead-site check).
+  std::vector<uint8_t> observable_;
   /// Shared structure snapshot: topo order, levels, CSR fanout adjacency.
   /// Held for the engine's lifetime (the network must not mutate under a
   /// running campaign — same contract as before).

@@ -175,23 +175,30 @@ double Simulator::total_activity() const {
 }
 
 void Simulator::inject(const StuckFault& fault) {
-  std::vector<uint64_t> forced(num_words_,
-                               fault.stuck_value ? ~0ULL : 0ULL);
-  inject_forced(fault.node, forced);
+  if (num_words_ == 0) {
+    throw std::logic_error("Simulator::inject_forced: run() must precede");
+  }
+  forced_scratch_.assign(static_cast<size_t>(num_words_),
+                         fault.stuck_value ? ~0ULL : 0ULL);
+  inject_forced(fault.node, forced_scratch_.data());
 }
 
 void Simulator::inject_forced(NodeId fault_node,
                               const std::vector<uint64_t>& forced) {
+  if (num_words_ != 0 && forced.size() != static_cast<size_t>(num_words_)) {
+    throw std::logic_error(
+        "Simulator::inject_forced: forced word count mismatch");
+  }
+  inject_forced(fault_node, forced.data());
+}
+
+void Simulator::inject_forced(NodeId fault_node, const uint64_t* forced) {
   if (fault_node == kNullNode || fault_node < 0 ||
       fault_node >= net_.num_nodes()) {
     throw std::logic_error("Simulator::inject_forced: invalid fault node");
   }
   if (num_words_ == 0) {
     throw std::logic_error("Simulator::inject_forced: run() must precede");
-  }
-  if (forced.size() != static_cast<size_t>(num_words_)) {
-    throw std::logic_error(
-        "Simulator::inject_forced: forced word count mismatch");
   }
   StuckFault fault{fault_node, false};  // reuse the cone walk below
   ++epoch_;
@@ -218,8 +225,7 @@ void Simulator::inject_forced(NodeId fault_node,
   for (NodeId id : cone_) {
     faulty_epoch_[id] = epoch_;
     if (id == fault.node) {
-      std::memcpy(faulty_.row(id), forced.data(),
-                  sizeof(uint64_t) * num_words_);
+      std::memcpy(faulty_.row(id), forced, sizeof(uint64_t) * num_words_);
       continue;
     }
     const Node& n = net_.node(id);

@@ -111,6 +111,10 @@ class Simulator {
   /// fanout cone.
   void inject_forced(NodeId node, const std::vector<uint64_t>& forced);
 
+  /// Pointer form of inject_forced for callers that keep their own scratch
+  /// (`forced` must hold num_words() words); allocation-free once warmed.
+  void inject_forced(NodeId node, const uint64_t* forced);
+
   /// Value words of a node under the last injected fault.
   WordSpan faulty_value(NodeId id) const;
 
@@ -130,11 +134,12 @@ class Simulator {
   std::vector<uint32_t> faulty_epoch_;
   uint32_t epoch_ = 0;
 
-  // inject_forced scratch, reused across injections (no per-call heap
-  // allocations on the steady-state path).
+  // inject/inject_forced scratch, reused across injections (no per-call
+  // heap allocations on the steady-state path).
   EpochMarks cone_marks_;
   std::vector<NodeId> cone_;
   std::vector<const uint64_t*> fanin_ptrs_;
+  std::vector<uint64_t> forced_scratch_;
 };
 
 /// Enumerates all 2N single-stuck-at fault sites of the logic nodes of a

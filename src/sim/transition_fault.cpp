@@ -22,34 +22,36 @@ WordSpan TransitionSimulator::launch_value(NodeId id) const {
 void TransitionSimulator::inject(const TransitionFault& fault) {
   const WordSpan v1 = first_.value(fault.node);
   const WordSpan v2 = second_.value(fault.node);
-  std::vector<uint64_t> forced(v2.size());
-  for (size_t w = 0; w < v2.size(); ++w) {
+  forced_.resize(v2.size());
+  for (int w = 0; w < v2.num_words(); ++w) {
     // Slow-to-rise: a required 0->1 transition is missed (stays at 0), so
     // the captured value is v2 AND v1. Dually for slow-to-fall.
-    forced[w] = fault.slow_to_rise ? (v2[w] & v1[w]) : (v2[w] | v1[w]);
+    forced_[w] = fault.slow_to_rise ? (v2[w] & v1[w]) : (v2[w] | v1[w]);
   }
-  second_.inject_forced(fault.node, forced);
+  second_.inject_forced(fault.node, forced_.data());
 }
 
 WordSpan TransitionSimulator::faulty_value(NodeId id) const {
   return second_.faulty_value(id);
 }
 
-std::vector<uint64_t> TransitionSimulator::launch_mask(
-    const TransitionFault& fault) const {
+WordSpan TransitionSimulator::launch_mask(const TransitionFault& fault) {
   const WordSpan v1 = first_.value(fault.node);
   const WordSpan v2 = second_.value(fault.node);
-  std::vector<uint64_t> mask(v2.size());
-  for (size_t w = 0; w < v2.size(); ++w) {
-    mask[w] = fault.slow_to_rise ? (~v1[w] & v2[w]) : (v1[w] & ~v2[w]);
+  mask_.resize(v2.size());
+  for (int w = 0; w < v2.num_words(); ++w) {
+    mask_[w] = fault.slow_to_rise ? (~v1[w] & v2[w]) : (v1[w] & ~v2[w]);
   }
-  return mask;
+  return WordSpan(mask_.data(), v2.num_words());
 }
 
 std::vector<TransitionFault> enumerate_transition_faults(const Network& net) {
   std::vector<TransitionFault> faults;
   for (NodeId id = 0; id < net.num_nodes(); ++id) {
-    if (net.node(id).kind == NodeKind::kLogic) {
+    const NodeKind kind = net.node(id).kind;
+    // PI fanout stems are delay-fault sites too: a slow transition on an
+    // input line is launched exactly like a gate-output transition.
+    if (kind == NodeKind::kLogic || kind == NodeKind::kPi) {
       faults.push_back({id, true});
       faults.push_back({id, false});
     }

@@ -46,16 +46,24 @@ class TransitionSimulator {
   WordSpan faulty_value(NodeId id) const;
 
   /// Bit mask of patterns on which the fault is *launched* (the site
-  /// actually makes the slow transition), per word.
-  std::vector<uint64_t> launch_mask(const TransitionFault& fault) const;
+  /// actually makes the slow transition), per word. The view aliases a
+  /// member scratch buffer: valid until the next launch_mask call.
+  WordSpan launch_mask(const TransitionFault& fault);
 
  private:
   const Network& net_;
   Simulator first_;
   Simulator second_;
+  // Per-injection scratch, reused across calls (no heap allocations on the
+  // steady-state injection path).
+  std::vector<uint64_t> forced_;
+  std::vector<uint64_t> mask_;
 };
 
-/// Enumerates both transition faults of every logic node.
+/// Enumerates both transition faults of every PI fanout stem and every
+/// logic node. A slow transition on a PI stem is a real defect site (the
+/// paper's speed-paths start at the inputs); skipping them used to make PI
+/// delay faults unobservable in every delay-CED measurement.
 std::vector<TransitionFault> enumerate_transition_faults(const Network& net);
 
 }  // namespace apx

@@ -264,11 +264,41 @@ TEST(BenchJsonTest, FaultsimArtifactSchema) {
   // The scalar row always exists (every host runs the portable kernel).
   EXPECT_NE(text.find("\"tier\": \"scalar\""), std::string::npos);
 
-  // Both determinism claims must hold in the committed snapshot.
+  // Per-fault-model coverage rows: every CED scheme measured under every
+  // fault model, each with its own replayed thread/width identity bits.
+  const char* per_model[] = {
+      "\"fault_model_samples\"",
+      "\"fault_models\"",
+      "\"scheme\"",
+      "\"model\"",
+      "\"erroneous\"",
+      "\"detected\"",
+      "\"models_bit_identical\"",
+  };
+  for (const char* key : per_model) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing key " << key;
+  }
+  for (const char* scheme : {"approx_ced", "duplication", "parity"}) {
+    EXPECT_NE(text.find("\"scheme\": \"" + std::string(scheme) + "\""),
+              std::string::npos)
+        << "missing scheme row " << scheme;
+  }
+  for (const char* model :
+       {"single_stuck_at", "multi_stuck_at", "transient_burst"}) {
+    EXPECT_NE(text.find("\"model\": \"" + std::string(model) + "\""),
+              std::string::npos)
+        << "missing model row " << model;
+  }
+
+  // All determinism claims must hold in the committed snapshot.
   EXPECT_NE(text.find("\"threads_bit_identical\": true"), std::string::npos)
       << "committed artifact must record a bit-identical 1-vs-N thread run";
   EXPECT_NE(text.find("\"widths_bit_identical\": true"), std::string::npos)
       << "committed artifact must record bit-identical SIMD tiers";
+  EXPECT_NE(text.find("\"models_bit_identical\": true"), std::string::npos)
+      << "every fault-model row must replay bit-identically";
+  EXPECT_EQ(text.find("\"threads_bit_identical\": false"), std::string::npos);
+  EXPECT_EQ(text.find("\"widths_bit_identical\": false"), std::string::npos);
 
   int braces = 0, brackets = 0;
   for (char c : text) {

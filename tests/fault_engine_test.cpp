@@ -52,8 +52,10 @@ TEST(FaultEngineTest, RunBatchMatchesSimulator) {
 
   FaultSimEngine engine(net);
   std::atomic<int> visited{0};
-  engine.run_batch(patterns, faults, [&](int i, const StuckFault& fault,
-                                         const FaultView& view) {
+  // num_threads = 1 explicitly: the visitor injects into one shared
+  // Simulator, which is not safe under concurrent visits.
+  auto check = [&](int i, const StuckFault& fault,
+                   const FaultView& view) {
     EXPECT_EQ(fault.node, faults[i].node);
     sim.inject(fault);
     for (NodeId id = 0; id < net.num_nodes(); ++id) {
@@ -64,8 +66,45 @@ TEST(FaultEngineTest, RunBatchMatchesSimulator) {
       }
     }
     ++visited;
-  });
+  };
+  engine.run_batch(patterns, faults, check, /*num_threads=*/1);
   EXPECT_EQ(visited.load(), static_cast<int>(faults.size()));
+}
+
+// Satellite: run_batch's default num_threads used to be a hard-coded 1
+// while every campaign-level option already defaulted to 0 = the
+// APX_THREADS policy. The default is now 0, and results stay bit-identical
+// between explicit 1 and the policy-resolved pool.
+TEST(FaultEngineTest, RunBatchDefaultThreadsFollowsPolicyAndStaysIdentical) {
+  Network net = random_network(21);
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  PatternSet patterns = PatternSet::random(net.num_pis(), 4, 99);
+  FaultSimEngine engine(net);
+
+  auto fingerprint = [&](int num_threads) {
+    std::vector<uint64_t> sums(faults.size(), 0);
+    engine.run_batch(
+        patterns, faults,
+        [&](int i, const StuckFault&, const FaultView& view) {
+          uint64_t h = 0;
+          for (NodeId id = 0; id < net.num_nodes(); ++id) {
+            for (int w = 0; w < view.num_words(); ++w) {
+              h = h * 1099511628211ULL ^ (view.faulty(id)[w] & view.word_mask(w));
+            }
+          }
+          sums[i] = h;
+        },
+        num_threads);
+    return sums;
+  };
+
+  // 0 resolves through apx::thread_count() (APX_THREADS policy) — the
+  // same resolution CampaignOptions/DetectOptions use.
+  const std::vector<uint64_t> policy = fingerprint(0);
+  const std::vector<uint64_t> serial = fingerprint(1);
+  const std::vector<uint64_t> four = fingerprint(4);
+  EXPECT_EQ(policy, serial);
+  EXPECT_EQ(policy, four);
 }
 
 TEST(FaultEngineTest, UnexcitedFaultLeavesViewGolden) {
@@ -96,6 +135,9 @@ TEST(FaultEngineTest, CampaignVisitsEverySampleExactlyOnce) {
   opt.num_fault_samples = 100;
   opt.faults_per_batch = 16;
   opt.num_threads = 4;
+  // random_network leaves some gates with no fanout and no PO — legitimate
+  // here, the test only counts visits. kAllow keeps them simulatable.
+  opt.dead_sites = DeadSitePolicy::kAllow;
   std::vector<int> visits(opt.num_fault_samples, 0);
   engine.run_campaign(
       opt,

@@ -1,0 +1,571 @@
+// Tests for the generalized fault models of FaultSimEngine (FaultSpec:
+// multi-site stuck-at and burst-transient faults) plus the bit-identity
+// pins of the legacy single-stuck-at path: the exact erroneous/detected
+// counts below were captured from the pre-FaultSpec engine, so any change
+// to the single-fault substrate's results fails loudly here.
+#include "sim/fault_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <numeric>
+#include <vector>
+
+#include "baselines/partial_duplication.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/ced.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/optimize.hpp"
+#include "reliability/reliability.hpp"
+#include "sim/kernels.hpp"
+#include "sim/transition_fault.hpp"
+
+// Global allocation counter for the zero-allocation steady-state tests
+// (same pattern as topology_view_test.cpp).
+namespace {
+std::atomic<int64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace apx {
+namespace {
+
+// ---- reference evaluation -------------------------------------------------
+
+uint64_t window_mask(int32_t start, int32_t len, int w) {
+  const int64_t lo = static_cast<int64_t>(w) * 64;
+  const int64_t hi = lo + 64;
+  const int64_t s = std::max<int64_t>(start, lo);
+  const int64_t e = std::min<int64_t>(static_cast<int64_t>(start) + len, hi);
+  if (s >= e) return 0;
+  const int b = static_cast<int>(e - lo);
+  const int a = static_cast<int>(s - lo);
+  const uint64_t upto = b == 64 ? ~0ULL : (1ULL << b) - 1;
+  return upto & ~((1ULL << a) - 1);
+}
+
+using Plane = std::vector<std::vector<uint64_t>>;
+
+// Brute-force full re-simulation with the spec's sites overridden, matching
+// the engine's semantics: permanent sites hold `forced` on every vector;
+// transient sites hold (golden & ~window) | (forced & window), where golden
+// is the *fault-free* value (site rows are pinned for the whole batch).
+Plane reference_plane(const Network& net, const PatternSet& pats,
+                      const FaultSpec* spec, const Plane* golden) {
+  const int W = pats.num_words();
+  Plane val(net.num_nodes(), std::vector<uint64_t>(W, 0));
+  auto view = net.topology();
+  std::vector<int> pi_col(net.num_nodes(), -1);
+  for (int i = 0; i < net.num_pis(); ++i) pi_col[net.pis()[i]] = i;
+  std::vector<const uint64_t*> fanin;
+  for (NodeId id : view->topo()) {
+    const Node& n = net.node(id);
+    uint64_t* out = val[id].data();
+    switch (n.kind) {
+      case NodeKind::kPi: {
+        const WordSpan col = pats.column(pi_col[id]);
+        std::copy(col.begin(), col.end(), out);
+        break;
+      }
+      case NodeKind::kConst0:
+        break;  // zero-initialized
+      case NodeKind::kConst1:
+        std::fill(out, out + W, ~0ULL);
+        break;
+      case NodeKind::kLogic: {
+        fanin.clear();
+        for (NodeId f : n.fanins) fanin.push_back(val[f].data());
+        eval_sop_words(n.sop, fanin.data(), W, out);
+        break;
+      }
+    }
+    if (spec == nullptr) continue;
+    for (int s = 0; s < spec->num_sites; ++s) {
+      const FaultSite& site = spec->sites[s];
+      if (site.node != id) continue;
+      const uint64_t forced = site.stuck_value ? ~0ULL : 0ULL;
+      if (!site.transient) {
+        std::fill(out, out + W, forced);
+      } else {
+        for (int w = 0; w < W; ++w) {
+          const uint64_t m =
+              window_mask(site.burst_start, site.burst_length, w);
+          out[w] = ((*golden)[id][w] & ~m) | (forced & m);
+        }
+      }
+    }
+  }
+  return val;
+}
+
+CedDesign duplication_ced(const std::string& bench) {
+  Network net = make_benchmark(bench);
+  std::vector<int> checked(net.num_pos());
+  std::iota(checked.begin(), checked.end(), 0);
+  return build_duplication_ced(net, net, checked);
+}
+
+// a, b PIs; g = a & b drives the PO; `orphan` has neither fanouts nor a PO
+// (a dead fault site); c0 is a constant-0 node feeding the second PO.
+struct DeadSiteFixture {
+  Network net;
+  NodeId g = kNullNode;
+  NodeId orphan = kNullNode;
+  NodeId c0 = kNullNode;
+
+  DeadSiteFixture() {
+    NodeId a = net.add_pi("a");
+    NodeId b = net.add_pi("b");
+    g = net.add_and(a, b, "g");
+    orphan = net.add_or(a, b, "orphan");
+    c0 = net.add_const(false);
+    NodeId h = net.add_or(g, c0, "h");
+    net.add_po("f", g);
+    net.add_po("h", h);
+  }
+};
+
+// ---- bit-identity pins (captured from the pre-FaultSpec engine) -----------
+
+TEST(FaultModelPinTest, SingleStuckAtCoverageReproducesSeedCounts) {
+  CedDesign ced = duplication_ced("cmp8");
+  CoverageOptions o;
+  o.num_fault_samples = 300;
+  o.words_per_fault = 2;
+  CoverageResult r = evaluate_ced_coverage(ced, o);
+  EXPECT_EQ(r.runs, 38400);
+  EXPECT_EQ(r.erroneous, 7261);
+  EXPECT_EQ(r.detected, 7261);
+
+  // Non-multiple-of-64 vector count (tail-masked final word).
+  CoverageOptions o2 = o;
+  o2.vectors_per_fault = 100;
+  CoverageResult r2 = evaluate_ced_coverage(ced, o2);
+  EXPECT_EQ(r2.runs, 30000);
+  EXPECT_EQ(r2.erroneous, 5652);
+  EXPECT_EQ(r2.detected, 5652);
+}
+
+TEST(FaultModelPinTest, SingleStuckAtReliabilityReproducesSeedRates) {
+  Network net = make_benchmark("dec38");
+  ReliabilityOptions ro;
+  ro.num_fault_samples = 300;
+  ro.words_per_fault = 2;
+  ReliabilityReport rep = analyze_reliability(net, ro);
+  EXPECT_EQ(rep.runs, 38400);
+  // Exact doubles (integer counts / runs): EXPECT_EQ pins bit identity.
+  EXPECT_EQ(rep.any_output_error_rate, 0.53565104166666666);
+  EXPECT_EQ(rep.max_ced_coverage, 0.9449171082697263);
+  ASSERT_EQ(rep.outputs.size(), 8u);
+  EXPECT_EQ(rep.outputs[0].rate_0_to_1, 0.059947916666666663);
+  EXPECT_EQ(rep.outputs[0].rate_1_to_0, 0.0026302083333333334);
+  EXPECT_EQ(rep.outputs[7].rate_0_to_1, 0.045468750000000002);
+  EXPECT_EQ(rep.outputs[7].rate_1_to_0, 0.0040885416666666665);
+}
+
+// ---- FaultSpec semantics --------------------------------------------------
+
+TEST(FaultModelTest, SingleSiteSpecMatchesStuckFaultPathByteForByte) {
+  Network net = make_benchmark("rca8");
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  std::vector<FaultSpec> specs;
+  for (const StuckFault& f : faults) specs.push_back(FaultSpec::stuck_at(f));
+  PatternSet patterns = PatternSet::random(net.num_pis(), 3, 0xF00D);
+  FaultSimEngine engine(net);
+
+  std::vector<std::vector<uint64_t>> legacy(faults.size());
+  engine.run_batch(
+      patterns, faults,
+      [&](int i, const StuckFault&, const FaultView& v) {
+        std::vector<uint64_t>& plane = legacy[i];
+        for (NodeId id = 0; id < net.num_nodes(); ++id) {
+          for (int w = 0; w < v.num_words(); ++w) {
+            plane.push_back(v.faulty(id)[w]);
+          }
+        }
+      },
+      /*num_threads=*/1);
+
+  std::vector<std::vector<uint64_t>> spec_planes(specs.size());
+  engine.run_batch(
+      patterns, specs,
+      [&](int i, const FaultSpec&, const FaultView& v) {
+        std::vector<uint64_t>& plane = spec_planes[i];
+        for (NodeId id = 0; id < net.num_nodes(); ++id) {
+          for (int w = 0; w < v.num_words(); ++w) {
+            plane.push_back(v.faulty(id)[w]);
+          }
+        }
+      },
+      /*num_threads=*/1);
+
+  ASSERT_EQ(legacy.size(), spec_planes.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i], spec_planes[i]) << "fault " << i;
+  }
+}
+
+TEST(FaultModelTest, MultiSiteStuckAtMatchesBruteForceResimulation) {
+  Network net = make_benchmark("rca8");
+  std::vector<NodeId> logic;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) logic.push_back(id);
+  }
+  ASSERT_GE(logic.size(), 8u);
+
+  // Double, triple and quadruple faults over spread-out sites, mixed
+  // polarities (including sites inside each other's fanout cones).
+  std::vector<FaultSpec> specs;
+  for (int k = 2; k <= 4; ++k) {
+    FaultSpec spec;
+    for (int s = 0; s < k; ++s) {
+      FaultSite site;
+      site.node = logic[(s * logic.size()) / k + static_cast<size_t>(k)];
+      site.stuck_value = (s ^ k) & 1;
+      spec.add(site);
+    }
+    specs.push_back(spec);
+  }
+
+  PatternSet patterns = PatternSet::random(net.num_pis(), 2, 0xBEEF);
+  FaultSimEngine engine(net);
+  engine.run_batch(
+      patterns, specs,
+      [&](int i, const FaultSpec& spec, const FaultView& v) {
+        const Plane ref = reference_plane(net, patterns, &spec, nullptr);
+        for (NodeId id = 0; id < net.num_nodes(); ++id) {
+          for (int w = 0; w < v.num_words(); ++w) {
+            ASSERT_EQ(v.faulty(id)[w], ref[id][w])
+                << "spec " << i << " node " << id << " word " << w;
+          }
+        }
+      },
+      /*num_threads=*/1);
+}
+
+TEST(FaultModelTest, TransientBurstForcesOnlyItsWindow) {
+  Network net = make_benchmark("rca8");
+  std::vector<NodeId> logic;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) logic.push_back(id);
+  }
+  PatternSet patterns = PatternSet::random(net.num_pis(), 2, 0xB00);
+  const Plane golden = reference_plane(net, patterns, nullptr, nullptr);
+
+  FaultSpec spec;
+  FaultSite site;
+  site.node = logic[logic.size() / 3];
+  site.stuck_value = true;
+  site.transient = true;
+  site.burst_start = 37;  // straddles the word 0 / word 1 boundary
+  site.burst_length = 41;
+  spec.add(site);
+
+  FaultSimEngine engine(net);
+  engine.run_batch(
+      patterns, {spec},
+      [&](int, const FaultSpec&, const FaultView& v) {
+        const Plane ref = reference_plane(net, patterns, &spec, &golden);
+        for (NodeId id = 0; id < net.num_nodes(); ++id) {
+          for (int w = 0; w < v.num_words(); ++w) {
+            ASSERT_EQ(v.faulty(id)[w], ref[id][w])
+                << "node " << id << " word " << w;
+            // Every node's deviation is confined to the burst window:
+            // outside it the site holds golden, so nothing can differ.
+            const uint64_t diff = v.faulty(id)[w] ^ v.golden(id)[w];
+            EXPECT_EQ(diff & ~window_mask(site.burst_start, site.burst_length,
+                                          w),
+                      0u)
+                << "node " << id << " word " << w;
+          }
+        }
+      },
+      /*num_threads=*/1);
+}
+
+TEST(FaultModelTest, ModelCampaignsBitIdenticalAcrossThreadCounts) {
+  CedDesign ced = duplication_ced("cmp4");
+  for (FaultModel model :
+       {FaultModel::kMultiStuckAt, FaultModel::kTransientBurst}) {
+    CoverageOptions base;
+    base.num_fault_samples = 200;
+    base.words_per_fault = 2;
+    base.vectors_per_fault = 100;  // exercise the tail-masked final word
+    base.model = model;
+    base.sites_per_fault = 2;
+    base.burst_vectors = 24;
+
+    CoverageOptions one = base;
+    one.num_threads = 1;
+    CoverageOptions four = base;
+    four.num_threads = 4;
+    CoverageResult r1 = evaluate_ced_coverage(ced, one);
+    CoverageResult r4 = evaluate_ced_coverage(ced, four);
+    EXPECT_GT(r1.erroneous, 0) << fault_model_name(model);
+    EXPECT_EQ(r1.runs, r4.runs) << fault_model_name(model);
+    EXPECT_EQ(r1.erroneous, r4.erroneous) << fault_model_name(model);
+    EXPECT_EQ(r1.detected, r4.detected) << fault_model_name(model);
+  }
+}
+
+TEST(FaultModelTest, ModelKnobChangesTheSampledCampaign) {
+  CedDesign ced = duplication_ced("cmp4");
+  CoverageOptions o;
+  o.num_fault_samples = 200;
+  o.words_per_fault = 2;
+  CoverageResult single = evaluate_ced_coverage(ced, o);
+  o.model = FaultModel::kMultiStuckAt;
+  CoverageResult dbl = evaluate_ced_coverage(ced, o);
+  // Double faults excite strictly more often than single faults here.
+  EXPECT_GT(dbl.erroneous, single.erroneous);
+}
+
+TEST(FaultModelTest, ReliabilityModelsBitIdenticalAcrossThreadCounts) {
+  Network net = make_benchmark("dec38");
+  ReliabilityOptions one;
+  one.num_fault_samples = 200;
+  one.words_per_fault = 2;
+  one.model = FaultModel::kTransientBurst;
+  one.burst_vectors = 16;
+  one.num_threads = 1;
+  ReliabilityOptions four = one;
+  four.num_threads = 4;
+  ReliabilityReport r1 = analyze_reliability(net, one);
+  ReliabilityReport r4 = analyze_reliability(net, four);
+  EXPECT_GT(r1.any_output_error_rate, 0.0);
+  EXPECT_EQ(r1.any_output_error_rate, r4.any_output_error_rate);
+  EXPECT_EQ(r1.max_ced_coverage, r4.max_ced_coverage);
+  ASSERT_EQ(r1.outputs.size(), r4.outputs.size());
+  for (size_t o = 0; o < r1.outputs.size(); ++o) {
+    EXPECT_EQ(r1.outputs[o].rate_0_to_1, r4.outputs[o].rate_0_to_1);
+    EXPECT_EQ(r1.outputs[o].rate_1_to_0, r4.outputs[o].rate_1_to_0);
+  }
+}
+
+TEST(FaultModelTest, PartialDuplicationSelectionDeterministicUnderModels) {
+  Network mapped = technology_map(quick_synthesis(make_benchmark("cmp4")));
+  PartialDuplicationOptions opt;
+  opt.num_fault_samples = 200;
+  opt.words_per_fault = 2;
+  opt.model = FaultModel::kMultiStuckAt;
+  opt.sites_per_fault = 2;
+  opt.num_threads = 1;
+  PartialDuplicationResult r1 = build_partial_duplication(mapped, 0.9, opt);
+  opt.num_threads = 4;
+  PartialDuplicationResult r4 = build_partial_duplication(mapped, 0.9, opt);
+  EXPECT_EQ(r1.duplicated_pos, r4.duplicated_pos);
+  EXPECT_EQ(r1.estimated_coverage, r4.estimated_coverage);
+  EXPECT_FALSE(r1.duplicated_pos.empty());
+}
+
+// ---- dead-site policy -----------------------------------------------------
+
+TEST(FaultModelTest, CampaignRejectsConstantSiteOfSamePolarity) {
+  DeadSiteFixture fx;
+  FaultSimEngine engine(fx.net);
+  CampaignOptions opt;
+  opt.num_fault_samples = 4;
+  EXPECT_THROW(
+      engine.run_campaign(
+          opt, [&](uint64_t) { return StuckFault{fx.c0, false}; },
+          [](int, const StuckFault&, const FaultView&) {}),
+      std::logic_error);
+  // Opposite polarity on the same constant is a live (excitable) fault.
+  EXPECT_TRUE(engine.is_live_site(fx.c0, true));
+  EXPECT_FALSE(engine.is_live_site(fx.c0, false));
+}
+
+TEST(FaultModelTest, CampaignRejectsUnconnectedSite) {
+  DeadSiteFixture fx;
+  FaultSimEngine engine(fx.net);
+  EXPECT_FALSE(engine.is_live_site(fx.orphan, true));
+  CampaignOptions opt;
+  opt.num_fault_samples = 4;
+  EXPECT_THROW(
+      engine.run_campaign(
+          opt, [&](uint64_t) { return StuckFault{fx.orphan, true}; },
+          [](int, const StuckFault&, const FaultView&) {}),
+      std::logic_error);
+
+  // kAllow restores the legacy behavior: the dead sample simulates (and
+  // trivially stays golden at the PO drivers).
+  opt.dead_sites = DeadSitePolicy::kAllow;
+  int visits = 0;
+  engine.run_campaign(
+      opt, [&](uint64_t) { return StuckFault{fx.orphan, true}; },
+      [&](int, const StuckFault&, const FaultView& v) {
+        ++visits;
+        EXPECT_FALSE(v.touched(fx.g));
+      });
+  EXPECT_EQ(visits, 4);
+}
+
+TEST(FaultModelTest, CampaignResamplesDeadSitesDeterministically) {
+  DeadSiteFixture fx;
+  FaultSimEngine engine(fx.net);
+  CampaignOptions opt;
+  opt.num_fault_samples = 64;
+  opt.num_threads = 1;
+  opt.dead_sites = DeadSitePolicy::kResample;
+  // Pure-but-half-dead sampler: even seeds draw the orphan.
+  auto sampler = [&](uint64_t s) {
+    return (s & 1) ? StuckFault{fx.g, true} : StuckFault{fx.orphan, true};
+  };
+  auto run = [&](int threads) {
+    CampaignOptions o = opt;
+    o.num_threads = threads;
+    std::vector<NodeId> drawn(o.num_fault_samples, kNullNode);
+    engine.run_campaign(o, sampler,
+                        [&](int i, const StuckFault& f, const FaultView&) {
+                          drawn[i] = f.node;
+                        });
+    return drawn;
+  };
+  const std::vector<NodeId> a = run(1);
+  for (NodeId n : a) EXPECT_EQ(n, fx.g);  // every dead draw was replaced
+  EXPECT_EQ(a, run(1));                   // replay-deterministic
+  EXPECT_EQ(a, run(4));                   // and thread-count independent
+}
+
+// ---- validation -----------------------------------------------------------
+
+TEST(FaultModelTest, SpecValidationCatchesStructuralErrors) {
+  Network net = make_benchmark("c17");
+  FaultSimEngine engine(net);
+  PatternSet patterns = PatternSet::random(net.num_pis(), 1, 1);
+  auto ignore = [](int, const FaultSpec&, const FaultView&) {};
+
+  FaultSpec empty;
+  EXPECT_THROW(engine.run_batch(patterns, {empty}, ignore),
+               std::logic_error);
+
+  std::vector<NodeId> logic;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    if (net.node(id).kind == NodeKind::kLogic) logic.push_back(id);
+  }
+  FaultSpec dup;
+  dup.add({logic[0], false, false, 0, 0});
+  dup.add({logic[0], true, false, 0, 0});
+  EXPECT_THROW(engine.run_batch(patterns, {dup}, ignore), std::logic_error);
+
+  FaultSpec window;
+  FaultSite t;
+  t.node = logic[0];
+  t.transient = true;
+  t.burst_start = 64;  // beyond the 64-vector batch
+  t.burst_length = 8;
+  window.add(t);
+  EXPECT_THROW(engine.run_batch(patterns, {window}, ignore),
+               std::logic_error);
+
+  FaultSpec overflow;
+  for (int s = 0; s < FaultSpec::kMaxSites; ++s) {
+    overflow.add({logic[s], false, false, 0, 0});
+  }
+  EXPECT_THROW(overflow.add({logic[4], false, false, 0, 0}),
+               std::logic_error);
+}
+
+TEST(FaultModelTest, MakeSamplerValidatesItsInputs) {
+  CampaignOptions opt;
+  EXPECT_THROW(
+      FaultSimEngine::make_sampler(FaultModel::kSingleStuckAt, {}, opt),
+      std::invalid_argument);
+  opt.sites_per_fault = 3;
+  EXPECT_THROW(
+      FaultSimEngine::make_sampler(FaultModel::kMultiStuckAt, {1, 2}, opt),
+      std::invalid_argument);
+}
+
+TEST(FaultModelTest, StockSamplersArePureInTheSampleSeed) {
+  CampaignOptions opt;
+  opt.sites_per_fault = 3;
+  opt.burst_vectors = 10;
+  std::vector<NodeId> sites{3, 4, 5, 6, 7, 8};
+  for (FaultModel model :
+       {FaultModel::kSingleStuckAt, FaultModel::kMultiStuckAt,
+        FaultModel::kTransientBurst}) {
+    opt.model = model;
+    auto s1 = FaultSimEngine::make_sampler(model, sites, opt);
+    auto s2 = FaultSimEngine::make_sampler(model, sites, opt);
+    for (uint64_t seed : {1ull, 42ull, 0xDEADull}) {
+      const FaultSpec a = s1(seed);
+      const FaultSpec b = s2(seed);
+      ASSERT_EQ(a.num_sites, b.num_sites);
+      for (int s = 0; s < a.num_sites; ++s) {
+        EXPECT_EQ(a.sites[s].node, b.sites[s].node);
+        EXPECT_EQ(a.sites[s].stuck_value, b.sites[s].stuck_value);
+        EXPECT_EQ(a.sites[s].transient, b.sites[s].transient);
+        EXPECT_EQ(a.sites[s].burst_start, b.sites[s].burst_start);
+        EXPECT_EQ(a.sites[s].burst_length, b.sites[s].burst_length);
+        // Multi-site draws are distinct nodes.
+        for (int t = 0; t < s; ++t) {
+          EXPECT_NE(a.sites[s].node, a.sites[t].node);
+        }
+      }
+    }
+  }
+}
+
+// ---- allocation-free steady state -----------------------------------------
+
+TEST(FaultModelTest, TransitionSimulatorSteadyStateDoesNotAllocate) {
+  Network net = make_benchmark("c17");
+  std::vector<TransitionFault> faults = enumerate_transition_faults(net);
+  TransitionSimulator sim(net);
+  PatternSet launch = PatternSet::random(net.num_pis(), 4, 11);
+  PatternSet capture = PatternSet::random(net.num_pis(), 4, 22);
+  sim.run(launch, capture);
+  // Warm-up: size every scratch buffer (cone marks, fanin pointers, the
+  // forced/mask rows) to its steady-state capacity.
+  for (const TransitionFault& f : faults) {
+    sim.inject(f);
+    (void)sim.launch_mask(f);
+  }
+  const int64_t before = g_allocs.load(std::memory_order_relaxed);
+  uint64_t sink = 0;
+  for (const TransitionFault& f : faults) {
+    sim.inject(f);
+    sink ^= sim.faulty_value(f.node)[0];
+    sink ^= sim.launch_mask(f)[0];
+  }
+  const int64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "sink=" << sink;
+}
+
+TEST(FaultModelTest, SimulatorStuckAtInjectionSteadyStateDoesNotAllocate) {
+  Network net = make_benchmark("c17");
+  std::vector<StuckFault> faults = enumerate_faults(net);
+  Simulator sim(net);
+  sim.run(PatternSet::random(net.num_pis(), 4, 33));
+  for (const StuckFault& f : faults) sim.inject(f);
+  const int64_t before = g_allocs.load(std::memory_order_relaxed);
+  uint64_t sink = 0;
+  for (const StuckFault& f : faults) {
+    sim.inject(f);
+    sink ^= sim.faulty_value(f.node)[0];
+  }
+  const int64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0) << "sink=" << sink;
+}
+
+}  // namespace
+}  // namespace apx

@@ -123,6 +123,102 @@ TEST(FaultTailTest, PaddingBitsCannotKeepAPropagatingEventAlive) {
                    /*num_threads=*/1, /*num_vectors=*/kVectors % 64);
 }
 
+TEST(FaultTailTest, MultiSitePaddingBitsCannotExciteASpec) {
+  AndFixture fx;
+  // Both sites agree with golden on every valid vector and differ only on
+  // padding bits: a = b = 1 on the valid patterns, 0 on padding, with both
+  // sites stuck-at-1. The whole spec must stay unexcited.
+  PatternSet patterns(2, 2);
+  patterns.set_word(0, 0, ~0ULL);
+  patterns.set_word(0, 1, kTail);
+  patterns.set_word(1, 0, ~0ULL);
+  patterns.set_word(1, 1, kTail);
+
+  FaultSpec spec;
+  spec.add({fx.a, true, false, 0, 0});
+  spec.add({fx.b, true, false, 0, 0});
+
+  FaultSimEngine engine(fx.net);
+  int visits = 0;
+  engine.run_batch(
+      patterns, {spec},
+      [&](int, const FaultSpec&, const FaultView& v) {
+        ++visits;
+        EXPECT_FALSE(v.touched(fx.a));
+        EXPECT_FALSE(v.touched(fx.b));
+        EXPECT_FALSE(v.touched(fx.g));
+        EXPECT_EQ(v.faulty(fx.g), v.golden(fx.g));
+      },
+      /*num_threads=*/1, /*num_vectors=*/kVectors);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(FaultTailTest, MultiSiteDetectionCountsAreTailMasked) {
+  AndFixture fx;
+  // Word 0 carries a real 64-vector detection (a forced 0 under a = b = 1);
+  // in word 1 the propagated difference at the AND gate lands on padding
+  // bits only (a = 1 exactly on padding there). The b site's forced value
+  // matches golden everywhere in word 1.
+  PatternSet patterns(2, 2);
+  patterns.set_word(0, 0, ~0ULL);
+  patterns.set_word(0, 1, ~kTail);  // a = 1 only on padding vectors
+  patterns.set_word(1, 0, ~0ULL);
+  patterns.set_word(1, 1, ~0ULL);
+
+  FaultSpec spec;
+  spec.add({fx.a, false, false, 0, 0});
+  spec.add({fx.b, true, false, 0, 0});
+
+  FaultSimEngine engine(fx.net);
+  engine.run_batch(
+      patterns, {spec},
+      [&](int, const FaultSpec&, const FaultView& v) {
+        ASSERT_TRUE(v.touched(fx.a));
+        ASSERT_TRUE(v.touched(fx.g));
+        // Raw word 1 of the gate differs on the 28 padding bits; the
+        // masked accounting every consumer uses must see word 0 only.
+        int64_t detected = 0;
+        for (int w = 0; w < v.num_words(); ++w) {
+          uint64_t err = v.golden(fx.g)[w] ^ v.faulty(fx.g)[w];
+          detected += std::popcount(err & v.word_mask(w));
+        }
+        EXPECT_EQ(detected, 64);
+      },
+      /*num_threads=*/1, /*num_vectors=*/kVectors);
+}
+
+TEST(FaultTailTest, TransientBurstOverhangingTheTailIsMasked) {
+  AndFixture fx;
+  // A burst window [96, 128) overhangs the 100-vector batch: its word-1
+  // bits 32..63 are forced, but only vectors 96..99 are valid. Golden g is
+  // 0 throughout word 1 (a = 0 there), so the stuck-at-1 burst differs on
+  // all 32 window bits — exactly 4 of which may ever count.
+  PatternSet patterns(2, 2);
+  patterns.set_word(0, 0, ~0ULL);
+  patterns.set_word(0, 1, 0);
+  patterns.set_word(1, 0, ~0ULL);
+  patterns.set_word(1, 1, ~0ULL);
+
+  FaultSpec spec;
+  spec.add({fx.g, true, true, /*burst_start=*/96, /*burst_length=*/32});
+
+  FaultSimEngine engine(fx.net);
+  engine.run_batch(
+      patterns, {spec},
+      [&](int, const FaultSpec&, const FaultView& v) {
+        ASSERT_TRUE(v.touched(fx.g));
+        // Outside the burst window the site holds golden exactly.
+        EXPECT_EQ(v.faulty(fx.g)[0], v.golden(fx.g)[0]);
+        int64_t detected = 0;
+        for (int w = 0; w < v.num_words(); ++w) {
+          uint64_t err = v.golden(fx.g)[w] ^ v.faulty(fx.g)[w];
+          detected += std::popcount(err & v.word_mask(w));
+        }
+        EXPECT_EQ(detected, 4) << "only valid vectors of the burst count";
+      },
+      /*num_threads=*/1, /*num_vectors=*/kVectors);
+}
+
 TEST(FaultTailTest, RunBatchRejectsOversizedVectorCounts) {
   AndFixture fx;
   PatternSet patterns(2, 1);

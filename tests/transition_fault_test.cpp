@@ -72,10 +72,42 @@ TEST(TransitionFaultTest, NoTransitionNoEffect) {
   EXPECT_EQ(sim.faulty_value(y)[0], sim.value(y)[0]);
 }
 
-TEST(TransitionFaultTest, EnumerationCoversLogicNodesTwice) {
+TEST(TransitionFaultTest, EnumerationCoversPiStemsAndLogicNodesTwice) {
+  // Both polarities of every PI fanout stem and every gate output: slow
+  // transitions on input lines are defect sites too (they used to be
+  // skipped, leaving PI delay faults unobservable in every measurement).
   Network net = make_benchmark("c17");
   EXPECT_EQ(enumerate_transition_faults(net).size(),
-            2u * net.num_logic_nodes());
+            2u * (net.num_logic_nodes() + net.num_pis()));
+}
+
+TEST(TransitionFaultTest, PiStemTransitionIsEnumeratedAndDetected) {
+  // y = a & b observed directly at a PO: a slow-to-rise on PI stem `a`
+  // (launch a=0, capture a=1, b=1) holds the stale 0 and flips y.
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId y = net.add_and(a, b, "y");
+  net.add_po("y", y);
+
+  auto faults = enumerate_transition_faults(net);
+  bool pi_rise_listed = false;
+  for (const TransitionFault& f : faults) {
+    pi_rise_listed = pi_rise_listed || (f.node == a && f.slow_to_rise);
+  }
+  EXPECT_TRUE(pi_rise_listed);
+
+  PatternSet launch(2, 1), capture(2, 1);
+  launch.set_word(0, 0, 0b0);   // a: 0 -> 1 (rising)
+  launch.set_word(1, 0, 0b1);   // b: steady 1
+  capture.set_word(0, 0, 0b1);
+  capture.set_word(1, 0, 0b1);
+  TransitionSimulator sim(net);
+  sim.run(launch, capture);
+  EXPECT_EQ(sim.value(y)[0] & 1, 1u);  // fault-free capture: y = 1
+  sim.inject({a, /*slow_to_rise=*/true});
+  // The stale 0 on the stem propagates: the fault is detected at the PO.
+  EXPECT_EQ(sim.faulty_value(y)[0] & 1, 0u);
 }
 
 TEST(DelayCedTest, DelayFaultsAreDetectedByTheSameCheckers) {
@@ -91,12 +123,52 @@ TEST(DelayCedTest, DelayFaultsAreDetectedByTheSameCheckers) {
       build_ced_design(mapped, mapped, {ApproxDirection::kZeroApprox});
   DelayCoverageOptions opt;
   opt.num_fault_samples = 300;
+  // Gate-level faults only: this asserts the paper's claim about checker
+  // reuse for *gate* delay faults. PI-stem faults are common mode in an
+  // exact-duplicate CED (see the test below) and would dilute coverage.
+  opt.include_pi_stems = false;
   CoverageResult cov = evaluate_delay_fault_coverage(ced, opt);
   EXPECT_GT(cov.erroneous, 0);
   // An AND cone is mostly-0: slow-to-fall faults dominate the erroneous
   // captures (0->1 direction at the output), which the 0-approx checker
   // catches.
   EXPECT_GT(cov.coverage(), 0.5);
+}
+
+TEST(DelayCedTest, PiStemFaultsAreCommonModeInExactDuplication) {
+  // A slow PI stem feeds the functional circuit and the check-symbol
+  // generator the same stale value: the capture is erroneous, but the
+  // rails agree — structurally undetectable by duplication. The erroneous
+  // count must rise when PI stems are sampled while detection stays capped
+  // at the gate-fault level (this is why include_pi_stems exists and why
+  // the headline gate-level claim excludes stems).
+  Network net;
+  NodeId a = net.add_pi("a");
+  NodeId b = net.add_pi("b");
+  NodeId y = net.add_and(a, b, "y");
+  net.add_po("y", y);
+  Network mapped = technology_map(net);
+  CedDesign ced =
+      build_ced_design(mapped, mapped, {ApproxDirection::kZeroApprox});
+
+  TransitionSimulator sim(ced.design);
+  PatternSet launch(2, 1), capture(2, 1);
+  launch.set_word(0, 0, 0b0);  // a: 0 -> 1 rising
+  launch.set_word(1, 0, 0b1);  // b: steady 1
+  capture.set_word(0, 0, 0b1);
+  capture.set_word(1, 0, 0b1);
+  sim.run(launch, capture);
+  sim.inject({a, /*slow_to_rise=*/true});
+  const NodeId out = ced.functional_outputs[0];
+  // The functional output is erroneous...
+  EXPECT_NE(sim.faulty_value(out)[0] & 1, sim.value(out)[0] & 1);
+  // ...but the rails agree exactly where duplication would flag an error
+  // only if the two copies diverged — they cannot, the stale input is
+  // common to both. Rails agree <=> error flagged; here they must
+  // *disagree* (no detection).
+  const uint64_t z1 = sim.faulty_value(ced.error_pair.rail1)[0] & 1;
+  const uint64_t z2 = sim.faulty_value(ced.error_pair.rail2)[0] & 1;
+  EXPECT_NE(z1, z2);
 }
 
 TEST(DelayCedTest, CoverageBoundedAndDeterministic) {
